@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the reproduced rows/series next to the published values.  By
+default the figure benchmarks run the full experiment *duration* with a
+reduced route count (4 per length class instead of 16) so the whole
+suite completes in minutes; set ``REPRO_BENCH_FULL=1`` for the paper's
+exact scale.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+def routes_per_length() -> int:
+    return 16 if full_scale() else 4
+
+
+@pytest.fixture
+def emit(capsys):
+    """Print straight to the terminal, bypassing capture."""
+
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

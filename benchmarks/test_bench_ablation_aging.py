@@ -1,0 +1,68 @@
+"""Ablation A4: burn-in signal vs device age and burn duration.
+
+Section 6.2's observation -- "the burn-in for the cloud FPGAs is lesser
+than that of the new ZCU102 ... cloud FPGAs are older and more used" --
+generalised into a table: the 5000 ps route's end-of-burn delta-ps as a
+function of prior device wear and of conditioning duration.
+"""
+
+from repro.analysis.report import render_table
+from repro.fabric.router import compose_delay
+from repro.fabric.segments import spec_for
+from repro.physics.bti import SegmentBti, SegmentTraits
+from repro.physics.constants import (
+    PS_PER_SWITCH_AT_REFERENCE,
+    REFERENCE_TEMPERATURE_K,
+)
+
+AGES_HOURS = (0.0, 500.0, 2000.0, 4000.0, 8000.0)
+BURN_HOURS = (10, 50, 100, 200, 400)
+
+
+def signal(age_hours, burn_hours, length_ps=5000.0):
+    switches = sum(
+        spec_for(k).switch_count for k in compose_delay(length_ps)
+    )
+    segment = SegmentBti(SegmentTraits(
+        rising_delay_ps=length_ps,
+        falling_delay_ps=length_ps,
+        burn_amplitude_ps=switches * PS_PER_SWITCH_AT_REFERENCE,
+    ))
+    age = age_hours
+    for _ in range(burn_hours):
+        segment.hold(1, 1.0, REFERENCE_TEMPERATURE_K, device_age_hours=age)
+        age += 1.0
+    return segment.delta_ps
+
+
+def build_matrix():
+    return {
+        age: [signal(age, hours) for hours in BURN_HOURS]
+        for age in AGES_HOURS
+    }
+
+
+def test_ablation_age_and_duration(benchmark, emit):
+    matrix = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    rows = [
+        [f"{age:.0f} h wear"] + [round(v, 2) for v in matrix[age]]
+        for age in AGES_HOURS
+    ]
+    emit("\n" + render_table(
+        ["Device age"] + [f"{h} h burn" for h in BURN_HOURS],
+        rows,
+        title=(
+            "Ablation A4: 5000 ps route burn-1 delta-ps vs device wear "
+            "and burn duration"
+        ),
+    ))
+    # Monotone in burn duration for every age.
+    for age in AGES_HOURS:
+        assert matrix[age] == sorted(matrix[age])
+    # Monotone decreasing in age for every duration.
+    for column in range(len(BURN_HOURS)):
+        by_age = [matrix[age][column] for age in AGES_HOURS]
+        assert by_age == sorted(by_age, reverse=True)
+    # The paper's anchor: ~10x between new and ~4-year parts at 200 h.
+    ratio = matrix[0.0][3] / matrix[4000.0][3]
+    assert 5.0 < ratio < 20.0

@@ -1,0 +1,97 @@
+"""Ablation A6: sequential extraction vs a fixed-duration burn.
+
+Section 6.2: "The attacker can continue the burn-in process until they
+are satisfied that the sensitive values are extracted."  This bench
+quantifies the rent-time economics: the SPRT-based sequential attacker
+(:mod:`repro.core.sequential`) stops per route as soon as the bit has
+settled, paying for a fraction of the fixed 120-hour burn while
+recovering the same bits.
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.analysis.timeseries import length_class
+from repro.cloud.fleet import build_fleet, cloud_wear_profile
+from repro.cloud.marketplace import Marketplace
+from repro.cloud.provider import CloudProvider
+from repro.core.metrics import score_recovery
+from repro.core.sequential import SequentialExtractor
+from repro.core.threat_model1 import ThreatModel1Attack
+from repro.designs import build_route_bank, build_target_design
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS as PART
+from repro.rng import RngFactory
+
+
+def run_both():
+    rng = RngFactory(71)
+    grid = PART.make_grid()
+    lengths = [1000.0] * 4 + [2000.0] * 4 + [5000.0] * 4 + [10000.0] * 4
+    routes = build_route_bank(grid, lengths)
+    values = [int(b) for b in np.random.default_rng(5).integers(0, 2, 16)]
+    design = build_target_design(PART, routes, values, heater_dsps=1024,
+                                 name="afi")
+
+    def attack(seed_name):
+        # A fresh platform per strategy: both attackers must start from
+        # the same pristine fleet for a fair rent-time comparison.
+        provider = CloudProvider(seed=rng.stream(f"{seed_name}-p"))
+        fleet = build_fleet(PART, 2, wear=cloud_wear_profile(200.0),
+                            seed=904)  # identical fleet for both strategies
+        provider.create_region("eu-west-2", fleet)
+        marketplace = Marketplace()
+        listing = marketplace.publish(design.bitstream, publisher="v",
+                                      public_skeleton=True)
+        return ThreatModel1Attack(
+            provider=provider, marketplace=marketplace,
+            afi_id=listing.afi_id, region="eu-west-2",
+            seed=rng.stream(f"{seed_name}-s"),
+        )
+
+    fixed = attack("fixed").run(burn_hours=120, measure_every_hours=1.0)
+    sequential = attack("seq").run_until_confident(
+        max_hours=120, measure_every_hours=1.0
+    )
+    truth = {r.name: v for r, v in zip(routes, values)}
+    return fixed, sequential, truth
+
+
+def test_ablation_sequential_extraction(benchmark, emit):
+    fixed, sequential, truth = benchmark.pedantic(run_both, rounds=1,
+                                                  iterations=1)
+    fixed_score = score_recovery(fixed.recovered_bits, truth)
+    seq_score = score_recovery(sequential.recovered_bits, truth)
+
+    # Per-length settle times from the sequential run's series.
+    extractor = SequentialExtractor()
+    settle_by_length = {}
+    for series in sequential.bundle:
+        state = extractor.update_from_series(series)
+        if state.settled:
+            settle_by_length.setdefault(
+                length_class(series.nominal_delay_ps), []
+            ).append(state.settled_at_hour)
+    rows = [
+        ["fixed 120 h burn", f"{fixed_score.accuracy:.2f}",
+         f"{fixed.burn_hours:.0f} h"],
+        ["sequential (SPRT)", f"{seq_score.accuracy:.2f}",
+         f"{sequential.burn_hours:.0f} h"],
+    ]
+    emit("\n" + render_table(
+        ["Strategy", "bit accuracy", "rent time"],
+        rows,
+        title="Ablation A6: sequential vs fixed-duration extraction",
+    ))
+    for length in sorted(settle_by_length):
+        times = settle_by_length[length]
+        emit(f"  {length:7.0f} ps routes settle at "
+             f"{np.median(times):5.1f} h (median of {len(times)})")
+
+    # The trade-off: a modest accuracy concession (per-route drift on
+    # worn devices varies around the SPRT's fixed-signal hypotheses)
+    # buys a large rent-time saving.
+    assert seq_score.accuracy >= 0.75
+    assert sequential.burn_hours < 0.85 * fixed.burn_hours
+    medians = [np.median(settle_by_length[L])
+               for L in sorted(settle_by_length)]
+    assert medians == sorted(medians, reverse=True)  # longer = sooner

@@ -1,0 +1,54 @@
+"""Benchmark F6: regenerate Figure 6 (Experiment 1, lab environment).
+
+A factory-new ZCU102 at 60 C: 200-hour burn-in with random values X,
+then 200-hour recovery under the complement.  Prints the four ASCII
+panels and the per-length magnitude bands next to the published ones.
+"""
+
+import numpy as np
+
+from conftest import routes_per_length
+
+from repro.experiments import (
+    Experiment1Config,
+    render_experiment_panels,
+    run_experiment1,
+)
+
+PAPER_BANDS = {
+    1000.0: (1.0, 2.0),
+    2000.0: (2.0, 3.0),
+    5000.0: (5.0, 6.0),
+    10000.0: (10.0, 11.0),
+}
+
+
+def test_fig6_lab_burn_in_and_recovery(benchmark, emit):
+    config = Experiment1Config(
+        routes_per_length=routes_per_length(), seed=1
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment1(config), rounds=1, iterations=1
+    )
+    emit("\n" + render_experiment_panels(
+        result.bundle,
+        "Figure 6 (Experiment 1, lab)",
+        stress_change_hour=result.stress_change_hour,
+    ))
+    emit("\nEnd-of-burn |delta-ps| bands (reproduced vs paper):")
+    for length, (lo, hi) in sorted(PAPER_BANDS.items()):
+        ours = result.magnitude_band(length)
+        emit(f"  {length:7.0f} ps: ({ours[0]:.2f}, {ours[1]:.2f})"
+             f"   paper: ({lo:.1f}, {hi:.1f})")
+    crossings = result.recovery_crossing_hours()
+    emit(f"\nBurn-1 recovery zero-crossings: median "
+         f"{np.median(crossings):.0f} h (paper: 30-50 h), "
+         f"n={len(crossings)}")
+    emit(f"Bit recovery: {result.recovery_score}")
+
+    # Acceptance: shape of the result.
+    assert result.recovery_score.accuracy == 1.0
+    for length, (lo, hi) in PAPER_BANDS.items():
+        _, band_max = result.magnitude_band(length)
+        assert lo * 0.4 <= band_max <= hi * 1.5
+    assert 20.0 <= np.median(crossings) <= 60.0

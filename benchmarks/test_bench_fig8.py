@@ -1,0 +1,52 @@
+"""Benchmark F8: regenerate Figure 8 (Experiment 3, cloud Threat Model 2).
+
+The victim burns X for 200 unobserved hours and releases; the attacker
+flash-acquires the region, replays a-priori theta_init, and watches 25
+hours of recovery while conditioning to 0.  Prints the panels (series
+start at the attacker's hour 0 = the paper's hour 200) and the Type B
+recovery statistics.
+"""
+
+import numpy as np
+
+from conftest import routes_per_length
+
+from repro.analysis.timeseries import length_class
+from repro.experiments import (
+    Experiment3Config,
+    render_experiment_panels,
+    run_experiment3,
+)
+
+
+def test_fig8_cloud_threat_model_2(benchmark, emit):
+    config = Experiment3Config(
+        routes_per_length=routes_per_length(), seed=3
+    )
+    result = benchmark.pedantic(
+        lambda: run_experiment3(config), rounds=1, iterations=1
+    )
+    emit("\n" + render_experiment_panels(
+        result.bundle, "Figure 8 (Experiment 3, cloud TM2)"
+    ))
+    emit(f"\nBoards probed (flash attack): {result.devices_probed}")
+    emit(f"Type B recovery: {result.recovery_score}")
+    emit(f"Accuracy by length: "
+         f"{ {k: round(v, 2) for k, v in result.accuracy_by_length().items()} }")
+
+    # The figure's visual claim: former burn-1 routes fall away from
+    # former burn-0 routes during the recovery window (long routes).
+    burn1, burn0 = [], []
+    for series in result.bundle:
+        if length_class(series.nominal_delay_ps) < 5000.0:
+            continue
+        scaled = series.centered[-1] / (series.nominal_delay_ps / 1000.0)
+        (burn1 if series.burn_value == 1 else burn0).append(scaled)
+    emit(f"Mean end-of-window drift per 1000 ps: burn-1 "
+         f"{np.mean(burn1):+.3f} ps, burn-0 {np.mean(burn0):+.3f} ps")
+
+    assert np.mean(burn1) < np.mean(burn0)
+    assert result.recovery_score.accuracy > 0.55
+    accuracy = result.accuracy_by_length()
+    assert accuracy[10000.0] >= accuracy[1000.0]
+    assert accuracy[10000.0] >= 0.75

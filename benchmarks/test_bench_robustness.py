@@ -1,0 +1,41 @@
+"""Ablation A9: seed-robustness of the headline results.
+
+Single-seed demonstrations can flatter an attack; this bench sweeps the
+quick configurations of all three experiments over five seeds each and
+reports the recovery-accuracy distributions.  Experiment 1's lab
+setting should be deterministic-perfect; the cloud settings should stay
+well above chance with modest spread.
+"""
+
+from repro.analysis.report import render_table
+from repro.montecarlo import experiment_sweep
+
+SEEDS = (3, 5, 7, 19, 23)
+
+
+def sweep_all():
+    return {
+        name: experiment_sweep(name, seeds=SEEDS)
+        for name in ("exp1", "exp2", "exp3")
+    }
+
+
+def test_seed_robustness(benchmark, emit):
+    results = benchmark.pedantic(sweep_all, rounds=1, iterations=1)
+    rows = []
+    for name, result in results.items():
+        lo, hi = result.percentile_interval(0.9)
+        rows.append([
+            name, f"{result.mean:.2f}", f"{result.std:.2f}",
+            f"[{lo:.2f}, {hi:.2f}]", f"{result.minimum:.2f}",
+        ])
+    emit("\n" + render_table(
+        ["Experiment (quick)", "mean acc", "sd", "90% interval", "min"],
+        rows,
+        title="Ablation A9: recovery accuracy across seeds (n=5 each)",
+    ))
+    assert results["exp1"].mean == 1.0
+    assert results["exp2"].mean >= 0.8
+    assert results["exp3"].mean >= 0.6
+    # Every cloud run beats coin flipping.
+    assert results["exp2"].minimum > 0.5

@@ -1,0 +1,93 @@
+"""Ablation A5: TDC sensor vs ring-oscillator baseline (Section 7).
+
+Two findings from the related-work comparison, reproduced:
+
+1. **Deployability** -- the RO's combinational loop fails the cloud
+   provider's self-oscillator scan; the TDC passes DRC.
+2. **Polarity separation** -- the RO's single output (oscillation
+   period) responds identically to burn-0 and burn-1, while the TDC's
+   falling-minus-rising output signs the previous value.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.designs import build_route_bank, build_target_design, build_measure_design
+from repro.errors import DesignRuleViolation
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.device import FpgaDevice
+from repro.fabric.geometry import Coordinate
+from repro.fabric.netlist import CellType
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.fabric.placement import FixedPlacer
+from repro.fabric.drc import check_design
+from repro.sensor.ro import RingOscillatorSensor, build_ro_netlist
+from repro.units import celsius_to_kelvin
+
+PART = ZYNQ_ULTRASCALE_PLUS
+AMBIENT = celsius_to_kelvin(60.0)
+
+
+def burn(device, route, value, hours=100):
+    design = build_target_design(PART, [route], [value], heater_dsps=0,
+                                 name=f"burn{value}")
+    device.load(design.bitstream)
+    device.advance_hours(float(hours), AMBIENT)
+    device.wipe()
+
+
+def compare_sensors():
+    results = {}
+    for value in (0, 1):
+        device = FpgaDevice(PART, seed=81 + value)
+        device.set_ambient(AMBIENT)
+        route = build_route_bank(device.grid, [5000.0])[0]
+        ro = RingOscillatorSensor(device, route, seed=1)
+        ro_before = ro.period_ps()
+        tdc_before = device.transition_delays(route).delta_ps
+        burn(device, route, value)
+        results[value] = {
+            "ro_shift": ro.period_ps() - ro_before,
+            "tdc_shift": device.transition_delays(route).delta_ps - tdc_before,
+        }
+    # DRC outcome for each sensor's netlist.
+    grid = PART.make_grid()
+    route = build_route_bank(grid, [1000.0])[0]
+    placer = FixedPlacer(grid)
+    placer.place_at("loop_inv", CellType.INVERTER, Coordinate(0, 0))
+    placer.place_at("counter_ff", CellType.FLIP_FLOP, Coordinate(0, 0))
+    ro_image = Bitstream.compile(build_ro_netlist("p", route), placer.placement)
+    ro_drc = check_design(ro_image, grid, PART.power_cap_watts)
+    measure = build_measure_design(PART, [route])
+    tdc_drc = check_design(measure.bitstream, grid, PART.power_cap_watts)
+    return results, ro_drc, tdc_drc
+
+
+def test_ablation_sensor_comparison(benchmark, emit):
+    results, ro_drc, tdc_drc = benchmark.pedantic(
+        compare_sensors, rounds=1, iterations=1
+    )
+    rows = [
+        ["RO period shift (ps)",
+         round(results[0]["ro_shift"], 2), round(results[1]["ro_shift"], 2)],
+        ["TDC delta-ps shift (ps)",
+         round(results[0]["tdc_shift"], 2), round(results[1]["tdc_shift"], 2)],
+    ]
+    emit("\n" + render_table(
+        ["Sensor output", "after burn-0", "after burn-1"],
+        rows,
+        title="Ablation A5: sensor response to a 100 h burn on a 5000 ps route",
+    ))
+    emit(f"Cloud DRC: RO sensor passes={ro_drc.passed}, "
+         f"TDC sensor passes={tdc_drc.passed}")
+
+    # The RO cannot sign the previous value: both burns slow the loop.
+    assert results[0]["ro_shift"] > 0.0
+    assert results[1]["ro_shift"] > 0.0
+    # The TDC separates them by sign.
+    assert results[0]["tdc_shift"] < 0.0 < results[1]["tdc_shift"]
+    # Only the TDC is deployable on the cloud platform.
+    assert not ro_drc.passed
+    assert tdc_drc.passed
+    with pytest.raises(DesignRuleViolation):
+        ro_drc.raise_on_failure()

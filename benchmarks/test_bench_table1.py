@@ -1,0 +1,20 @@
+"""Benchmark T1: regenerate Table 1 (OpenTitan route-length study).
+
+Prints the reproduced per-asset distribution rows interleaved with the
+published values.
+"""
+
+from repro.opentitan import build_table1, render_table1
+
+
+def test_table1_opentitan_route_lengths(benchmark, emit):
+    rows = benchmark.pedantic(
+        lambda: build_table1(seed=1), rounds=1, iterations=1
+    )
+    emit("\n" + render_table1(rows, compare=True))
+    # Acceptance: the paper's qualitative claims hold.
+    medians = [row.stats.p50 for row in rows]
+    assert sum(1 for m in medians if m < 600.0) >= 8, "most routes short"
+    assert max(r.stats.maximum for r in rows) > 3000.0, "tails approach 4 ns"
+    maxima = [row.stats.maximum for row in rows]
+    assert maxima == sorted(maxima)

@@ -1,0 +1,84 @@
+"""Ablation A8: voltage scaling as a provider/manufacturer mitigation.
+
+Section 8.2/8.3: "Some FPGAs that operate at different voltages and use
+a lower voltage would reduce the burn-in effects" / "FPGA manufacturers
+could consider more advanced dynamic voltage scaling techniques to allow
+users to mitigate BTI selectively."  BTI accelerates exponentially in
+gate voltage, so modest undervolting attacks the imprint at its source.
+
+This bench burns the same secret at three core-voltage settings and
+reports the imprint magnitude and the attacker's recovery.
+"""
+
+from repro.analysis.report import render_table
+from repro.core.bench import LabBench
+from repro.core.classify import BurnTrendClassifier
+from repro.core.metrics import score_recovery
+from repro.core.protocol import ConditionMeasureProtocol
+from repro.designs import (
+    build_measure_design,
+    build_route_bank,
+    build_target_design,
+)
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.sensor.noise import LAB_NOISE
+
+PART = ZYNQ_ULTRASCALE_PLUS
+VOLTAGES = (0.85, 0.80, 0.72)
+SECRET = [1, 0, 1, 1, 0, 0]
+
+
+def burn_at_voltage(voltage):
+    device = FpgaDevice(PART, seed=91)
+    device.set_core_voltage(voltage)
+    bench = LabBench(device)
+    routes = build_route_bank(device.grid, [5000.0] * len(SECRET))
+    target = build_target_design(PART, routes, SECRET, heater_dsps=0)
+    measure = build_measure_design(PART, routes)
+    protocol = ConditionMeasureProtocol(
+        environment=bench,
+        target_bitstream=target.bitstream,
+        measure_design=measure,
+        routes=routes,
+        condition_hours_per_cycle=2.0,
+    )
+    protocol.calibration.noise = LAB_NOISE
+    protocol.calibration.seed = 92
+    protocol.calibrate()
+    bundle = protocol.run_cycles(24)  # 48-hour burn
+    imprint = max(
+        abs(device.route_delta_ps(route)) for route in routes
+    )
+    recovered = BurnTrendClassifier().classify_many(list(bundle))
+    truth = {route.name: bit for route, bit in zip(routes, SECRET)}
+    score = score_recovery(recovered, truth)
+    return imprint, score
+
+
+def test_ablation_voltage_scaling(benchmark, emit):
+    results = benchmark.pedantic(
+        lambda: {v: burn_at_voltage(v) for v in VOLTAGES},
+        rounds=1, iterations=1,
+    )
+    rows = [
+        [f"{voltage:.2f} V", f"{imprint:.2f}",
+         f"{score.accuracy:.2f}"]
+        for voltage, (imprint, score) in results.items()
+    ]
+    emit("\n" + render_table(
+        ["Core voltage", "max imprint (ps)", "attacker accuracy"],
+        rows,
+        title="Ablation A8: undervolting vs the pentimento imprint (48 h burn)",
+    ))
+    imprints = [results[v][0] for v in VOLTAGES]
+    # Imprint shrinks monotonically with undervolting...
+    assert imprints == sorted(imprints, reverse=True)
+    assert results[0.72][0] < 0.75 * results[0.85][0]
+    # ...but the t^n power law blunts the exponential *rate* suppression
+    # to rate**n on the observable charge (a 130 mV undervolt cuts the
+    # stress rate ~3x yet the imprint only ~1.5x), so the attacker still
+    # recovers every bit -- quantifying the paper's scepticism that
+    # voltage mitigations alone will outpace the threat (Section 8.3).
+    for voltage in VOLTAGES:
+        assert results[voltage][1].accuracy == 1.0

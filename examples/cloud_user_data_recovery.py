@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Threat Model 2: recover a previous tenant's runtime data.
+
+The full cloud timeline:
+
+1. the attacker calibrates theta_init on a board they rent themselves
+   (it transfers across boards of the same part) and releases it;
+2. a victim rents an instance, loads their workload with a 16-bit
+   runtime secret on known route locations, computes for 150 hours, and
+   releases; the provider scrubs all logical state;
+3. the attacker flash-acquires the region (guaranteeing possession of
+   the victim's physical board), conditions every route to 0, and
+   watches 20 hours of BTI recovery;
+4. the board showing recovery transients is the victim's; each
+   transient route was a 1, each flat route a 0.
+
+Run:  python examples/cloud_user_data_recovery.py
+"""
+
+import numpy as np
+
+from repro.cloud.fleet import build_fleet, cloud_wear_profile
+from repro.cloud.provider import CloudProvider
+from repro.core.metrics import score_recovery
+from repro.core.phases import CalibrationPhase
+from repro.core.threat_model2 import ThreatModel2Attack
+from repro.designs import (
+    build_measure_design,
+    build_route_bank,
+    build_target_design,
+)
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+
+SECRET_BITS = 16
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    secret = [int(b) for b in rng.integers(0, 2, SECRET_BITS)]
+    print(f"victim's runtime secret: {''.join(map(str, secret))}")
+
+    provider = CloudProvider(seed=1)
+    fleet = build_fleet(VIRTEX_ULTRASCALE_PLUS, 3,
+                        wear=cloud_wear_profile(400.0), seed=2)
+    provider.create_region("eu-west-2", fleet)
+
+    grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+    routes = build_route_bank(grid, [10000.0] * SECRET_BITS)
+    victim_design = build_target_design(
+        VIRTEX_ULTRASCALE_PLUS, routes, secret,
+        heater_dsps=3896, name="victim-ml-inference",
+    )
+    measure_design = build_measure_design(VIRTEX_ULTRASCALE_PLUS, routes)
+
+    # (1) Attacker's prior calibration on their own rental.
+    calib = provider.rent("eu-west-2", "attacker")
+    theta_init = dict(
+        CalibrationPhase(measure_design, seed=5).run(calib).theta_init
+    )
+    provider.release(calib)
+    print("attacker captured theta_init on their own board and released it")
+
+    # (2) The victim computes, releases; the provider wipes the board.
+    victim = provider.rent("eu-west-2", "victim")
+    victim.load_image(victim_design.bitstream)
+    provider.advance(150.0)
+    provider.release(victim)
+    print("victim finished 150 h of computation; board wiped and pooled")
+
+    # (3)-(4) Flash-acquire, probe all boards, classify the transients.
+    attack = ThreatModel2Attack(
+        provider=provider,
+        region="eu-west-2",
+        routes=routes,
+        theta_init=theta_init,
+        conditioned_to=0,
+        seed=9,
+    )
+    print("flash attack + 20 h recovery observation on every board...")
+    result = attack.run(recovery_hours=20)
+    print(f"boards probed: {result.devices_probed}; victim board "
+          f"identified: {result.bundle.label}")
+
+    truth = {route.name: bit for route, bit in zip(routes, secret)}
+    score = score_recovery(result.recovered_bits, truth)
+    recovered = "".join(str(result.recovered_bits[r.name]) for r in routes)
+    print(f"recovered secret:        {recovered}")
+    print(score)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Threat Model 1: extract a key from a sealed marketplace AFI.
+
+A vendor sells an accelerator AFI on the cloud marketplace with a
+32-bit key baked in as netlist constants.  The platform seals the image
+("no FPGA internal design code is exposed") -- but the vendor's sources
+are public (OpenTitan-style distribution), so the route skeleton is
+known.  A customer-attacker rents the AFI, interleaves execution with
+TDC measurements, and reads the key out of the burn-in drift.
+
+Run:  python examples/marketplace_key_extraction.py
+"""
+
+import numpy as np
+
+from repro.cloud.fleet import build_fleet, cloud_wear_profile
+from repro.cloud.marketplace import Marketplace
+from repro.cloud.provider import CloudProvider
+from repro.core.metrics import score_recovery
+from repro.core.threat_model1 import ThreatModel1Attack
+from repro.designs import build_route_bank, build_target_design
+from repro.errors import AccessError
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+
+KEY_BITS = 32
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    key = [int(b) for b in rng.integers(0, 2, KEY_BITS)]
+    print(f"vendor's secret key: {''.join(map(str, key))}")
+
+    # --- The platform: one region of lightly-used F1 devices.
+    provider = CloudProvider(seed=1)
+    fleet = build_fleet(VIRTEX_ULTRASCALE_PLUS, 2,
+                        wear=cloud_wear_profile(500.0), seed=2)
+    provider.create_region("eu-west-2", fleet)
+    marketplace = Marketplace()
+
+    # --- The vendor compiles and publishes the accelerator.
+    grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+    routes = build_route_bank(grid, [5000.0] * KEY_BITS)
+    design = build_target_design(
+        VIRTEX_ULTRASCALE_PLUS, routes, key,
+        heater_dsps=2048, name="crypto-accelerator-v2",
+    )
+    listing = marketplace.publish(
+        design.bitstream,
+        publisher="acme-silicon",
+        description="AES session accelerator",
+        public_skeleton=True,  # sources on GitHub, skeleton derivable
+    )
+    print(f"published as {listing.afi_id}; sealed:", end=" ")
+    try:
+        listing.image.static_values()
+    except AccessError:
+        print("yes (platform refuses to expose design contents)")
+
+    # --- The attack: rent, burn, measure, classify.
+    attack = ThreatModel1Attack(
+        provider=provider,
+        marketplace=marketplace,
+        afi_id=listing.afi_id,
+        region="eu-west-2",
+        seed=3,
+    )
+    print("renting the AFI and interleaving 72 h of execution with "
+          "hourly measurements...")
+    result = attack.run(burn_hours=72, measure_every_hours=2.0)
+
+    truth = {route.name: bit for route, bit in zip(routes, key)}
+    score = score_recovery(result.recovered_bits, truth)
+    recovered = "".join(
+        str(result.recovered_bits[r.name]) for r in routes
+    )
+    print(f"recovered key:       {recovered}")
+    print(score)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Pentimento: data remanence in cloud FPGAs -- full-system reproduction.
+
+A from-scratch implementation of the system described in *Pentimento:
+Data Remanence in Cloud FPGAs* (ASPLOS 2024) on a simulated substrate:
+
+* :mod:`repro.physics` -- BTI stress/recovery transistor physics;
+* :mod:`repro.fabric` -- an UltraScale+-like FPGA fabric with persistent
+  per-segment analog state;
+* :mod:`repro.sensor` -- the Tunable Dual-Polarity TDC sensor;
+* :mod:`repro.designs` -- the paper's Target and Measure designs;
+* :mod:`repro.cloud` -- an AWS-F1-like rental platform;
+* :mod:`repro.core` -- the pentimento attack framework (Threat Models
+  1 and 2, sequential extraction, skeleton-free localisation);
+* :mod:`repro.analysis` -- kernel regression, series containers, stats;
+* :mod:`repro.opentitan` -- the Earl Grey route-length study (Table 1);
+* :mod:`repro.mitigations` -- the Section 8 defences and their
+  evaluation;
+* :mod:`repro.verify` -- the Section 8.1 design-vulnerability analyzer;
+* :mod:`repro.baselines` -- related-work channels (Section 7);
+* :mod:`repro.experiments` -- drivers reproducing Figures 6-8;
+* :mod:`repro.persistence` -- JSON archival of experiment results.
+
+Quickstart::
+
+    from repro.experiments import Experiment1Config, run_experiment1
+    result = run_experiment1(Experiment1Config.quick())
+    print(result.recovery_score)
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import ReproError
+
+__all__ = ["ReproError", "__version__"]

@@ -1,0 +1,39 @@
+"""Statistical analysis utilities.
+
+* :mod:`repro.analysis.kernel_regression` -- Nadaraya-Watson and
+  local-linear kernel regression (the paper smooths its figures with
+  statsmodels' nonparametric kernel regression in continuous mode with a
+  local linear estimator; statsmodels is not available offline, so this
+  is a from-scratch equivalent);
+* :mod:`repro.analysis.timeseries` -- containers for the per-route
+  delta-ps series the experiments produce;
+* :mod:`repro.analysis.stats` -- summary statistics (the Table 1
+  columns), robust slopes, and simple significance tests;
+* :mod:`repro.analysis.report` -- plain-text renderers for the paper's
+  tables and figures.
+"""
+
+from repro.analysis.kernel_regression import (
+    KernelRegression,
+    local_linear_smooth,
+    nadaraya_watson_smooth,
+)
+from repro.analysis.stats import (
+    RouteLengthStats,
+    ols_slope,
+    route_length_stats,
+    theil_sen_slope,
+)
+from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
+
+__all__ = [
+    "DeltaPsSeries",
+    "KernelRegression",
+    "RouteLengthStats",
+    "SeriesBundle",
+    "local_linear_smooth",
+    "nadaraya_watson_smooth",
+    "ols_slope",
+    "route_length_stats",
+    "theil_sen_slope",
+]

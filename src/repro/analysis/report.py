@@ -1,0 +1,126 @@
+"""Plain-text renderers for the paper's tables and figures.
+
+The benchmark harness prints the same rows and series the paper reports:
+:func:`render_table` emits Table-1-style fixed-width tables and
+:func:`render_series_chart` draws the Figure 6/7/8 panels as ASCII line
+charts (one glyph per burn-value class, kernel-smoothed if requested).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.analysis.kernel_regression import local_linear_smooth
+from repro.analysis.timeseries import DeltaPsSeries
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A fixed-width table with right-aligned numeric columns."""
+    if not headers:
+        raise AnalysisError("table needs headers")
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise AnalysisError(
+                f"row width {len(row)} does not match {len(headers)} headers"
+            )
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in text_rows))
+        if text_rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def render_series_chart(
+    series_list: Sequence[DeltaPsSeries],
+    width: int = 78,
+    height: int = 18,
+    title: Optional[str] = None,
+    smooth: bool = True,
+    stress_change_hour: Optional[float] = None,
+) -> str:
+    """An ASCII panel of centred delta-ps series.
+
+    Burn-1 routes plot as ``#`` (the paper's magenta), burn-0 routes as
+    ``o`` (cyan), unlabelled routes as ``.``.  ``stress_change_hour``
+    draws the burn-to-recovery boundary (the red/green transition).
+    """
+    if not series_list:
+        raise AnalysisError("chart needs at least one series")
+    curves = []
+    for series in series_list:
+        hours = series.hours_array
+        values = series.centered
+        if smooth and len(series) >= 8:
+            values = local_linear_smooth(
+                hours, values, bandwidth=max(8.0, float(np.ptp(hours)) / 12.0)
+            )
+        curves.append((series, hours, values))
+
+    h_min = min(float(h.min()) for _, h, _ in curves)
+    h_max = max(float(h.max()) for _, h, _ in curves)
+    v_min = min(float(v.min()) for _, _, v in curves)
+    v_max = max(float(v.max()) for _, _, v in curves)
+    v_pad = 0.05 * max(v_max - v_min, 1e-9)
+    v_min, v_max = v_min - v_pad, v_max + v_pad
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def column(hour: float) -> int:
+        """Map an hour to a canvas column."""
+        if h_max == h_min:
+            return 0
+        return min(int((hour - h_min) / (h_max - h_min) * (width - 1)), width - 1)
+
+    def row(value: float) -> int:
+        """Map a value to a canvas row."""
+        fraction = (value - v_min) / (v_max - v_min)
+        return min(int((1.0 - fraction) * (height - 1)), height - 1)
+
+    if v_min < 0.0 < v_max:
+        zero = row(0.0)
+        for c in range(width):
+            canvas[zero][c] = "-"
+    if stress_change_hour is not None and h_min <= stress_change_hour <= h_max:
+        boundary = column(stress_change_hour)
+        for r in range(height):
+            canvas[r][boundary] = "|"
+
+    for series, hours, values in curves:
+        glyph = {1: "#", 0: "o"}.get(series.burn_value, ".")
+        for hour, value in zip(hours, values):
+            canvas[row(float(value))][column(float(hour))] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{v_max:+8.2f} ps")
+    lines.extend("".join(r) for r in canvas)
+    lines.append(f"{v_min:+8.2f} ps")
+    lines.append(
+        f"hours {h_min:.0f} .. {h_max:.0f}   "
+        f"(# = burn 1, o = burn 0, | = stress change)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Summary statistics and robust trend estimators.
+
+:func:`route_length_stats` computes the Table 1 columns (MEAN, SD, MIN,
+quartiles, MAX) over a set of route lengths.  The slope estimators feed
+the Threat Model 2 classifiers: ordinary least squares for speed, and
+Theil-Sen for robustness to the occasional metastability outlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RouteLengthStats:
+    """The Table 1 statistics row for one asset."""
+
+    count: int
+    mean: float
+    sd: float
+    minimum: float
+    p25: float
+    p50: float
+    p75: float
+    maximum: float
+
+
+def route_length_stats(lengths_ps) -> RouteLengthStats:
+    """Distribution statistics of per-bit route lengths (Table 1 row)."""
+    lengths = np.asarray(lengths_ps, dtype=float).ravel()
+    if lengths.size == 0:
+        raise AnalysisError("need at least one route length")
+    if not np.isfinite(lengths).all():
+        raise AnalysisError("route lengths must be finite")
+    return RouteLengthStats(
+        count=int(lengths.size),
+        mean=float(np.mean(lengths)),
+        sd=float(np.std(lengths, ddof=1)) if lengths.size > 1 else 0.0,
+        minimum=float(np.min(lengths)),
+        p25=float(np.percentile(lengths, 25)),
+        p50=float(np.percentile(lengths, 50)),
+        p75=float(np.percentile(lengths, 75)),
+        maximum=float(np.max(lengths)),
+    )
+
+
+def ols_slope(x, y) -> float:
+    """Ordinary-least-squares slope of y on x."""
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size != y.size or x.size < 2:
+        raise AnalysisError("slope needs >= 2 aligned points")
+    x_centred = x - x.mean()
+    denominator = float(np.dot(x_centred, x_centred))
+    if denominator == 0.0:
+        raise AnalysisError("x values are all identical")
+    return float(np.dot(x_centred, y - y.mean()) / denominator)
+
+
+def theil_sen_slope(x, y, max_pairs: int = 20000) -> float:
+    """Theil-Sen estimator: median of pairwise slopes.
+
+    Robust to outliers; exact for small series, subsampled beyond
+    ``max_pairs`` pairs.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.size != y.size or x.size < 2:
+        raise AnalysisError("slope needs >= 2 aligned points")
+    pairs = list(combinations(range(x.size), 2))
+    if len(pairs) > max_pairs:
+        stride = len(pairs) // max_pairs + 1
+        pairs = pairs[::stride]
+    slopes = []
+    for i, j in pairs:
+        dx = x[j] - x[i]
+        if dx != 0.0:
+            slopes.append((y[j] - y[i]) / dx)
+    if not slopes:
+        raise AnalysisError("x values are all identical")
+    return float(np.median(slopes))
+
+
+def welch_t_statistic(a, b) -> float:
+    """Welch's t statistic between two samples (unequal variances)."""
+    a = np.asarray(a, dtype=float).ravel()
+    b = np.asarray(b, dtype=float).ravel()
+    if a.size < 2 or b.size < 2:
+        raise AnalysisError("Welch's t needs >= 2 points per sample")
+    var_a = float(np.var(a, ddof=1))
+    var_b = float(np.var(b, ddof=1))
+    denominator = (var_a / a.size + var_b / b.size) ** 0.5
+    if denominator == 0.0:
+        raise AnalysisError("both samples are constant")
+    return float((a.mean() - b.mean()) / denominator)

@@ -1,0 +1,132 @@
+"""Containers for the experiments' delta-ps measurement series.
+
+Each route under test yields one :class:`DeltaPsSeries`: hourly
+falling-minus-rising delay estimates, centred at the first measurement
+("we center the data to the point at hour zero; any deviation from zero
+represents BTI degradation or recovery-induced variation").  A
+:class:`SeriesBundle` groups the series of one experiment with their
+(oracle) burn values and route lengths for scoring and rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class DeltaPsSeries:
+    """One route's measurement series."""
+
+    route_name: str
+    nominal_delay_ps: float
+    hours: list = field(default_factory=list)
+    raw_delta_ps: list = field(default_factory=list)
+    #: Oracle label for scoring (the true burn value); None if unknown.
+    burn_value: Optional[int] = None
+
+    def append(self, hour: float, delta_ps: float) -> None:
+        """Record one measurement."""
+        if self.hours and hour <= self.hours[-1]:
+            raise AnalysisError(
+                f"route {self.route_name!r}: measurements must be "
+                f"time-ordered ({hour} after {self.hours[-1]})"
+            )
+        self.hours.append(float(hour))
+        self.raw_delta_ps.append(float(delta_ps))
+
+    def __len__(self) -> int:
+        return len(self.hours)
+
+    @property
+    def hours_array(self) -> np.ndarray:
+        """Measurement times as a numpy array."""
+        return np.asarray(self.hours, dtype=float)
+
+    @property
+    def raw_array(self) -> np.ndarray:
+        """Raw delta-ps values as a numpy array."""
+        return np.asarray(self.raw_delta_ps, dtype=float)
+
+    @property
+    def centered(self) -> np.ndarray:
+        """Series centred at its first measurement (the paper's delta-ps)."""
+        raw = self.raw_array
+        if raw.size == 0:
+            raise AnalysisError(f"route {self.route_name!r} has no data")
+        return raw - raw[0]
+
+    def window(self, start_hour: float, end_hour: float) -> "DeltaPsSeries":
+        """The sub-series with start_hour <= hour <= end_hour."""
+        if end_hour < start_hour:
+            raise AnalysisError("window end precedes start")
+        selected = DeltaPsSeries(
+            route_name=self.route_name,
+            nominal_delay_ps=self.nominal_delay_ps,
+            burn_value=self.burn_value,
+        )
+        for hour, value in zip(self.hours, self.raw_delta_ps):
+            if start_hour <= hour <= end_hour:
+                selected.hours.append(hour)
+                selected.raw_delta_ps.append(value)
+        return selected
+
+
+#: The paper's studied route-delay classes, for grouping realised routes.
+LENGTH_CLASSES_PS = (1000.0, 2000.0, 5000.0, 10000.0)
+
+
+def length_class(nominal_delay_ps: float, tolerance: float = 0.1) -> float:
+    """Collapse a realised nominal delay onto its target length class.
+
+    The delay-targeting router achieves e.g. 1020 ps for the 1000 ps
+    class; figures and statistics group by the class.  Values outside
+    every class's tolerance band are returned unchanged.
+    """
+    for target in LENGTH_CLASSES_PS:
+        if abs(nominal_delay_ps - target) / target < tolerance:
+            return target
+    return nominal_delay_ps
+
+
+@dataclass
+class SeriesBundle:
+    """All series of one experiment run."""
+
+    label: str
+    series: dict[str, DeltaPsSeries] = field(default_factory=dict)
+
+    def add(self, series: DeltaPsSeries) -> None:
+        """Register a series; route names must be unique."""
+        if series.route_name in self.series:
+            raise AnalysisError(
+                f"bundle already holds series for {series.route_name!r}"
+            )
+        self.series[series.route_name] = series
+
+    def __iter__(self) -> Iterator[DeltaPsSeries]:
+        return iter(self.series.values())
+
+    def __len__(self) -> int:
+        return len(self.series)
+
+    def by_length(self) -> dict[float, list[DeltaPsSeries]]:
+        """Series grouped by route length class (the figures' panels).
+
+        Realised nominal delays (1020 ps, 4995 ps, ...) collapse onto
+        their target classes via :func:`length_class`.
+        """
+        groups: dict[float, list[DeltaPsSeries]] = {}
+        for series in self.series.values():
+            groups.setdefault(length_class(series.nominal_delay_ps), []).append(
+                series
+            )
+        return dict(sorted(groups.items()))
+
+    def burn_values(self) -> dict[str, Optional[int]]:
+        """Route name -> oracle burn value (None when unknown)."""
+        return {name: s.burn_value for name, s in self.series.items()}

@@ -1,0 +1,34 @@
+"""Related-work baselines (Section 7 of the paper).
+
+Three prior single-tenant channels, implemented so their limitations --
+the reasons the paper's BTI channel is stronger -- are measurable:
+
+* :mod:`repro.baselines.thermal_channel` -- Tian & Szefer's temporal
+  thermal covert channel: heat encodes bits, but "the cloud FPGAs
+  return to ambient temperatures within a few minutes", so the channel
+  dies if the receiver is late.  The BTI imprint survives hundreds of
+  hours.
+* :mod:`repro.baselines.sram_imprint` -- Zick et al.'s LUT-SRAM burn-in
+  recovery: real, but its delay signature is an order of magnitude
+  below what cloud-deployable TDCs resolve ("their burn-in effects are
+  too subtle to measure with cloud FPGA sensors, which is why they
+  required femtosecond precision").
+* the ring-oscillator sensor lives in :mod:`repro.sensor.ro` (it is an
+  alternative *sensor* rather than an alternative channel).
+"""
+
+from repro.baselines.thermal_channel import (
+    ThermalChannel,
+    TransientThermalState,
+)
+from repro.baselines.sram_imprint import (
+    SramImprintCell,
+    sram_imprint_detectable,
+)
+
+__all__ = [
+    "SramImprintCell",
+    "ThermalChannel",
+    "TransientThermalState",
+    "sram_imprint_detectable",
+]

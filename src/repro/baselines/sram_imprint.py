@@ -1,0 +1,99 @@
+"""LUT-SRAM data imprinting (Zick et al., FPL'14).
+
+Long-held values imprint SRAM configuration cells too; Zick et al.
+recovered LUT contents on a local Kintex-7 -- with a 922-hour burn, an
+off-chip reference oscillator, and femtosecond-level effective timing
+resolution.  The paper rules this resource out for cloud attacks: "their
+burn-in effects are too subtle to measure with cloud FPGA sensors, which
+is why they required femtosecond precision.  On-chip TDCs operate at
+approximately 10 ps precision on the UltraScale+".
+
+This module models the SRAM output-buffer imprint at the magnitudes
+that work implies and provides the detectability calculation showing
+*why* routing (not LUT SRAM) is the right cloud target: the per-cell
+delay signature sits two orders of magnitude below the routing imprint.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.constants import REFERENCE_STRESS_HOURS
+
+#: Delay signature of one imprinted SRAM cell's output buffer after the
+#: reference burn (ps).  Two orders below a routing switch's imprint --
+#: a single pass transistor pair against a whole route's worth of
+#: stressed interconnect.
+SRAM_IMPRINT_PS_AT_REFERENCE = 0.004
+
+#: Zick et al.'s burn duration (hours) and effective timing resolution
+#: (ps) with the off-chip reference oscillator.
+ZICK_BURN_HOURS = 922.0
+ZICK_RESOLUTION_PS = 0.001
+
+#: Effective resolution of a cloud-deployable TDC after the standard
+#: trace averaging (per-measurement sigma).
+CLOUD_TDC_RESOLUTION_PS = 0.3
+
+
+@dataclass
+class SramImprintCell:
+    """One LUT configuration cell's imprint state."""
+
+    held_value: int
+    burn_hours: float
+
+    def __post_init__(self) -> None:
+        if self.held_value not in (0, 1):
+            raise PhysicsError(f"held value must be 0/1, got {self.held_value}")
+        if self.burn_hours < 0.0:
+            raise PhysicsError("burn hours must be >= 0")
+
+    @property
+    def delay_signature_ps(self) -> float:
+        """Signed read-path delay shift after the burn."""
+        magnitude = SRAM_IMPRINT_PS_AT_REFERENCE * (
+            self.burn_hours / REFERENCE_STRESS_HOURS
+        ) ** 0.35 if self.burn_hours > 0 else 0.0
+        return magnitude if self.held_value else -magnitude
+
+
+def sram_imprint_detectable(
+    burn_hours: float,
+    sensor_resolution_ps: float,
+    measurements: int = 1600,
+    required_snr: float = 3.0,
+) -> bool:
+    """Whether a sensor can read one cell's imprint.
+
+    The decision statistic averages ``measurements`` reads; detection
+    needs the imprint to clear ``required_snr`` standard errors.
+    """
+    if sensor_resolution_ps <= 0.0:
+        raise ConfigurationError("sensor resolution must be positive")
+    if measurements <= 0:
+        raise ConfigurationError("measurements must be positive")
+    cell = SramImprintCell(held_value=1, burn_hours=burn_hours)
+    standard_error = sensor_resolution_ps / math.sqrt(measurements)
+    return cell.delay_signature_ps >= required_snr * standard_error
+
+
+def detectability_summary() -> dict[str, bool]:
+    """The Section 7 comparison in one dict.
+
+    Zick et al.'s lab setup reads the imprint; a cloud TDC does not --
+    which is why the paper targets programmable routing instead.
+    """
+    return {
+        "zick_lab_sensor": sram_imprint_detectable(
+            ZICK_BURN_HOURS, ZICK_RESOLUTION_PS
+        ),
+        "cloud_tdc": sram_imprint_detectable(
+            ZICK_BURN_HOURS, CLOUD_TDC_RESOLUTION_PS
+        ),
+        "cloud_tdc_200h": sram_imprint_detectable(
+            200.0, CLOUD_TDC_RESOLUTION_PS
+        ),
+    }

@@ -1,0 +1,117 @@
+"""The temporal thermal covert channel (Tian & Szefer, FPGA'19).
+
+A transmitter tenant heats the die (bit 1) or idles (bit 0) before
+releasing the FPGA; the next tenant reads the residual temperature
+through a delay sensor.  Works -- but die temperature relaxes to ambient
+with a time constant of a couple of minutes, so the receiver must win
+the reallocation race.  The comparison bench puts numbers on the
+contrast with BTI remanence (hundreds of hours).
+
+Note the deployability caveat the paper raises: the original channel's
+heaters are ring-oscillator banks, which AWS-style DRC rejects
+(:mod:`repro.fabric.drc`); it was demonstrated on infrastructure without
+that scan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+#: Die-to-ambient thermal relaxation time constant, minutes ("the cloud
+#: FPGAs return to ambient temperatures within a few minutes").
+THERMAL_TAU_MINUTES = 2.0
+
+
+@dataclass
+class TransientThermalState:
+    """First-order thermal lag of one die."""
+
+    ambient_c: float = 38.0
+    temperature_c: float = 38.0
+    tau_minutes: float = THERMAL_TAU_MINUTES
+
+    def advance(self, minutes: float, power_watts: float,
+                theta_ja_c_per_w: float = 0.35) -> None:
+        """Relax towards the steady state for the applied power."""
+        if minutes < 0.0:
+            raise ConfigurationError(f"minutes must be >= 0, got {minutes}")
+        target = self.ambient_c + theta_ja_c_per_w * power_watts
+        decay = math.exp(-minutes / self.tau_minutes)
+        self.temperature_c = target + (self.temperature_c - target) * decay
+
+    @property
+    def excess_c(self) -> float:
+        """Temperature above ambient."""
+        return self.temperature_c - self.ambient_c
+
+
+@dataclass
+class ThermalChannel:
+    """One transmitter-to-receiver covert exchange across a tenancy gap.
+
+    Attributes:
+        heater_watts: transmitter power while sending a 1.
+        heat_minutes: per-bit heating slot.
+        sensor_noise_c: receiver's temperature-read noise (delay-sensor
+            calibration and supply noise).
+    """
+
+    heater_watts: float = 60.0
+    heat_minutes: float = 10.0
+    sensor_noise_c: float = 0.5
+    seed: SeedLike = None
+    _rng: object = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.heater_watts <= 0.0 or self.heat_minutes <= 0.0:
+            raise ConfigurationError("heater parameters must be positive")
+        self._rng = make_rng(self.seed)
+
+    def transmit_and_receive(
+        self, bits: Sequence[int], handoff_gap_minutes: float
+    ) -> list[int]:
+        """Send each bit through one heat-release-measure cycle.
+
+        Each bit gets a fresh thermal state (sequential slots with a
+        cool-down would behave the same through the linear model); the
+        receiver reads temperature ``handoff_gap_minutes`` after the
+        transmitter releases and thresholds at half the expected
+        excess.
+        """
+        if handoff_gap_minutes < 0.0:
+            raise ConfigurationError("handoff gap must be >= 0")
+        received = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ConfigurationError(f"bits must be 0/1, got {bit!r}")
+            state = TransientThermalState()
+            state.advance(self.heat_minutes,
+                          self.heater_watts if bit else 0.0)
+            # The board idles in the pool during the handoff.
+            state.advance(handoff_gap_minutes, 0.0)
+            reading = state.excess_c + float(
+                self._rng.normal(0.0, self.sensor_noise_c)
+            )
+            threshold = self._expected_peak_excess() / 2.0 * math.exp(
+                -handoff_gap_minutes / THERMAL_TAU_MINUTES
+            )
+            received.append(int(reading > max(threshold, 3 * self.sensor_noise_c / 2)))
+        return received
+
+    def _expected_peak_excess(self) -> float:
+        steady = 0.35 * self.heater_watts
+        return steady * (1.0 - math.exp(-self.heat_minutes / THERMAL_TAU_MINUTES))
+
+    def accuracy_at_gap(
+        self, handoff_gap_minutes: float, bits: int = 64
+    ) -> float:
+        """Decode accuracy of a random payload at a given handoff gap."""
+        payload = [int(b) for b in self._rng.integers(0, 2, bits)]
+        decoded = self.transmit_and_receive(payload, handoff_gap_minutes)
+        hits = sum(1 for a, b in zip(payload, decoded) if a == b)
+        return hits / bits

@@ -1,0 +1,173 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro exp1 --quick
+    python -m repro exp2 --seed 7
+    python -m repro exp3 --quick --recovery-hours 20
+    python -m repro table1 --compare
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    Experiment1Config,
+    Experiment2Config,
+    Experiment3Config,
+    render_experiment_panels,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+)
+from repro.opentitan import build_table1, render_table1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Pentimento reproduction: regenerate the paper's experiments "
+            "on the simulated substrate."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        """Flags shared by every experiment sub-command."""
+        p.add_argument("--quick", action="store_true",
+                       help="shrunken config for smoke runs")
+        p.add_argument("--seed", type=int, default=None,
+                       help="experiment seed (default: the config's)")
+        p.add_argument("--no-figure", action="store_true",
+                       help="suppress the ASCII figure panels")
+        p.add_argument("--output", type=str, default=None, metavar="FILE",
+                       help="archive the full result (series + "
+                            "provenance) as JSON")
+
+    p1 = sub.add_parser("exp1", help="Experiment 1 / Figure 6 (lab)")
+    common(p1)
+    p1.add_argument("--burn-hours", type=int, default=None)
+    p1.add_argument("--recovery-hours", type=int, default=None)
+
+    p2 = sub.add_parser("exp2", help="Experiment 2 / Figure 7 (cloud TM1)")
+    common(p2)
+    p2.add_argument("--burn-hours", type=int, default=None)
+
+    p3 = sub.add_parser("exp3", help="Experiment 3 / Figure 8 (cloud TM2)")
+    common(p3)
+    p3.add_argument("--recovery-hours", type=int, default=None)
+
+    pt = sub.add_parser("table1", help="Table 1 (OpenTitan study)")
+    pt.add_argument("--seed", type=int, default=1)
+    pt.add_argument("--compare", action="store_true",
+                    help="interleave the paper's published rows")
+
+    pr = sub.add_parser(
+        "report",
+        help="run every evaluation artefact and emit a markdown report",
+    )
+    pr.add_argument("--scale", choices=("quick", "paper"), default="quick")
+    pr.add_argument("--seed", type=int, default=1)
+    pr.add_argument("--output", type=str, default=None, metavar="FILE",
+                    help="write the report to a file instead of stdout")
+    return parser
+
+
+def _archive(result, args) -> None:
+    if getattr(args, "output", None):
+        from repro.persistence import save_experiment
+
+        path = save_experiment(result, args.output)
+        print(f"archived to {path}")
+
+
+def _override(config, args, fields: Sequence[str]):
+    updates = {}
+    for field in fields:
+        value = getattr(args, field, None)
+        if value is not None:
+            updates[field] = value
+    if args.seed is not None:
+        updates["seed"] = args.seed
+    return replace(config, **updates) if updates else config
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "report":
+        from repro.reporting import generate_reproduction_report
+
+        report = generate_reproduction_report(scale=args.scale,
+                                              seed=args.seed)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(report)
+            print(f"report written to {args.output}")
+        else:
+            print(report)
+        return 0
+
+    if args.command == "table1":
+        rows = build_table1(seed=args.seed)
+        print(render_table1(rows, compare=args.compare))
+        return 0
+
+    if args.command == "exp1":
+        base = (Experiment1Config.quick() if args.quick
+                else Experiment1Config.paper())
+        config = _override(base, args, ("burn_hours", "recovery_hours"))
+        result = run_experiment1(config)
+        if not args.no_figure:
+            print(render_experiment_panels(
+                result.bundle, "Figure 6 (Experiment 1, lab)",
+                stress_change_hour=result.stress_change_hour,
+            ))
+        print(f"\n{result.recovery_score}")
+        _archive(result, args)
+        return 0
+
+    if args.command == "exp2":
+        base = (Experiment2Config.quick() if args.quick
+                else Experiment2Config.paper())
+        config = _override(base, args, ("burn_hours",))
+        result = run_experiment2(config)
+        if not args.no_figure:
+            print(render_experiment_panels(
+                result.bundle, "Figure 7 (Experiment 2, cloud TM1)"
+            ))
+        print(f"\n{result.recovery_score}")
+        accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
+        print(f"accuracy by length: {accuracy}")
+        _archive(result, args)
+        return 0
+
+    if args.command == "exp3":
+        base = (Experiment3Config.quick() if args.quick
+                else Experiment3Config.paper())
+        config = _override(base, args, ("recovery_hours",))
+        result = run_experiment3(config)
+        if not args.no_figure:
+            print(render_experiment_panels(
+                result.bundle, "Figure 8 (Experiment 3, cloud TM2)"
+            ))
+        print(f"\n{result.recovery_score}")
+        accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
+        print(f"accuracy by length: {accuracy}")
+        print(f"boards probed: {result.devices_probed}")
+        _archive(result, args)
+        return 0
+
+    return 2  # unreachable: argparse enforces the sub-command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,42 @@
+"""Simulated cloud FPGA platform (AWS-F1-like).
+
+Models the platform semantics Threat Models 1 and 2 depend on:
+
+* a provider with regions, each holding a fleet of physical devices with
+  realistic age distributions (:mod:`repro.cloud.provider`,
+  :mod:`repro.cloud.fleet`);
+* temporally-shared instances: rent, load (after DRC), run, release --
+  and on release the provider **wipes all logical state**, exactly as
+  AWS scrubs "FPGA state on termination of an F1 instance"
+  (:mod:`repro.cloud.instance`);
+* a marketplace distributing sealed AFIs whose "internal design code is
+  not exposed" (:mod:`repro.cloud.marketplace`);
+* device re-acquisition: flash attacks that exhaust regional capacity,
+  and process-variation fingerprinting to confirm the victim's physical
+  board was obtained (:mod:`repro.cloud.colocation`,
+  :mod:`repro.cloud.fingerprint`);
+* allocation policies, including the launch-rate-control (hold-back)
+  mitigation of Section 8.2 (:mod:`repro.cloud.allocation`).
+"""
+
+from repro.cloud.allocation import AllocationPolicy
+from repro.cloud.colocation import FlashAttack
+from repro.cloud.fingerprint import RouteFingerprint, fingerprint_session, match_score
+from repro.cloud.fleet import build_fleet
+from repro.cloud.instance import F1Instance
+from repro.cloud.marketplace import Marketplace, MarketplaceListing
+from repro.cloud.provider import CloudProvider, Region
+
+__all__ = [
+    "AllocationPolicy",
+    "CloudProvider",
+    "F1Instance",
+    "FlashAttack",
+    "Marketplace",
+    "MarketplaceListing",
+    "Region",
+    "RouteFingerprint",
+    "build_fleet",
+    "fingerprint_session",
+    "match_score",
+]

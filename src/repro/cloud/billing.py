@@ -1,0 +1,112 @@
+"""Tenancy billing: the economics of renting (and attacking) FPGAs.
+
+Every attack in the paper pays by the instance-hour -- the 200-hour
+burn-ins, the flash attack's hoard of instances, the sequential
+extractor's early release all have price tags.  The meter charges each
+tenant for wall-clock time holding instances, so benches and examples
+can report attack *cost* next to attack accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CloudError
+
+#: On-demand price of an f1.2xlarge, USD per instance-hour.
+F1_INSTANCE_HOURLY_USD = 1.65
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One completed tenancy's charge."""
+
+    tenant: str
+    instance_id: int
+    hours: float
+    amount_usd: float
+
+
+@dataclass
+class BillingMeter:
+    """Attach to a provider to meter every tenancy.
+
+    Usage::
+
+        meter = BillingMeter.attach(provider)
+        ... rent / advance / release ...
+        print(meter.total_for("attacker"))
+
+    The meter wraps the provider's ``rent``/``release``; instances still
+    open at ``total_for`` time are charged up to the current clock.
+    """
+
+    provider: object
+    hourly_usd: float = F1_INSTANCE_HOURLY_USD
+    _open: dict = field(default_factory=dict)
+    _ledger: list = field(default_factory=list)
+
+    @classmethod
+    def attach(cls, provider, hourly_usd: float = F1_INSTANCE_HOURLY_USD):
+        """Wrap a provider's rent/release with this meter."""
+        if hourly_usd <= 0.0:
+            raise CloudError("hourly rate must be positive")
+        meter = cls(provider=provider, hourly_usd=hourly_usd)
+        original_rent = provider.rent
+        original_release = provider.release
+
+        def metered_rent(region_name, tenant):
+            """rent() plus a meter entry."""
+            instance = original_rent(region_name, tenant)
+            meter._open[instance.instance_id] = (
+                tenant, provider.clock_hours
+            )
+            return instance
+
+        def metered_release(instance):
+            """release() plus closing the meter entry."""
+            original_release(instance)
+            meter._close(instance.instance_id)
+
+        provider.rent = metered_rent
+        provider.release = metered_release
+        return meter
+
+    def _close(self, instance_id: int) -> None:
+        if instance_id not in self._open:
+            return
+        tenant, started = self._open.pop(instance_id)
+        hours = self.provider.clock_hours - started
+        self._ledger.append(
+            LedgerEntry(
+                tenant=tenant,
+                instance_id=instance_id,
+                hours=hours,
+                amount_usd=hours * self.hourly_usd,
+            )
+        )
+
+    def ledger(self) -> list[LedgerEntry]:
+        """Completed charges, oldest first."""
+        return list(self._ledger)
+
+    def total_for(self, tenant: str) -> float:
+        """Total charges for a tenant, including still-open tenancies."""
+        total = sum(
+            entry.amount_usd for entry in self._ledger
+            if entry.tenant == tenant
+        )
+        for open_tenant, started in self._open.values():
+            if open_tenant == tenant:
+                total += (self.provider.clock_hours - started) * self.hourly_usd
+        return total
+
+    def hours_for(self, tenant: str) -> float:
+        """Total instance-hours held by a tenant."""
+        hours = sum(
+            entry.hours for entry in self._ledger if entry.tenant == tenant
+        )
+        for open_tenant, started in self._open.values():
+            if open_tenant == tenant:
+                hours += self.provider.clock_hours - started
+        return hours

@@ -1,0 +1,82 @@
+"""Re-acquiring the victim's physical device.
+
+Threat Model 2's Assumption 2: the attacker can obtain the same FPGA the
+victim relinquished.  The paper's practical route is the **flash
+attack** -- "lock up the available stock right before the victim
+releases their instance.  If the attacker procures all the available
+resources, they are guaranteed to obtain the relinquished victim board"
+-- noting that regional F1 stock is small enough that this takes only a
+few devices.
+
+:class:`FlashAttack` implements it: exhaust the region, optionally
+identify the victim's board by fingerprint (or by probing each board for
+the pentimento itself), and release the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import AttackError, CapacityError
+from repro.cloud.fingerprint import RouteFingerprint, match_score
+from repro.cloud.instance import F1Instance
+from repro.cloud.provider import CloudProvider
+
+
+@dataclass
+class FlashAttack:
+    """Exhaust a region's free capacity to guarantee board possession."""
+
+    provider: CloudProvider
+    region_name: str
+    tenant: str = "attacker"
+    holdings: list = field(default_factory=list)
+
+    def acquire_all(self, limit: int = 64) -> list[F1Instance]:
+        """Rent instances until the region reports capacity exhaustion.
+
+        ``limit`` guards against unexpectedly deep pools (the paper's
+        observation: request-limit errors arrive "through acquiring only
+        a few devices").
+        """
+        while len(self.holdings) < limit:
+            try:
+                instance = self.provider.rent(self.region_name, self.tenant)
+            except CapacityError:
+                break
+            self.holdings.append(instance)
+        if not self.holdings:
+            raise AttackError(
+                f"flash attack acquired nothing in {self.region_name!r}"
+            )
+        return list(self.holdings)
+
+    def identify_by_fingerprint(
+        self,
+        reference: RouteFingerprint,
+        probe: Callable[[F1Instance], RouteFingerprint],
+    ) -> F1Instance:
+        """Find the held instance whose fingerprint matches a reference.
+
+        ``probe`` runs the attacker's measurement flow on one instance
+        and returns its fingerprint.  The best-scoring board is kept;
+        the rest can be released with :meth:`release_except`.
+        """
+        if not self.holdings:
+            raise AttackError("no holdings; run acquire_all() first")
+        scored = [
+            (match_score(reference, probe(instance)), instance)
+            for instance in self.holdings
+        ]
+        scored.sort(key=lambda pair: -pair[0])
+        return scored[0][1]
+
+    def release_except(self, keep: Optional[F1Instance] = None) -> None:
+        """Return all held instances (except ``keep``) to the pool."""
+        for instance in self.holdings:
+            if keep is not None and instance.instance_id == keep.instance_id:
+                continue
+            self.provider.release(instance)
+        self.holdings = [i for i in self.holdings if keep is not None
+                         and i.instance_id == keep.instance_id]

@@ -1,0 +1,50 @@
+"""Fleet construction: populations of physical devices.
+
+Cloud regions hold fleets of FPGAs of mixed age and history.  The paper
+notes its eu-west-2 devices carried "potentially four years of wear";
+:func:`build_fleet` samples each device's effective age and residual
+imprints from a :class:`~repro.physics.aging.WearProfile`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import PartDescriptor
+from repro.physics.aging import CLOUD_PART, WearProfile
+from repro.rng import SeedLike, make_rng
+
+
+def cloud_wear_profile(age_mean_hours: float) -> WearProfile:
+    """The standard cloud wear profile at a configurable mean age.
+
+    Returns :data:`~repro.physics.aging.CLOUD_PART` itself at its
+    default age; otherwise a profile with the same residual-imprint
+    character scaled to the requested age.
+    """
+    if age_mean_hours == CLOUD_PART.age_mean_hours:
+        return CLOUD_PART
+    if age_mean_hours < 0.0:
+        raise ConfigurationError(f"age must be >= 0, got {age_mean_hours}")
+    return WearProfile(
+        name=f"cloud-aged-{age_mean_hours:.0f}h",
+        age_mean_hours=age_mean_hours,
+        age_sigma_hours=age_mean_hours * 0.22,
+        residual_imprint_fraction=CLOUD_PART.residual_imprint_fraction,
+    )
+
+
+def build_fleet(
+    part: PartDescriptor,
+    size: int,
+    wear: WearProfile = CLOUD_PART,
+    seed: SeedLike = None,
+) -> list[FpgaDevice]:
+    """Manufacture ``size`` devices of one part with sampled wear."""
+    if size <= 0:
+        raise ConfigurationError(f"fleet size must be positive, got {size}")
+    rng = make_rng(seed)
+    return [
+        FpgaDevice(part=part, wear=wear, seed=rng.integers(0, 2**63))
+        for _ in range(size)
+    ]

@@ -1,0 +1,114 @@
+"""Tenant-facing FPGA instances.
+
+An :class:`F1Instance` is what a renter holds: a handle to a physical
+device mediated by the platform.  Tenants can load DRC-clean images, run
+them, and attach sensor sessions to their *own* loaded Measure designs.
+They cannot see the device's identity, age or analog state -- everything
+an attacker learns must come through on-fabric sensors, exactly as on
+the real platform.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Union
+
+from repro.errors import DesignRuleViolation, TenancyError
+from repro.fabric.bitstream import Bitstream, SealedBitstream, loadable
+from repro.fabric.device import FpgaDevice
+from repro.fabric.drc import check_design
+from repro.designs.measure import MeasureDesign, MeasureSession
+from repro.rng import SeedLike
+from repro.sensor.noise import CLOUD_NOISE, NoiseModel
+
+_instance_ids = itertools.count(1)
+
+
+class F1Instance:
+    """One tenancy: a rented device plus the platform's mediation."""
+
+    def __init__(self, device: FpgaDevice, region: "Region", tenant: str) -> None:
+        self._device = device
+        self._region = region
+        self.tenant = tenant
+        self.instance_id = next(_instance_ids)
+        self.active = True
+
+    # -- platform-internal ------------------------------------------------
+
+    @property
+    def device(self) -> FpgaDevice:
+        """Platform-internal device access (provider and sensors only)."""
+        return self._device
+
+    def _require_active(self) -> None:
+        if not self.active:
+            raise TenancyError(
+                f"instance {self.instance_id} was already released"
+            )
+
+    # -- tenant API --------------------------------------------------------
+
+    @property
+    def region_name(self) -> str:
+        """Name of the region this instance lives in."""
+        return self._region.name
+
+    @property
+    def part_name(self) -> str:
+        """FPGA part of the underlying device."""
+        return self._device.part.name
+
+    def load_image(self, image: Union[Bitstream, SealedBitstream]) -> None:
+        """Program an image after the platform's design rule checks.
+
+        Sealed marketplace AFIs are unsealed by the platform for loading;
+        the tenant still never sees their contents.  Raises
+        :class:`DesignRuleViolation` for self-oscillators, power-cap
+        violations, or shell intrusions.
+        """
+        self._require_active()
+        bitstream = loadable(image)
+        if bitstream is None:
+            raise DesignRuleViolation(f"{image!r} is not a loadable image")
+        report = check_design(
+            bitstream, self._device.grid, self._device.part.power_cap_watts
+        )
+        report.raise_on_failure()
+        if self._device.loaded_design is not None:
+            self._device.wipe()
+        self._device.load(bitstream)
+
+    def clear(self) -> None:
+        """Unload the current design (tenant-initiated)."""
+        self._require_active()
+        self._device.wipe()
+
+    def run_hours(self, hours: float) -> None:
+        """Let the loaded design execute for ``hours`` of wall time.
+
+        Advances the shared regional clock; all other devices in the
+        region age/anneal over the same interval.
+        """
+        self._require_active()
+        self._region.provider.advance(hours)
+
+    def attach_sensors(
+        self,
+        measure_design: MeasureDesign,
+        noise: Optional[NoiseModel] = None,
+        seed: SeedLike = None,
+    ) -> MeasureSession:
+        """Attach a sensing session to a loaded Measure design."""
+        self._require_active()
+        return measure_design.attach(
+            self._device,
+            noise=noise if noise is not None else CLOUD_NOISE,
+            seed=seed,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"F1Instance(id={self.instance_id}, tenant={self.tenant!r}, "
+            f"region={self._region.name!r}, active={self.active})"
+        )

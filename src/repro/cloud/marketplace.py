@@ -1,0 +1,90 @@
+"""The marketplace: sealed AFIs for rent.
+
+Publishers list sealed bitstreams (AFIs); customers can deploy a listed
+AFI onto their rented instance without ever seeing its contents.  The
+platform's promise -- "no FPGA internal design code is exposed" -- holds
+at the logical level; Threat Model 1 shows it does not hold against the
+analog side channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AccessError, CloudError
+from repro.cloud.instance import F1Instance
+from repro.fabric.bitstream import Bitstream, DesignSkeleton, SealedBitstream
+
+
+@dataclass(frozen=True)
+class MarketplaceListing:
+    """One published AFI."""
+
+    afi_id: str
+    image: SealedBitstream
+    publisher: str
+    description: str = ""
+
+
+@dataclass
+class Marketplace:
+    """The AFI catalogue."""
+
+    _listings: dict[str, MarketplaceListing] = field(default_factory=dict)
+    _counter: int = 0
+
+    def publish(
+        self,
+        image: Bitstream,
+        publisher: str,
+        description: str = "",
+        public_skeleton: bool = False,
+    ) -> MarketplaceListing:
+        """Seal and list a design.
+
+        ``public_skeleton=True`` models OpenTitan/FINN-style distribution
+        where the sources (and hence the placement skeleton) are public
+        even though the loaded data is not.
+        """
+        self._counter += 1
+        afi_id = f"agfi-{self._counter:08d}"
+        sealed = SealedBitstream(
+            image, publisher=publisher, public_skeleton=public_skeleton
+        )
+        listing = MarketplaceListing(
+            afi_id=afi_id,
+            image=sealed,
+            publisher=publisher,
+            description=description,
+        )
+        self._listings[afi_id] = listing
+        return listing
+
+    def listing(self, afi_id: str) -> MarketplaceListing:
+        """Look up a listing by AFI id."""
+        if afi_id not in self._listings:
+            raise CloudError(f"no AFI listed with id {afi_id!r}")
+        return self._listings[afi_id]
+
+    def catalogue(self) -> list[MarketplaceListing]:
+        """All listings, ordered by AFI id."""
+        return sorted(self._listings.values(), key=lambda l: l.afi_id)
+
+    def deploy(self, afi_id: str, instance: F1Instance) -> None:
+        """Load a listed AFI onto a customer's instance."""
+        listing = self.listing(afi_id)
+        instance.load_image(listing.image)
+
+    def skeleton_of(self, afi_id: str) -> DesignSkeleton:
+        """The design skeleton, if the publisher made it public.
+
+        Raises :class:`AccessError` otherwise -- the attacker then needs
+        another Assumption-1 channel (authorship or a leak).
+        """
+        listing = self.listing(afi_id)
+        if not listing.image.public_skeleton:
+            raise AccessError(
+                f"AFI {afi_id} has no public skeleton; Assumption 1 "
+                f"requires another source for the design structure"
+            )
+        return listing.image.skeleton()

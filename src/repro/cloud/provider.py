@@ -1,0 +1,171 @@
+"""The cloud provider: regions, the shared clock, and tenancy lifecycle.
+
+The provider owns simulated time.  :meth:`CloudProvider.advance` moves
+the global clock: rented devices execute their loaded designs, free
+devices sit unpowered (their imprints anneal), ambient conditions evolve
+per region.  Renting hands out a free device per the region's allocation
+policy; releasing **wipes the device's logical state** and returns it to
+the pool -- with an optional hold-back delay, the Section 8.2
+launch-rate-control mitigation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CapacityError, CloudError, TenancyError
+from repro.cloud.allocation import AllocationOrder, AllocationPolicy
+from repro.cloud.instance import F1Instance
+from repro.fabric.device import FpgaDevice
+from repro.fabric.thermal import DataCenterAmbient
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass
+class _PooledDevice:
+    """A free device plus when it was returned (for hold-back)."""
+
+    device: FpgaDevice
+    released_at_hours: float
+
+
+@dataclass
+class Region:
+    """One region: a device fleet, an ambient profile, a policy."""
+
+    name: str
+    provider: "CloudProvider"
+    ambient: DataCenterAmbient
+    policy: AllocationPolicy
+    _free: list = field(default_factory=list)
+    _rented: dict = field(default_factory=dict)
+
+    def add_device(self, device: FpgaDevice) -> None:
+        """Place a device into the free pool."""
+        self._free.append(
+            _PooledDevice(device=device, released_at_hours=float("-inf"))
+        )
+
+    def available_count(self, now_hours: float) -> int:
+        """Devices eligible for allocation right now."""
+        cutoff = now_hours - self.policy.holdback_hours
+        return sum(1 for p in self._free if p.released_at_hours <= cutoff)
+
+    def _eligible(self, now_hours: float) -> list:
+        cutoff = now_hours - self.policy.holdback_hours
+        return [p for p in self._free if p.released_at_hours <= cutoff]
+
+    def allocate(self, now_hours: float, rng) -> FpgaDevice:
+        """Hand out a free, non-quarantined device per the policy."""
+        eligible = self._eligible(now_hours)
+        if not eligible:
+            raise CapacityError(
+                f"region {self.name!r}: request limit exceeded, no F1 "
+                f"instances available"
+            )
+        if self.policy.order is AllocationOrder.LIFO:
+            chosen = max(eligible, key=lambda p: p.released_at_hours)
+        elif self.policy.order is AllocationOrder.FIFO:
+            chosen = min(eligible, key=lambda p: p.released_at_hours)
+        else:
+            chosen = eligible[int(rng.integers(0, len(eligible)))]
+        self._free.remove(chosen)
+        return chosen.device
+
+    def devices(self) -> list[FpgaDevice]:
+        """All devices in the region, free or rented."""
+        return [p.device for p in self._free] + [
+            inst.device for inst in self._rented.values()
+        ]
+
+
+class CloudProvider:
+    """The platform operator."""
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        self.clock_hours = 0.0
+        self._rng = make_rng(seed)
+        self._regions: dict[str, Region] = {}
+
+    # -- topology ----------------------------------------------------------
+
+    def create_region(
+        self,
+        name: str,
+        devices: list[FpgaDevice],
+        policy: Optional[AllocationPolicy] = None,
+        ambient: Optional[DataCenterAmbient] = None,
+    ) -> Region:
+        """Stand up a region over a fleet of devices."""
+        if name in self._regions:
+            raise CloudError(f"region {name!r} already exists")
+        region = Region(
+            name=name,
+            provider=self,
+            ambient=ambient
+            or DataCenterAmbient(seed=self._rng.integers(0, 2**63)),
+            policy=policy or AllocationPolicy(),
+        )
+        for device in devices:
+            # Racked devices see the data-centre ambient immediately.
+            device.set_ambient(region.ambient.at(self.clock_hours))
+            region.add_device(device)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> Region:
+        """Look up a region by name."""
+        if name not in self._regions:
+            raise CloudError(f"no region named {name!r}")
+        return self._regions[name]
+
+    # -- tenancy -----------------------------------------------------------
+
+    def rent(self, region_name: str, tenant: str) -> F1Instance:
+        """Allocate an instance to a tenant, per the region's policy."""
+        region = self.region(region_name)
+        device = region.allocate(self.clock_hours, self._rng)
+        instance = F1Instance(device=device, region=region, tenant=tenant)
+        region._rented[instance.instance_id] = instance
+        return instance
+
+    def release(self, instance: F1Instance) -> None:
+        """End a tenancy: scrub the device and return it to the pool.
+
+        The scrub clears every bit of logical state.  It cannot touch
+        the analog domain -- that is the vulnerability.
+        """
+        region = self.region(instance.region_name)
+        if instance.instance_id not in region._rented:
+            raise TenancyError(
+                f"instance {instance.instance_id} is not rented in "
+                f"{region.name!r}"
+            )
+        instance.device.wipe()
+        del region._rented[instance.instance_id]
+        region._free.append(
+            _PooledDevice(
+                device=instance.device, released_at_hours=self.clock_hours
+            )
+        )
+        instance.active = False
+
+    # -- time --------------------------------------------------------------
+
+    def advance(self, hours: float) -> None:
+        """Advance the global clock.
+
+        Every device in every region experiences the interval: rented
+        devices run their loaded designs (powered, stressing), free
+        devices idle (annealing).
+        """
+        if hours < 0.0:
+            raise CloudError(f"cannot advance time by {hours} hours")
+        if hours == 0.0:
+            return
+        for region in self._regions.values():
+            ambient_k = region.ambient.at(self.clock_hours)
+            for device in region.devices():
+                device.advance_hours(hours, ambient_k)
+        self.clock_hours += hours

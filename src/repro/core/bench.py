@@ -1,0 +1,74 @@
+"""The lab bench: local, fully-controlled experimentation.
+
+Experiment 1 runs on a factory-new ZCU102 in a temperature-controlled
+oven.  :class:`LabBench` provides the same execution interface as a
+rented :class:`~repro.cloud.instance.F1Instance` (load, run, attach
+sensors) so the protocol code is environment-agnostic -- with the
+differences the paper highlights:
+
+* no design rule checks (ring oscillators are allowed locally);
+* a constant-temperature ambient;
+* the experimenter owns the board, so there is no wipe between phases
+  other than the ones the protocol itself performs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import FabricError
+from repro.designs.measure import MeasureDesign, MeasureSession
+from repro.fabric.bitstream import Bitstream, SealedBitstream, loadable
+from repro.fabric.device import FpgaDevice
+from repro.fabric.thermal import OvenAmbient
+from repro.rng import SeedLike
+from repro.sensor.noise import LAB_NOISE, NoiseModel
+
+
+class LabBench:
+    """A locally-owned device in a temperature-controlled oven."""
+
+    def __init__(
+        self, device: FpgaDevice, oven: Optional[OvenAmbient] = None
+    ) -> None:
+        self.device = device
+        self.oven = oven or OvenAmbient(60.0)
+        # The board sits in the oven from the start; delays (and hence
+        # calibration) must see the oven temperature immediately.
+        self.device.set_ambient(self.oven.at(0.0))
+
+    @property
+    def part_name(self) -> str:
+        """FPGA part of the bench's device."""
+        return self.device.part.name
+
+    def load_image(self, image: Union[Bitstream, SealedBitstream]) -> None:
+        """Program an image.  No provider DRC on a local board."""
+        bitstream = loadable(image)
+        if bitstream is None:
+            raise FabricError(f"{image!r} is not a loadable image")
+        if self.device.loaded_design is not None:
+            self.device.wipe()
+        self.device.load(bitstream)
+
+    def clear(self) -> None:
+        """Unload the current design."""
+        self.device.wipe()
+
+    def run_hours(self, hours: float) -> None:
+        """Let the loaded design execute for ``hours``."""
+        ambient = self.oven.at(self.device.sim_hours)
+        self.device.advance_hours(hours, ambient)
+
+    def attach_sensors(
+        self,
+        measure_design: MeasureDesign,
+        noise: Optional[NoiseModel] = None,
+        seed: SeedLike = None,
+    ) -> MeasureSession:
+        """Attach a sensing session to a loaded Measure design."""
+        return measure_design.attach(
+            self.device,
+            noise=noise if noise is not None else LAB_NOISE,
+            seed=seed,
+        )

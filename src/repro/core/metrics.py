@@ -1,0 +1,66 @@
+"""Scoring recovered bits against ground truth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class RecoveryScore:
+    """Bitwise comparison of recovered vs. true values."""
+
+    total_bits: int
+    correct_bits: int
+    per_route: dict[str, bool]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of bits recovered correctly."""
+        return self.correct_bits / self.total_bits
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Fraction of bits recovered incorrectly."""
+        return 1.0 - self.accuracy
+
+    def __str__(self) -> str:
+        return (
+            f"recovered {self.correct_bits}/{self.total_bits} bits "
+            f"({self.accuracy:.1%}, BER {self.bit_error_rate:.3f})"
+        )
+
+
+def score_recovery(
+    recovered: Mapping[str, int], truth: Mapping[str, int]
+) -> RecoveryScore:
+    """Score a recovered bit assignment against the oracle values."""
+    if not recovered:
+        raise AnalysisError("no recovered bits to score")
+    missing = set(recovered) - set(truth)
+    if missing:
+        raise AnalysisError(f"no ground truth for routes: {sorted(missing)}")
+    per_route = {
+        name: int(recovered[name]) == int(truth[name]) for name in recovered
+    }
+    correct = sum(per_route.values())
+    return RecoveryScore(
+        total_bits=len(per_route), correct_bits=correct, per_route=per_route
+    )
+
+
+def grouped_accuracy(
+    score: RecoveryScore, groups: Mapping[str, float]
+) -> dict[float, float]:
+    """Accuracy broken down by a per-route grouping key (e.g. length)."""
+    totals: dict[float, int] = {}
+    hits: dict[float, int] = {}
+    for name, correct in score.per_route.items():
+        if name not in groups:
+            raise AnalysisError(f"route {name!r} has no group assignment")
+        key = groups[name]
+        totals[key] = totals.get(key, 0) + 1
+        hits[key] = hits.get(key, 0) + int(correct)
+    return {key: hits[key] / totals[key] for key in sorted(totals)}

@@ -1,0 +1,87 @@
+"""The three experimental phases of Section 5.2.
+
+Each phase is a small callable object over an *environment* -- anything
+exposing ``load_image`` / ``run_hours`` / ``attach_sensors`` (both
+:class:`~repro.core.bench.LabBench` and
+:class:`~repro.cloud.instance.F1Instance` qualify):
+
+* **Calibration** -- load the Measure design, find theta_init per route;
+* **Condition** -- load the Target design and let it run (the burn);
+* **Measurement** -- load the Measure design and take one measurement of
+  every route (fast: "less than a minute").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AttackError
+from repro.designs.measure import MeasureDesign, MeasureSession
+from repro.fabric.bitstream import Bitstream
+from repro.rng import SeedLike
+from repro.sensor.noise import NoiseModel
+from repro.sensor.tdc import Measurement
+
+
+@dataclass
+class CalibrationPhase:
+    """Find (or adopt) theta_init for every route under test.
+
+    One session object persists across all loads of the same Measure
+    image: the carry chains land on the same silicon every time, so
+    their mismatch and calibration carry over -- "an offset of theta is
+    consistent between sensor design loadings".
+    """
+
+    measure_design: MeasureDesign
+    noise: Optional[NoiseModel] = None
+    seed: SeedLike = None
+    session: Optional[MeasureSession] = None
+
+    def run(
+        self, environment, theta_init: Optional[dict] = None
+    ) -> MeasureSession:
+        """Load the Measure design and calibrate (or replay theta_init)."""
+        environment.load_image(self.measure_design.bitstream)
+        self.session = environment.attach_sensors(
+            self.measure_design, noise=self.noise, seed=self.seed
+        )
+        if theta_init is not None:
+            self.session.use_theta_init(theta_init)
+        else:
+            self.session.calibrate()
+        return self.session
+
+
+@dataclass(frozen=True)
+class ConditionPhase:
+    """Run the Target design for a stress interval."""
+
+    target_bitstream: Bitstream
+    hours: float = 1.0
+
+    def run(self, environment) -> None:
+        """Execute the phase against an environment."""
+        environment.load_image(self.target_bitstream)
+        environment.run_hours(self.hours)
+
+
+@dataclass
+class MeasurementPhase:
+    """Reload the Measure design and take one measurement of each route."""
+
+    measure_design: MeasureDesign
+    calibration: CalibrationPhase
+    #: Completed measurement passes (bookkeeping for reports).
+    passes: int = field(default=0)
+
+    def run(self, environment) -> dict[str, Measurement]:
+        """Execute the phase against an environment."""
+        session = self.calibration.session
+        if session is None or not session.theta_init:
+            raise AttackError("measurement requires a completed calibration")
+        environment.load_image(self.measure_design.bitstream)
+        environment.run_hours(session.measurement_duration_hours())
+        self.passes += 1
+        return session.measure_all()

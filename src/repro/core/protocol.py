@@ -1,0 +1,107 @@
+"""The interleaved condition/measurement protocol.
+
+Experiments 1 and 2 alternate a one-hour Condition phase with a
+sub-minute Measurement phase, repeated for hundreds of hours; Experiment
+3 does the same during its 25-hour recovery window.
+:class:`ConditionMeasureProtocol` runs that loop over any environment
+and accumulates a :class:`~repro.analysis.timeseries.SeriesBundle`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import AttackError
+from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
+from repro.core.phases import CalibrationPhase, ConditionPhase, MeasurementPhase
+from repro.designs.measure import MeasureDesign
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.routing import Route
+
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class ConditionMeasureProtocol:
+    """Hourly condition/measure interleave over one route bank."""
+
+    environment: object
+    target_bitstream: Bitstream
+    measure_design: MeasureDesign
+    routes: Sequence[Route]
+    condition_hours_per_cycle: float = 1.0
+    calibration: Optional[CalibrationPhase] = None
+    bundle: SeriesBundle = field(default_factory=lambda: SeriesBundle("run"))
+
+    def __post_init__(self) -> None:
+        if self.condition_hours_per_cycle <= 0.0:
+            raise AttackError("condition interval must be positive")
+        if self.calibration is None:
+            self.calibration = CalibrationPhase(self.measure_design)
+        for route in self.routes:
+            self.bundle.add(
+                DeltaPsSeries(
+                    route_name=route.name,
+                    nominal_delay_ps=route.nominal_delay_ps,
+                )
+            )
+        self._measurement = MeasurementPhase(
+            measure_design=self.measure_design, calibration=self.calibration
+        )
+        self._clock = 0.0
+
+    def calibrate(self, theta_init: Optional[dict] = None) -> dict:
+        """Run (or replay) the Calibration phase.  Call once, up front."""
+        session = self.calibration.run(self.environment, theta_init=theta_init)
+        return dict(session.theta_init)
+
+    def measure_once(self) -> None:
+        """One Measurement phase; records a point in every series."""
+        measurements = self._measurement.run(self.environment)
+        for route in self.routes:
+            self.bundle.series[route.name].append(
+                self._clock, measurements[route.name].delta_ps
+            )
+        self._clock += self.calibration.session.measurement_duration_hours()
+
+    def run_cycles(
+        self,
+        cycles: int,
+        progress: Optional[ProgressCallback] = None,
+        target_for_cycle: Optional[Callable[[int], Bitstream]] = None,
+    ) -> SeriesBundle:
+        """``cycles`` repetitions of measure-then-condition.
+
+        Measurement leads so that the first recorded point is the
+        pre-stress baseline the series are centred on.
+        ``target_for_cycle`` lets mitigation schedules substitute a
+        different Target image per cycle (inversion, shuffling, key
+        rotation); by default every cycle conditions with
+        ``self.target_bitstream``.
+        """
+        if cycles <= 0:
+            raise AttackError(f"cycles must be positive, got {cycles}")
+        for cycle in range(cycles):
+            self.measure_once()
+            bitstream = (
+                target_for_cycle(cycle)
+                if target_for_cycle is not None
+                else self.target_bitstream
+            )
+            ConditionPhase(
+                target_bitstream=bitstream,
+                hours=self.condition_hours_per_cycle,
+            ).run(self.environment)
+            self._clock += self.condition_hours_per_cycle
+            if progress is not None:
+                progress(cycle + 1, cycles)
+        self.measure_once()
+        return self.bundle
+
+    def condition_only(self, hours: float) -> None:
+        """An unobserved stress interval (Experiment 3's victim period)."""
+        ConditionPhase(
+            target_bitstream=self.target_bitstream, hours=hours
+        ).run(self.environment)
+        self._clock += hours

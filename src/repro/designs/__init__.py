@@ -1,0 +1,29 @@
+"""The paper's two experimental FPGA designs (Section 5.1).
+
+* the **Target** design (:mod:`repro.designs.target`) -- holds the
+  routes under test at constant burn values, surrounded by
+  arithmetic-heavy heater circuits (:mod:`repro.designs.arithmetic`);
+* the **Measure** design (:mod:`repro.designs.measure`) -- an array of
+  TDC sensors bound to the *same physical routes* via identical routing
+  constraints.
+
+Both are built around a shared route bank
+(:func:`repro.designs.routes.build_route_bank`), which realises the
+"identical routing constraints from the Target design are used to
+generate the routes for the Measure design" requirement structurally.
+"""
+
+from repro.designs.arithmetic import build_fma_array
+from repro.designs.measure import MeasureDesign, MeasureSession, build_measure_design
+from repro.designs.routes import build_route_bank
+from repro.designs.target import TargetDesign, build_target_design
+
+__all__ = [
+    "MeasureDesign",
+    "MeasureSession",
+    "TargetDesign",
+    "build_fma_array",
+    "build_measure_design",
+    "build_route_bank",
+    "build_target_design",
+]

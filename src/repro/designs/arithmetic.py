@@ -1,0 +1,102 @@
+"""Arithmetic-heavy heater circuits.
+
+The Target design surrounds the routes under test with "arrays of logic
+performing a pipelined fused multiply-add operation (similar to a
+machine learning or lattice cryptography accelerator)", which emulates
+realistic surrounding computation and -- deliberately -- heats the die
+to accelerate BTI.  Experiment 2's instance uses 3896 DSPs and draws
+63 W against the 85 W AWS cap.
+
+Each FMA unit is one DSP48 plus pipeline registers and operand LUTs,
+with toggling operand/result nets routed locally at the unit's tile.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlacementError
+from repro.fabric.geometry import Coordinate, TileType
+from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
+from repro.fabric.placement import FixedPlacer, SITES_PER_TILE
+from repro.fabric.routing import Route, SegmentId
+from repro.fabric.segments import SegmentKind
+
+
+def build_fma_array(
+    netlist: Netlist,
+    placer: FixedPlacer,
+    dsp_count: int,
+    avoid_columns: frozenset[int] = frozenset(),
+    prefix: str = "fma",
+) -> int:
+    """Add a pipelined FMA array of ``dsp_count`` units to a netlist.
+
+    Units fill DSP tiles column-major, skipping ``avoid_columns`` (the
+    region reserved for the routes under test and the Measure design's
+    future carry chains -- the Target design's keep-out).  Returns the
+    number of units actually placed; raises :class:`PlacementError` if
+    fewer than ``dsp_count`` DSP sites are available.
+    """
+    if dsp_count < 0:
+        raise PlacementError(f"dsp_count must be >= 0, got {dsp_count}")
+    placed = 0
+    grid = placer.grid
+    for coord in grid.user_tiles(TileType.DSP):
+        if placed >= dsp_count:
+            break
+        if coord.x in avoid_columns:
+            continue
+        for site_index in range(SITES_PER_TILE[CellType.DSP48]):
+            if placed >= dsp_count:
+                break
+            _add_fma_unit(netlist, placer, coord, f"{prefix}{placed}")
+            placed += 1
+    if placed < dsp_count:
+        raise PlacementError(
+            f"only {placed} of {dsp_count} requested DSP sites available"
+        )
+    return placed
+
+
+def _add_fma_unit(
+    netlist: Netlist, placer: FixedPlacer, coord: Coordinate, name: str
+) -> None:
+    """One FMA unit: DSP48 + operand register, with toggling nets."""
+    dsp = netlist.add_cell(Cell(name=f"{name}_dsp", cell_type=CellType.DSP48))
+    reg = netlist.add_cell(Cell(name=f"{name}_reg", cell_type=CellType.FLIP_FLOP))
+    placer.place_at(dsp.name, CellType.DSP48, coord)
+    reg_tile = placer.nearest_tile(coord, CellType.FLIP_FLOP)
+    placer.place_at(reg.name, CellType.FLIP_FLOP, reg_tile)
+    # Operand and result nets toggle with typical datapath activity.
+    operand_route = Route(
+        name=f"{name}_op_route",
+        segments=(SegmentId(SegmentKind.LOCAL, reg_tile, track=_local_track(netlist)),),
+    )
+    netlist.add_net(
+        Net(
+            name=f"{name}_op",
+            driver=reg.name,
+            sinks=(dsp.name,),
+            activity=NetActivity.TOGGLING,
+            duty_high=0.5,
+        ).with_route(operand_route)
+    )
+    netlist.add_net(
+        Net(
+            name=f"{name}_acc",
+            driver=dsp.name,
+            sinks=(reg.name,),
+            activity=NetActivity.TOGGLING,
+            duty_high=0.5,
+        )
+    )
+
+
+def _local_track(netlist: Netlist) -> int:
+    """A unique local-hop track index per heater net.
+
+    LOCAL hops are per-pin resources; indexing them by the running net
+    count keeps heater units from sharing segments without consulting
+    the global track allocator (heater segments never carry data the
+    attack cares about).
+    """
+    return 1000 + len(netlist.nets)

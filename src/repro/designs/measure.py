@@ -1,0 +1,182 @@
+"""The Measure design (Figure 5 of the paper).
+
+An array of Tunable Dual-Polarity TDC sensors, one per route under test,
+placed in the region the Target design left uninitialised.  The routes
+themselves are the same physical segments the Target design used
+(identical routing constraints), so the sensors read the analog state
+the victim's data left behind.
+
+Because sensing happens at runtime on a specific physical device, the
+compiled :class:`MeasureDesign` is *attached* to a device after loading,
+yielding a :class:`MeasureSession` that owns the per-route TDC instances
+and implements the Calibration and Measurement phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError, SensorError
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.device import FpgaDevice
+from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
+from repro.fabric.parts import PartDescriptor
+from repro.fabric.placement import FixedPlacer
+from repro.fabric.routing import Route
+from repro.rng import SeedLike, make_rng
+from repro.sensor.calibration import find_theta_init
+from repro.sensor.noise import CLOUD_NOISE, NoiseModel
+from repro.sensor.tdc import Measurement, TunableDualPolarityTdc
+
+#: CARRY8 primitives per 64-element chain (eight 8-bit carries).
+_CARRIES_PER_CHAIN = 8
+
+#: Wall-clock cost of measuring one route (traces, readout, tuning); the
+#: paper reports ~52 s for 64 routes, i.e. well under a minute total.
+MEASUREMENT_SECONDS_PER_ROUTE = 0.8
+
+
+@dataclass(frozen=True)
+class MeasureDesign:
+    """A compiled Measure design: TDC array over a route bank."""
+
+    bitstream: Bitstream
+    routes: tuple[Route, ...]
+
+    def attach(
+        self,
+        device: FpgaDevice,
+        noise: NoiseModel = CLOUD_NOISE,
+        seed: SeedLike = None,
+    ) -> "MeasureSession":
+        """Bind the sensor array to a device the design is loaded on."""
+        if device.loaded_design is None or (
+            device.loaded_design.bitstream_id != self.bitstream.bitstream_id
+        ):
+            raise SensorError(
+                "measure design must be loaded on the device before attaching"
+            )
+        return MeasureSession(
+            device=device, routes=self.routes, noise=noise, seed=seed
+        )
+
+
+@dataclass
+class MeasureSession:
+    """Runtime sensing session: one TDC per route on one device."""
+
+    device: FpgaDevice
+    routes: tuple[Route, ...]
+    noise: NoiseModel = CLOUD_NOISE
+    seed: SeedLike = None
+    theta_init: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        rng = make_rng(self.seed)
+        self._tdcs = {
+            route.name: TunableDualPolarityTdc(
+                device=self.device, route=route, noise=self.noise, seed=rng
+            )
+            for route in self.routes
+        }
+
+    @property
+    def route_names(self) -> tuple[str, ...]:
+        """Names of the routes under test, in bank order."""
+        return tuple(route.name for route in self.routes)
+
+    def calibrate(self) -> dict[str, float]:
+        """The Calibration phase: find and store theta_init per route."""
+        for name, tdc in self._tdcs.items():
+            self.theta_init[name] = find_theta_init(tdc)
+        return dict(self.theta_init)
+
+    def use_theta_init(self, theta_init: dict[str, float]) -> None:
+        """Adopt a-priori theta_init values (Threat Model 2).
+
+        theta_init "is consistent across all FPGAs of the same type, and
+        so capturing it once on any board is sufficient" -- the attacker
+        calibrates on a board they own and replays the values here.
+        """
+        missing = set(self.route_names) - set(theta_init)
+        if missing:
+            raise ConfigurationError(
+                f"theta_init missing for routes: {sorted(missing)}"
+            )
+        self.theta_init = dict(theta_init)
+
+    def measure_route(self, route_name: str) -> Measurement:
+        """The Measurement phase for one route."""
+        if route_name not in self._tdcs:
+            raise ConfigurationError(f"no TDC for route {route_name!r}")
+        if route_name not in self.theta_init:
+            raise SensorError(
+                f"route {route_name!r} is not calibrated; run calibrate() "
+                f"or use_theta_init()"
+            )
+        return self._tdcs[route_name].measure(self.theta_init[route_name])
+
+    def measure_all(self) -> dict[str, Measurement]:
+        """Measure every route; the whole pass takes under a minute."""
+        return {name: self.measure_route(name) for name in self.route_names}
+
+    def measurement_duration_hours(self) -> float:
+        """Simulated wall-clock cost of one measure_all pass."""
+        return len(self.routes) * MEASUREMENT_SECONDS_PER_ROUTE / 3600.0
+
+
+def build_measure_design(
+    part: PartDescriptor,
+    routes: Sequence[Route],
+    name: str = "measure",
+) -> MeasureDesign:
+    """Compile a Measure design over an existing route bank.
+
+    Per route: a transition-generator flip-flop at the route's start, a
+    64-element carry chain (eight CARRY8s) at its end, and 64 capture
+    flip-flops.  The route nets are configured but only carry sparse
+    measurement edges (FLOATING activity), so loading the Measure design
+    does not itself meaningfully stress the routes -- measurement is
+    "fast, taking less than a minute" per pass.
+    """
+    grid = part.make_grid()
+    netlist = Netlist(name=name)
+    placer = FixedPlacer(grid)
+    for route in routes:
+        start, end = route.endpoints
+        launch = netlist.add_cell(
+            Cell(name=f"{route.name}_launch_ff", cell_type=CellType.FLIP_FLOP)
+        )
+        placer.place_at(
+            launch.name,
+            CellType.FLIP_FLOP,
+            placer.nearest_tile(start, CellType.FLIP_FLOP),
+        )
+        chain_cells = []
+        for i in range(_CARRIES_PER_CHAIN):
+            carry = netlist.add_cell(
+                Cell(name=f"{route.name}_carry{i}", cell_type=CellType.CARRY8)
+            )
+            tile = placer.nearest_tile(end.offset(0, i), CellType.CARRY8)
+            placer.place_at(carry.name, CellType.CARRY8, tile)
+            chain_cells.append(carry.name)
+        netlist.add_net(
+            Net(
+                name=route.name,
+                driver=launch.name,
+                sinks=(chain_cells[0],),
+                activity=NetActivity.FLOATING,
+            ).with_route(route)
+        )
+        for upstream, downstream in zip(chain_cells, chain_cells[1:]):
+            netlist.add_net(
+                Net(
+                    name=f"{upstream}_to_{downstream}",
+                    driver=upstream,
+                    sinks=(downstream,),
+                    activity=NetActivity.FLOATING,
+                )
+            )
+    bitstream = Bitstream.compile(netlist, placer.placement)
+    return MeasureDesign(bitstream=bitstream, routes=tuple(routes))

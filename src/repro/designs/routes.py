@@ -1,0 +1,61 @@
+"""Shared route banks for the Target and Measure designs.
+
+The experiments specify their routes by nominal delay (sixteen each of
+1000, 2000, 5000 and 10000 ps).  A route bank realises those routes once
+on the fabric; the Target and Measure designs then both reference the
+*same* physical segments, which is the paper's "identical routing
+constraints" requirement and the reason the attacker's sensor observes
+the victim's transistors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.fabric.geometry import Coordinate, FabricGrid
+from repro.fabric.router import DelayTargetRouter
+from repro.fabric.routing import Route, validate_disjoint
+
+#: The paper's standard experiment: 16 routes of each length.
+PAPER_ROUTE_LENGTHS_PS: tuple[int, ...] = tuple(
+    [10000] * 16 + [5000] * 16 + [2000] * 16 + [1000] * 16
+)
+
+
+def build_route_bank(
+    grid: FabricGrid,
+    lengths_ps: Sequence[float] = PAPER_ROUTE_LENGTHS_PS,
+    tracks_per_class: int = 12,
+    names: Optional[Sequence[str]] = None,
+    column_stride: int = 2,
+) -> list[Route]:
+    """Route a bank of delay-targeted routes, physically disjoint.
+
+    Routes are anchored round-robin across evenly spaced columns with
+    the longest routes first (they serpentine into neighbouring columns,
+    so giving them first pick of track capacity avoids congestion).
+    Anchors stay in the western third of the die so that the Target
+    design's heaters keep whole DSP columns outside the route keep-out.
+    Returned routes are in the *caller's* length order, with names
+    ``rut[i]`` by default ("route under test").
+    """
+    if not lengths_ps:
+        raise RoutingError("route bank needs at least one length")
+    if names is not None and len(names) != len(lengths_ps):
+        raise RoutingError("names and lengths must align")
+    n_anchor_cols = min(max((grid.columns - 4) // column_stride, 1), 16)
+    router = DelayTargetRouter(grid, tracks_per_class=tracks_per_class)
+    order = sorted(
+        range(len(lengths_ps)), key=lambda i: -float(lengths_ps[i])
+    )
+    routes: list[Optional[Route]] = [None] * len(lengths_ps)
+    for rank, index in enumerate(order):
+        name = names[index] if names is not None else f"rut[{index}]"
+        anchor = Coordinate(
+            (rank % n_anchor_cols) * column_stride, grid.shell_rows
+        )
+        routes[index] = router.route(name, anchor, float(lengths_ps[index]))
+    result = [route for route in routes if route is not None]
+    validate_disjoint(result)
+    return result

@@ -1,0 +1,109 @@
+"""The Target design (Figure 4 of the paper).
+
+Holds a bank of routes under test at fixed burn values (the Type A or
+Type B secret), surrounded by arithmetic-heavy heater circuits.  The
+columns traversed by the routes under test -- plus the slices the
+Measure design will later need for its carry chains -- are kept free of
+heater logic (the paper's explicitly-uninitialised keep-out region).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
+from repro.fabric.parts import PartDescriptor
+from repro.fabric.placement import FixedPlacer
+from repro.fabric.routing import Route
+from repro.designs.arithmetic import build_fma_array
+
+
+@dataclass(frozen=True)
+class TargetDesign:
+    """A compiled Target design plus its secret bindings."""
+
+    bitstream: Bitstream
+    routes: tuple[Route, ...]
+    burn_values: tuple[int, ...]
+
+    def value_of(self, route_name: str) -> int:
+        """The burn value held on a route (the secret; oracle for tests)."""
+        for route, value in zip(self.routes, self.burn_values):
+            if route.name == route_name:
+                return value
+        raise ConfigurationError(f"no route named {route_name!r}")
+
+
+def keep_out_columns(routes: Sequence[Route]) -> frozenset[int]:
+    """Columns any route under test touches: no heater logic there."""
+    return frozenset(
+        segment.origin.x for route in routes for segment in route
+    )
+
+
+def build_target_design(
+    part: PartDescriptor,
+    routes: Sequence[Route],
+    burn_values: Sequence[int],
+    heater_dsps: int = 1150,
+    name: str = "target",
+) -> TargetDesign:
+    """Compile a Target design over an existing route bank.
+
+    Each route gets a driving register and a sink LUT ("the route
+    between an FPGA register and a CLB"), and its net statically holds
+    the corresponding burn value.  ``heater_dsps`` FMA units fill the
+    remaining DSP fabric.
+    """
+    if len(routes) != len(burn_values):
+        raise ConfigurationError(
+            f"{len(routes)} routes but {len(burn_values)} burn values"
+        )
+    for value in burn_values:
+        if value not in (0, 1):
+            raise ConfigurationError(f"burn values must be bits, got {value!r}")
+    grid = part.make_grid()
+    netlist = Netlist(name=name)
+    placer = FixedPlacer(grid)
+
+    for route, value in zip(routes, burn_values):
+        driver = netlist.add_cell(
+            Cell(name=f"{route.name}_src_ff", cell_type=CellType.FLIP_FLOP)
+        )
+        sink = netlist.add_cell(
+            Cell(name=f"{route.name}_dst_lut", cell_type=CellType.LUT)
+        )
+        start, end = route.endpoints
+        placer.place_at(
+            driver.name,
+            CellType.FLIP_FLOP,
+            placer.nearest_tile(start, CellType.FLIP_FLOP),
+        )
+        placer.place_at(
+            sink.name, CellType.LUT, placer.nearest_tile(end, CellType.LUT)
+        )
+        netlist.add_net(
+            Net(
+                name=route.name,
+                driver=driver.name,
+                sinks=(sink.name,),
+                activity=NetActivity.STATIC,
+                static_value=int(value),
+            ).with_route(route)
+        )
+
+    build_fma_array(
+        netlist,
+        placer,
+        dsp_count=heater_dsps,
+        avoid_columns=keep_out_columns(routes),
+    )
+    bitstream = Bitstream.compile(netlist, placer.placement)
+    return TargetDesign(
+        bitstream=bitstream,
+        routes=tuple(routes),
+        burn_values=tuple(int(v) for v in burn_values),
+    )

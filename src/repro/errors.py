@@ -1,0 +1,77 @@
+"""Exception hierarchy for the pentimento reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class PhysicsError(ReproError):
+    """A physics-model invariant was violated (e.g. negative stress time)."""
+
+
+class FabricError(ReproError):
+    """The FPGA fabric model rejected an operation."""
+
+
+class PlacementError(FabricError):
+    """A cell or route could not be placed on the fabric."""
+
+
+class RoutingError(FabricError):
+    """The router could not realise a requested connection."""
+
+
+class DesignRuleViolation(FabricError):
+    """A design failed the cloud provider's design rule checks (DRC).
+
+    Raised, for example, when a design contains a combinational loop
+    (ring oscillator) or exceeds the platform power cap -- both checks
+    that AWS F1 performs on submitted designs.
+    """
+
+
+class SensorError(ReproError):
+    """The TDC sensor model was used incorrectly."""
+
+
+class CalibrationError(SensorError):
+    """Sensor calibration failed to find a usable phase offset."""
+
+
+class CloudError(ReproError):
+    """The simulated cloud platform rejected an operation."""
+
+
+class CapacityError(CloudError):
+    """No FPGA instances are available in the requested region."""
+
+
+class AccessError(CloudError):
+    """A tenant attempted an operation it is not authorised to perform.
+
+    Raised when, e.g., a marketplace customer tries to read the bitstream
+    of a sealed AFI, mirroring the AWS guarantee that "no FPGA internal
+    design code is exposed".
+    """
+
+
+class TenancyError(CloudError):
+    """An operation was attempted on an instance the tenant does not hold."""
+
+
+class AttackError(ReproError):
+    """An attack orchestration step could not be carried out."""
+
+
+class AnalysisError(ReproError):
+    """A statistical analysis routine received unusable input."""

@@ -1,0 +1,40 @@
+"""Experiment drivers: the paper's evaluation, end to end.
+
+* :mod:`repro.experiments.experiment1` -- Figure 6: lab burn-in and
+  recovery on a factory-new ZCU102 at 60 C;
+* :mod:`repro.experiments.experiment2` -- Figure 7: Threat Model 1 on
+  the cloud platform (aged device, marketplace AFI);
+* :mod:`repro.experiments.experiment3` -- Figure 8: Threat Model 2 on
+  the cloud platform (recovery-only observation);
+* :mod:`repro.experiments.figures` -- ASCII rendering of the figure
+  panels;
+* :mod:`repro.experiments.config` -- full-paper and quick-run
+  parameterisations.
+
+Each driver returns a result object carrying the raw series bundle, the
+oracle burn values, and summary statistics that EXPERIMENTS.md compares
+against the published numbers.
+"""
+
+from repro.experiments.config import (
+    Experiment1Config,
+    Experiment2Config,
+    Experiment3Config,
+)
+from repro.experiments.experiment1 import Experiment1Result, run_experiment1
+from repro.experiments.experiment2 import Experiment2Result, run_experiment2
+from repro.experiments.experiment3 import Experiment3Result, run_experiment3
+from repro.experiments.figures import render_experiment_panels
+
+__all__ = [
+    "Experiment1Config",
+    "Experiment1Result",
+    "Experiment2Config",
+    "Experiment2Result",
+    "Experiment3Config",
+    "Experiment3Result",
+    "render_experiment_panels",
+    "run_experiment1",
+    "run_experiment2",
+    "run_experiment3",
+]

@@ -1,0 +1,45 @@
+"""ASCII rendering of the paper's figure panels.
+
+Each of Figures 6, 7 and 8 is four panels -- one per route-length class,
+sixteen series each, burn-1 in one colour and burn-0 in another.
+:func:`render_experiment_panels` reproduces that layout in plain text
+from any experiment's series bundle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.report import render_series_chart
+from repro.analysis.timeseries import SeriesBundle, length_class
+
+
+def render_experiment_panels(
+    bundle: SeriesBundle,
+    title: str,
+    stress_change_hour: Optional[float] = None,
+    width: int = 78,
+    height: int = 14,
+) -> str:
+    """One chart per route-length class, longest last (as in the paper)."""
+    groups: dict[float, list] = {}
+    for series in bundle:
+        groups.setdefault(length_class(series.nominal_delay_ps), []).append(
+            series
+        )
+    panels = []
+    for length in sorted(groups):
+        label = (
+            f"{title} -- ({chr(ord('a') + len(panels))}) "
+            f"{length:.0f} ps routes"
+        )
+        panels.append(
+            render_series_chart(
+                groups[length],
+                width=width,
+                height=height,
+                title=label,
+                stress_change_hour=stress_change_hour,
+            )
+        )
+    return "\n\n".join(panels)

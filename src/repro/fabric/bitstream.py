@@ -1,0 +1,210 @@
+"""Bitstreams: compiled design images, including sealed marketplace AFIs.
+
+A :class:`Bitstream` is the loadable artefact produced from a netlist and
+placement.  A :class:`SealedBitstream` wraps one for marketplace
+distribution: the platform can load it, but a customer cannot inspect the
+netlist or the static net values -- modelling the AWS guarantee that "no
+FPGA internal design code is exposed" through an AFI.
+
+What a sealed image *cannot* hide is physics: the routes still exist on
+the die, and Threat Model 1 recovers their held values through BTI.  The
+:class:`DesignSkeleton` captures Assumption 1 -- the attacker knows the
+placement/routing structure (from public sources, being the original
+author, or a leak) but not the data.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import AccessError, ConfigurationError
+from repro.fabric.netlist import NetActivity, Netlist
+from repro.fabric.placement import Placement
+from repro.fabric.power import PowerReport, estimate_power
+from repro.fabric.routing import Route
+
+_bitstream_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DesignSkeleton:
+    """The physical structure of a design, without its contents.
+
+    Maps net names to their physical routes, and records *which* nets
+    are statically driven (netlist structure shows that a constant
+    drives a net; the constant's value stays hidden).  This is exactly
+    what the paper's Assumption 1 grants the attacker: "the placement,
+    or 'skeleton', of the targeted design routes ... but not the
+    contents".
+    """
+
+    design_name: str
+    routes: dict[str, Route]
+    static_net_names: tuple[str, ...] = ()
+
+    def route_for(self, net_name: str) -> Route:
+        """The physical route of one net."""
+        if net_name not in self.routes:
+            raise ConfigurationError(
+                f"skeleton of {self.design_name!r} has no net {net_name!r}"
+            )
+        return self.routes[net_name]
+
+    @property
+    def net_names(self) -> tuple[str, ...]:
+        """All net names in the skeleton, sorted."""
+        return tuple(sorted(self.routes))
+
+    def static_routes(self) -> list[Route]:
+        """The routes carrying design constants -- Threat Model 1's
+        targets -- in stable (sorted) order."""
+        return [self.routes[name] for name in sorted(self.static_net_names)]
+
+
+@dataclass
+class Bitstream:
+    """A compiled, loadable design image."""
+
+    netlist: Netlist
+    placement: Placement
+    power: PowerReport
+    bitstream_id: int = field(default_factory=lambda: next(_bitstream_ids))
+
+    @classmethod
+    def compile(
+        cls,
+        netlist: Netlist,
+        placement: Placement,
+        activity_factor: float = 1.0,
+    ) -> "Bitstream":
+        """Produce a bitstream from a netlist and placement.
+
+        Power is estimated at compile time (as vendor tools report it)
+        and travels with the image for the provider's DRC.
+        """
+        power = estimate_power(netlist, activity_factor=activity_factor)
+        return cls(netlist=netlist, placement=placement, power=power)
+
+    @property
+    def name(self) -> str:
+        """The design's name."""
+        return self.netlist.name
+
+    def skeleton(self) -> DesignSkeleton:
+        """Extract the design's physical structure (routes, no values).
+
+        Routes are re-labelled with their net names so that skeleton
+        consumers (sensor arrays, classifiers, scoring) all key on the
+        same identifiers.
+        """
+        routes = {
+            net.name: Route(
+                name=net.name,
+                segments=net.route.segments,
+                nominal_delay_ps=net.route.nominal_delay_ps,
+            )
+            for net in self.netlist.nets.values()
+            if net.route is not None
+        }
+        static_names = tuple(
+            sorted(
+                net.name
+                for net in self.netlist.nets.values()
+                if net.activity is NetActivity.STATIC and net.route is not None
+            )
+        )
+        return DesignSkeleton(
+            design_name=self.name, routes=routes, static_net_names=static_names
+        )
+
+    def static_values(self) -> dict[str, int]:
+        """Net name -> held value, for all statically-driven nets.
+
+        This is the Type A secret a marketplace publisher embeds; sealed
+        images refuse to reveal it.
+        """
+        return {
+            net.name: int(net.static_value)
+            for net in self.netlist.nets.values()
+            if net.activity is NetActivity.STATIC and net.static_value is not None
+        }
+
+
+class SealedBitstream:
+    """A marketplace AFI: loadable, but opaque to the customer.
+
+    Attributes:
+        publisher: marketplace seller name.
+        public_skeleton: whether the publisher's sources are public
+            (OpenTitan- or FINN-style distribution), making the skeleton
+            available to anyone.  When False, only someone who already
+            has the skeleton (e.g. the original author) can target it.
+    """
+
+    def __init__(
+        self,
+        inner: Bitstream,
+        publisher: str,
+        public_skeleton: bool = False,
+    ) -> None:
+        self._inner = inner
+        self.publisher = publisher
+        self.public_skeleton = public_skeleton
+
+    @property
+    def name(self) -> str:
+        """The design's name."""
+        return self._inner.name
+
+    @property
+    def bitstream_id(self) -> int:
+        """Unique id of the underlying image."""
+        return self._inner.bitstream_id
+
+    @property
+    def power(self) -> PowerReport:
+        """Power is platform-visible (needed for the DRC)."""
+        return self._inner.power
+
+    @property
+    def netlist(self) -> Netlist:
+        """Sealed: customers may not read the netlist."""
+        raise AccessError(
+            f"AFI {self.name!r} is sealed: netlist is not exposed to customers"
+        )
+
+    def static_values(self) -> dict[str, int]:
+        """Sealed: customers may not read design constants."""
+        raise AccessError(
+            f"AFI {self.name!r} is sealed: design constants are not exposed"
+        )
+
+    def skeleton(self) -> DesignSkeleton:
+        """The skeleton, if the publisher distributes public sources."""
+        if not self.public_skeleton:
+            raise AccessError(
+                f"AFI {self.name!r} does not publish its skeleton"
+            )
+        return self._inner.skeleton()
+
+    def unseal_for_platform(self) -> Bitstream:
+        """Platform-internal access for loading onto a device.
+
+        Only the cloud provider calls this; customer-facing code paths
+        must never touch it (mirrored by the access-control tests).
+        """
+        return self._inner
+
+
+AnyBitstream = (Bitstream, SealedBitstream)
+
+
+def loadable(image: object) -> Optional[Bitstream]:
+    """Resolve any bitstream-like object to a loadable plain bitstream."""
+    if isinstance(image, Bitstream):
+        return image
+    if isinstance(image, SealedBitstream):
+        return image.unseal_for_platform()
+    return None

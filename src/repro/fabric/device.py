@@ -1,0 +1,275 @@
+"""The physical FPGA die: persistent analog state across tenants.
+
+:class:`FpgaDevice` is the central object of the vulnerability.  Its
+per-segment BTI state lives in the *device*, keyed by physical segment
+identity, and survives design loads, design wipes and tenant changes.
+``wipe()`` does exactly what the cloud provider's scrubbing does: it
+destroys all logical state (the loaded design and its values) -- and
+nothing else.  The analog imprint remains, which is the paper's entire
+point.
+
+Time advances through :meth:`advance_hours`: every segment bound to a
+net of the loaded design experiences that net's activity (static hold,
+toggling, or floating), every other known segment anneals, and the die's
+effective age accumulates while powered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import FabricError
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.geometry import FabricGrid
+from repro.fabric.netlist import Net, NetActivity
+from repro.fabric.parts import PartDescriptor
+from repro.fabric.routing import Route, SegmentId
+from repro.fabric.segments import spec_for
+from repro.fabric.thermal import ThermalModel
+from repro.physics.aging import NEW_PART, WearProfile
+from repro.physics.constants import REFERENCE_VOLTAGE_V
+from repro.physics.bti import SegmentBti, SegmentTraits
+from repro.physics.delay import TransitionDelays
+from repro.physics.variation import ProcessVariation
+from repro.rng import SeedLike, make_rng
+
+#: Fractional delay increase per kelvin of junction temperature.  Applies
+#: (almost) equally to rising and falling transitions, so it nearly
+#: cancels in the falling-minus-rising observable; the residual is a
+#: realistic cloud noise source.
+DELAY_TEMP_COEFF_PER_K = 2.0e-4
+
+#: Junction temperature reference for the delay temperature coefficient.
+_DELAY_TEMP_REF_K = 338.15
+
+_device_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class DeviceInfo:
+    """Provider-side identity and wear summary of one die."""
+
+    device_id: int
+    part_name: str
+    effective_age_hours: float
+
+
+class FpgaDevice:
+    """One physical FPGA die with persistent per-segment analog state."""
+
+    def __init__(
+        self,
+        part: PartDescriptor,
+        wear: WearProfile = NEW_PART,
+        seed: SeedLike = None,
+    ) -> None:
+        self.part = part
+        self.wear = wear
+        self.device_id = next(_device_ids)
+        rng = make_rng(seed)
+        self._variation = ProcessVariation(seed=rng)
+        self._imprint_rng = make_rng(rng.integers(0, 2**63))
+        self.effective_age_hours = wear.sample_age_hours(
+            make_rng(rng.integers(0, 2**63))
+        )
+        self.sim_hours = 0.0
+        self.core_voltage_v = REFERENCE_VOLTAGE_V
+        self.grid: FabricGrid = part.make_grid()
+        self._segments: dict[SegmentId, SegmentBti] = {}
+        self._loaded: Optional[Bitstream] = None
+        self._ambient_k: float = 308.15  # 35 C until an environment says otherwise
+
+    # ------------------------------------------------------------------
+    # Analog state store
+    # ------------------------------------------------------------------
+
+    def segment_state(self, segment_id: SegmentId) -> SegmentBti:
+        """The persistent analog state of one physical segment.
+
+        Created lazily on first touch, with die-specific process
+        variation and (for worn devices) residual imprints from prior,
+        unobserved tenants.
+        """
+        state = self._segments.get(segment_id)
+        if state is None:
+            spec = spec_for(segment_id.kind)
+            rising, falling, amplitude = self._variation.sample_segment(
+                spec.delay_ps, spec.burn_amplitude_ps
+            )
+            state = SegmentBti(
+                SegmentTraits(
+                    rising_delay_ps=rising,
+                    falling_delay_ps=falling,
+                    burn_amplitude_ps=amplitude,
+                )
+            )
+            high, low = self.wear.sample_residual_imprints(
+                amplitude, self._imprint_rng
+            )
+            if high or low:
+                state.preload_imprint(high_charge_ps=high, low_charge_ps=low)
+            self._segments[segment_id] = state
+        return state
+
+    # ------------------------------------------------------------------
+    # Design lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def loaded_design(self) -> Optional[Bitstream]:
+        """The currently programmed bitstream, if any."""
+        return self._loaded
+
+    def load(self, bitstream: Bitstream) -> None:
+        """Program a design onto the device.
+
+        Touching every routed segment here materialises its analog state,
+        so the first load on a worn device also realises the residual
+        imprints of its unobserved history.
+        """
+        if self._loaded is not None:
+            raise FabricError(
+                f"device {self.device_id} already has "
+                f"{self._loaded.name!r} loaded; wipe first"
+            )
+        for net in bitstream.netlist.routed_nets():
+            for segment_id in net.route:
+                self.segment_state(segment_id)
+        self._loaded = bitstream
+
+    def wipe(self) -> None:
+        """The provider's scrub: clear all logical state.
+
+        Analog (BTI) state is physically incapable of being cleared by a
+        configuration wipe, so ``self._segments`` is deliberately left
+        untouched.
+        """
+        self._loaded = None
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+
+    def advance_hours(self, duration_hours: float, ambient_k: float) -> None:
+        """Advance simulated time with the current design (if any) active.
+
+        All routed nets of the loaded design stress/anneal their segments
+        according to their activity; all other materialised segments
+        anneal.  The die ages while a design is powered.
+        """
+        if duration_hours < 0.0:
+            raise FabricError(f"duration must be >= 0, got {duration_hours}")
+        if duration_hours == 0.0:
+            return
+        self._ambient_k = ambient_k
+        junction = self.junction_k()
+        driven: set[SegmentId] = set()
+        if self._loaded is not None:
+            for net in self._loaded.netlist.routed_nets():
+                self._apply_net_activity(net, duration_hours, junction)
+                driven.update(net.route)
+        for segment_id, state in self._segments.items():
+            if segment_id not in driven:
+                state.idle(duration_hours, junction)
+        if self._loaded is not None:
+            self.effective_age_hours += duration_hours
+        self.sim_hours += duration_hours
+
+    def _apply_net_activity(
+        self, net: Net, duration_hours: float, junction_k: float
+    ) -> None:
+        for segment_id in net.route:
+            state = self.segment_state(segment_id)
+            if net.activity is NetActivity.STATIC:
+                state.hold(
+                    int(net.static_value),
+                    duration_hours,
+                    junction_k,
+                    device_age_hours=self.effective_age_hours,
+                    voltage_v=self.core_voltage_v,
+                )
+            elif net.activity is NetActivity.TOGGLING:
+                state.toggle(
+                    duration_hours,
+                    junction_k,
+                    device_age_hours=self.effective_age_hours,
+                    duty_high=net.duty_high,
+                    voltage_v=self.core_voltage_v,
+                )
+            else:
+                state.idle(duration_hours, junction_k)
+
+    # ------------------------------------------------------------------
+    # Delay queries (used only by on-fabric sensors)
+    # ------------------------------------------------------------------
+
+    def set_core_voltage(self, voltage_v: float) -> None:
+        """Operate the die at a non-nominal core supply.
+
+        Undervolting is the Section 8.2/8.3 provider/manufacturer
+        mitigation: BTI accelerates exponentially in gate voltage, so a
+        50 mV reduction roughly halves the burn-in rate (at some
+        performance cost, which is why providers hesitate).
+        """
+        if voltage_v <= 0.0:
+            raise FabricError(f"voltage must be positive, got {voltage_v}")
+        self.core_voltage_v = voltage_v
+
+    def set_ambient(self, ambient_k: float) -> None:
+        """Record the current ambient (board installed in oven/rack)."""
+        if ambient_k <= 0.0:
+            raise FabricError(f"ambient must be > 0 K, got {ambient_k}")
+        self._ambient_k = ambient_k
+
+    def junction_k(self) -> float:
+        """Current junction temperature from ambient and loaded power.
+
+        Computed live (not cached from the last time step): loading or
+        wiping a design changes power draw, and the delay temperature
+        coefficient must see the conditions that hold *now* -- this is
+        what keeps theta_init portable between calibration and
+        measurement passes (both run under the low-power Measure
+        design).
+        """
+        power = self._loaded.power.total_watts if self._loaded else 0.0
+        return ThermalModel().junction_k(self._ambient_k, power)
+
+    def transition_delays(self, route: Route) -> TransitionDelays:
+        """True rising/falling propagation delay through a route, now.
+
+        Includes BTI degradation and the junction-temperature delay
+        coefficient.  Only on-fabric sensor models may call this; tenant
+        code observes delays exclusively through the TDC's quantised,
+        noisy output.
+        """
+        total = TransitionDelays.zero()
+        for segment_id in route:
+            total = total + self.segment_state(segment_id).transition_delays()
+        scale = 1.0 + DELAY_TEMP_COEFF_PER_K * (self.junction_k() - _DELAY_TEMP_REF_K)
+        return TransitionDelays(
+            rising_ps=total.rising_ps * scale,
+            falling_ps=total.falling_ps * scale,
+        )
+
+    def route_delta_ps(self, route: Route) -> float:
+        """True BTI delta-ps of a route (oracle; for tests/analysis only)."""
+        return float(
+            sum(self.segment_state(seg).delta_ps for seg in route)
+        )
+
+    def info(self) -> DeviceInfo:
+        """Provider-side identity record."""
+        return DeviceInfo(
+            device_id=self.device_id,
+            part_name=self.part.name,
+            effective_age_hours=self.effective_age_hours,
+        )
+
+    def __repr__(self) -> str:
+        loaded = self._loaded.name if self._loaded else None
+        return (
+            f"FpgaDevice(id={self.device_id}, part={self.part.name!r}, "
+            f"age={self.effective_age_hours:.0f}h, loaded={loaded!r})"
+        )

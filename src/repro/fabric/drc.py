@@ -1,0 +1,95 @@
+"""Provider-side design rule checks.
+
+Cloud FPGA providers vet submitted designs.  Two checks matter for the
+paper's story:
+
+* **Self-oscillator scan** -- combinational loops (ring oscillators) are
+  rejected, which is why RO-based aging sensors (the prior-work baseline,
+  Section 7) cannot be deployed on AWS F1, while the TDC sensor "uses
+  computational structures that are common in many FPGA designs" and
+  passes.
+* **Power cap** -- AWS F1 imposes an 85 W limit; the Target design's
+  63 W sits under it.
+
+The scan also rejects designs that place logic in the provider's shell
+region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.errors import DesignRuleViolation
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.geometry import FabricGrid
+
+
+@dataclass(frozen=True)
+class DrcReport:
+    """Outcome of a design rule check run."""
+
+    design_name: str
+    combinational_loops: tuple[tuple[str, ...], ...]
+    power_watts: float
+    power_cap_watts: float
+    shell_violations: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        """Whether every check passed."""
+        return (
+            not self.combinational_loops
+            and self.power_watts <= self.power_cap_watts
+            and not self.shell_violations
+        )
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`DesignRuleViolation` describing every failure."""
+        if self.passed:
+            return
+        problems = []
+        if self.combinational_loops:
+            loops = "; ".join(
+                " -> ".join(loop) for loop in self.combinational_loops[:3]
+            )
+            problems.append(
+                f"{len(self.combinational_loops)} combinational loop(s) "
+                f"(self-oscillators are prohibited): {loops}"
+            )
+        if self.power_watts > self.power_cap_watts:
+            problems.append(
+                f"power {self.power_watts:.1f} W exceeds the "
+                f"{self.power_cap_watts:.1f} W platform cap"
+            )
+        if self.shell_violations:
+            problems.append(
+                f"cells placed in the provider shell region: "
+                f"{', '.join(self.shell_violations[:5])}"
+            )
+        raise DesignRuleViolation(
+            f"design {self.design_name!r} failed DRC: " + " | ".join(problems)
+        )
+
+
+def check_design(
+    bitstream: Bitstream, grid: FabricGrid, power_cap_watts: float
+) -> DrcReport:
+    """Run all provider checks on a compiled bitstream."""
+    graph = bitstream.netlist.combinational_graph()
+    loops = tuple(
+        tuple(cycle) for cycle in nx.simple_cycles(graph)
+    )
+    shell = tuple(
+        name
+        for name, site in bitstream.placement.sites.items()
+        if not grid.is_user_visible(site.coord)
+    )
+    return DrcReport(
+        design_name=bitstream.name,
+        combinational_loops=loops,
+        power_watts=bitstream.power.total_watts,
+        power_cap_watts=power_cap_watts,
+        shell_violations=shell,
+    )

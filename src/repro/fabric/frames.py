@@ -1,0 +1,236 @@
+"""Frame-level configuration memory.
+
+Real FPGA bitstreams are a sequence of *configuration frames*, each
+addressing a column-slice of the device.  This module models the layer
+the platform's logical protections act on:
+
+* :func:`compile_frames` renders a compiled design into per-column
+  frames.  Crucially, frames encode design *contents* -- including the
+  values of constant-driven nets -- which is why marketplace AFIs are
+  sealed and why tenant **readback is disabled** on cloud platforms
+  (:func:`readback` enforces that).  The pentimento attack's whole
+  point is that the analog side channel recovers what the forbidden
+  readback would have shown.
+* :func:`diff_frames` reports which columns differ between two images
+  (how an attacker with two related public bitstreams would find the
+  key's columns -- an Assumption 1 channel).
+* :func:`extract_partial` / :func:`apply_partial` implement partial
+  reconfiguration over a column window, the mechanism behind the
+  relocation/wear-levelling mitigation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import AccessError, ConfigurationError, FabricError
+from repro.fabric.bitstream import Bitstream
+from repro.fabric.netlist import Net, NetActivity, Netlist
+
+#: 32-bit words per configuration frame.
+FRAME_WORDS = 93
+
+
+@dataclass(frozen=True)
+class FrameAddress:
+    """One frame's address: the column it configures plus a minor index."""
+
+    column: int
+    minor: int
+
+    def __post_init__(self) -> None:
+        if self.column < 0 or self.minor < 0:
+            raise ConfigurationError("frame address components must be >= 0")
+
+
+@dataclass(frozen=True)
+class ConfigurationImage:
+    """A design rendered to frames."""
+
+    design_name: str
+    frames: dict
+
+    def columns(self) -> set[int]:
+        """Device columns this image configures."""
+        return {address.column for address in self.frames}
+
+    def crc(self) -> str:
+        """Whole-image checksum (load-time integrity check)."""
+        digest = hashlib.sha256()
+        for address in sorted(self.frames, key=lambda a: (a.column, a.minor)):
+            digest.update(f"{address.column}:{address.minor}".encode())
+            digest.update(self.frames[address].tobytes())
+        return digest.hexdigest()[:16]
+
+
+def _frame_word(*parts) -> np.ndarray:
+    """Deterministic frame words from structural identifiers."""
+    digest = hashlib.sha256("|".join(str(p) for p in parts).encode()).digest()
+    return np.frombuffer(digest[:16], dtype=np.uint8)
+
+
+def compile_frames(bitstream: Bitstream) -> ConfigurationImage:
+    """Render a compiled design into configuration frames.
+
+    Each placed cell and each routed segment contributes words to its
+    column's frame; statically-driven nets additionally encode their
+    *held value* -- the Type A secret is literally in the bits.
+    """
+    columns: dict[int, list] = {}
+
+    def touch(column: int, *parts) -> None:
+        """Append words to a column's frame payload."""
+        columns.setdefault(column, []).append(_frame_word(*parts))
+
+    for name, site in bitstream.placement.sites.items():
+        touch(site.coord.x, "cell", name, site.cell_type.value, site.index,
+              site.coord.y)
+    for net in bitstream.netlist.nets.values():
+        if net.route is None:
+            continue
+        for segment in net.route:
+            touch(segment.origin.x, "pip", segment.kind.value,
+                  segment.origin.y, segment.track)
+        if net.activity is NetActivity.STATIC:
+            anchor = net.route.segments[0].origin
+            touch(anchor.x, "const", net.name, int(net.static_value))
+    frames = {}
+    for column, words in columns.items():
+        payload = np.concatenate(words)
+        # Pack into fixed-size frames.
+        frame_bytes = FRAME_WORDS * 4
+        padded = np.zeros(
+            ((payload.size + frame_bytes - 1) // frame_bytes) * frame_bytes,
+            dtype=np.uint8,
+        )
+        padded[: payload.size] = payload
+        for minor in range(padded.size // frame_bytes):
+            frames[FrameAddress(column, minor)] = padded[
+                minor * frame_bytes: (minor + 1) * frame_bytes
+            ].copy()
+    return ConfigurationImage(design_name=bitstream.name, frames=frames)
+
+
+def readback(bitstream: Bitstream, platform_access: bool = False) -> ConfigurationImage:
+    """Read configuration memory back out of a loaded design.
+
+    Cloud platforms disable tenant readback precisely because frames
+    encode design contents; only the platform itself may read them.
+    The pentimento attack exists because this logical protection cannot
+    reach the analog domain.
+    """
+    if not platform_access:
+        raise AccessError(
+            "configuration readback is disabled for tenants on this "
+            "platform (it would expose design contents)"
+        )
+    return compile_frames(bitstream)
+
+
+def diff_frames(
+    a: ConfigurationImage, b: ConfigurationImage
+) -> list[FrameAddress]:
+    """Frame addresses whose contents differ between two images.
+
+    Two builds of the same design differing only in a netlist constant
+    differ only in the frames of the columns holding that constant --
+    which localises the secret's routes (an Assumption 1 channel when a
+    vendor ships multiple related public bitstreams).
+    """
+    addresses = set(a.frames) | set(b.frames)
+    changed = []
+    for address in sorted(addresses, key=lambda x: (x.column, x.minor)):
+        left = a.frames.get(address)
+        right = b.frames.get(address)
+        if left is None or right is None or not np.array_equal(left, right):
+            changed.append(address)
+    return changed
+
+
+@dataclass(frozen=True)
+class PartialBitstream:
+    """A reconfigurable region's worth of design: frames + netlist."""
+
+    name: str
+    columns: frozenset
+    netlist: Netlist
+    image: ConfigurationImage
+
+
+def extract_partial(
+    bitstream: Bitstream, columns: Iterable[int]
+) -> PartialBitstream:
+    """Carve the design content of a column window into a partial image.
+
+    Takes the nets whose routes stay entirely inside the window (a
+    legal reconfigurable partition may not cut live routes) and the
+    cells placed there.
+    """
+    window = frozenset(int(c) for c in columns)
+    if not window:
+        raise ConfigurationError("partial window needs at least one column")
+    partial_netlist = Netlist(name=f"{bitstream.name}-partial")
+    kept_cells = set()
+    for net in bitstream.netlist.nets.values():
+        if net.route is None:
+            continue
+        touched = {segment.origin.x for segment in net.route}
+        if touched <= window:
+            for cell_name in (net.driver, *net.sinks):
+                if cell_name not in kept_cells:
+                    kept_cells.add(cell_name)
+                    partial_netlist.add_cell(
+                        bitstream.netlist.cells[cell_name]
+                    )
+            partial_netlist.add_net(net)
+    full_image = compile_frames(bitstream)
+    frames = {
+        address: words
+        for address, words in full_image.frames.items()
+        if address.column in window
+    }
+    return PartialBitstream(
+        name=f"{bitstream.name}-partial",
+        columns=window,
+        netlist=partial_netlist,
+        image=ConfigurationImage(
+            design_name=f"{bitstream.name}-partial", frames=frames
+        ),
+    )
+
+
+def apply_partial(base: Bitstream, partial: PartialBitstream) -> Bitstream:
+    """Merge a partial image over a running design.
+
+    Nets of the base design routed entirely inside the window are
+    replaced by the partial's; everything outside keeps running
+    untouched (the semantics that make relocation/wear-levelling cheap).
+    """
+    merged = Netlist(name=f"{base.name}+{partial.name}")
+    replaced_net_names = set(partial.netlist.nets)
+    for cell in base.netlist.cells.values():
+        merged.add_cell(cell)
+    for net in base.netlist.nets.values():
+        if net.route is not None:
+            touched = {segment.origin.x for segment in net.route}
+            if touched <= partial.columns and net.name in replaced_net_names:
+                continue  # superseded by the partial
+        if net.name in replaced_net_names and net.route is None:
+            continue
+        merged_net = net
+        if net.name in merged.nets:
+            raise FabricError(f"net collision merging {net.name!r}")
+        merged.add_net(merged_net)
+    for cell in partial.netlist.cells.values():
+        if cell.name not in merged.cells:
+            merged.add_cell(cell)
+    for net in partial.netlist.nets.values():
+        if net.name in merged.nets:
+            merged.replace_net(net)
+        else:
+            merged.add_net(net)
+    return Bitstream.compile(merged, base.placement)

@@ -1,0 +1,117 @@
+"""Fabric geometry: coordinates, tile types and the tile grid.
+
+The model follows the column-based floorplan of Xilinx UltraScale+
+devices: most columns are CLBs, with periodic DSP and BRAM columns, and
+every tile has an adjacent interconnect (INT) switchbox through which all
+programmable routing passes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError, FabricError
+
+
+@dataclass(frozen=True, order=True)
+class Coordinate:
+    """A tile coordinate: ``x`` is the column, ``y`` the row."""
+
+    x: int
+    y: int
+
+    def offset(self, dx: int = 0, dy: int = 0) -> "Coordinate":
+        """The coordinate displaced by (dx, dy)."""
+        return Coordinate(self.x + dx, self.y + dy)
+
+    def manhattan_distance(self, other: "Coordinate") -> int:
+        """Manhattan (L1) distance to another coordinate."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def __str__(self) -> str:
+        return f"X{self.x}Y{self.y}"
+
+
+class TileType(enum.Enum):
+    """Functional type of a fabric tile."""
+
+    CLB = "clb"
+    DSP = "dsp"
+    BRAM = "bram"
+    #: Tiles belonging to the provider's shell; not visible to tenants.
+    SHELL = "shell"
+
+
+# Column pattern approximating an UltraScale+ region: mostly CLB with
+# interleaved DSP and BRAM columns.
+_COLUMN_PATTERN = (
+    TileType.CLB,
+    TileType.CLB,
+    TileType.CLB,
+    TileType.DSP,
+    TileType.CLB,
+    TileType.CLB,
+    TileType.BRAM,
+    TileType.CLB,
+)
+
+
+class FabricGrid:
+    """The tile grid of one die.
+
+    The bottom ``shell_rows`` rows model the AWS shell region: present on
+    the device, but invisible and unusable for tenants ("the attacker is
+    limited by the interfaces exposed by the cloud provider").
+    """
+
+    def __init__(self, columns: int, rows: int, shell_rows: int = 0) -> None:
+        if columns <= 0 or rows <= 0:
+            raise ConfigurationError(
+                f"grid must be positive, got {columns}x{rows}"
+            )
+        if not 0 <= shell_rows < rows:
+            raise ConfigurationError(
+                f"shell_rows must be in [0, rows), got {shell_rows}"
+            )
+        self.columns = columns
+        self.rows = rows
+        self.shell_rows = shell_rows
+
+    def contains(self, coord: Coordinate) -> bool:
+        """Whether the coordinate lies on the die at all."""
+        return 0 <= coord.x < self.columns and 0 <= coord.y < self.rows
+
+    def is_user_visible(self, coord: Coordinate) -> bool:
+        """Whether a tenant may place logic at the coordinate."""
+        return self.contains(coord) and coord.y >= self.shell_rows
+
+    def tile_type(self, coord: Coordinate) -> TileType:
+        """The functional type of the tile at a coordinate."""
+        if not self.contains(coord):
+            raise FabricError(f"coordinate {coord} is off the die")
+        if coord.y < self.shell_rows:
+            return TileType.SHELL
+        return _COLUMN_PATTERN[coord.x % len(_COLUMN_PATTERN)]
+
+    def require_user_visible(self, coord: Coordinate) -> None:
+        """Raise :class:`FabricError` unless a tenant can use the tile."""
+        if not self.contains(coord):
+            raise FabricError(f"coordinate {coord} is off the die")
+        if not self.is_user_visible(coord):
+            raise FabricError(
+                f"coordinate {coord} lies in the provider shell region"
+            )
+
+    def user_tiles(self, tile_type: TileType) -> Iterator[Coordinate]:
+        """Iterate all user-visible tiles of a given type, column-major."""
+        for x in range(self.columns):
+            for y in range(self.shell_rows, self.rows):
+                coord = Coordinate(x, y)
+                if self.tile_type(coord) is tile_type:
+                    yield coord
+
+    def count_user_tiles(self, tile_type: TileType) -> int:
+        """Number of user-visible tiles of a given type."""
+        return sum(1 for _ in self.user_tiles(tile_type))

@@ -1,0 +1,82 @@
+"""Part descriptors for the simulated devices.
+
+Two parts appear in the paper: the AWS F1 card's Virtex UltraScale+
+(VU9P) and the ZCU102 development board's Zynq UltraScale+ (ZU9EG).
+Grid sizes here are scaled-down stand-ins (the experiments use a few
+hundred tiles); what matters is the resource mix, the carry-chain bin
+delay and the platform power cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.fabric.geometry import FabricGrid
+
+
+@dataclass(frozen=True)
+class PartDescriptor:
+    """Static description of an FPGA part.
+
+    Attributes:
+        name: marketing part name.
+        columns, rows: tile grid dimensions.
+        shell_rows: rows reserved for the provider shell (AWS F1 only).
+        tracks_per_class: parallel routing tracks of each wire class per
+            tile (bounds routing congestion).
+        carry_bin_ps: delay of one carry-chain element; the paper's
+            TDC conversion constant of 2.8 ps/bit for UltraScale+.
+        tdc_chain_length: carry-chain elements per TDC (64 in the paper).
+        power_cap_watts: platform power limit (AWS F1 enforces 85 W).
+        dsp_count: DSP blocks available to tenants.
+    """
+
+    name: str
+    columns: int
+    rows: int
+    shell_rows: int
+    tracks_per_class: int
+    carry_bin_ps: float
+    tdc_chain_length: int
+    power_cap_watts: float
+    dsp_count: int
+
+    def __post_init__(self) -> None:
+        if self.carry_bin_ps <= 0.0:
+            raise ConfigurationError("carry_bin_ps must be positive")
+        if self.tdc_chain_length <= 0:
+            raise ConfigurationError("tdc_chain_length must be positive")
+        if self.power_cap_watts <= 0.0:
+            raise ConfigurationError("power_cap_watts must be positive")
+
+    def make_grid(self) -> FabricGrid:
+        """Instantiate the tile grid for this part."""
+        return FabricGrid(self.columns, self.rows, shell_rows=self.shell_rows)
+
+
+#: The AWS F1 card's FPGA (Experiments 2 and 3).
+VIRTEX_ULTRASCALE_PLUS = PartDescriptor(
+    name="xcvu9p",
+    columns=64,
+    rows=96,
+    shell_rows=16,
+    tracks_per_class=12,
+    carry_bin_ps=2.8,
+    tdc_chain_length=64,
+    power_cap_watts=85.0,
+    dsp_count=6840,
+)
+
+#: The ZCU102 development board's FPGA (Experiment 1).
+ZYNQ_ULTRASCALE_PLUS = PartDescriptor(
+    name="xczu9eg",
+    columns=48,
+    rows=64,
+    shell_rows=0,
+    tracks_per_class=12,
+    carry_bin_ps=2.8,
+    tdc_chain_length=64,
+    power_cap_watts=40.0,
+    dsp_count=2520,
+)

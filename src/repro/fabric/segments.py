@@ -1,0 +1,90 @@
+"""Programmable-routing segment library.
+
+FPGA routes are chains of pre-fabricated wire segments of graded reach
+joined by programmable switches (PIPs).  Each switch is a pass-transistor
+structure that accumulates BTI while the route holds a static value; the
+wire itself does not age.  Longer wire classes cover more delay per
+switch, which is why the paper's measured burn-in magnitude grows
+slightly sub-linearly with route delay (a 10000 ps route built from LONG
+wires has ~46 stressed switches, not 60).
+
+Delays are loosely modelled on UltraScale+ interconnect timing; what
+matters for the reproduction is the ratio of delay to switch count, which
+sets the Figure 6/7 magnitude-vs-length relationship.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.physics.constants import PS_PER_SWITCH_AT_REFERENCE
+
+
+class SegmentKind(enum.Enum):
+    """Wire classes of the interconnect, by reach."""
+
+    #: Intra-tile hop (bounce) -- LUT input pin connections.
+    LOCAL = "local"
+    #: Adjacent-tile wire.
+    SINGLE = "single"
+    #: Two-tile wire.
+    DOUBLE = "double"
+    #: Four-tile wire.
+    QUAD = "quad"
+    #: Twelve-tile long line.
+    LONG = "long"
+    #: One element of a CARRY8 chain (used by the TDC delay line).
+    CARRY = "carry"
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Static description of one wire class.
+
+    Attributes:
+        kind: the wire class.
+        delay_ps: nominal propagation delay through the segment,
+            including its entry switch.
+        switch_count: programmable switch transistors that see the held
+            value (and therefore age).
+        span_tiles: tile reach, for the maze router's geometry.
+    """
+
+    kind: SegmentKind
+    delay_ps: float
+    switch_count: int
+    span_tiles: int
+
+    def __post_init__(self) -> None:
+        if self.delay_ps <= 0.0:
+            raise ConfigurationError(f"delay must be positive, got {self.delay_ps}")
+        if self.switch_count < 0:
+            raise ConfigurationError(
+                f"switch_count must be >= 0, got {self.switch_count}"
+            )
+        if self.span_tiles < 0:
+            raise ConfigurationError(
+                f"span_tiles must be >= 0, got {self.span_tiles}"
+            )
+
+    @property
+    def burn_amplitude_ps(self) -> float:
+        """Reference burn-in delta-ps contributed by this segment."""
+        return self.switch_count * PS_PER_SWITCH_AT_REFERENCE
+
+
+SEGMENT_LIBRARY: dict[SegmentKind, SegmentSpec] = {
+    SegmentKind.LOCAL: SegmentSpec(SegmentKind.LOCAL, delay_ps=45.0, switch_count=1, span_tiles=0),
+    SegmentKind.SINGLE: SegmentSpec(SegmentKind.SINGLE, delay_ps=120.0, switch_count=2, span_tiles=1),
+    SegmentKind.DOUBLE: SegmentSpec(SegmentKind.DOUBLE, delay_ps=170.0, switch_count=2, span_tiles=2),
+    SegmentKind.QUAD: SegmentSpec(SegmentKind.QUAD, delay_ps=260.0, switch_count=2, span_tiles=4),
+    SegmentKind.LONG: SegmentSpec(SegmentKind.LONG, delay_ps=450.0, switch_count=2, span_tiles=12),
+    SegmentKind.CARRY: SegmentSpec(SegmentKind.CARRY, delay_ps=2.8, switch_count=0, span_tiles=0),
+}
+
+
+def spec_for(kind: SegmentKind) -> SegmentSpec:
+    """Look up the spec of a wire class."""
+    return SEGMENT_LIBRARY[kind]

@@ -1,0 +1,85 @@
+"""Thermal model: ambient conditions and junction temperature.
+
+Junction temperature follows the usual lumped model
+``T_j = T_ambient + R_theta * P``.  Two ambient profiles cover the
+paper's settings:
+
+* :class:`OvenAmbient` -- Experiment 1's forced-convection oven, which
+  "maintains a constant temperature" of 60 C;
+* :class:`DataCenterAmbient` -- the cloud, where the paper notes
+  "non-constant temperature" as a noise source: a diurnal swing plus
+  stochastic drift from neighbouring machines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+from repro.units import celsius_to_kelvin
+
+
+class OvenAmbient:
+    """Constant-temperature ambient (the Lab Companion OF-01E oven)."""
+
+    def __init__(self, temperature_c: float = 60.0) -> None:
+        self._kelvin = celsius_to_kelvin(temperature_c)
+
+    def at(self, sim_hours: float) -> float:
+        """Ambient temperature in kelvin at an absolute simulation time."""
+        return self._kelvin
+
+
+class DataCenterAmbient:
+    """Fluctuating data-centre inlet temperature.
+
+    A mean level, a sinusoidal diurnal swing, and a slowly-varying
+    stochastic component (AR(1) over one-hour steps) representing rack
+    neighbours and cooling dynamics.
+    """
+
+    def __init__(
+        self,
+        mean_c: float = 38.0,
+        diurnal_amplitude_c: float = 2.5,
+        drift_sigma_c: float = 1.2,
+        seed: SeedLike = None,
+    ) -> None:
+        if diurnal_amplitude_c < 0.0 or drift_sigma_c < 0.0:
+            raise ConfigurationError("amplitudes must be >= 0")
+        self._mean_k = celsius_to_kelvin(mean_c)
+        self._diurnal = diurnal_amplitude_c
+        self._sigma = drift_sigma_c
+        self._rng = make_rng(seed)
+        self._drift_cache: dict[int, float] = {}
+
+    def _drift(self, hour: int) -> float:
+        """AR(1) drift, memoised per integer hour for reproducibility."""
+        if hour <= 0:
+            return 0.0
+        if hour not in self._drift_cache:
+            previous = self._drift(hour - 1)
+            innovation = float(self._rng.normal(0.0, self._sigma))
+            self._drift_cache[hour] = 0.9 * previous + 0.435 * innovation
+        return self._drift_cache[hour]
+
+    def at(self, sim_hours: float) -> float:
+        """Ambient temperature in kelvin at an absolute simulation time."""
+        diurnal = self._diurnal * math.sin(2.0 * math.pi * sim_hours / 24.0)
+        return self._mean_k + diurnal + self._drift(int(sim_hours))
+
+
+@dataclass(frozen=True)
+class ThermalModel:
+    """Junction temperature from ambient and power."""
+
+    #: Junction-to-ambient thermal resistance, kelvin per watt.
+    theta_ja_k_per_w: float = 0.35
+
+    def junction_k(self, ambient_k: float, power_watts: float) -> float:
+        """Junction temperature for a given ambient and power draw."""
+        if power_watts < 0.0:
+            raise ConfigurationError(f"power must be >= 0, got {power_watts}")
+        return ambient_k + self.theta_ja_k_per_w * power_watts

@@ -1,0 +1,50 @@
+"""Mitigations against pentimento attacks (Section 8 of the paper).
+
+User-side mitigations transform *when and where* sensitive values sit on
+routes, expressed as condition schedules
+(:class:`~repro.mitigations.schedules.ConditionSchedule`):
+
+* periodic inversion -- "the data could be inverted at predetermined
+  periods (e.g. every hour)";
+* deterministic shuffling -- permute bits across routes each epoch;
+* key rotation -- replace the secret on a schedule;
+* relocation / wear-levelling -- move the secret between route banks
+  (partial reconfiguration);
+* short routes -- a placement-time mitigation, evaluated by the
+  route-length ablation benchmark.
+
+Provider-side mitigation: launch-rate control
+(:class:`~repro.cloud.allocation.AllocationPolicy` hold-back), evaluated
+by :func:`~repro.mitigations.evaluation.evaluate_holdback`.
+
+:mod:`repro.mitigations.evaluation` measures every schedule's
+effectiveness: it runs the Threat Model 1 extraction against a
+mitigated victim and reports the attacker's bit-error rate (0.5 =
+perfect mitigation, 0.0 = no protection).
+"""
+
+from repro.mitigations.schedules import (
+    ConditionSchedule,
+    KeyRotationSchedule,
+    PeriodicInversionSchedule,
+    ShufflingSchedule,
+    StaticSchedule,
+)
+from repro.mitigations.relocation import RelocationSchedule
+from repro.mitigations.evaluation import (
+    MitigationReport,
+    evaluate_holdback,
+    evaluate_schedule,
+)
+
+__all__ = [
+    "ConditionSchedule",
+    "KeyRotationSchedule",
+    "MitigationReport",
+    "PeriodicInversionSchedule",
+    "RelocationSchedule",
+    "ShufflingSchedule",
+    "StaticSchedule",
+    "evaluate_holdback",
+    "evaluate_schedule",
+]

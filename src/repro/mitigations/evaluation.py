@@ -1,0 +1,176 @@
+"""Mitigation-effectiveness harness.
+
+For each schedule, run the victim's mitigated conditioning on a lab
+bench while the attacker executes the standard Threat Model 1
+measurement interleave against the primary route bank, then score the
+attacker's recovery.  An unmitigated victim yields BER ~0; a perfect
+mitigation drives BER towards 0.5 (coin flipping).
+
+Provider-side hold-back is evaluated separately
+(:func:`evaluate_holdback`): it attacks the Threat Model 2 timeline by
+letting the imprint anneal while the device rests in quarantine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.timeseries import SeriesBundle
+from repro.core.bench import LabBench
+from repro.core.classify import BurnTrendClassifier
+from repro.core.metrics import RecoveryScore, score_recovery
+from repro.core.protocol import ConditionMeasureProtocol
+from repro.designs import build_measure_design, build_route_bank
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS, PartDescriptor
+from repro.fabric.routing import Route
+from repro.mitigations.schedules import ConditionSchedule
+from repro.physics.aging import NEW_PART
+from repro.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class MitigationReport:
+    """Attack outcome against one mitigation schedule."""
+
+    schedule_name: str
+    score: RecoveryScore
+    bundle: SeriesBundle
+
+    @property
+    def attacker_ber(self) -> float:
+        """The attacker's bit-error rate against this schedule."""
+        return self.score.bit_error_rate
+
+    def __str__(self) -> str:
+        return (
+            f"{self.schedule_name}: attacker BER "
+            f"{self.attacker_ber:.3f} ({self.score.correct_bits}/"
+            f"{self.score.total_bits} bits recovered)"
+        )
+
+
+def evaluate_schedule(
+    schedule: ConditionSchedule,
+    routes: Sequence[Route],
+    true_values: Sequence[int],
+    part: PartDescriptor = ZYNQ_ULTRASCALE_PLUS,
+    burn_hours: int = 48,
+    measure_every_hours: float = 2.0,
+    seed: Optional[int] = 11,
+) -> MitigationReport:
+    """Attack a mitigated victim and report the attacker's BER.
+
+    The attacker runs the standard burn-trend extraction against the
+    primary routes; the victim conditions per the schedule.
+    """
+    rng = RngFactory(seed)
+    device = FpgaDevice(part, wear=NEW_PART, seed=rng.stream("device"))
+    bench = LabBench(device)
+    measure = build_measure_design(part, routes)
+    protocol = ConditionMeasureProtocol(
+        environment=bench,
+        target_bitstream=schedule.bitstream_for_epoch(0),
+        measure_design=measure,
+        routes=routes,
+        condition_hours_per_cycle=measure_every_hours,
+    )
+    protocol.calibration.seed = rng.stream("sensors")
+    protocol.calibrate()
+    cycles = int(burn_hours / measure_every_hours)
+    bundle = protocol.run_cycles(
+        cycles, target_for_cycle=schedule.bitstream_for_epoch
+    )
+    recovered = BurnTrendClassifier().classify_many(list(bundle))
+    truth = {route.name: int(v) for route, v in zip(routes, true_values)}
+    for name, series in bundle.series.items():
+        series.burn_value = truth[name]
+    return MitigationReport(
+        schedule_name=schedule.name,
+        score=score_recovery(recovered, truth),
+        bundle=bundle,
+    )
+
+
+def default_evaluation_routes(
+    part: PartDescriptor = ZYNQ_ULTRASCALE_PLUS,
+    lengths: Sequence[float] = (5000.0,) * 8 + (10000.0,) * 8,
+) -> list[Route]:
+    """A compact route bank for mitigation studies (long routes: the
+    attacker's best case, hence the hardest test for a mitigation)."""
+    return build_route_bank(part.make_grid(), lengths)
+
+
+def evaluate_holdback(
+    holdback_hours: float,
+    routes: Sequence[Route],
+    true_values: Sequence[int],
+    victim_burn_hours: int = 100,
+    recovery_hours: int = 25,
+    seed: Optional[int] = 13,
+) -> MitigationReport:
+    """Provider launch-rate control against the Threat Model 2 timeline.
+
+    The victim burns in, releases, and the provider quarantines the
+    board for ``holdback_hours`` before the attacker can rent it.  The
+    burn-1 transient decays during quarantine, shrinking the attacker's
+    recovery signal.
+    """
+    from repro.cloud.allocation import AllocationPolicy
+    from repro.cloud.fleet import build_fleet
+    from repro.cloud.provider import CloudProvider
+    from repro.core.phases import CalibrationPhase
+    from repro.core.threat_model2 import ThreatModel2Attack
+    from repro.designs.target import build_target_design
+    from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+    from repro.physics.aging import CLOUD_PART
+
+    rng = RngFactory(seed)
+    provider = CloudProvider(seed=rng.stream("provider"))
+    fleet = build_fleet(
+        VIRTEX_ULTRASCALE_PLUS, size=2, wear=CLOUD_PART, seed=rng.stream("fleet")
+    )
+    provider.create_region(
+        "quarantined",
+        fleet,
+        policy=AllocationPolicy(holdback_hours=holdback_hours),
+    )
+    part = VIRTEX_ULTRASCALE_PLUS
+    measure = build_measure_design(part, routes)
+
+    calibration_instance = provider.rent("quarantined", "attacker-calib")
+    calibration = CalibrationPhase(measure, seed=rng.stream("calib"))
+    theta_init = dict(
+        calibration.run(calibration_instance).theta_init
+    )
+    provider.release(calibration_instance)
+    provider.advance(max(holdback_hours, 0.0) + 1.0)
+
+    victim_design = build_target_design(
+        part, routes, true_values, heater_dsps=0, name="victim"
+    )
+    victim = provider.rent("quarantined", "victim")
+    victim.load_image(victim_design.bitstream)
+    provider.advance(victim_burn_hours)
+    provider.release(victim)
+
+    # The quarantine: the attacker cannot rent until it elapses.
+    provider.advance(holdback_hours)
+
+    attack = ThreatModel2Attack(
+        provider=provider,
+        region="quarantined",
+        routes=routes,
+        theta_init=theta_init,
+        seed=seed,
+    )
+    result = attack.run(recovery_hours=recovery_hours)
+    truth = {route.name: int(v) for route, v in zip(routes, true_values)}
+    for name, series in result.bundle.series.items():
+        series.burn_value = truth[name]
+    return MitigationReport(
+        schedule_name=f"holdback-{holdback_hours:.0f}h",
+        score=score_recovery(result.recovered_bits, truth),
+        bundle=result.bundle,
+    )

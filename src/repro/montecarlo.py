@@ -1,0 +1,127 @@
+"""Monte Carlo robustness sweeps.
+
+Single-seed results can flatter or slander an attack; the paper's
+claims are statistical.  :func:`run_monte_carlo` repeats any
+seed-parameterised metric over a seed set and summarises the
+distribution, and :func:`experiment_sweep` wraps the three experiment
+drivers so robustness numbers (mean recovery accuracy with a
+percentile interval) are one call away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError, ConfigurationError
+
+
+@dataclass(frozen=True)
+class MonteCarloResult:
+    """Distribution summary of one metric over seeds."""
+
+    metric_name: str
+    seeds: tuple[int, ...]
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Mean of the metric over seeds."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation over seeds."""
+        if len(self.values) < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed value."""
+        return float(np.min(self.values))
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed value."""
+        return float(np.max(self.values))
+
+    def percentile_interval(self, coverage: float = 0.9) -> tuple[float, float]:
+        """Central percentile interval of the observed values."""
+        if not 0.0 < coverage < 1.0:
+            raise AnalysisError("coverage must be in (0, 1)")
+        tail = (1.0 - coverage) / 2.0 * 100.0
+        lo, hi = np.percentile(self.values, [tail, 100.0 - tail])
+        return float(lo), float(hi)
+
+    def __str__(self) -> str:
+        lo, hi = self.percentile_interval()
+        return (
+            f"{self.metric_name}: {self.mean:.3f} +/- {self.std:.3f} "
+            f"(90% interval [{lo:.3f}, {hi:.3f}], n={len(self.values)})"
+        )
+
+
+def run_monte_carlo(
+    metric: Callable[[int], float],
+    seeds: Sequence[int],
+    metric_name: str = "metric",
+) -> MonteCarloResult:
+    """Evaluate ``metric(seed)`` for every seed and summarise."""
+    if not seeds:
+        raise ConfigurationError("need at least one seed")
+    values = tuple(float(metric(int(seed))) for seed in seeds)
+    return MonteCarloResult(
+        metric_name=metric_name, seeds=tuple(int(s) for s in seeds),
+        values=values,
+    )
+
+
+def experiment_sweep(
+    experiment: str,
+    seeds: Sequence[int],
+    quick: bool = True,
+    config_overrides: Optional[dict] = None,
+) -> MonteCarloResult:
+    """Recovery-accuracy distribution of one experiment over seeds.
+
+    ``experiment`` is ``"exp1"``, ``"exp2"`` or ``"exp3"``; ``quick``
+    selects the shrunken configs; ``config_overrides`` are applied with
+    :func:`dataclasses.replace`.
+    """
+    import dataclasses
+
+    from repro.experiments import (
+        Experiment1Config,
+        Experiment2Config,
+        Experiment3Config,
+        run_experiment1,
+        run_experiment2,
+        run_experiment3,
+    )
+
+    registry = {
+        "exp1": (Experiment1Config, run_experiment1),
+        "exp2": (Experiment2Config, run_experiment2),
+        "exp3": (Experiment3Config, run_experiment3),
+    }
+    if experiment not in registry:
+        raise ConfigurationError(
+            f"unknown experiment {experiment!r}; choose from "
+            f"{sorted(registry)}"
+        )
+    config_cls, runner = registry[experiment]
+
+    def metric(seed: int) -> float:
+        """Recovery accuracy of one seeded run."""
+        config = (config_cls.quick(seed=seed) if quick
+                  else config_cls.paper(seed=seed))
+        if config_overrides:
+            config = dataclasses.replace(config, **config_overrides)
+        return runner(config).recovery_score.accuracy
+
+    return run_monte_carlo(
+        metric, seeds, metric_name=f"{experiment} recovery accuracy"
+    )

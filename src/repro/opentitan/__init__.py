@@ -1,0 +1,36 @@
+"""The OpenTitan Earl Grey route-length study (Section 5.3, Table 1).
+
+OpenTitan is the paper's realistic target: an open-source hardware root
+of trust whose pre-built bitstream distribution makes Assumption 1 hold
+for anyone.  The study implements a synthetic Earl Grey on the simulated
+fabric -- the twenty security-critical assets of Table 1 with their
+published types and bus widths, placed module-by-module and routed over
+the interconnect -- and regenerates the per-asset route-length
+distribution columns.
+
+* :mod:`repro.opentitan.assets` -- the asset inventory (with the
+  published statistics retained as reference data);
+* :mod:`repro.opentitan.earlgrey` -- module floorplan, placement, and
+  per-bit routing;
+* :mod:`repro.opentitan.study` -- Table 1 regeneration and
+  vulnerability ranking.
+"""
+
+from repro.opentitan.assets import (
+    AssetClass,
+    SecurityAsset,
+    TABLE1_ASSETS,
+)
+from repro.opentitan.earlgrey import EarlGreyImplementation, implement_earl_grey
+from repro.opentitan.study import Table1Row, build_table1, render_table1
+
+__all__ = [
+    "AssetClass",
+    "EarlGreyImplementation",
+    "SecurityAsset",
+    "TABLE1_ASSETS",
+    "Table1Row",
+    "build_table1",
+    "implement_earl_grey",
+    "render_table1",
+]

@@ -1,0 +1,118 @@
+"""OpenTitan Earl Grey security-asset inventory.
+
+The twenty assets of Table 1, with the paper's classification:
+
+* **CK** -- cryptographic keys (OTP-stored keys, Key Manager sidecar
+  buses to AES/KMAC/OTBN, scrambling keys);
+* **SV/T** -- life-cycle state values and tokens held in OTP;
+* **S** -- signals carrying sensitive data to/from security peripherals
+  (TL-UL response data, OTP read data).
+
+Each asset records its source and destination module (driving the
+synthetic placement) and the row of statistics the paper published for
+a Vivado Virtex UltraScale+ implementation, kept as *reference data*
+so the benchmark can print paper-vs-reproduced side by side.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AssetClass(enum.Enum):
+    """Table 1's Type column."""
+
+    CRYPTOGRAPHIC_KEY = "CK"
+    STATE_VALUE_TOKEN = "SV/T"
+    SIGNAL = "S"
+
+
+@dataclass(frozen=True)
+class PublishedStats:
+    """The paper's Table 1 row (route lengths in ps)."""
+
+    mean: float
+    sd: float
+    minimum: float
+    p25: float
+    p50: float
+    p75: float
+    maximum: float
+
+
+@dataclass(frozen=True)
+class SecurityAsset:
+    """One security-critical asset: a bus between two modules."""
+
+    index: int
+    path: str
+    asset_class: AssetClass
+    bus_width: int
+    source_module: str
+    dest_module: str
+    published: PublishedStats
+
+
+TABLE1_ASSETS: tuple[SecurityAsset, ...] = (
+    SecurityAsset(1, "/otp_ctrl_otp_lc_data[state]", AssetClass.STATE_VALUE_TOKEN, 320,
+                  "otp_ctrl", "lc_ctrl",
+                  PublishedStats(169.5, 98.1, 39, 95.5, 157.5, 228, 509)),
+    SecurityAsset(2, "/u_otp_ctrl/otp_ctrl_otp_lc_data[test_exit_token]",
+                  AssetClass.STATE_VALUE_TOKEN, 128, "otp_ctrl", "lc_ctrl",
+                  PublishedStats(197.5, 115.4, 37, 114, 170, 242.2, 534)),
+    SecurityAsset(3, "/otp_ctrl_otp_lc_data[rma_token]", AssetClass.STATE_VALUE_TOKEN, 101,
+                  "otp_ctrl", "lc_ctrl",
+                  PublishedStats(239.8, 122.8, 38, 148, 222, 325, 583)),
+    SecurityAsset(4, "/otp_ctrl_otp_lc_data[test_unlock_token]",
+                  AssetClass.STATE_VALUE_TOKEN, 128, "otp_ctrl", "lc_ctrl",
+                  PublishedStats(207.9, 120.1, 38, 130.5, 178.5, 247.2, 609)),
+    SecurityAsset(5, "/keymgr_aes_key[key][1]_282", AssetClass.CRYPTOGRAPHIC_KEY, 32,
+                  "keymgr", "aes",
+                  PublishedStats(538.3, 106.4, 380, 433.5, 551, 614, 738)),
+    SecurityAsset(6, "/keymgr_otbn_key[key][0]_285", AssetClass.CRYPTOGRAPHIC_KEY, 384,
+                  "keymgr", "otbn",
+                  PublishedStats(219.8, 150.9, 41, 99, 167, 327.2, 919)),
+    SecurityAsset(7, "/keymgr_kmac_key[key][0]_28", AssetClass.CRYPTOGRAPHIC_KEY, 256,
+                  "keymgr", "kmac",
+                  PublishedStats(317.6, 141.7, 49, 213.8, 291, 408, 1050)),
+    SecurityAsset(8, "/otp_ctrl_otp_keymgr_key[key_share0]", AssetClass.CRYPTOGRAPHIC_KEY,
+                  256, "otp_ctrl", "keymgr",
+                  PublishedStats(187.3, 200.8, 37, 54, 109, 217, 1064)),
+    SecurityAsset(9, "/u_otp_ctrl/part_scrmbl_rsp_data", AssetClass.CRYPTOGRAPHIC_KEY, 64,
+                  "otp_ctrl", "otp_ctrl",
+                  PublishedStats(353.4, 146.1, 116, 267.2, 348.5, 411.2, 1075)),
+    SecurityAsset(10, "/keymgr_aes_key[key][0]_283", AssetClass.CRYPTOGRAPHIC_KEY, 256,
+                  "keymgr", "aes",
+                  PublishedStats(360.3, 154.2, 86, 270, 333, 412.2, 1311)),
+    SecurityAsset(11, "/u_otp_ctrl/u_otp_ctrl_scrmbl/gen_anchor_keys",
+                  AssetClass.CRYPTOGRAPHIC_KEY, 135, "otp_ctrl", "otp_ctrl",
+                  PublishedStats(220.1, 358.7, 0, 57, 94, 162.5, 1333)),
+    SecurityAsset(12, "/otp_ctrl_otp_keymgr_key[key_share1]", AssetClass.CRYPTOGRAPHIC_KEY,
+                  256, "otp_ctrl", "keymgr",
+                  PublishedStats(262.5, 273.4, 37, 51, 158, 335.5, 1381)),
+    SecurityAsset(13, "/csrng_tl_rsp[d_data]", AssetClass.SIGNAL, 32,
+                  "csrng", "xbar",
+                  PublishedStats(1291.8, 105.7, 1031, 1244.8, 1323, 1359.8, 1432)),
+    SecurityAsset(14, "/aes_tl_rsp[d_data]", AssetClass.SIGNAL, 32,
+                  "aes", "xbar",
+                  PublishedStats(1105.3, 411.4, 276, 1135.8, 1279, 1369.5, 1631)),
+    SecurityAsset(15, "/keymgr_otbn_key[key][1]_284", AssetClass.CRYPTOGRAPHIC_KEY, 32,
+                  "keymgr", "otbn",
+                  PublishedStats(1062.7, 281.2, 480, 854, 1074.5, 1270, 1670)),
+    SecurityAsset(16, "/u_otp_ctrl/part_otp_rdata", AssetClass.SIGNAL, 64,
+                  "otp_ctrl", "xbar",
+                  PublishedStats(1298.9, 213, 933, 1118.5, 1311.5, 1447.2, 1784)),
+    SecurityAsset(17, "/flash_ctrl_otp_rsp[key]", AssetClass.CRYPTOGRAPHIC_KEY, 128,
+                  "otp_ctrl", "flash_ctrl",
+                  PublishedStats(1816.6, 404.6, 1215, 1503, 1717.5, 2010.2, 3245)),
+    SecurityAsset(18, "/kmac_app_rsp", AssetClass.SIGNAL, 777,
+                  "kmac", "rom_ctrl",
+                  PublishedStats(94.2, 179.7, 15, 40, 58, 97, 3398)),
+    SecurityAsset(19, "/flash_ctrl_otp_rsp[rand_key]", AssetClass.CRYPTOGRAPHIC_KEY, 128,
+                  "otp_ctrl", "flash_ctrl",
+                  PublishedStats(1908.1, 670.7, 553, 1337, 1882, 2308.8, 3706)),
+    SecurityAsset(20, "/aes_tl_req[a_data]", AssetClass.SIGNAL, 32,
+                  "xbar", "aes",
+                  PublishedStats(2114.8, 471.8, 1455, 1805, 2079.5, 2337.2, 3946)),
+)

@@ -1,0 +1,126 @@
+"""Result persistence: archive experiment outputs as JSON.
+
+Multi-hundred-hour experiments (even simulated ones) deserve durable
+artefacts: :func:`save_bundle` / :func:`load_bundle` round-trip a
+:class:`~repro.analysis.timeseries.SeriesBundle` with full fidelity, and
+:func:`save_experiment` wraps any of the experiment drivers' results
+with their provenance (config, scores, versions) so a results directory
+is self-describing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.errors import AnalysisError
+from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
+
+#: Schema marker so future readers can migrate old archives.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def bundle_to_dict(bundle: SeriesBundle) -> dict:
+    """A JSON-ready representation of a series bundle."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "label": bundle.label,
+        "series": [
+            {
+                "route_name": series.route_name,
+                "nominal_delay_ps": series.nominal_delay_ps,
+                "burn_value": series.burn_value,
+                "hours": list(series.hours),
+                "raw_delta_ps": list(series.raw_delta_ps),
+            }
+            for series in bundle
+        ],
+    }
+
+
+def bundle_from_dict(payload: dict) -> SeriesBundle:
+    """Rebuild a series bundle from its JSON representation."""
+    if not isinstance(payload, dict) or "series" not in payload:
+        raise AnalysisError("payload is not a serialised bundle")
+    schema = payload.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise AnalysisError(
+            f"unsupported bundle schema {schema!r} "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    bundle = SeriesBundle(label=payload.get("label", "restored"))
+    for entry in payload["series"]:
+        series = DeltaPsSeries(
+            route_name=entry["route_name"],
+            nominal_delay_ps=float(entry["nominal_delay_ps"]),
+            burn_value=entry.get("burn_value"),
+        )
+        hours = entry["hours"]
+        values = entry["raw_delta_ps"]
+        if len(hours) != len(values):
+            raise AnalysisError(
+                f"series {series.route_name!r}: hours/values misaligned"
+            )
+        for hour, value in zip(hours, values):
+            series.append(float(hour), float(value))
+        bundle.add(series)
+    return bundle
+
+
+def save_bundle(bundle: SeriesBundle, path: PathLike) -> Path:
+    """Write a bundle to a JSON file; returns the resolved path."""
+    target = Path(path)
+    target.write_text(json.dumps(bundle_to_dict(bundle), indent=1))
+    return target
+
+
+def load_bundle(path: PathLike) -> SeriesBundle:
+    """Read a bundle back from :func:`save_bundle` output."""
+    source = Path(path)
+    if not source.exists():
+        raise AnalysisError(f"no archive at {source}")
+    return bundle_from_dict(json.loads(source.read_text()))
+
+
+def save_experiment(result, path: PathLike) -> Path:
+    """Archive an experiment driver's result with provenance.
+
+    Works with any of the Experiment*Result dataclasses: the config, the
+    oracle burn values, the recovery score, and the full series bundle
+    are stored.
+    """
+    from repro import __version__
+
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "result_type": type(result).__name__,
+        "config": dataclasses.asdict(result.config),
+        "burn_values": list(result.burn_values),
+        "recovery": {
+            "total_bits": result.recovery_score.total_bits,
+            "correct_bits": result.recovery_score.correct_bits,
+            "accuracy": result.recovery_score.accuracy,
+        },
+        "bundle": bundle_to_dict(result.bundle),
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=1))
+    return target
+
+
+def load_experiment_bundle(path: PathLike) -> tuple[dict, SeriesBundle]:
+    """Read back an experiment archive: (metadata, bundle)."""
+    source = Path(path)
+    if not source.exists():
+        raise AnalysisError(f"no archive at {source}")
+    payload = json.loads(source.read_text())
+    if "bundle" not in payload:
+        raise AnalysisError(f"{source} is not an experiment archive")
+    bundle = bundle_from_dict(payload["bundle"])
+    metadata = {k: v for k, v in payload.items() if k != "bundle"}
+    return metadata, bundle

@@ -1,0 +1,45 @@
+"""Arrhenius temperature acceleration of BTI stress and recovery.
+
+Both BTI trap generation and trap annealing are thermally activated.  The
+model normalises to :data:`~repro.physics.constants.REFERENCE_TEMPERATURE_K`
+(the 60 C oven of Experiment 1), so an acceleration factor of 1.0 means
+"the calibrated reference rate".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import PhysicsError
+from repro.physics.constants import REFERENCE_TEMPERATURE_K, MechanismParams
+from repro.units import BOLTZMANN_EV_PER_K
+
+
+def arrhenius_factor(
+    temperature_k: float,
+    activation_energy_ev: float,
+    reference_k: float = REFERENCE_TEMPERATURE_K,
+) -> float:
+    """Generic Arrhenius acceleration factor relative to a reference.
+
+    Returns ``exp(Ea/k * (1/T_ref - 1/T))``: > 1 above the reference
+    temperature, < 1 below it, exactly 1 at the reference.
+    """
+    if temperature_k <= 0.0:
+        raise PhysicsError(f"temperature must be positive kelvin, got {temperature_k}")
+    if reference_k <= 0.0:
+        raise PhysicsError(f"reference must be positive kelvin, got {reference_k}")
+    exponent = (activation_energy_ev / BOLTZMANN_EV_PER_K) * (
+        1.0 / reference_k - 1.0 / temperature_k
+    )
+    return math.exp(exponent)
+
+
+def stress_acceleration(params: MechanismParams, temperature_k: float) -> float:
+    """Acceleration of stress build-up at ``temperature_k`` for a mechanism."""
+    return arrhenius_factor(temperature_k, params.ea_stress_ev)
+
+
+def recovery_acceleration(params: MechanismParams, temperature_k: float) -> float:
+    """Acceleration of trap annealing at ``temperature_k`` for a mechanism."""
+    return arrhenius_factor(temperature_k, params.ea_recovery_ev)

@@ -1,0 +1,174 @@
+"""Persistent per-segment BTI state.
+
+A :class:`SegmentBti` is the analog memory of one routing segment.  It
+owns two opposing :class:`~repro.physics.kinetics.TrapPool` populations
+and the segment's static (process-determined) rising/falling delays, and
+exposes the hold/toggle/idle schedule operations that designs apply while
+loaded.
+
+This object lives on the :class:`~repro.fabric.device.FpgaDevice`, *not*
+on any design: wiping the device destroys logical state but leaves these
+objects untouched, which is precisely the vulnerability the paper
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PhysicsError
+from repro.physics.constants import HIGH_POOL, LOW_POOL
+from repro.physics.delay import TransitionDelays
+from repro.physics.kinetics import TrapPool
+
+
+@dataclass(frozen=True)
+class SegmentTraits:
+    """Static, manufacturing-determined properties of a routing segment."""
+
+    #: Nominal rising-transition delay, ps (includes process variation).
+    rising_delay_ps: float
+    #: Nominal falling-transition delay, ps.
+    falling_delay_ps: float
+    #: Delta-ps this segment contributes after one reference burn-1
+    #: (fresh device, reference temperature); scales with the number of
+    #: stressed switch transistors.
+    burn_amplitude_ps: float
+
+    def __post_init__(self) -> None:
+        if self.rising_delay_ps <= 0.0 or self.falling_delay_ps <= 0.0:
+            raise PhysicsError("segment delays must be positive")
+        if self.burn_amplitude_ps < 0.0:
+            raise PhysicsError("burn amplitude must be >= 0")
+
+
+class SegmentBti:
+    """Analog state of one routing segment: two trap pools plus traits."""
+
+    def __init__(self, traits: SegmentTraits) -> None:
+        self.traits = traits
+        self.high_pool = TrapPool(
+            params=HIGH_POOL,
+            amplitude_ps=traits.burn_amplitude_ps * HIGH_POOL.amplitude_scale,
+        )
+        self.low_pool = TrapPool(
+            params=LOW_POOL,
+            amplitude_ps=traits.burn_amplitude_ps * LOW_POOL.amplitude_scale,
+        )
+
+    def hold(
+        self,
+        value: int,
+        duration_hours: float,
+        temperature_k: float,
+        device_age_hours: float = 0.0,
+        voltage_v: float = None,
+    ) -> None:
+        """Hold a constant logic value on the segment for a duration.
+
+        Stresses the pool matching ``value`` (at the given core voltage)
+        and lets the other recover.
+        """
+        if value not in (0, 1):
+            raise PhysicsError(f"logic value must be 0 or 1, got {value!r}")
+        if value == 1:
+            self.high_pool.stress(
+                duration_hours, temperature_k, device_age_hours,
+                voltage_v=voltage_v,
+            )
+            self.low_pool.release(duration_hours, temperature_k)
+        else:
+            self.low_pool.stress(
+                duration_hours, temperature_k, device_age_hours,
+                voltage_v=voltage_v,
+            )
+            self.high_pool.release(duration_hours, temperature_k)
+
+    def toggle(
+        self,
+        duration_hours: float,
+        temperature_k: float,
+        device_age_hours: float = 0.0,
+        duty_high: float = 0.5,
+        ac_factor: float = 0.5,
+        voltage_v: float = None,
+    ) -> None:
+        """Drive the segment with switching activity.
+
+        Each pool is stressed for its duty fraction; the ``ac_factor``
+        captures the reduced net build-up of AC relative to DC stress
+        (on-the-fly recovery between transitions).
+        """
+        if not 0.0 <= duty_high <= 1.0:
+            raise PhysicsError(f"duty_high must be in [0, 1], got {duty_high}")
+        if not 0.0 <= ac_factor <= 1.0:
+            raise PhysicsError(f"ac_factor must be in [0, 1], got {ac_factor}")
+        self.high_pool.stress(
+            duration_hours, temperature_k, device_age_hours,
+            duty=duty_high * ac_factor, voltage_v=voltage_v,
+        )
+        self.low_pool.stress(
+            duration_hours,
+            temperature_k,
+            device_age_hours,
+            duty=(1.0 - duty_high) * ac_factor,
+            voltage_v=voltage_v,
+        )
+
+    def idle(self, duration_hours: float, temperature_k: float) -> None:
+        """Leave the segment unconfigured/undriven: both pools recover."""
+        self.high_pool.release(duration_hours, temperature_k)
+        self.low_pool.release(duration_hours, temperature_k)
+
+    @property
+    def delta_ps(self) -> float:
+        """Current BTI contribution to (falling - rising) delay."""
+        return self.high_pool.charge_ps - self.low_pool.charge_ps
+
+    def transition_delays(self) -> TransitionDelays:
+        """Current absolute rising/falling delays including degradation."""
+        return TransitionDelays(
+            rising_ps=self.traits.rising_delay_ps + self.low_pool.charge_ps,
+            falling_ps=self.traits.falling_delay_ps + self.high_pool.charge_ps,
+        )
+
+    def preload_imprint(
+        self, high_charge_ps: float = 0.0, low_charge_ps: float = 0.0
+    ) -> None:
+        """Install residual charge from unobserved prior usage."""
+        self.high_pool.preload(high_charge_ps)
+        self.low_pool.preload(low_charge_ps)
+
+    def snapshot(self) -> "SegmentSnapshot":
+        """Immutable copy of the current analog state (for analysis)."""
+        return SegmentSnapshot(
+            high_charge_ps=self.high_pool.charge_ps,
+            low_charge_ps=self.low_pool.charge_ps,
+            delta_ps=self.delta_ps,
+        )
+
+
+@dataclass(frozen=True)
+class SegmentSnapshot:
+    """Point-in-time view of a segment's analog state."""
+
+    high_charge_ps: float
+    low_charge_ps: float
+    delta_ps: float
+
+
+def aggregate_delays(segments: list) -> TransitionDelays:
+    """Total rising/falling delay of a chain of segments.
+
+    ``segments`` is an iterable of :class:`SegmentBti`; a route's delay is
+    the sum of its constituent segment delays.
+    """
+    total = TransitionDelays.zero()
+    for segment in segments:
+        total = total + segment.transition_delays()
+    return total
+
+
+def aggregate_delta_ps(segments: list) -> float:
+    """Total BTI delta-ps over a chain of segments."""
+    return float(sum(segment.delta_ps for segment in segments))

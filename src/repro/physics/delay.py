@@ -1,0 +1,83 @@
+"""Delay composition: from trap charge to transition delays.
+
+The TDC observes the propagation delay of rising and falling transitions
+through a route.  Degradation of the pool stressed by logical 1 slows the
+falling transition; degradation of the pool stressed by logical 0 slows
+the rising transition, so the paper's observable::
+
+    delta_ps = falling_delay - rising_delay
+
+moves positive under burn-1 and negative under burn-0 (Figure 6).
+
+Charge is already expressed in picoseconds because the alpha-power-law
+delay model is linear in threshold-voltage shift for the small shifts BTI
+produces: ``d ~ Vdd / (Vdd - Vth)**alpha`` gives
+``delta_d / d ~ alpha * delta_Vth / (Vdd - Vth)`` to first order, so a
+fixed ps-per-millivolt conversion can be folded into the pool amplitude.
+:func:`alpha_power_delay_shift` exposes the underlying relation for tests
+and for users who want to reason in millivolts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PhysicsError
+
+#: Nominal UltraScale+ core supply (VCCINT), volts.
+NOMINAL_VDD = 0.85
+#: Nominal FinFET threshold voltage, volts.
+NOMINAL_VTH = 0.32
+#: Velocity-saturation exponent of the alpha-power-law MOSFET model.
+ALPHA_POWER_EXPONENT = 1.3
+
+
+def alpha_power_delay_shift(
+    nominal_delay_ps: float,
+    delta_vth_mv: float,
+    vdd: float = NOMINAL_VDD,
+    vth: float = NOMINAL_VTH,
+    alpha: float = ALPHA_POWER_EXPONENT,
+) -> float:
+    """First-order delay increase (ps) from a threshold-voltage shift.
+
+    ``delta_d = d * alpha * delta_Vth / (Vdd - Vth)``.  Used to document
+    and test the linearisation that lets the kinetics work directly in
+    picoseconds.
+    """
+    if nominal_delay_ps < 0.0:
+        raise PhysicsError(f"nominal delay must be >= 0, got {nominal_delay_ps}")
+    overdrive = vdd - vth
+    if overdrive <= 0.0:
+        raise PhysicsError(f"Vdd ({vdd}) must exceed Vth ({vth})")
+    return nominal_delay_ps * alpha * (delta_vth_mv / 1000.0) / overdrive
+
+
+@dataclass(frozen=True)
+class TransitionDelays:
+    """Rising and falling propagation delays of a route, in picoseconds."""
+
+    rising_ps: float
+    falling_ps: float
+
+    def __post_init__(self) -> None:
+        if self.rising_ps < 0.0 or self.falling_ps < 0.0:
+            raise PhysicsError(
+                f"delays must be >= 0, got {self.rising_ps}, {self.falling_ps}"
+            )
+
+    @property
+    def delta_ps(self) -> float:
+        """The paper's observable: falling minus rising delay."""
+        return self.falling_ps - self.rising_ps
+
+    def __add__(self, other: "TransitionDelays") -> "TransitionDelays":
+        return TransitionDelays(
+            rising_ps=self.rising_ps + other.rising_ps,
+            falling_ps=self.falling_ps + other.falling_ps,
+        )
+
+    @classmethod
+    def zero(cls) -> "TransitionDelays":
+        """A zero-delay pair (the additive identity)."""
+        return cls(rising_ps=0.0, falling_ps=0.0)

@@ -1,0 +1,97 @@
+"""Process-variation models.
+
+Every manufactured die differs: segment delays, rising/falling asymmetry
+and per-switch BTI susceptibility all vary around their nominal values.
+Variation matters for three reasons in this reproduction:
+
+1. it is why sensor calibration (finding theta_init per route) exists;
+2. it sets the static falling-minus-rising offset that the paper removes
+   by centring each series at its first measurement;
+3. it doubles as a **device fingerprint**: the vector of route delays is
+   unique per die, which the attacker exploits to confirm re-acquisition
+   of the victim's physical board (Assumption 2 / Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass(frozen=True)
+class VariationParams:
+    """Magnitudes of manufacturing variation.
+
+    Attributes:
+        delay_sigma: lognormal sigma of per-segment delay multipliers.
+        amplitude_sigma: lognormal sigma of per-segment BTI amplitude
+            multipliers (trap-density variation).
+        asymmetry_sigma_ps: gaussian sigma of the static falling-minus-
+            rising offset per segment, in picoseconds.
+    """
+
+    delay_sigma: float = 0.008
+    amplitude_sigma: float = 0.18
+    asymmetry_sigma_ps: float = 1.5
+
+    def __post_init__(self) -> None:
+        for name in ("delay_sigma", "amplitude_sigma", "asymmetry_sigma_ps"):
+            if getattr(self, name) < 0.0:
+                raise ConfigurationError(f"{name} must be >= 0")
+
+
+DEFAULT_VARIATION = VariationParams()
+
+
+class ProcessVariation:
+    """Samples per-segment manufacturing variation for one die.
+
+    All draws come from a die-specific random stream, so two devices
+    built from different seeds have different (but individually
+    reproducible) variation maps -- the basis of fingerprinting.
+    """
+
+    def __init__(
+        self, seed: SeedLike = None, params: VariationParams = DEFAULT_VARIATION
+    ) -> None:
+        self.params = params
+        self._rng = make_rng(seed)
+
+    def delay_multiplier(self) -> float:
+        """Multiplier applied to a segment's nominal delay."""
+        return float(self._rng.lognormal(mean=0.0, sigma=self.params.delay_sigma))
+
+    def amplitude_multiplier(self) -> float:
+        """Multiplier applied to a segment's BTI amplitude."""
+        return float(self._rng.lognormal(mean=0.0, sigma=self.params.amplitude_sigma))
+
+    def asymmetry_ps(self) -> float:
+        """Static falling-minus-rising delay offset for a segment."""
+        return float(self._rng.normal(loc=0.0, scale=self.params.asymmetry_sigma_ps))
+
+    def sample_segment(
+        self, nominal_delay_ps: float, nominal_amplitude_ps: float
+    ) -> tuple[float, float, float]:
+        """Sample (rising_ps, falling_ps, amplitude_ps) for one segment."""
+        if nominal_delay_ps <= 0.0:
+            raise ConfigurationError(
+                f"nominal delay must be positive, got {nominal_delay_ps}"
+            )
+        if nominal_amplitude_ps < 0.0:
+            raise ConfigurationError(
+                f"nominal amplitude must be >= 0, got {nominal_amplitude_ps}"
+            )
+        delay = nominal_delay_ps * self.delay_multiplier()
+        asymmetry = self.asymmetry_ps()
+        rising = max(delay - asymmetry / 2.0, 1.0)
+        falling = max(delay + asymmetry / 2.0, 1.0)
+        amplitude = nominal_amplitude_ps * self.amplitude_multiplier()
+        return rising, falling, amplitude
+
+    def spawn_rng(self) -> np.random.Generator:
+        """A child generator for related per-die randomness."""
+        return np.random.default_rng(self._rng.integers(0, 2**63))

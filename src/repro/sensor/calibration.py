@@ -1,0 +1,100 @@
+"""TDC calibration: finding theta_init per route.
+
+The Calibration phase (Section 5.2): starting from a large phase offset,
+``theta`` is iteratively reduced, taking a short 2^4-sample trace at each
+setting, until both the rising and the falling transition land inside
+the carry chain's capture window.  The resulting ``theta_init`` centres
+the slower transition mid-chain so that subsequent drift in either
+direction stays on-scale.
+
+The paper also notes (Experiment 3) that theta_init is consistent across
+devices of the same part, so an attacker can calibrate once on any board
+they control and reuse the value -- :func:`find_theta_init` is therefore
+deliberately independent of device identity beyond the part's timing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CalibrationError
+from repro.sensor.postprocess import trace_mean_distance
+from repro.sensor.tdc import TunableDualPolarityTdc
+from repro.sensor.trace import Polarity
+
+#: Acceptable window for the mean propagation distance at theta_init,
+#: in chain elements: keeps headroom for drift in both directions.
+_TARGET_LOW = 20.0
+_TARGET_HIGH = 44.0
+
+
+def _mean_positions(
+    tdc: TunableDualPolarityTdc, theta_ps: float
+) -> tuple[float, float]:
+    rising = trace_mean_distance(tdc.capture_trace(theta_ps, Polarity.RISING))
+    falling = trace_mean_distance(tdc.capture_trace(theta_ps, Polarity.FALLING))
+    return rising, falling
+
+
+def find_theta_init(
+    tdc: TunableDualPolarityTdc,
+    theta_start_ps: float = None,
+    coarse_step_ps: float = None,
+) -> float:
+    """Search downward from a large theta until transitions are centred.
+
+    Returns the theta_init to use for this route's measurements.  Raises
+    :class:`CalibrationError` if no setting lands both polarities inside
+    the capture window (e.g. the route is far longer than the
+    programmable phase range).
+    """
+    phase = tdc.phase
+    if theta_start_ps is None:
+        # The attacker knows the route skeleton (Assumption 1), hence its
+        # nominal delay; starting the descent just above it saves most of
+        # the sweep without changing the result.
+        from repro.sensor.transition import NOMINAL_INSERTION_DELAY_PS
+
+        theta_start_ps = min(
+            tdc.route.nominal_delay_ps
+            + NOMINAL_INSERTION_DELAY_PS
+            + tdc.chain.nominal_bin_ps * tdc.chain_length
+            + 600.0,
+            phase.max_ps,
+        )
+    start = theta_start_ps
+    coarse = coarse_step_ps if coarse_step_ps is not None else (
+        tdc.chain.nominal_bin_ps * tdc.chain_length / 4.0
+    )
+    theta = phase.quantise(start)
+
+    # Coarse descent: stop when either transition is inside the window.
+    while theta > 0.0:
+        rising, falling = _mean_positions(tdc, theta)
+        if rising < float(tdc.chain_length) or falling < float(tdc.chain_length):
+            break
+        theta = max(theta - coarse, 0.0)
+    else:
+        raise CalibrationError(
+            f"route {tdc.route.name!r}: transitions never entered the chain"
+        )
+
+    # Fine descent: centre the mean of both polarities in the window.
+    best_theta = None
+    fine = phase.step_ps
+    probes = int(2.0 * coarse / fine) + tdc.chain_length
+    for _ in range(probes):
+        rising, falling = _mean_positions(tdc, theta)
+        centre = (rising + falling) / 2.0
+        if _TARGET_LOW <= centre <= _TARGET_HIGH and min(rising, falling) > 4.0:
+            best_theta = theta
+            break
+        if max(rising, falling) <= _TARGET_LOW:
+            break
+        theta -= fine
+        if theta < 0.0:
+            break
+    if best_theta is None:
+        raise CalibrationError(
+            f"route {tdc.route.name!r}: could not centre transitions "
+            f"in the capture window"
+        )
+    return best_theta

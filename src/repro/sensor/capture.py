@@ -1,0 +1,51 @@
+"""Capture registers: sampling the carry chain into a binary word.
+
+The capture clock snapshots every chain tap simultaneously.  Registers
+behind the wavefront have settled to the post-transition value; registers
+ahead still hold the pre-transition value; the register *at* the
+wavefront is metastable and resolves randomly, occasionally producing the
+small "bubble" regions visible in the paper's Figure 3 examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SensorError
+from repro.rng import SeedLike, make_rng
+from repro.sensor.trace import Polarity
+
+#: Registers within this many bins of the wavefront can resolve randomly.
+METASTABLE_WINDOW_BINS = 0.8
+
+
+class CaptureBank:
+    """Samples a fractional wavefront position into a capture word."""
+
+    def __init__(self, length: int, seed: SeedLike = None) -> None:
+        if length <= 0:
+            raise SensorError(f"bank length must be positive, got {length}")
+        self.length = length
+        self._rng = make_rng(seed)
+
+    def capture(self, position: float, polarity: Polarity) -> np.ndarray:
+        """One capture word for a wavefront at ``position`` elements.
+
+        For a rising launch, taps behind the wavefront read 1 and taps
+        ahead read 0; a falling launch is the complement.  Taps within
+        the metastable window of the wavefront resolve probabilistically
+        with the wavefront's fractional coverage.
+        """
+        if not 0.0 <= position <= self.length:
+            raise SensorError(
+                f"position {position} outside chain [0, {self.length}]"
+            )
+        taps = np.arange(self.length, dtype=float)
+        # Probability that each tap has seen the transition pass.
+        passed = np.clip(
+            (position - taps) / METASTABLE_WINDOW_BINS + 0.5, 0.0, 1.0
+        )
+        resolved = self._rng.random(self.length) < passed
+        if polarity is Polarity.RISING:
+            return resolved
+        return ~resolved

@@ -1,0 +1,73 @@
+"""The carry-chain delay line.
+
+A linear array of fast-carry (CARRY8) elements through which the launched
+transition propagates.  Ideally every element has the same delay ``tau``
+(2.8 ps on UltraScale+); in silicon, per-element mismatch makes the bins
+slightly unequal -- the "architectural irregularities" that motivate the
+paper's averaging over ten traces at different theta settings.
+
+Given the time a transition has been inside the chain, the model returns
+the exact (fractional) element boundary the wavefront has reached, via
+the cumulative per-bin widths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SensorError
+from repro.rng import SeedLike, make_rng
+
+#: Fractional sigma of per-element delay mismatch.
+BIN_MISMATCH_SIGMA = 0.06
+
+
+class CarryChain:
+    """One placed carry chain with per-element mismatch.
+
+    Attributes:
+        length: number of delay elements (capture taps).
+        nominal_bin_ps: design bin width (the 2.8 ps/bit constant).
+    """
+
+    def __init__(
+        self,
+        length: int,
+        nominal_bin_ps: float,
+        seed: SeedLike = None,
+        mismatch_sigma: float = BIN_MISMATCH_SIGMA,
+    ) -> None:
+        if length <= 0:
+            raise SensorError(f"chain length must be positive, got {length}")
+        if nominal_bin_ps <= 0.0:
+            raise SensorError(f"bin width must be positive, got {nominal_bin_ps}")
+        self.length = length
+        self.nominal_bin_ps = nominal_bin_ps
+        rng = make_rng(seed)
+        widths = nominal_bin_ps * rng.lognormal(
+            mean=0.0, sigma=mismatch_sigma, size=length
+        )
+        #: boundaries[k] = time to traverse the first k elements.
+        self._boundaries = np.concatenate([[0.0], np.cumsum(widths)])
+
+    @property
+    def total_delay_ps(self) -> float:
+        """Time for a transition to traverse the whole chain."""
+        return float(self._boundaries[-1])
+
+    def wavefront_position(self, time_in_chain_ps: float) -> float:
+        """Fractional element index the wavefront has reached.
+
+        ``time_in_chain_ps`` is how long the transition has been
+        propagating inside the chain when the capture clock fires.
+        Clamped to [0, length].
+        """
+        if time_in_chain_ps <= 0.0:
+            return 0.0
+        if time_in_chain_ps >= self.total_delay_ps:
+            return float(self.length)
+        index = int(np.searchsorted(self._boundaries, time_in_chain_ps) - 1)
+        lo = self._boundaries[index]
+        hi = self._boundaries[index + 1]
+        fraction = (time_in_chain_ps - lo) / (hi - lo)
+        return float(index + fraction)

@@ -1,0 +1,83 @@
+"""Ring-oscillator sensor: the prior-work baseline (Section 7).
+
+RO sensors close a combinational loop through the tested route and an
+inverter and count oscillations.  The paper identifies two limitations,
+both modelled here:
+
+1. **Polarity blindness** -- the oscillation period integrates the
+   rising *and* falling propagation delays, so the burn-0 and burn-1
+   imprints (which move the two polarities in opposite directions)
+   largely cancel; the TDC's dual-polarity output is what makes the
+   pentimento readable.
+2. **DRC rejection** -- the loop is a self-oscillator, which cloud
+   providers prohibit.  :func:`build_ro_netlist` produces the loop
+   netlist so that :mod:`repro.fabric.drc` has the real thing to catch;
+   the sensor is therefore only usable on local boards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SensorError
+from repro.fabric.device import FpgaDevice
+from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
+from repro.fabric.routing import Route
+from repro.rng import SeedLike, make_rng
+
+#: Propagation delay of the loop inverter, ps.
+INVERTER_DELAY_PS = 35.0
+
+
+def build_ro_netlist(route_name: str, route: Route) -> Netlist:
+    """The RO's netlist: an inverter driving itself through the route.
+
+    The loop net is combinational end-to-end, which is exactly what the
+    provider's self-oscillator scan rejects.
+    """
+    netlist = Netlist(name=f"ro-sensor-{route_name}")
+    netlist.add_cell(Cell(name="loop_inv", cell_type=CellType.INVERTER))
+    netlist.add_cell(Cell(name="counter_ff", cell_type=CellType.FLIP_FLOP))
+    loop = Net(
+        name=f"{route_name}_loop",
+        driver="loop_inv",
+        sinks=("loop_inv", "counter_ff"),
+        activity=NetActivity.TOGGLING,
+        duty_high=0.5,
+    )
+    netlist.add_net(loop.with_route(route))
+    return netlist
+
+
+@dataclass
+class RingOscillatorSensor:
+    """Frequency counter over a combinational loop through a route."""
+
+    device: FpgaDevice
+    route: Route
+    counter_gate_ns: float = 1000.0
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.counter_gate_ns <= 0.0:
+            raise SensorError("counter gate time must be positive")
+        self._rng = make_rng(self.seed)
+
+    def period_ps(self) -> float:
+        """True oscillation period: one rising plus one falling traversal."""
+        delays = self.device.transition_delays(self.route)
+        return delays.rising_ps + delays.falling_ps + 2.0 * INVERTER_DELAY_PS
+
+    def count(self) -> int:
+        """One gated count, with counting quantisation noise."""
+        period = self.period_ps()
+        expected = (self.counter_gate_ns * 1000.0) / period
+        return int(self._rng.poisson(expected))
+
+    def frequency_mhz(self, repeats: int = 16) -> float:
+        """Averaged oscillation frequency estimate."""
+        if repeats <= 0:
+            raise SensorError(f"repeats must be positive, got {repeats}")
+        counts = [self.count() for _ in range(repeats)]
+        mean_count = sum(counts) / len(counts)
+        return mean_count / self.counter_gate_ns * 1000.0

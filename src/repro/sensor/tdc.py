@@ -1,0 +1,165 @@
+"""The Tunable Dual-Polarity TDC sensor.
+
+Wires together the programmable clocks, transition generator, route
+under test, carry chain and capture registers (Figure 3 of the paper)
+into a sampling sensor, and implements the measurement procedure of
+Section 5.2: ten traces of sixteen samples per polarity with theta
+iteratively decreased from theta_init, reduced to one falling-minus-
+rising delay estimate in picoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SensorError
+from repro.fabric.device import FpgaDevice
+from repro.fabric.routing import Route
+from repro.rng import SeedLike, make_rng
+from repro.sensor.capture import CaptureBank
+from repro.sensor.carry_chain import CarryChain
+from repro.sensor.clocking import PhaseGenerator
+from repro.sensor.noise import CLOUD_NOISE, NoiseModel, NoiseState
+from repro.sensor.postprocess import delta_ps_from_traces
+from repro.sensor.trace import SAMPLES_PER_TRACE, Polarity, Trace
+from repro.sensor.transition import TransitionGenerator
+
+#: The paper's measurement depth: "Ten traces are taken from each TDC".
+TRACES_PER_MEASUREMENT = 10
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One complete TDC measurement of one route."""
+
+    route_name: str
+    theta_init_ps: float
+    rising_distance: float
+    falling_distance: float
+    delta_ps: float
+
+    def __str__(self) -> str:
+        return (
+            f"Measurement({self.route_name}: delta={self.delta_ps:+.3f} ps, "
+            f"rising={self.rising_distance:.2f}, "
+            f"falling={self.falling_distance:.2f} bins)"
+        )
+
+
+class TunableDualPolarityTdc:
+    """One TDC instance bound to one route under test on one device."""
+
+    def __init__(
+        self,
+        device: FpgaDevice,
+        route: Route,
+        noise: NoiseModel = CLOUD_NOISE,
+        seed: SeedLike = None,
+        phase: PhaseGenerator = None,
+    ) -> None:
+        rng = make_rng(seed)
+        self.device = device
+        self.route = route
+        self.phase = phase or PhaseGenerator(
+            step_ps=device.part.carry_bin_ps, max_ps=40000.0
+        )
+        self.chain = CarryChain(
+            length=device.part.tdc_chain_length,
+            nominal_bin_ps=device.part.carry_bin_ps,
+            seed=rng,
+        )
+        self.generator = TransitionGenerator(device=device, route=route)
+        self._bank = CaptureBank(length=self.chain.length, seed=rng)
+        self._noise = NoiseState(noise, seed=rng)
+
+    @property
+    def chain_length(self) -> int:
+        """Number of carry-chain elements (capture taps)."""
+        return self.chain.length
+
+    def sample_word(self, theta_ps: float, polarity: Polarity) -> np.ndarray:
+        """One capture word at one theta setting.
+
+        The wavefront position is ``theta`` minus the edge's arrival time
+        at the chain entry, perturbed by clock jitter and the slow
+        polarity-asymmetric supply offset.
+        """
+        theta = self.phase.quantise(theta_ps)
+        arrival = self.generator.arrival_at_chain_ps(polarity)
+        offset = self._noise.polarity_offset_ps
+        arrival += offset if polarity is Polarity.FALLING else -offset
+        arrival += self._noise.sample_jitter_ps()
+        time_in_chain = theta - arrival
+        position = self.chain.wavefront_position(max(time_in_chain, 0.0))
+        return self._bank.capture(position, polarity)
+
+    def capture_trace(
+        self,
+        theta_ps: float,
+        polarity: Polarity,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> Trace:
+        """One trace: ``samples`` capture words at a fixed theta."""
+        if samples <= 0:
+            raise SensorError(f"samples must be positive, got {samples}")
+        words = np.stack(
+            [self.sample_word(theta_ps, polarity) for _ in range(samples)]
+        )
+        return Trace(polarity=polarity, theta_ps=theta_ps, words=words)
+
+    def measure(
+        self,
+        theta_init_ps: float,
+        traces: int = TRACES_PER_MEASUREMENT,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> Measurement:
+        """One full measurement per the paper's procedure.
+
+        Takes ``traces`` traces per polarity while decreasing theta one
+        phase step per trace from ``theta_init_ps`` ("to avoid relying on
+        a single trace that could be affected by architectural
+        irregularities"), averages the Binary Hamming Distances, and
+        converts to picoseconds.
+        """
+        measurement, _, _ = self.measure_raw(theta_init_ps, traces, samples)
+        return measurement
+
+    def measure_raw(
+        self,
+        theta_init_ps: float,
+        traces: int = TRACES_PER_MEASUREMENT,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> tuple:
+        """Like :meth:`measure`, but also returns the raw traces.
+
+        Returns ``(measurement, rising_traces, falling_traces)``.  The
+        raw capture words are what a hardware deployment would log;
+        :mod:`repro.sensor.traceio` archives them so the identical
+        post-processing/analysis pipeline can replay either source.
+        """
+        self._noise.advance_epoch()
+        thetas = self.phase.steps_down(theta_init_ps, traces)
+        rising = [self.capture_trace(t, Polarity.RISING, samples) for t in thetas]
+        falling = [self.capture_trace(t, Polarity.FALLING, samples) for t in thetas]
+        delta = delta_ps_from_traces(rising, falling, self.chain.nominal_bin_ps)
+        rising_mean = float(
+            np.mean([np.count_nonzero(t.words, axis=1).mean() for t in rising])
+        )
+        falling_mean = float(
+            np.mean(
+                [
+                    (t.words.shape[1] - np.count_nonzero(t.words, axis=1)).mean()
+                    for t in falling
+                ]
+            )
+        )
+        measurement = Measurement(
+            route_name=self.route.name,
+            theta_init_ps=theta_init_ps,
+            rising_distance=rising_mean,
+            falling_distance=falling_mean,
+            delta_ps=delta,
+        )
+        return measurement, rising, falling

@@ -1,0 +1,172 @@
+"""Raw-trace archives: the bridge between simulation and hardware.
+
+A hardware deployment of the attack logs exactly what the simulated TDC
+produces: capture-register words per trace, per polarity, per theta
+setting.  :class:`MeasurementRecord` captures that unit;
+:func:`save_trace_archive` / :func:`load_trace_archive` persist batches
+of records as NPZ, and :func:`record_to_measurement` /
+:func:`records_to_series` replay the paper's post-processing over
+archived words -- so the entire downstream pipeline (centring, kernel
+smoothing, classifiers, SPRT) is source-agnostic: feed it simulated
+archives today, real-silicon archives tomorrow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import AnalysisError, SensorError
+from repro.analysis.timeseries import DeltaPsSeries
+from repro.sensor.postprocess import delta_ps_from_traces, traces_mean_distance
+from repro.sensor.tdc import Measurement
+from repro.sensor.trace import Polarity, Trace
+
+PathLike = Union[str, Path]
+
+#: Archive format marker.
+ARCHIVE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class MeasurementRecord:
+    """One measurement's raw material.
+
+    Attributes:
+        route_name: the route under test.
+        nominal_delay_ps: its nominal delay (for length grouping).
+        hour: experiment time of the measurement.
+        theta_init_ps: phase setting the sweep started from.
+        bin_ps: the carry chain's nominal bin width.
+        rising / falling: traces per polarity.
+    """
+
+    route_name: str
+    nominal_delay_ps: float
+    hour: float
+    theta_init_ps: float
+    bin_ps: float
+    rising: tuple[Trace, ...]
+    falling: tuple[Trace, ...]
+
+    def __post_init__(self) -> None:
+        if not self.rising or not self.falling:
+            raise SensorError("a record needs traces for both polarities")
+
+
+def record_to_measurement(record: MeasurementRecord) -> Measurement:
+    """Replay the paper's post-processing over one archived record."""
+    delta = delta_ps_from_traces(
+        list(record.rising), list(record.falling), record.bin_ps
+    )
+    return Measurement(
+        route_name=record.route_name,
+        theta_init_ps=record.theta_init_ps,
+        rising_distance=traces_mean_distance(list(record.rising)),
+        falling_distance=traces_mean_distance(list(record.falling)),
+        delta_ps=delta,
+    )
+
+
+def records_to_series(records: Sequence[MeasurementRecord]) -> DeltaPsSeries:
+    """Replay a time-ordered run of records into a delta-ps series."""
+    if not records:
+        raise AnalysisError("no records to replay")
+    names = {record.route_name for record in records}
+    if len(names) != 1:
+        raise AnalysisError(
+            f"records span multiple routes: {sorted(names)}"
+        )
+    ordered = sorted(records, key=lambda r: r.hour)
+    series = DeltaPsSeries(
+        route_name=ordered[0].route_name,
+        nominal_delay_ps=ordered[0].nominal_delay_ps,
+    )
+    for record in ordered:
+        series.append(record.hour, record_to_measurement(record).delta_ps)
+    return series
+
+
+def save_trace_archive(
+    records: Sequence[MeasurementRecord], path: PathLike
+) -> Path:
+    """Persist records as a single compressed NPZ archive."""
+    if not records:
+        raise AnalysisError("no records to archive")
+    arrays = {"__version__": np.array([ARCHIVE_VERSION])}
+    meta = []
+    for index, record in enumerate(records):
+        meta.append((
+            record.route_name,
+            record.nominal_delay_ps,
+            record.hour,
+            record.theta_init_ps,
+            record.bin_ps,
+            len(record.rising),
+            len(record.falling),
+        ))
+        for pol_name, traces in (("r", record.rising), ("f", record.falling)):
+            arrays[f"words_{index}_{pol_name}"] = np.stack(
+                [trace.words for trace in traces]
+            )
+            arrays[f"thetas_{index}_{pol_name}"] = np.array(
+                [trace.theta_ps for trace in traces]
+            )
+    arrays["__meta__"] = np.array(
+        meta,
+        dtype=[
+            ("route", "U64"), ("delay", "f8"), ("hour", "f8"),
+            ("theta_init", "f8"), ("bin", "f8"),
+            ("n_rising", "i8"), ("n_falling", "i8"),
+        ],
+    )
+    target = Path(path)
+    np.savez_compressed(target, **arrays)
+    return target if target.suffix == ".npz" else target.with_suffix(
+        target.suffix + ".npz"
+    )
+
+
+def load_trace_archive(path: PathLike) -> list[MeasurementRecord]:
+    """Load records back from :func:`save_trace_archive` output."""
+    source = Path(path)
+    if not source.exists():
+        raise AnalysisError(f"no archive at {source}")
+    data = np.load(source, allow_pickle=False)
+    version = int(data["__version__"][0])
+    if version != ARCHIVE_VERSION:
+        raise AnalysisError(
+            f"unsupported trace archive version {version}"
+        )
+    records = []
+    for index, row in enumerate(data["__meta__"]):
+        def traces_for(pol_name, polarity, count):
+            """Rebuild one polarity's traces from the arrays."""
+            words = data[f"words_{index}_{pol_name}"]
+            thetas = data[f"thetas_{index}_{pol_name}"]
+            if words.shape[0] != count:
+                raise AnalysisError(f"record {index}: trace count mismatch")
+            return tuple(
+                Trace(
+                    polarity=polarity,
+                    theta_ps=float(thetas[k]),
+                    words=words[k].astype(bool),
+                )
+                for k in range(count)
+            )
+
+        records.append(
+            MeasurementRecord(
+                route_name=str(row["route"]),
+                nominal_delay_ps=float(row["delay"]),
+                hour=float(row["hour"]),
+                theta_init_ps=float(row["theta_init"]),
+                bin_ps=float(row["bin"]),
+                rising=traces_for("r", Polarity.RISING, int(row["n_rising"])),
+                falling=traces_for("f", Polarity.FALLING, int(row["n_falling"])),
+            )
+        )
+    return records

@@ -1,0 +1,51 @@
+"""The transition generator.
+
+Converts the launch clock into single rising (0->1) and falling (1->0)
+edges that propagate through the route under test and into the carry
+chain.  Its insertion delay (clock-to-out plus the entry mux into the
+chain) is a per-sensor constant absorbed into theta_init by calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SensorError
+from repro.fabric.device import FpgaDevice
+from repro.fabric.routing import Route
+from repro.sensor.trace import Polarity
+
+#: Nominal launch-path insertion delay, ps (FF clock-to-out + entry mux).
+NOMINAL_INSERTION_DELAY_PS = 150.0
+
+
+@dataclass
+class TransitionGenerator:
+    """Launches edges of either polarity through a route under test."""
+
+    device: FpgaDevice
+    route: Route
+    insertion_delay_ps: float = NOMINAL_INSERTION_DELAY_PS
+
+    def __post_init__(self) -> None:
+        if self.insertion_delay_ps < 0.0:
+            raise SensorError(
+                f"insertion delay must be >= 0, got {self.insertion_delay_ps}"
+            )
+        self._cache_key: float = float("nan")
+        self._cache = None
+
+    def arrival_at_chain_ps(self, polarity: Polarity) -> float:
+        """Time after launch at which the edge reaches the chain entry.
+
+        Queries the device for the route's *current* transition delay, so
+        BTI degradation and recovery show up here measurement by
+        measurement.  The query is memoised per simulation timestep
+        (delays only change when the device advances time).
+        """
+        if self._cache is None or self._cache_key != self.device.sim_hours:
+            self._cache = self.device.transition_delays(self.route)
+            self._cache_key = self.device.sim_hours
+        if polarity is Polarity.RISING:
+            return self.insertion_delay_ps + self._cache.rising_ps
+        return self.insertion_delay_ps + self._cache.falling_ps

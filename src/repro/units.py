@@ -1,0 +1,56 @@
+"""Unit helpers and light-weight unit discipline.
+
+The library uses a fixed set of base units everywhere:
+
+* time during experiments: **hours** (the paper's protocols are phrased in
+  hours of conditioning);
+* circuit delay: **picoseconds**;
+* temperature: **kelvin** internally, with helpers for Celsius;
+* power: **watts**.
+
+These helpers centralise the conversions so magic constants do not spread
+through the code base.
+"""
+
+from __future__ import annotations
+
+SECONDS_PER_HOUR = 3600.0
+HOURS_PER_SECOND = 1.0 / SECONDS_PER_HOUR
+
+PICOSECONDS_PER_NANOSECOND = 1000.0
+
+ZERO_CELSIUS_IN_KELVIN = 273.15
+
+#: Boltzmann constant in electron-volts per kelvin, used by the Arrhenius
+#: temperature-acceleration model.
+BOLTZMANN_EV_PER_K = 8.617333262e-5
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature from degrees Celsius to kelvin."""
+    return celsius + ZERO_CELSIUS_IN_KELVIN
+
+
+def kelvin_to_celsius(kelvin: float) -> float:
+    """Convert a temperature from kelvin to degrees Celsius."""
+    return kelvin - ZERO_CELSIUS_IN_KELVIN
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert a duration from hours to seconds."""
+    return hours * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert a duration from seconds to hours."""
+    return seconds * HOURS_PER_SECOND
+
+
+def ns_to_ps(nanoseconds: float) -> float:
+    """Convert a delay from nanoseconds to picoseconds."""
+    return nanoseconds * PICOSECONDS_PER_NANOSECOND
+
+
+def ps_to_ns(picoseconds: float) -> float:
+    """Convert a delay from picoseconds to nanoseconds."""
+    return picoseconds / PICOSECONDS_PER_NANOSECOND

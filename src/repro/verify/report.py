@@ -1,0 +1,50 @@
+"""Text rendering of vulnerability reports."""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_table
+from repro.verify.analyzer import VulnerabilityReport
+
+
+def render_vulnerability_report(report: VulnerabilityReport) -> str:
+    """A verification-signoff style report: per-net rows, verdicts,
+    and applicable mitigations."""
+    scenario = report.scenario
+    header = (
+        f"Pentimento vulnerability report: {report.design_name!r}\n"
+        f"scenario: {scenario.residency_hours:.0f} h residency, "
+        f"{scenario.device_age_hours:.0f} h device wear, "
+        f"junction {scenario.junction_temperature_k - 273.15:.0f} C, "
+        f"{scenario.measurement_passes} measurement pass(es)/hour"
+    )
+    rows = []
+    for exposure in sorted(
+        report.exposures, key=lambda e: -e.attacker_snr
+    ):
+        rows.append([
+            exposure.net_name,
+            f"{exposure.route_delay_ps:.0f}",
+            exposure.switch_count,
+            f"{exposure.expected_imprint_ps:.3f}",
+            f"{exposure.attacker_snr:.1f}",
+            ("%.0f" % exposure.hours_to_extraction
+             if exposure.hours_to_extraction is not None else "-"),
+            exposure.grade.value.upper(),
+        ])
+    table = render_table(
+        ["net", "route (ps)", "switches", "imprint (ps)",
+         "attacker SNR", "extract (h)", "grade"],
+        rows,
+    )
+    grades = ", ".join(
+        f"{count} {grade.value}"
+        for grade, count in report.by_grade().items()
+        if count
+    )
+    recommendations = "\n".join(
+        f"  * {line}" for line in report.recommendations()
+    )
+    return (
+        f"{header}\n\n{table}\n\nsummary: {grades}\n"
+        f"recommendations:\n{recommendations}"
+    )

@@ -1,0 +1,120 @@
+"""Tests for the from-scratch kernel regression (statsmodels replacement)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.analysis.kernel_regression import (
+    KernelRegression,
+    local_linear_smooth,
+    nadaraya_watson_smooth,
+    select_bandwidth_cv,
+)
+
+
+def noisy_line(n=60, slope=0.5, intercept=1.0, noise=0.2, seed=3):
+    rng = np.random.default_rng(seed)
+    x = np.linspace(0.0, 10.0, n)
+    y = intercept + slope * x + rng.normal(0.0, noise, n)
+    return x, y
+
+
+class TestLocalLinear:
+    def test_recovers_linear_function_exactly(self):
+        """A local-linear estimator is exact on linear data, including at
+        the boundaries (unlike Nadaraya-Watson)."""
+        x = np.linspace(0.0, 10.0, 40)
+        y = 2.0 + 0.7 * x
+        fitted = local_linear_smooth(x, y, bandwidth=2.0)
+        assert np.allclose(fitted, y, atol=1e-8)
+
+    def test_smooths_noise(self):
+        x, y = noisy_line(noise=0.5)
+        fitted = local_linear_smooth(x, y, bandwidth=2.0)
+        truth = 1.0 + 0.5 * x
+        assert np.mean((fitted - truth) ** 2) < np.mean((y - truth) ** 2)
+
+    def test_evaluates_off_grid(self):
+        x, y = noisy_line()
+        grid = np.array([2.5, 7.5])
+        fitted = local_linear_smooth(x, y, eval_x=grid, bandwidth=2.0)
+        assert fitted.shape == (2,)
+        assert fitted[0] == pytest.approx(1.0 + 0.5 * 2.5, abs=0.3)
+
+    def test_recovers_smooth_nonlinearity(self):
+        rng = np.random.default_rng(5)
+        x = np.linspace(0.0, 2.0 * np.pi, 120)
+        y = np.sin(x) + rng.normal(0.0, 0.1, x.size)
+        fitted = local_linear_smooth(x, y, bandwidth=0.6)
+        assert np.max(np.abs(fitted - np.sin(x))) < 0.25
+
+
+class TestNadarayaWatson:
+    def test_constant_function_exact(self):
+        x = np.linspace(0.0, 5.0, 20)
+        y = np.full_like(x, 3.0)
+        assert np.allclose(nadaraya_watson_smooth(x, y, bandwidth=1.0), 3.0)
+
+    def test_boundary_bias_on_linear_data(self):
+        """NW shrinks towards the interior at boundaries -- the reason
+        the paper uses the local linear estimator."""
+        x = np.linspace(0.0, 10.0, 50)
+        y = x.copy()
+        nw = nadaraya_watson_smooth(x, y, bandwidth=2.0)
+        ll = local_linear_smooth(x, y, bandwidth=2.0)
+        assert abs(nw[0] - y[0]) > abs(ll[0] - y[0])
+
+
+class TestBandwidthSelection:
+    def test_cv_picks_reasonable_bandwidth(self):
+        x, y = noisy_line(n=80)
+        bandwidth = select_bandwidth_cv(x, y)
+        assert 0.05 < bandwidth < 10.0
+
+    def test_invalid_estimator_rejected(self):
+        x, y = noisy_line()
+        with pytest.raises(AnalysisError):
+            select_bandwidth_cv(x, y, estimator="cubic")
+
+    def test_identical_x_rejected(self):
+        with pytest.raises(AnalysisError):
+            select_bandwidth_cv(np.ones(10), np.arange(10.0))
+
+
+class TestObjectInterface:
+    def test_fit_predict_round_trip(self):
+        x, y = noisy_line()
+        model = KernelRegression(estimator="ll").fit(x, y)
+        fitted = model.predict(x)
+        assert fitted.shape == x.shape
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(AnalysisError):
+            KernelRegression().predict([1.0, 2.0])
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(AnalysisError):
+            local_linear_smooth([1, 2, 3], [1, 2])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError):
+            local_linear_smooth([1, 2], [1, 2])
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(AnalysisError):
+            local_linear_smooth([1, 2, np.nan], [1, 2, 3])
+
+    @given(
+        slope=st.floats(min_value=-3.0, max_value=3.0),
+        intercept=st.floats(min_value=-5.0, max_value=5.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_local_linear_exact_on_lines_property(self, slope, intercept):
+        x = np.linspace(0.0, 8.0, 30)
+        y = intercept + slope * x
+        fitted = local_linear_smooth(x, y, bandwidth=1.5)
+        assert np.allclose(fitted, y, atol=1e-6)

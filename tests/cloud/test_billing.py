@@ -1,0 +1,76 @@
+"""Tests for the tenancy billing meter."""
+
+import pytest
+
+from repro.errors import CloudError
+from repro.cloud.billing import BillingMeter, F1_INSTANCE_HOURLY_USD
+from repro.cloud.fleet import build_fleet
+from repro.cloud.provider import CloudProvider
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+
+
+def metered_provider(fleet_size=2):
+    provider = CloudProvider(seed=1)
+    provider.create_region(
+        "r", build_fleet(VIRTEX_ULTRASCALE_PLUS, fleet_size, seed=2)
+    )
+    return provider, BillingMeter.attach(provider)
+
+
+class TestMeter:
+    def test_charges_wall_clock_hours(self):
+        provider, meter = metered_provider()
+        instance = provider.rent("r", "alice")
+        provider.advance(10.0)
+        provider.release(instance)
+        assert meter.hours_for("alice") == pytest.approx(10.0)
+        assert meter.total_for("alice") == pytest.approx(
+            10.0 * F1_INSTANCE_HOURLY_USD
+        )
+
+    def test_open_tenancies_accrue(self):
+        provider, meter = metered_provider()
+        provider.rent("r", "alice")
+        provider.advance(4.0)
+        assert meter.hours_for("alice") == pytest.approx(4.0)
+
+    def test_tenants_are_separated(self):
+        provider, meter = metered_provider()
+        a = provider.rent("r", "alice")
+        b = provider.rent("r", "bob")
+        provider.advance(2.0)
+        provider.release(a)
+        provider.advance(3.0)
+        provider.release(b)
+        assert meter.hours_for("alice") == pytest.approx(2.0)
+        assert meter.hours_for("bob") == pytest.approx(5.0)
+
+    def test_flash_attack_pays_for_the_whole_region(self):
+        """Assumption 2's cost: exhausting the region multiplies the
+        attacker's bill by the fleet size."""
+        from repro.cloud.colocation import FlashAttack
+
+        provider, meter = metered_provider(fleet_size=3)
+        flash = FlashAttack(provider, "r", tenant="attacker")
+        flash.acquire_all()
+        provider.advance(25.0)
+        flash.release_except(None)
+        assert meter.hours_for("attacker") == pytest.approx(75.0)
+        assert meter.total_for("attacker") == pytest.approx(
+            75.0 * F1_INSTANCE_HOURLY_USD
+        )
+
+    def test_ledger_records_completed_charges(self):
+        provider, meter = metered_provider()
+        instance = provider.rent("r", "alice")
+        provider.advance(1.0)
+        provider.release(instance)
+        ledger = meter.ledger()
+        assert len(ledger) == 1
+        assert ledger[0].tenant == "alice"
+        assert ledger[0].amount_usd == pytest.approx(F1_INSTANCE_HOURLY_USD)
+
+    def test_invalid_rate_rejected(self):
+        provider, _ = metered_provider()
+        with pytest.raises(CloudError):
+            BillingMeter.attach(provider, hourly_usd=0.0)

@@ -1,0 +1,172 @@
+"""Tests for the marketplace, fingerprinting and the flash attack."""
+
+import pytest
+
+from repro.errors import AccessError, AttackError, CloudError
+from repro.cloud.colocation import FlashAttack
+from repro.cloud.fingerprint import (
+    fingerprint_session,
+    is_same_device,
+    match_score,
+)
+from repro.cloud.fleet import build_fleet
+from repro.cloud.marketplace import Marketplace
+from repro.cloud.provider import CloudProvider
+from repro.core.phases import CalibrationPhase
+from repro.designs import (
+    build_measure_design,
+    build_route_bank,
+    build_target_design,
+)
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+from repro.physics.aging import NEW_PART
+from repro.sensor.noise import LAB_NOISE
+
+
+def make_provider(fleet_size=3, seed=2):
+    provider = CloudProvider(seed=seed)
+    fleet = build_fleet(VIRTEX_ULTRASCALE_PLUS, fleet_size, wear=NEW_PART,
+                        seed=seed)
+    provider.create_region("eu-west-2", fleet)
+    return provider
+
+
+def listed_design(marketplace, public_skeleton=True):
+    grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+    routes = build_route_bank(grid, [1000.0, 2000.0])
+    design = build_target_design(
+        VIRTEX_ULTRASCALE_PLUS, routes, [1, 0], heater_dsps=0, name="ip-core"
+    )
+    listing = marketplace.publish(
+        design.bitstream, publisher="vendor", public_skeleton=public_skeleton
+    )
+    return listing, design, routes
+
+
+class TestMarketplace:
+    def test_publish_and_deploy(self):
+        provider = make_provider()
+        marketplace = Marketplace()
+        listing, _, _ = listed_design(marketplace)
+        instance = provider.rent("eu-west-2", "customer")
+        marketplace.deploy(listing.afi_id, instance)
+        assert instance.device.loaded_design is not None
+
+    def test_customer_cannot_read_design(self):
+        marketplace = Marketplace()
+        listing, _, _ = listed_design(marketplace)
+        with pytest.raises(AccessError):
+            listing.image.static_values()
+        with pytest.raises(AccessError):
+            _ = listing.image.netlist
+
+    def test_skeleton_access_follows_publisher_choice(self):
+        marketplace = Marketplace()
+        public, _, _ = listed_design(marketplace, public_skeleton=True)
+        private, _, _ = listed_design(marketplace, public_skeleton=False)
+        assert marketplace.skeleton_of(public.afi_id).net_names
+        with pytest.raises(AccessError):
+            marketplace.skeleton_of(private.afi_id)
+
+    def test_unknown_afi_rejected(self):
+        with pytest.raises(CloudError):
+            Marketplace().listing("agfi-99999999")
+
+    def test_catalogue_sorted(self):
+        marketplace = Marketplace()
+        listed_design(marketplace)
+        listed_design(marketplace)
+        ids = [l.afi_id for l in marketplace.catalogue()]
+        assert ids == sorted(ids)
+
+
+class TestFingerprint:
+    def _session_for(self, provider, tenant, routes, measure):
+        instance = provider.rent("eu-west-2", tenant)
+        calibration = CalibrationPhase(measure, noise=LAB_NOISE, seed=9)
+        session = calibration.run(instance)
+        return instance, session
+
+    def test_same_device_matches_itself(self):
+        provider = make_provider(fleet_size=1)
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [1000.0, 2000.0, 5000.0])
+        measure = build_measure_design(VIRTEX_ULTRASCALE_PLUS, routes)
+        instance, session = self._session_for(provider, "a", routes, measure)
+        reference = fingerprint_session(session)
+        probe = fingerprint_session(session)
+        assert match_score(reference, probe) > 0.9
+        assert is_same_device(reference, probe)
+
+    def test_different_devices_do_not_match(self):
+        provider = make_provider(fleet_size=2)
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [1000.0, 2000.0, 5000.0, 10000.0])
+        measure = build_measure_design(VIRTEX_ULTRASCALE_PLUS, routes)
+        inst_a, session_a = self._session_for(provider, "a", routes, measure)
+        inst_b, session_b = self._session_for(provider, "b", routes, measure)
+        assert inst_a.device.device_id != inst_b.device.device_id
+        # The probe must replay the reference thetas, not recalibrate
+        # (recalibration cancels the identifying delay differences).
+        session_b.use_theta_init(dict(session_a.theta_init))
+        reference = fingerprint_session(session_a)
+        probe = fingerprint_session(session_b)
+        assert match_score(reference, probe) < 0.5
+        assert not is_same_device(reference, probe)
+
+    def test_mismatched_probe_routes_rejected(self):
+        provider = make_provider(fleet_size=1)
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [1000.0, 2000.0])
+        measure = build_measure_design(VIRTEX_ULTRASCALE_PLUS, routes)
+        _, session = self._session_for(provider, "a", routes, measure)
+        reference = fingerprint_session(session)
+        from repro.cloud.fingerprint import RouteFingerprint
+        import numpy as np
+
+        other = RouteFingerprint(("x",), np.zeros((1, 2)))
+        with pytest.raises(AttackError):
+            match_score(reference, other)
+
+
+class TestFlashAttack:
+    def test_acquires_entire_region(self):
+        provider = make_provider(fleet_size=3)
+        flash = FlashAttack(provider, "eu-west-2")
+        holdings = flash.acquire_all()
+        assert len(holdings) == 3
+        from repro.errors import CapacityError
+
+        with pytest.raises(CapacityError):
+            provider.rent("eu-west-2", "someone-else")
+
+    def test_guarantees_victim_board(self):
+        provider = make_provider(fleet_size=3)
+        victim = provider.rent("eu-west-2", "victim")
+        victim_id = victim.device.device_id
+        provider.release(victim)
+        flash = FlashAttack(provider, "eu-west-2")
+        holdings = flash.acquire_all()
+        assert victim_id in {h.device.device_id for h in holdings}
+
+    def test_release_except_returns_rest(self):
+        provider = make_provider(fleet_size=3)
+        flash = FlashAttack(provider, "eu-west-2")
+        holdings = flash.acquire_all()
+        keep = holdings[0]
+        flash.release_except(keep)
+        assert keep.active
+        assert provider.region("eu-west-2").available_count(0.0) == 2
+
+    def test_empty_region_raises(self):
+        provider = make_provider(fleet_size=1)
+        provider.rent("eu-west-2", "blocker")
+        flash = FlashAttack(provider, "eu-west-2")
+        with pytest.raises(AttackError):
+            flash.acquire_all()
+
+    def test_limit_bounds_acquisition(self):
+        provider = make_provider(fleet_size=3)
+        flash = FlashAttack(provider, "eu-west-2")
+        holdings = flash.acquire_all(limit=2)
+        assert len(holdings) == 2

@@ -1,0 +1,44 @@
+"""Shared fixtures for the pentimento reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.designs import build_measure_design, build_route_bank, build_target_design
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
+from repro.physics.aging import CLOUD_PART, NEW_PART
+
+
+@pytest.fixture
+def zynq_device():
+    """A factory-new ZCU102-like device with a fixed seed."""
+    return FpgaDevice(ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=101)
+
+
+@pytest.fixture
+def virtex_device():
+    """An aged cloud VU9P-like device with a fixed seed."""
+    return FpgaDevice(VIRTEX_ULTRASCALE_PLUS, wear=CLOUD_PART, seed=102)
+
+
+@pytest.fixture
+def small_route_bank(zynq_device):
+    """Four routes, one of each paper length class."""
+    return build_route_bank(
+        zynq_device.grid, [1000.0, 2000.0, 5000.0, 10000.0]
+    )
+
+
+@pytest.fixture
+def small_target(zynq_device, small_route_bank):
+    """A compiled Target design over the small bank (no heaters)."""
+    return build_target_design(
+        zynq_device.part, small_route_bank, [1, 0, 1, 0], heater_dsps=0
+    )
+
+
+@pytest.fixture
+def small_measure(zynq_device, small_route_bank):
+    """A compiled Measure design over the small bank."""
+    return build_measure_design(zynq_device.part, small_route_bank)

@@ -1,0 +1,139 @@
+"""Tests for sequential (SPRT) extraction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AnalysisError
+from repro.analysis.timeseries import DeltaPsSeries
+from repro.core.sequential import RouteDecision, SequentialExtractor, SprtConfig
+
+
+def drifting_series(name, drift_per_hour, hours=60, noise=0.3,
+                    length=5000.0, seed=1):
+    rng = np.random.default_rng(seed)
+    series = DeltaPsSeries(route_name=name, nominal_delay_ps=length)
+    for hour in range(hours):
+        series.append(
+            float(hour),
+            drift_per_hour * hour + float(rng.normal(0.0, noise)),
+        )
+    return series
+
+
+class TestSprtConfig:
+    def test_thresholds_from_error_rates(self):
+        config = SprtConfig(alpha=0.01, beta=0.01)
+        assert config.upper_threshold == pytest.approx(math.log(99.0))
+        assert config.lower_threshold == pytest.approx(-math.log(99.0))
+
+    def test_invalid_rates_rejected(self):
+        with pytest.raises(AnalysisError):
+            SprtConfig(alpha=0.0)
+        with pytest.raises(AnalysisError):
+            SprtConfig(beta=0.6)
+        with pytest.raises(AnalysisError):
+            SprtConfig(noise_sigma_ps=0.0)
+
+
+class TestExtraction:
+    def test_positive_drift_settles_as_one(self):
+        extractor = SequentialExtractor()
+        series = drifting_series("r", +0.05)
+        state = extractor.update_from_series(series)
+        assert state.settled_bit == 1
+        assert state.settled_at_hour is not None
+
+    def test_negative_drift_settles_as_zero(self):
+        extractor = SequentialExtractor()
+        state = extractor.update_from_series(drifting_series("r", -0.05))
+        assert state.settled_bit == 0
+
+    def test_longer_routes_settle_sooner(self):
+        settle_hours = {}
+        for length in (1000.0, 5000.0, 10000.0):
+            extractor = SequentialExtractor()
+            drift = 0.01 * length / 1000.0  # drift scales with length
+            series = drifting_series("r", drift, length=length, hours=120)
+            state = extractor.update_from_series(series)
+            assert state.settled
+            settle_hours[length] = state.settled_at_hour
+        assert settle_hours[10000.0] < settle_hours[5000.0]
+        assert settle_hours[5000.0] < settle_hours[1000.0]
+
+    def test_pure_noise_rarely_settles_quickly(self):
+        settled_early = 0
+        for seed in range(10):
+            extractor = SequentialExtractor()
+            series = drifting_series("r", 0.0, hours=10, seed=seed)
+            state = extractor.update_from_series(series)
+            if state.settled:
+                settled_early += 1
+        assert settled_early <= 2
+
+    def test_decisions_cover_unsettled_routes(self):
+        extractor = SequentialExtractor()
+        extractor.update_from_series(drifting_series("a", +0.002, hours=5))
+        decisions = extractor.decisions()
+        assert decisions["a"] in (0, 1)
+        assert not extractor.all_settled()
+
+    def test_all_settled_and_fraction(self):
+        extractor = SequentialExtractor()
+        assert extractor.settled_fraction() == 0.0
+        extractor.update_from_series(drifting_series("a", +0.05))
+        extractor.update_from_series(drifting_series("b", +0.001, hours=5))
+        assert extractor.settled_fraction() == pytest.approx(0.5)
+        assert not extractor.all_settled()
+
+    def test_settled_routes_freeze(self):
+        extractor = SequentialExtractor()
+        state = extractor.update_from_series(drifting_series("r", +0.05))
+        settled_at = state.settled_at_hour
+        # Contradictory later data does not flip a settled decision.
+        extractor.update("r", 5000.0, 200.0, -50.0)
+        assert extractor.decisions()["r"] == 1
+        assert extractor.settle_times()["r"] == settled_at
+
+    def test_confidence_increases_with_evidence(self):
+        extractor = SequentialExtractor()
+        series = drifting_series("r", +0.05, hours=30)
+        confidences = []
+        for hour, value in zip(series.hours, series.raw_delta_ps):
+            extractor.update("r", 5000.0, hour, value)
+            confidences.append(extractor.confidence("r"))
+        assert confidences[-1] > confidences[1]
+        assert confidences[-1] > 0.95
+
+    def test_backwards_time_rejected(self):
+        extractor = SequentialExtractor()
+        extractor.update("r", 5000.0, 0.0, 0.0)
+        extractor.update("r", 5000.0, 1.0, 0.1)
+        with pytest.raises(AnalysisError):
+            extractor.update("r", 5000.0, 0.5, 0.1)
+
+    def test_unknown_route_confidence_rejected(self):
+        with pytest.raises(AnalysisError):
+            SequentialExtractor().confidence("ghost")
+
+    def test_empty_series_rejected(self):
+        empty = DeltaPsSeries(route_name="e", nominal_delay_ps=1000.0)
+        with pytest.raises(AnalysisError):
+            SequentialExtractor().update_from_series(empty)
+
+    @given(drift=st.floats(min_value=0.06, max_value=0.2),
+           seed=st.integers(0, 30))
+    @settings(max_examples=25, deadline=None)
+    def test_settled_bit_matches_drift_sign(self, drift, seed):
+        # Drifts clearly above the noise floor (>= 0.06 ps/h vs 0.3 ps
+        # noise); weaker signals may mis-settle at the configured error
+        # rates, which is the SPRT's contract, not a bug.
+        for sign, bit in ((+1.0, 1), (-1.0, 0)):
+            extractor = SequentialExtractor()
+            series = drifting_series("r", sign * drift, hours=80, seed=seed)
+            state = extractor.update_from_series(series)
+            if state.settled:
+                assert state.settled_bit == bit

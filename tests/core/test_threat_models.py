@@ -1,0 +1,150 @@
+"""End-to-end tests of the two threat-model orchestrations."""
+
+import pytest
+
+from repro.cloud.fleet import build_fleet, cloud_wear_profile
+from repro.cloud.marketplace import Marketplace
+from repro.cloud.provider import CloudProvider
+from repro.core.metrics import score_recovery
+from repro.core.phases import CalibrationPhase
+from repro.core.threat_model1 import ThreatModel1Attack
+from repro.core.threat_model2 import ThreatModel2Attack
+from repro.designs import (
+    build_measure_design,
+    build_route_bank,
+    build_target_design,
+)
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+from repro.rng import RngFactory
+
+PART = VIRTEX_ULTRASCALE_PLUS
+
+
+def cloud_setup(fleet_size=2, age=200.0, seed=71):
+    rng = RngFactory(seed)
+    provider = CloudProvider(seed=rng.stream("provider"))
+    fleet = build_fleet(PART, fleet_size, wear=cloud_wear_profile(age),
+                        seed=rng.stream("fleet"))
+    provider.create_region("eu-west-2", fleet)
+    return provider, rng
+
+
+class TestThreatModel1:
+    def _published_target(self, marketplace, values, lengths):
+        grid = PART.make_grid()
+        routes = build_route_bank(grid, lengths)
+        design = build_target_design(PART, routes, values, heater_dsps=512,
+                                     name="victim-afi")
+        listing = marketplace.publish(design.bitstream, publisher="victim",
+                                      public_skeleton=True)
+        return listing, design, routes
+
+    def test_extracts_design_constants(self):
+        provider, rng = cloud_setup()
+        marketplace = Marketplace()
+        values = [1, 0, 1, 0]
+        listing, design, routes = self._published_target(
+            marketplace, values, [5000.0, 5000.0, 10000.0, 10000.0]
+        )
+        attack = ThreatModel1Attack(
+            provider=provider, marketplace=marketplace,
+            afi_id=listing.afi_id, region="eu-west-2",
+            seed=rng.stream("sensors"),
+        )
+        result = attack.run(burn_hours=48, measure_every_hours=4.0)
+        truth = {r.name: v for r, v in zip(routes, values)}
+        score = score_recovery(result.recovered_bits, truth)
+        assert score.accuracy == 1.0
+        assert len(result.bundle.series[routes[0].name]) == 13
+
+    def test_attack_never_reads_sealed_values(self):
+        """The attack consumes only the skeleton and TDC output."""
+        provider, rng = cloud_setup()
+        marketplace = Marketplace()
+        listing, _, _ = self._published_target(
+            marketplace, [1, 0], [5000.0, 5000.0]
+        )
+        from repro.errors import AccessError
+
+        with pytest.raises(AccessError):
+            listing.image.static_values()
+
+    def test_instance_released_after_attack(self):
+        provider, rng = cloud_setup(fleet_size=1)
+        marketplace = Marketplace()
+        listing, _, _ = self._published_target(
+            marketplace, [1], [5000.0]
+        )
+        attack = ThreatModel1Attack(
+            provider=provider, marketplace=marketplace,
+            afi_id=listing.afi_id, region="eu-west-2",
+            seed=rng.stream("sensors"),
+        )
+        attack.run(burn_hours=16, measure_every_hours=4.0)
+        # The device went back to the pool.
+        provider.rent("eu-west-2", "next-tenant")
+
+    def test_invalid_burn_hours_rejected(self):
+        provider, rng = cloud_setup()
+        attack = ThreatModel1Attack(
+            provider=provider, marketplace=Marketplace(),
+            afi_id="agfi-00000001", region="eu-west-2",
+        )
+        from repro.errors import AttackError
+
+        with pytest.raises(AttackError):
+            attack.run(burn_hours=0)
+
+
+class TestThreatModel2:
+    def test_recovers_user_data_after_wipe(self):
+        provider, rng = cloud_setup(fleet_size=2, age=200.0, seed=73)
+        grid = PART.make_grid()
+        lengths = [5000.0, 5000.0, 10000.0, 10000.0]
+        routes = build_route_bank(grid, lengths)
+        values = [1, 0, 1, 0]
+        victim_design = build_target_design(PART, routes, values,
+                                            heater_dsps=3896)
+        measure = build_measure_design(PART, routes)
+
+        calib_instance = provider.rent("eu-west-2", "attacker-calib")
+        calibration = CalibrationPhase(measure, seed=rng.stream("calib"))
+        theta = dict(calibration.run(calib_instance).theta_init)
+        provider.release(calib_instance)
+
+        victim = provider.rent("eu-west-2", "victim")
+        victim.load_image(victim_design.bitstream)
+        provider.advance(100.0)
+        provider.release(victim)
+
+        attack = ThreatModel2Attack(
+            provider=provider, region="eu-west-2", routes=routes,
+            theta_init=theta, seed=73,
+        )
+        result = attack.run(recovery_hours=15)
+        truth = {r.name: v for r, v in zip(routes, values)}
+        score = score_recovery(result.recovered_bits, truth)
+        assert result.devices_probed == 2
+        assert score.accuracy >= 0.75
+
+    def test_requires_minimum_window(self):
+        provider, _ = cloud_setup()
+        from repro.errors import AttackError
+
+        attack = ThreatModel2Attack(
+            provider=provider, region="eu-west-2", routes=[],
+            theta_init={},
+        )
+        with pytest.raises(AttackError):
+            attack.run(recovery_hours=2)
+
+    def test_invalid_conditioned_to(self):
+        provider, _ = cloud_setup()
+        from repro.errors import AttackError
+
+        attack = ThreatModel2Attack(
+            provider=provider, region="eu-west-2", routes=[],
+            theta_init={}, conditioned_to=2,
+        )
+        with pytest.raises(AttackError):
+            attack.run(recovery_hours=10)

@@ -1,0 +1,121 @@
+"""Integration tests: the three experiment drivers (quick configs)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.analysis.timeseries import length_class
+from repro.experiments import (
+    Experiment1Config,
+    Experiment2Config,
+    Experiment3Config,
+    render_experiment_panels,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+)
+
+
+class TestConfigs:
+    def test_paper_configs_match_protocol(self):
+        config = Experiment1Config.paper()
+        assert len(config.route_lengths) == 64
+        assert config.burn_hours == 200
+        assert config.recovery_hours == 200
+        assert Experiment2Config.paper().heater_dsps == 3896
+        assert Experiment3Config.paper().recovery_hours == 25
+        assert Experiment3Config.paper().conditioned_to == 0
+
+    def test_quick_configs_preserve_structure(self):
+        for config in (Experiment1Config.quick(), Experiment2Config.quick(),
+                       Experiment3Config.quick()):
+            classes = {length_class(l) for l in config.route_lengths}
+            assert classes == {1000.0, 2000.0, 5000.0, 10000.0}
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Experiment1Config(routes_per_length=0)
+        with pytest.raises(ConfigurationError):
+            Experiment3Config(conditioned_to=2)
+
+
+class TestExperiment1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment1(Experiment1Config.quick(seed=5))
+
+    def test_full_bit_recovery(self, result):
+        assert result.recovery_score.accuracy == 1.0
+
+    def test_burn_direction_by_value(self, result):
+        for series in result.bundle:
+            burn_window = series.window(0.0, result.stress_change_hour)
+            end = burn_window.centered[-1]
+            if series.burn_value == 1:
+                assert end > 0.0
+            else:
+                assert end < 0.0
+
+    def test_magnitude_grows_with_length(self, result):
+        bands = [result.magnitude_band(L)[1]
+                 for L in (1000.0, 2000.0, 5000.0, 10000.0)]
+        assert bands == sorted(bands)
+
+    def test_burn_one_routes_recover(self, result):
+        for series in result.bundle:
+            if series.burn_value != 1:
+                continue
+            burn_end = series.window(0.0, result.stress_change_hour).centered[-1]
+            final = series.centered[-1]
+            assert final < burn_end  # moved back towards / below zero
+
+    def test_panels_render(self, result):
+        text = render_experiment_panels(
+            result.bundle, "Fig6", stress_change_hour=result.stress_change_hour
+        )
+        assert text.count("ps routes") == 4
+
+
+class TestExperiment2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment2(Experiment2Config.quick(seed=5))
+
+    def test_recovery_above_chance(self, result):
+        assert result.recovery_score.accuracy >= 0.75
+
+    def test_long_routes_recover_reliably(self, result):
+        accuracy = result.accuracy_by_length()
+        assert accuracy[10000.0] == 1.0
+
+    def test_cloud_magnitudes_smaller_than_lab(self, result):
+        lab = run_experiment1(Experiment1Config.quick(seed=5))
+        cloud_band = result.magnitude_band(10000.0)[1]
+        lab_band = lab.magnitude_band(10000.0)[1]
+        assert cloud_band < lab_band
+
+
+class TestExperiment3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment3(Experiment3Config.quick(seed=19))
+
+    def test_recovery_above_chance(self, result):
+        assert result.recovery_score.accuracy >= 0.7
+
+    def test_all_boards_probed(self, result):
+        assert result.devices_probed == result.config.fleet_size
+
+    def test_burn_one_routes_show_recovery_transient(self, result):
+        """Figure 8: purple routes decrease relative to cyan ones."""
+        burn1_ends, burn0_ends = [], []
+        for series in result.bundle:
+            if length_class(series.nominal_delay_ps) < 5000.0:
+                continue
+            scaled = series.centered[-1] / (series.nominal_delay_ps / 1000.0)
+            (burn1_ends if series.burn_value == 1 else burn0_ends).append(scaled)
+        assert np.mean(burn1_ends) < np.mean(burn0_ends)
+
+    def test_series_start_at_attack_time(self, result):
+        for series in result.bundle:
+            assert series.hours[0] == 0.0  # attacker's clock, not victim's

@@ -1,0 +1,173 @@
+"""Tests for bitstreams (incl. sealing), DRC, power and thermal models."""
+
+import pytest
+
+from repro.errors import AccessError, DesignRuleViolation
+from repro.fabric.bitstream import Bitstream, SealedBitstream, loadable
+from repro.fabric.drc import check_design
+from repro.fabric.geometry import Coordinate
+from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.fabric.placement import FixedPlacer
+from repro.fabric.power import estimate_power
+from repro.fabric.thermal import DataCenterAmbient, OvenAmbient, ThermalModel
+from repro.sensor.ro import build_ro_netlist
+from repro.units import celsius_to_kelvin
+
+
+def compile_small_design(static_value=1):
+    grid = ZYNQ_ULTRASCALE_PLUS.make_grid()
+    netlist = Netlist(name="secret-design")
+    netlist.add_cell(Cell("src", CellType.FLIP_FLOP))
+    netlist.add_cell(Cell("dst", CellType.LUT))
+    placer = FixedPlacer(grid)
+    placer.place_at("src", CellType.FLIP_FLOP, Coordinate(0, 0))
+    placer.place_at("dst", CellType.LUT, Coordinate(0, 0))
+    from repro.designs import build_route_bank
+
+    route = build_route_bank(grid, [1000.0])[0]
+    netlist.add_net(
+        Net("key", driver="src", sinks=("dst",),
+            activity=NetActivity.STATIC, static_value=static_value
+            ).with_route(route)
+    )
+    return Bitstream.compile(netlist, placer.placement)
+
+
+class TestBitstream:
+    def test_static_values_extractable_from_plain(self):
+        bitstream = compile_small_design(1)
+        assert bitstream.static_values() == {"key": 1}
+
+    def test_skeleton_hides_values(self):
+        bitstream = compile_small_design(1)
+        skeleton = bitstream.skeleton()
+        assert "key" in skeleton.net_names
+        assert skeleton.static_net_names == ("key",)
+        assert not hasattr(skeleton, "static_values")
+
+    def test_skeleton_static_routes(self):
+        skeleton = compile_small_design().skeleton()
+        routes = skeleton.static_routes()
+        assert len(routes) == 1 and routes[0].name == "key"
+
+    def test_unique_ids(self):
+        assert compile_small_design().bitstream_id != compile_small_design().bitstream_id
+
+
+class TestSealedBitstream:
+    def test_sealed_netlist_inaccessible(self):
+        sealed = SealedBitstream(compile_small_design(), publisher="acme")
+        with pytest.raises(AccessError):
+            _ = sealed.netlist
+
+    def test_sealed_values_inaccessible(self):
+        sealed = SealedBitstream(compile_small_design(), publisher="acme")
+        with pytest.raises(AccessError):
+            sealed.static_values()
+
+    def test_private_skeleton_inaccessible(self):
+        sealed = SealedBitstream(compile_small_design(), publisher="acme",
+                                 public_skeleton=False)
+        with pytest.raises(AccessError):
+            sealed.skeleton()
+
+    def test_public_skeleton_accessible(self):
+        sealed = SealedBitstream(compile_small_design(), publisher="acme",
+                                 public_skeleton=True)
+        assert sealed.skeleton().net_names == ("key",)
+
+    def test_power_visible_for_drc(self):
+        sealed = SealedBitstream(compile_small_design(), publisher="acme")
+        assert sealed.power.total_watts > 0.0
+
+    def test_loadable_resolves_both(self):
+        plain = compile_small_design()
+        sealed = SealedBitstream(plain, publisher="acme")
+        assert loadable(plain) is plain
+        assert loadable(sealed) is plain
+        assert loadable(object()) is None
+
+
+class TestDrc:
+    def _grid(self):
+        return ZYNQ_ULTRASCALE_PLUS.make_grid()
+
+    def test_clean_design_passes(self):
+        report = check_design(compile_small_design(), self._grid(), 40.0)
+        assert report.passed
+        report.raise_on_failure()
+
+    def test_ring_oscillator_rejected(self):
+        """The Section 7 claim: RO sensors fail cloud DRC."""
+        grid = self._grid()
+        from repro.designs import build_route_bank
+
+        route = build_route_bank(grid, [1000.0])[0]
+        netlist = build_ro_netlist("probe", route)
+        placer = FixedPlacer(grid)
+        placer.place_at("loop_inv", CellType.INVERTER, Coordinate(0, 0))
+        placer.place_at("counter_ff", CellType.FLIP_FLOP, Coordinate(0, 0))
+        bitstream = Bitstream.compile(netlist, placer.placement)
+        report = check_design(bitstream, grid, 40.0)
+        assert not report.passed
+        assert report.combinational_loops
+        with pytest.raises(DesignRuleViolation):
+            report.raise_on_failure()
+
+    def test_power_cap_enforced(self):
+        report = check_design(compile_small_design(), self._grid(), 0.001)
+        assert not report.passed
+        with pytest.raises(DesignRuleViolation):
+            report.raise_on_failure()
+
+
+class TestPower:
+    def test_static_only_design_draws_leakage(self):
+        netlist = Netlist(name="idle")
+        report = estimate_power(netlist)
+        assert report.dynamic_watts == 0.0
+        assert report.total_watts == report.static_watts
+
+    def test_heater_power_matches_paper(self):
+        """3896 DSPs at the paper's activity draw ~63 W (vs the 85 W cap)."""
+        from repro.designs import build_fma_array
+        from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        netlist = Netlist(name="heater")
+        placer = FixedPlacer(grid)
+        build_fma_array(netlist, placer, dsp_count=3896)
+        report = estimate_power(netlist)
+        assert 55.0 < report.total_watts < 70.0
+        assert report.total_watts < 85.0
+
+    def test_static_nets_draw_no_dynamic_power(self):
+        bitstream = compile_small_design()
+        assert bitstream.power.dynamic_watts == 0.0
+
+
+class TestThermal:
+    def test_oven_is_constant(self):
+        oven = OvenAmbient(60.0)
+        assert oven.at(0.0) == oven.at(1000.0)
+
+    def test_datacenter_fluctuates(self):
+        ambient = DataCenterAmbient(seed=3)
+        values = {round(ambient.at(float(h)), 3) for h in range(48)}
+        assert len(values) > 10
+
+    def test_datacenter_reproducible(self):
+        a = DataCenterAmbient(seed=3)
+        b = DataCenterAmbient(seed=3)
+        assert [a.at(float(h)) for h in range(24)] == [
+            b.at(float(h)) for h in range(24)
+        ]
+
+    def test_junction_above_ambient(self):
+        model = ThermalModel()
+        ambient = celsius_to_kelvin(38.0)
+        assert model.junction_k(ambient, 63.0) > ambient
+        assert model.junction_k(ambient, 63.0) - ambient == pytest.approx(
+            63.0 * model.theta_ja_k_per_w
+        )

@@ -1,0 +1,150 @@
+"""Tests for the FpgaDevice: the persistence of analog state is the
+vulnerability, so these are the most security-relevant invariants in the
+code base."""
+
+import pytest
+
+from repro.errors import FabricError
+from repro.designs import build_route_bank, build_target_design
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
+from repro.physics.aging import CLOUD_PART, NEW_PART
+from repro.units import celsius_to_kelvin
+
+AMBIENT = celsius_to_kelvin(60.0)
+
+
+def conditioned_device(burn_values=(1, 0), hours=24):
+    device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=7)
+    routes = build_route_bank(device.grid, [2000.0] * len(burn_values))
+    design = build_target_design(
+        device.part, routes, list(burn_values), heater_dsps=0
+    )
+    device.load(design.bitstream)
+    device.advance_hours(float(hours), AMBIENT)
+    return device, routes
+
+
+class TestWipeSemantics:
+    def test_wipe_clears_logical_state(self):
+        device, _ = conditioned_device()
+        assert device.loaded_design is not None
+        device.wipe()
+        assert device.loaded_design is None
+
+    def test_wipe_preserves_analog_state(self):
+        """The central claim of the paper, enforced structurally."""
+        device, routes = conditioned_device()
+        before = [device.route_delta_ps(r) for r in routes]
+        device.wipe()
+        after = [device.route_delta_ps(r) for r in routes]
+        assert after == before
+        assert abs(after[0]) > 0.1  # a real imprint survived
+
+    def test_reload_after_wipe_sees_same_transistors(self):
+        device, routes = conditioned_device()
+        imprint = device.route_delta_ps(routes[0])
+        device.wipe()
+        other = build_target_design(
+            device.part, routes, [0, 0], heater_dsps=0, name="second-tenant"
+        )
+        device.load(other.bitstream)
+        assert device.route_delta_ps(routes[0]) == pytest.approx(imprint)
+
+
+class TestLoadLifecycle:
+    def test_double_load_rejected(self):
+        device, routes = conditioned_device()
+        design = build_target_design(
+            device.part, routes, [1, 1], heater_dsps=0, name="x"
+        )
+        with pytest.raises(FabricError):
+            device.load(design.bitstream)
+
+    def test_advance_without_design_anneals(self):
+        device, routes = conditioned_device(burn_values=(1, 1), hours=50)
+        device.wipe()
+        before = device.route_delta_ps(routes[0])
+        device.advance_hours(100.0, AMBIENT)
+        after = device.route_delta_ps(routes[0])
+        assert 0.0 <= after < before
+
+    def test_negative_advance_rejected(self):
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        with pytest.raises(FabricError):
+            device.advance_hours(-1.0, AMBIENT)
+
+    def test_age_accumulates_only_while_powered(self):
+        device, _ = conditioned_device(hours=10)
+        powered_age = device.effective_age_hours
+        device.wipe()
+        device.advance_hours(10.0, AMBIENT)
+        assert device.effective_age_hours == powered_age
+
+    def test_sim_hours_always_advance(self):
+        device, _ = conditioned_device(hours=10)
+        device.wipe()
+        device.advance_hours(5.0, AMBIENT)
+        assert device.sim_hours == pytest.approx(15.0)
+
+
+class TestBurnDirection:
+    def test_burn_values_imprint_with_correct_signs(self):
+        device, routes = conditioned_device(burn_values=(1, 0), hours=48)
+        assert device.route_delta_ps(routes[0]) > 0.0
+        assert device.route_delta_ps(routes[1]) < 0.0
+
+    def test_longer_routes_imprint_more(self):
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=9)
+        routes = build_route_bank(device.grid, [1000.0, 10000.0])
+        design = build_target_design(device.part, routes, [1, 1], heater_dsps=0)
+        device.load(design.bitstream)
+        device.advance_hours(48.0, AMBIENT)
+        short, long_ = (device.route_delta_ps(r) for r in routes)
+        assert long_ > 4.0 * short
+
+
+class TestWear:
+    def test_cloud_devices_have_residual_imprints(self):
+        device = FpgaDevice(VIRTEX_ULTRASCALE_PLUS, wear=CLOUD_PART, seed=11)
+        routes = build_route_bank(device.grid, [5000.0])
+        delta = device.route_delta_ps(routes[0])
+        # Residuals are nonzero but small relative to a fresh burn.
+        assert delta != 0.0
+        assert abs(delta) < 3.0
+
+    def test_new_devices_are_clean(self):
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=12)
+        routes = build_route_bank(device.grid, [5000.0])
+        assert device.route_delta_ps(routes[0]) == 0.0
+
+    def test_device_ids_unique(self):
+        a = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        b = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        assert a.device_id != b.device_id
+
+    def test_info_reports_identity(self):
+        device = FpgaDevice(VIRTEX_ULTRASCALE_PLUS, wear=CLOUD_PART, seed=13)
+        info = device.info()
+        assert info.part_name == "xcvu9p"
+        assert info.effective_age_hours > 0.0
+
+
+class TestThermalCoupling:
+    def test_junction_reflects_loaded_power(self):
+        device, _ = conditioned_device()
+        loaded = device.junction_k()
+        device.wipe()
+        assert device.junction_k() < loaded
+
+    def test_delays_shift_with_temperature(self):
+        device, routes = conditioned_device(hours=1)
+        cool = device.transition_delays(routes[0]).rising_ps
+        device.set_ambient(AMBIENT + 30.0)
+        warm = device.transition_delays(routes[0]).rising_ps
+        assert warm > cool
+
+    def test_invalid_ambient_rejected(self):
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        with pytest.raises(FabricError):
+            device.set_ambient(0.0)

@@ -1,0 +1,118 @@
+"""Tests for frame-level configuration memory and partial reconfiguration."""
+
+import pytest
+
+from repro.errors import AccessError, ConfigurationError
+from repro.designs import build_route_bank, build_target_design
+from repro.fabric.frames import (
+    FrameAddress,
+    apply_partial,
+    compile_frames,
+    diff_frames,
+    extract_partial,
+    readback,
+)
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+
+PART = ZYNQ_ULTRASCALE_PLUS
+
+
+def design_with_key(key, name="keyed"):
+    grid = PART.make_grid()
+    routes = build_route_bank(grid, [1000.0] * len(key))
+    return build_target_design(PART, routes, key, heater_dsps=0,
+                               name=name), routes
+
+
+class TestCompile:
+    def test_deterministic(self):
+        design, _ = design_with_key([1, 0])
+        a = compile_frames(design.bitstream)
+        b = compile_frames(design.bitstream)
+        assert a.crc() == b.crc()
+
+    def test_covers_every_used_column(self):
+        design, routes = design_with_key([1, 0, 1])
+        image = compile_frames(design.bitstream)
+        used = {seg.origin.x for route in routes for seg in route}
+        assert used <= image.columns()
+
+    def test_frames_encode_constant_values(self):
+        """The Type A secret is literally in the configuration bits --
+        the reason AFIs are sealed."""
+        ones, _ = design_with_key([1, 1], name="k")
+        zeros, _ = design_with_key([0, 0], name="k")
+        assert compile_frames(ones.bitstream).crc() != compile_frames(
+            zeros.bitstream
+        ).crc()
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FrameAddress(-1, 0)
+
+
+class TestReadback:
+    def test_tenant_readback_forbidden(self):
+        design, _ = design_with_key([1])
+        with pytest.raises(AccessError):
+            readback(design.bitstream)
+
+    def test_platform_readback_allowed(self):
+        design, _ = design_with_key([1])
+        image = readback(design.bitstream, platform_access=True)
+        assert image.frames
+
+
+class TestDiff:
+    def test_identical_designs_produce_no_diff(self):
+        design, _ = design_with_key([1, 0], name="same")
+        image = compile_frames(design.bitstream)
+        assert diff_frames(image, image) == []
+
+    def test_value_change_localises_to_key_columns(self):
+        """Two related public bitstreams leak where the secret lives."""
+        a, routes = design_with_key([1, 0, 1, 1], name="v")
+        b, _ = design_with_key([1, 0, 0, 1], name="v")
+        changed = diff_frames(
+            compile_frames(a.bitstream), compile_frames(b.bitstream)
+        )
+        assert changed
+        changed_columns = {address.column for address in changed}
+        # Only the flipped bit's route anchor column differs.
+        flipped_anchor = routes[2].segments[0].origin.x
+        assert changed_columns == {flipped_anchor}
+
+
+class TestPartialReconfiguration:
+    def test_extract_keeps_window_contained_nets(self):
+        design, routes = design_with_key([1, 0])
+        window = {seg.origin.x for seg in routes[0]}
+        partial = extract_partial(design.bitstream, window)
+        assert routes[0].name in partial.netlist.nets
+        # Every frame stays inside the window.
+        assert {a.column for a in partial.image.frames} <= set(window)
+
+    def test_apply_round_trip_preserves_values(self):
+        design, _ = design_with_key([1, 0])
+        window = design.bitstream.skeleton().routes[
+            design.routes[0].name
+        ].segments
+        columns = {seg.origin.x for seg in window}
+        partial = extract_partial(design.bitstream, columns)
+        merged = apply_partial(design.bitstream, partial)
+        assert merged.static_values() == design.bitstream.static_values()
+
+    def test_apply_swaps_key_in_place(self):
+        """Partial reconfiguration rotates the key without touching the
+        rest of the design -- the cheap form of the rotation mitigation."""
+        original, routes = design_with_key([1, 1], name="rot")
+        rotated, _ = design_with_key([0, 0], name="rot")
+        columns = {seg.origin.x for route in routes for seg in route}
+        partial = extract_partial(rotated.bitstream, columns)
+        merged = apply_partial(original.bitstream, partial)
+        assert set(merged.static_values().values()) == {0}
+
+    def test_empty_window_rejected(self):
+        design, _ = design_with_key([1])
+        with pytest.raises(ConfigurationError):
+            extract_partial(design.bitstream, [])

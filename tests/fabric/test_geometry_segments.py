@@ -1,0 +1,102 @@
+"""Tests for the tile grid and the routing segment library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, FabricError
+from repro.fabric.geometry import Coordinate, FabricGrid, TileType
+from repro.fabric.segments import SEGMENT_LIBRARY, SegmentKind, spec_for
+
+
+class TestCoordinate:
+    def test_offset(self):
+        assert Coordinate(3, 4).offset(1, -2) == Coordinate(4, 2)
+
+    def test_manhattan_distance(self):
+        assert Coordinate(0, 0).manhattan_distance(Coordinate(3, 4)) == 7
+
+    def test_ordering_and_hash(self):
+        assert Coordinate(1, 2) < Coordinate(2, 0)
+        assert len({Coordinate(1, 1), Coordinate(1, 1)}) == 1
+
+    def test_str(self):
+        assert str(Coordinate(5, 9)) == "X5Y9"
+
+
+class TestFabricGrid:
+    def test_contains(self):
+        grid = FabricGrid(8, 8)
+        assert grid.contains(Coordinate(0, 0))
+        assert grid.contains(Coordinate(7, 7))
+        assert not grid.contains(Coordinate(8, 0))
+        assert not grid.contains(Coordinate(0, -1))
+
+    def test_shell_region_not_user_visible(self):
+        grid = FabricGrid(8, 16, shell_rows=4)
+        assert not grid.is_user_visible(Coordinate(0, 3))
+        assert grid.is_user_visible(Coordinate(0, 4))
+        assert grid.tile_type(Coordinate(2, 2)) is TileType.SHELL
+
+    def test_require_user_visible_raises(self):
+        grid = FabricGrid(8, 16, shell_rows=4)
+        with pytest.raises(FabricError):
+            grid.require_user_visible(Coordinate(0, 0))
+        with pytest.raises(FabricError):
+            grid.require_user_visible(Coordinate(99, 4))
+        grid.require_user_visible(Coordinate(0, 4))
+
+    def test_column_pattern_includes_dsp_and_bram(self):
+        grid = FabricGrid(16, 8)
+        types = {grid.tile_type(Coordinate(x, 0)) for x in range(16)}
+        assert TileType.CLB in types
+        assert TileType.DSP in types
+        assert TileType.BRAM in types
+
+    def test_count_user_tiles(self):
+        grid = FabricGrid(8, 8, shell_rows=2)
+        total = sum(
+            grid.count_user_tiles(t)
+            for t in (TileType.CLB, TileType.DSP, TileType.BRAM)
+        )
+        assert total == 8 * 6
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FabricGrid(0, 8)
+        with pytest.raises(ConfigurationError):
+            FabricGrid(8, 8, shell_rows=8)
+
+    def test_off_die_tile_type_raises(self):
+        with pytest.raises(FabricError):
+            FabricGrid(4, 4).tile_type(Coordinate(9, 9))
+
+
+class TestSegmentLibrary:
+    def test_all_kinds_present(self):
+        assert set(SEGMENT_LIBRARY) == set(SegmentKind)
+
+    def test_longer_reach_is_cheaper_per_tile(self):
+        """LONG lines cover more delay per switch -- the reason burn-in
+        magnitude grows sub-linearly with route delay."""
+        single = spec_for(SegmentKind.SINGLE)
+        long_ = spec_for(SegmentKind.LONG)
+        assert (long_.delay_ps / long_.switch_count) > (
+            single.delay_ps / single.switch_count
+        )
+
+    def test_carry_bin_delay_matches_paper_constant(self):
+        assert spec_for(SegmentKind.CARRY).delay_ps == pytest.approx(2.8)
+
+    def test_carry_elements_do_not_age(self):
+        assert spec_for(SegmentKind.CARRY).burn_amplitude_ps == 0.0
+
+    @given(kind=st.sampled_from(list(SegmentKind)))
+    @settings(max_examples=10, deadline=None)
+    def test_burn_amplitude_proportional_to_switches(self, kind):
+        spec = spec_for(kind)
+        from repro.physics.constants import PS_PER_SWITCH_AT_REFERENCE
+
+        assert spec.burn_amplitude_ps == pytest.approx(
+            spec.switch_count * PS_PER_SWITCH_AT_REFERENCE
+        )

@@ -1,0 +1,125 @@
+"""Tests for the OpenTitan Earl Grey study (Table 1)."""
+
+import numpy as np
+import pytest
+
+from repro.opentitan import (
+    TABLE1_ASSETS,
+    AssetClass,
+    build_table1,
+    implement_earl_grey,
+    render_table1,
+)
+from repro.opentitan.earlgrey import MODULE_FLOORPLAN, solve_distance_tiles
+from repro.opentitan.study import vulnerability_ranking
+
+
+class TestAssetInventory:
+    def test_twenty_assets(self):
+        assert len(TABLE1_ASSETS) == 20
+
+    def test_paper_bus_widths(self):
+        widths = {a.index: a.bus_width for a in TABLE1_ASSETS}
+        assert widths[1] == 320
+        assert widths[18] == 777
+        assert widths[20] == 32
+
+    def test_asset_classes_cover_all_three(self):
+        classes = {a.asset_class for a in TABLE1_ASSETS}
+        assert classes == {
+            AssetClass.CRYPTOGRAPHIC_KEY,
+            AssetClass.STATE_VALUE_TOKEN,
+            AssetClass.SIGNAL,
+        }
+
+    def test_all_modules_in_floorplan(self):
+        for asset in TABLE1_ASSETS:
+            assert asset.source_module in MODULE_FLOORPLAN
+            assert asset.dest_module in MODULE_FLOORPLAN
+
+
+class TestSolveDistance:
+    def test_inverts_delay_composition(self):
+        from repro.fabric.router import displacement_delay_ps
+
+        for target in (200.0, 600.0, 1500.0, 3000.0):
+            tiles = solve_distance_tiles(target)
+            achieved = displacement_delay_ps(tiles, 0)
+            assert abs(achieved - target) < 200.0
+
+    def test_zero_ish_targets(self):
+        assert solve_distance_tiles(45.0) == 0
+
+
+class TestImplementation:
+    @pytest.fixture(scope="class")
+    def implementation(self):
+        return implement_earl_grey(seed=1)
+
+    def test_every_asset_gets_full_bus(self, implementation):
+        for asset in TABLE1_ASSETS:
+            delays = implementation.delays_for(asset)
+            assert delays.shape == (asset.bus_width,)
+            assert (delays > 0.0).all()
+
+    def test_deterministic_per_seed(self):
+        a = implement_earl_grey(seed=9)
+        b = implement_earl_grey(seed=9)
+        for asset in TABLE1_ASSETS[:3]:
+            assert np.array_equal(a.delays_for(asset), b.delays_for(asset))
+
+    def test_medians_track_published(self, implementation):
+        """The calibration loop anchors medians to the published rows
+        (within quantisation of the wire classes)."""
+        close = 0
+        for asset in TABLE1_ASSETS:
+            median = float(np.median(implementation.delays_for(asset)))
+            published = asset.published.p50
+            if abs(median - published) <= max(0.35 * published, 160.0):
+                close += 1
+        assert close >= 15  # most rows land near the published medians
+
+    def test_long_tail_assets_have_stragglers(self, implementation):
+        kmac = next(a for a in TABLE1_ASSETS if a.index == 18)
+        delays = implementation.delays_for(kmac)
+        assert np.median(delays) < 400.0
+        assert delays.max() > 2000.0
+
+    def test_routes_for_builds_physical_routes(self, implementation):
+        asset = next(a for a in TABLE1_ASSETS if a.index == 5)
+        routes = implementation.routes_for(asset, limit=4)
+        assert len(routes) == 4
+        assert all(len(r.segments) >= 2 for r in routes)
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return build_table1(seed=1)
+
+    def test_sorted_by_maximum(self, rows):
+        maxima = [row.stats.maximum for row in rows]
+        assert maxima == sorted(maxima)
+
+    def test_shape_matches_paper_claims(self, rows):
+        """'Most routes are short -- only a few hundred picoseconds.
+        However, there are longer route lengths that approach 4 ns.'"""
+        medians = [row.stats.p50 for row in rows]
+        assert sum(1 for m in medians if m < 600.0) >= 8
+        assert max(row.stats.maximum for row in rows) > 3000.0
+
+    def test_render_contains_all_assets(self, rows):
+        text = render_table1(rows)
+        for asset in TABLE1_ASSETS:
+            assert asset.path in text
+
+    def test_render_compare_doubles_rows(self, rows):
+        plain = render_table1(rows).count("\n")
+        compare = render_table1(rows, compare=True).count("\n")
+        assert compare > plain * 1.5
+
+    def test_vulnerability_ranking_prefers_long_assets(self, rows):
+        ranking = vulnerability_ranking(rows)
+        top_paths = [path for path, _ in ranking[:3]]
+        # flash_ctrl OTP keys / aes TL-UL request: the long-route assets.
+        assert any("flash_ctrl" in p or "aes_tl" in p for p in top_paths)

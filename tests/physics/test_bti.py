@@ -1,0 +1,194 @@
+"""Unit tests for per-segment BTI state and the paper's sign convention."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.physics.bti import (
+    SegmentBti,
+    SegmentTraits,
+    aggregate_delays,
+    aggregate_delta_ps,
+)
+from repro.physics.constants import REFERENCE_TEMPERATURE_K
+
+T_REF = REFERENCE_TEMPERATURE_K
+
+
+def make_segment(amplitude=0.54, rising=450.0, falling=452.0):
+    return SegmentBti(
+        SegmentTraits(
+            rising_delay_ps=rising,
+            falling_delay_ps=falling,
+            burn_amplitude_ps=amplitude,
+        )
+    )
+
+
+class TestSignConvention:
+    def test_hold_one_pushes_delta_positive(self):
+        seg = make_segment()
+        seg.hold(1, 100.0, T_REF)
+        assert seg.delta_ps > 0.0
+
+    def test_hold_zero_pushes_delta_negative(self):
+        seg = make_segment()
+        seg.hold(0, 100.0, T_REF)
+        assert seg.delta_ps < 0.0
+
+    def test_hold_one_slows_falling_transition(self):
+        seg = make_segment()
+        before = seg.transition_delays()
+        seg.hold(1, 100.0, T_REF)
+        after = seg.transition_delays()
+        assert after.falling_ps > before.falling_ps
+        assert after.rising_ps == pytest.approx(before.rising_ps)
+
+    def test_hold_zero_slows_rising_transition(self):
+        seg = make_segment()
+        before = seg.transition_delays()
+        seg.hold(0, 100.0, T_REF)
+        after = seg.transition_delays()
+        assert after.rising_ps > before.rising_ps
+        assert after.falling_ps == pytest.approx(before.falling_ps)
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_segment().hold(2, 1.0, T_REF)
+
+
+class TestRecoveryAsymmetry:
+    def test_burn_one_imprint_recovers_quickly(self):
+        seg = make_segment()
+        seg.hold(1, 200.0, T_REF)
+        peak = seg.delta_ps
+        seg.idle(100.0, T_REF)
+        assert seg.delta_ps < 0.2 * peak
+
+    def test_burn_zero_imprint_persists(self):
+        seg = make_segment()
+        seg.hold(0, 200.0, T_REF)
+        trough = seg.delta_ps
+        seg.idle(100.0, T_REF)
+        assert seg.delta_ps < 0.7 * trough < 0.0  # still clearly negative
+
+    def test_complement_hold_reverses_burn_one_within_50_hours(self):
+        """The Figure 6 recovery band: burn-1 routes cross zero within
+        30-50 hours of complemented conditioning."""
+        seg = make_segment()
+        age = 0.0
+        for _ in range(200):
+            seg.hold(1, 1.0, T_REF, device_age_hours=age)
+            age += 1.0
+        crossing = None
+        for hour in range(200):
+            seg.hold(0, 1.0, T_REF, device_age_hours=age)
+            age += 1.0
+            if crossing is None and seg.delta_ps <= 0.0:
+                crossing = hour + 1
+        assert crossing is not None
+        assert 20 <= crossing <= 60
+
+    def test_complement_hold_on_burn_zero_takes_over_200_hours(self):
+        seg = make_segment()
+        age = 0.0
+        for _ in range(200):
+            seg.hold(0, 1.0, T_REF, device_age_hours=age)
+            age += 1.0
+        for _ in range(200):
+            seg.hold(1, 1.0, T_REF, device_age_hours=age)
+            age += 1.0
+        # Not recovered to positive within 200 hours (paper: "over 200").
+        assert seg.delta_ps < 0.0
+
+
+class TestToggle:
+    def test_balanced_toggle_keeps_delta_small(self):
+        seg = make_segment()
+        seg.toggle(200.0, T_REF)
+        held = make_segment()
+        held.hold(1, 200.0, T_REF)
+        assert abs(seg.delta_ps) < 0.3 * abs(held.delta_ps)
+
+    def test_skewed_duty_biases_delta(self):
+        seg = make_segment()
+        seg.toggle(200.0, T_REF, duty_high=0.9)
+        assert seg.delta_ps > 0.0
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_segment().toggle(1.0, T_REF, duty_high=1.2)
+
+    def test_invalid_ac_factor_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_segment().toggle(1.0, T_REF, ac_factor=-0.1)
+
+
+class TestAggregation:
+    def test_aggregate_delays_sums_segments(self):
+        segments = [make_segment(), make_segment(), make_segment()]
+        total = aggregate_delays(segments)
+        assert total.rising_ps == pytest.approx(3 * 450.0)
+        assert total.falling_ps == pytest.approx(3 * 452.0)
+
+    def test_aggregate_delta_sums_imprints(self):
+        segments = [make_segment() for _ in range(4)]
+        for seg in segments:
+            seg.hold(1, 100.0, T_REF)
+        total = aggregate_delta_ps(segments)
+        assert total == pytest.approx(4 * segments[0].delta_ps)
+
+    def test_empty_aggregate_is_zero(self):
+        assert aggregate_delta_ps([]) == 0.0
+
+
+class TestSnapshotAndPreload:
+    def test_snapshot_captures_state(self):
+        seg = make_segment()
+        seg.hold(1, 50.0, T_REF)
+        snap = seg.snapshot()
+        assert snap.delta_ps == pytest.approx(seg.delta_ps)
+        assert snap.high_charge_ps > 0.0
+        assert snap.low_charge_ps == 0.0
+
+    def test_preload_imprint(self):
+        seg = make_segment()
+        seg.preload_imprint(high_charge_ps=0.1, low_charge_ps=0.04)
+        assert seg.delta_ps == pytest.approx(0.06)
+
+    def test_invalid_traits_rejected(self):
+        with pytest.raises(PhysicsError):
+            SegmentTraits(rising_delay_ps=0.0, falling_delay_ps=1.0,
+                          burn_amplitude_ps=0.1)
+        with pytest.raises(PhysicsError):
+            SegmentTraits(rising_delay_ps=1.0, falling_delay_ps=1.0,
+                          burn_amplitude_ps=-0.1)
+
+
+class TestProperties:
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=1),
+                        min_size=1, max_size=30)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delta_bounded_by_single_pool_maximum(self, values):
+        """Under any hold schedule, |delta| never exceeds what holding a
+        single value for the whole duration would have produced."""
+        seg = make_segment()
+        for value in values:
+            seg.hold(value, 5.0, T_REF)
+        bound = make_segment()
+        bound.hold(1, 5.0 * len(values), T_REF)
+        assert abs(seg.delta_ps) <= abs(bound.delta_ps) * 1.001
+
+    @given(value=st.integers(min_value=0, max_value=1),
+           hours=st.floats(min_value=0.1, max_value=500.0))
+    @settings(max_examples=40, deadline=None)
+    def test_delta_sign_matches_held_value(self, value, hours):
+        seg = make_segment()
+        seg.hold(value, hours, T_REF)
+        if value == 1:
+            assert seg.delta_ps > 0.0
+        else:
+            assert seg.delta_ps < 0.0

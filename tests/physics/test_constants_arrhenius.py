@@ -1,0 +1,87 @@
+"""Tests for mechanism parameters, age suppression and Arrhenius factors."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.physics.arrhenius import (
+    arrhenius_factor,
+    recovery_acceleration,
+    stress_acceleration,
+)
+from repro.physics.constants import (
+    HIGH_POOL,
+    LOW_POOL,
+    REFERENCE_TEMPERATURE_K,
+    MechanismParams,
+    age_suppression,
+)
+
+
+class TestMechanismParams:
+    def test_high_pool_larger_amplitude(self):
+        """Section 3: the effect of the 1-stressed pool is larger."""
+        assert HIGH_POOL.amplitude_scale > LOW_POOL.amplitude_scale
+
+    def test_high_pool_recovers_much_faster(self):
+        assert HIGH_POOL.recovery_tau_hours < LOW_POOL.recovery_tau_hours / 100
+
+    @pytest.mark.parametrize("field,value", [
+        ("stress_exponent", 0.0),
+        ("stress_exponent", 1.0),
+        ("amplitude_scale", 0.0),
+        ("recovery_tau_hours", -1.0),
+        ("recovery_beta", 0.0),
+        ("recovery_beta", 1.5),
+    ])
+    def test_invalid_params_rejected(self, field, value):
+        kwargs = dict(
+            name="x", stress_exponent=0.3, amplitude_scale=1.0,
+            recovery_tau_hours=10.0, recovery_beta=0.5,
+            ea_stress_ev=0.5, ea_recovery_ev=0.2,
+        )
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            MechanismParams(**kwargs)
+
+
+class TestAgeSuppression:
+    def test_new_device_unsuppressed(self):
+        assert age_suppression(0.0) == pytest.approx(1.0)
+
+    def test_monotone_decreasing(self):
+        values = [age_suppression(a) for a in (0, 100, 500, 2000, 4000, 10000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_cloud_age_order_of_magnitude(self):
+        """The Experiment 1 vs 2 anchor: ~10x smaller on cloud parts."""
+        assert 0.05 < age_suppression(4000.0) < 0.15
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ConfigurationError):
+            age_suppression(-1.0)
+
+
+class TestArrhenius:
+    def test_unity_at_reference(self):
+        assert arrhenius_factor(REFERENCE_TEMPERATURE_K, 0.5) == pytest.approx(1.0)
+
+    def test_above_reference_accelerates(self):
+        assert arrhenius_factor(REFERENCE_TEMPERATURE_K + 10.0, 0.5) > 1.0
+
+    def test_below_reference_decelerates(self):
+        assert arrhenius_factor(REFERENCE_TEMPERATURE_K - 10.0, 0.5) < 1.0
+
+    def test_zero_activation_energy_is_flat(self):
+        assert arrhenius_factor(400.0, 0.0) == pytest.approx(1.0)
+
+    def test_stress_more_sensitive_than_recovery(self):
+        hot = REFERENCE_TEMPERATURE_K + 15.0
+        assert stress_acceleration(HIGH_POOL, hot) > recovery_acceleration(
+            HIGH_POOL, hot
+        )
+
+    def test_invalid_temperature_rejected(self):
+        with pytest.raises(PhysicsError):
+            arrhenius_factor(0.0, 0.5)
+        with pytest.raises(PhysicsError):
+            arrhenius_factor(-10.0, 0.5)

@@ -1,0 +1,228 @@
+"""Unit tests for the trap-pool stress/recovery kinetics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PhysicsError
+from repro.physics.constants import (
+    HIGH_POOL,
+    LOW_POOL,
+    REFERENCE_STRESS_HOURS,
+    REFERENCE_TEMPERATURE_K,
+)
+from repro.physics.kinetics import REFILL_PENALTY, TrapPool
+
+
+def make_pool(amplitude=1.0, params=HIGH_POOL):
+    return TrapPool(params=params, amplitude_ps=amplitude)
+
+
+class TestStress:
+    def test_fresh_pool_has_no_charge(self):
+        assert make_pool().charge_ps == 0.0
+
+    def test_reference_stress_reaches_amplitude(self):
+        pool = make_pool(amplitude=2.0)
+        pool.stress(REFERENCE_STRESS_HOURS, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(2.0)
+
+    def test_stress_is_monotone_in_time(self):
+        pool = make_pool()
+        charges = []
+        for _ in range(10):
+            pool.stress(10.0, REFERENCE_TEMPERATURE_K)
+            charges.append(pool.charge_ps)
+        assert charges == sorted(charges)
+
+    def test_power_law_sublinearity(self):
+        short, long_ = make_pool(), make_pool()
+        short.stress(50.0, REFERENCE_TEMPERATURE_K)
+        long_.stress(200.0, REFERENCE_TEMPERATURE_K)
+        # 4x the time yields less than 4x the charge (n < 1).
+        assert long_.charge_ps < 4.0 * short.charge_ps
+        # The expected ratio is 4**n.
+        expected = 4.0 ** HIGH_POOL.stress_exponent
+        assert long_.charge_ps / short.charge_ps == pytest.approx(expected)
+
+    def test_split_stress_equals_continuous_stress(self):
+        split, continuous = make_pool(), make_pool()
+        for _ in range(20):
+            split.stress(10.0, REFERENCE_TEMPERATURE_K)
+        continuous.stress(200.0, REFERENCE_TEMPERATURE_K)
+        assert split.charge_ps == pytest.approx(continuous.charge_ps)
+
+    def test_higher_temperature_accelerates(self):
+        cool, hot = make_pool(), make_pool()
+        cool.stress(100.0, REFERENCE_TEMPERATURE_K - 20.0)
+        hot.stress(100.0, REFERENCE_TEMPERATURE_K + 20.0)
+        assert hot.charge_ps > cool.charge_ps
+
+    def test_device_age_suppresses_increment(self):
+        fresh, aged = make_pool(), make_pool()
+        fresh.stress(100.0, REFERENCE_TEMPERATURE_K, device_age_hours=0.0)
+        aged.stress(100.0, REFERENCE_TEMPERATURE_K, device_age_hours=4000.0)
+        assert aged.charge_ps < 0.2 * fresh.charge_ps
+
+    def test_duty_scales_effective_time(self):
+        full, half = make_pool(), make_pool()
+        full.stress(100.0, REFERENCE_TEMPERATURE_K)
+        half.stress(200.0, REFERENCE_TEMPERATURE_K, duty=0.5)
+        assert half.charge_ps == pytest.approx(full.charge_ps)
+
+    def test_zero_duration_is_noop(self):
+        pool = make_pool()
+        pool.stress(50.0, REFERENCE_TEMPERATURE_K)
+        before = pool.charge_ps
+        pool.stress(0.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == before
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_pool().stress(-1.0, REFERENCE_TEMPERATURE_K)
+
+    def test_invalid_duty_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_pool().stress(1.0, REFERENCE_TEMPERATURE_K, duty=1.5)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(PhysicsError):
+            TrapPool(params=HIGH_POOL, amplitude_ps=-1.0)
+
+
+class TestRecovery:
+    def _stressed_pool(self, params=HIGH_POOL):
+        pool = make_pool(params=params)
+        pool.stress(REFERENCE_STRESS_HOURS, REFERENCE_TEMPERATURE_K)
+        return pool
+
+    def test_release_decays_charge(self):
+        pool = self._stressed_pool()
+        peak = pool.charge_ps
+        pool.release(50.0, REFERENCE_TEMPERATURE_K)
+        assert 0.0 < pool.charge_ps < peak
+
+    def test_release_is_monotone(self):
+        pool = self._stressed_pool()
+        values = []
+        for _ in range(10):
+            pool.release(20.0, REFERENCE_TEMPERATURE_K)
+            values.append(pool.charge_ps)
+        assert values == sorted(values, reverse=True)
+
+    def test_high_pool_recovers_faster_than_low(self):
+        high = self._stressed_pool(HIGH_POOL)
+        low = self._stressed_pool(LOW_POOL)
+        high_peak, low_peak = high.charge_ps, low.charge_ps
+        high.release(100.0, REFERENCE_TEMPERATURE_K)
+        low.release(100.0, REFERENCE_TEMPERATURE_K)
+        assert high.charge_ps / high_peak < 0.2
+        assert low.charge_ps / low_peak > 0.7
+
+    def test_stretched_exponential_form(self):
+        pool = self._stressed_pool()
+        peak = pool.charge_ps
+        pool.release(64.0, REFERENCE_TEMPERATURE_K)
+        tau = HIGH_POOL.recovery_tau_hours
+        beta = HIGH_POOL.recovery_beta
+        expected = peak * math.exp(-((64.0 / tau) ** beta))
+        assert pool.charge_ps == pytest.approx(expected)
+
+    def test_release_of_empty_pool_is_noop(self):
+        pool = make_pool()
+        pool.release(100.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == 0.0
+
+
+class TestRestress:
+    def test_short_gap_costs_almost_nothing(self):
+        """A one-minute measurement gap must behave like continuous
+        conditioning (the Experiments 1-2 interleave)."""
+        gapped, continuous = make_pool(), make_pool()
+        for _ in range(50):
+            gapped.stress(1.0, REFERENCE_TEMPERATURE_K)
+            gapped.release(1.0 / 60.0, REFERENCE_TEMPERATURE_K)
+        continuous.stress(50.0, REFERENCE_TEMPERATURE_K)
+        assert gapped.charge_ps == pytest.approx(continuous.charge_ps, rel=0.05)
+
+    def test_ac_stress_matches_refill_penalty(self):
+        """One-hour-on/one-hour-off stress accumulates equivalent time at
+        (1 - REFILL_PENALTY) per off-hour refund."""
+        ac = make_pool()
+        for _ in range(100):
+            ac.stress(1.0, REFERENCE_TEMPERATURE_K)
+            ac.release(1.0, REFERENCE_TEMPERATURE_K)
+        # Re-enter stress so the refill snaps the charge back onto the
+        # curve (comparing mid-recovery states would be apples/oranges).
+        ac.stress(1e-6, REFERENCE_TEMPERATURE_K)
+        # Net equivalent time: 100 on-hours minus 100*penalty refunds.
+        expected_hours = 100.0 - 100.0 * REFILL_PENALTY
+        reference = make_pool()
+        reference.stress(expected_hours, REFERENCE_TEMPERATURE_K)
+        assert ac.charge_ps == pytest.approx(reference.charge_ps, rel=0.1)
+
+    def test_restress_never_exceeds_continuous(self):
+        gapped, continuous = make_pool(), make_pool()
+        for _ in range(10):
+            gapped.stress(5.0, REFERENCE_TEMPERATURE_K)
+            gapped.release(2.0, REFERENCE_TEMPERATURE_K)
+        continuous.stress(70.0, REFERENCE_TEMPERATURE_K)
+        assert gapped.charge_ps <= continuous.charge_ps * 1.001
+
+
+class TestPreload:
+    def test_preload_sets_charge(self):
+        pool = make_pool()
+        pool.preload(0.5)
+        assert pool.charge_ps == pytest.approx(0.5)
+
+    def test_preload_lands_on_stress_curve(self):
+        pool = make_pool()
+        pool.preload(0.5)
+        t_eq = pool.equivalent_stress_hours
+        reference = make_pool()
+        reference.stress(t_eq, REFERENCE_TEMPERATURE_K)
+        assert reference.charge_ps == pytest.approx(0.5, rel=1e-6)
+
+    def test_negative_preload_rejected(self):
+        with pytest.raises(PhysicsError):
+            make_pool().preload(-0.1)
+
+
+class TestProperties:
+    @given(
+        durations=st.lists(
+            st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=20
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_charge_never_negative_under_any_schedule(self, durations):
+        pool = make_pool()
+        for i, duration in enumerate(durations):
+            if i % 2 == 0:
+                pool.stress(duration, REFERENCE_TEMPERATURE_K)
+            else:
+                pool.release(duration, REFERENCE_TEMPERATURE_K)
+            assert pool.charge_ps >= 0.0
+
+    @given(hours=st.floats(min_value=0.1, max_value=2000.0))
+    @settings(max_examples=50, deadline=None)
+    def test_stress_charge_bounded_by_power_law(self, hours):
+        pool = make_pool(amplitude=1.0)
+        pool.stress(hours, REFERENCE_TEMPERATURE_K)
+        bound = (hours / REFERENCE_STRESS_HOURS) ** HIGH_POOL.stress_exponent
+        assert pool.charge_ps <= bound * 1.0001
+
+    @given(
+        stress_h=st.floats(min_value=1.0, max_value=500.0),
+        release_h=st.floats(min_value=0.1, max_value=500.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_release_never_increases_charge(self, stress_h, release_h):
+        pool = make_pool()
+        pool.stress(stress_h, REFERENCE_TEMPERATURE_K)
+        before = pool.charge_ps
+        pool.release(release_h, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps <= before

@@ -1,0 +1,96 @@
+"""Calibration anchors: the physics must reproduce the paper's numbers.
+
+These tests pin the model to the quantitative claims of Section 6.1
+(Figure 6) and 6.2 (Figure 7) at the physics level, independent of the
+sensor pipeline.  Route compositions come from the delay-targeting
+router's switch counts.
+"""
+
+import pytest
+
+from repro.fabric.router import compose_delay
+from repro.fabric.segments import spec_for
+from repro.physics.bti import SegmentBti, SegmentTraits
+from repro.physics.constants import REFERENCE_TEMPERATURE_K
+
+
+def burn_route(length_ps, hours=200, value=1, age0=0.0):
+    """Condition one aggregated route-equivalent segment hourly."""
+    switches = sum(spec_for(k).switch_count for k in compose_delay(length_ps))
+    from repro.physics.constants import PS_PER_SWITCH_AT_REFERENCE
+
+    seg = SegmentBti(
+        SegmentTraits(
+            rising_delay_ps=length_ps,
+            falling_delay_ps=length_ps,
+            burn_amplitude_ps=switches * PS_PER_SWITCH_AT_REFERENCE,
+        )
+    )
+    age = age0
+    for _ in range(hours):
+        seg.hold(value, 1.0, REFERENCE_TEMPERATURE_K, device_age_hours=age)
+        age += 1.0
+    return seg, age
+
+
+# The Figure 6 bands, new device at 60 C after 200 hours (in ps).
+FIG6_BANDS = {
+    1000.0: (1.0, 2.0),
+    2000.0: (2.0, 3.0),
+    5000.0: (5.0, 6.0),
+    10000.0: (10.0, 11.0),
+}
+
+
+class TestFigure6Magnitudes:
+    @pytest.mark.parametrize("length,band", sorted(FIG6_BANDS.items()))
+    def test_burn_one_magnitude_in_band(self, length, band):
+        seg, _ = burn_route(length)
+        low, high = band
+        # Nominal (variation-free) magnitude within 25% of the band.
+        assert low * 0.75 <= seg.delta_ps <= high * 1.25
+
+    @pytest.mark.parametrize("length", sorted(FIG6_BANDS))
+    def test_burn_zero_is_mirrored(self, length):
+        one, _ = burn_route(length, value=1)
+        zero, _ = burn_route(length, value=0)
+        assert zero.delta_ps < 0.0
+        ratio = abs(zero.delta_ps) / one.delta_ps
+        assert 0.8 <= ratio <= 1.0  # low pool slightly weaker
+
+    def test_magnitude_grows_with_length(self):
+        magnitudes = [burn_route(L)[0].delta_ps for L in sorted(FIG6_BANDS)]
+        assert magnitudes == sorted(magnitudes)
+
+
+class TestFigure7CloudSuppression:
+    @pytest.mark.parametrize("length,cloud_max", [
+        (1000.0, 0.2), (2000.0, 0.4), (5000.0, 1.0), (10000.0, 2.0),
+    ])
+    def test_aged_device_magnitudes_within_cloud_bands(self, length, cloud_max):
+        seg, _ = burn_route(length, age0=4000.0)
+        assert 0.0 < seg.delta_ps <= cloud_max * 1.3
+
+    def test_suppression_is_order_of_magnitude(self):
+        fresh, _ = burn_route(5000.0)
+        aged, _ = burn_route(5000.0, age0=4000.0)
+        assert 5.0 < fresh.delta_ps / aged.delta_ps < 20.0
+
+
+class TestRecoveryTimescales:
+    def test_burn_one_crossing_in_30_to_50_hours(self):
+        seg, age = burn_route(5000.0)
+        crossing = None
+        for hour in range(200):
+            seg.hold(0, 1.0, REFERENCE_TEMPERATURE_K, device_age_hours=age)
+            age += 1.0
+            if crossing is None and seg.delta_ps <= 0.0:
+                crossing = hour + 1
+        assert crossing is not None and 20 <= crossing <= 60
+
+    def test_burn_zero_not_recovered_after_200_hours(self):
+        seg, age = burn_route(5000.0, value=0)
+        for _ in range(200):
+            seg.hold(1, 1.0, REFERENCE_TEMPERATURE_K, device_age_hours=age)
+            age += 1.0
+        assert seg.delta_ps < 0.0

@@ -1,0 +1,86 @@
+"""Tests for the voltage-acceleration dimension of the BTI model."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, FabricError
+from repro.physics.constants import (
+    HIGH_POOL,
+    REFERENCE_TEMPERATURE_K,
+    REFERENCE_VOLTAGE_V,
+    VOLTAGE_GAMMA_PER_V,
+    voltage_acceleration,
+)
+from repro.physics.kinetics import TrapPool
+
+
+class TestVoltageAcceleration:
+    def test_unity_at_nominal(self):
+        assert voltage_acceleration(REFERENCE_VOLTAGE_V) == pytest.approx(1.0)
+
+    def test_exponential_form(self):
+        assert voltage_acceleration(0.80) == pytest.approx(
+            math.exp(VOLTAGE_GAMMA_PER_V * -0.05)
+        )
+
+    def test_overvolting_accelerates(self):
+        assert voltage_acceleration(0.90) > 1.0
+
+    def test_invalid_voltage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            voltage_acceleration(0.0)
+
+
+class TestPoolVoltage:
+    def _charge_at(self, voltage):
+        pool = TrapPool(params=HIGH_POOL, amplitude_ps=1.0)
+        pool.stress(100.0, REFERENCE_TEMPERATURE_K, voltage_v=voltage)
+        return pool.charge_ps
+
+    def test_default_matches_nominal(self):
+        explicit = self._charge_at(REFERENCE_VOLTAGE_V)
+        pool = TrapPool(params=HIGH_POOL, amplitude_ps=1.0)
+        pool.stress(100.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(explicit)
+
+    def test_undervolting_shrinks_charge_sublinearly(self):
+        """The power law blunts rate suppression to rate**n on charge --
+        the reason undervolting alone cannot stop the attack (bench A8)."""
+        nominal = self._charge_at(0.85)
+        undervolted = self._charge_at(0.80)
+        rate_factor = voltage_acceleration(0.80)
+        expected = nominal * rate_factor**HIGH_POOL.stress_exponent
+        assert undervolted == pytest.approx(expected, rel=0.01)
+        assert undervolted > nominal * rate_factor  # blunted, not full
+
+    def test_monotone_in_voltage(self):
+        charges = [self._charge_at(v) for v in (0.72, 0.80, 0.85, 0.90)]
+        assert charges == sorted(charges)
+
+
+class TestDeviceVoltage:
+    def test_device_voltage_propagates_to_imprint(self):
+        from repro.designs import build_route_bank, build_target_design
+        from repro.fabric.device import FpgaDevice
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+
+        def burn(voltage):
+            device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=77)
+            device.set_core_voltage(voltage)
+            routes = build_route_bank(device.grid, [5000.0])
+            design = build_target_design(device.part, routes, [1],
+                                         heater_dsps=0)
+            device.load(design.bitstream)
+            device.advance_hours(48.0, REFERENCE_TEMPERATURE_K)
+            return device.route_delta_ps(routes[0])
+
+        assert burn(0.78) < burn(0.85)
+
+    def test_invalid_device_voltage_rejected(self):
+        from repro.fabric.device import FpgaDevice
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        with pytest.raises(FabricError):
+            device.set_core_voltage(-0.1)

@@ -1,0 +1,107 @@
+"""Tests for raw-trace archives and their replay pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError, SensorError
+from repro.designs import build_route_bank
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.sensor import LAB_NOISE, TunableDualPolarityTdc, find_theta_init
+from repro.sensor.traceio import (
+    MeasurementRecord,
+    load_trace_archive,
+    record_to_measurement,
+    records_to_series,
+    save_trace_archive,
+)
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    """A short live run captured as raw records."""
+    device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=61)
+    route = build_route_bank(device.grid, [5000.0])[0]
+    tdc = TunableDualPolarityTdc(device, route, noise=LAB_NOISE, seed=6)
+    theta = find_theta_init(tdc)
+    records, live_deltas = [], []
+    for hour in range(4):
+        measurement, rising, falling = tdc.measure_raw(theta)
+        live_deltas.append(measurement.delta_ps)
+        records.append(
+            MeasurementRecord(
+                route_name=route.name,
+                nominal_delay_ps=route.nominal_delay_ps,
+                hour=float(hour),
+                theta_init_ps=theta,
+                bin_ps=tdc.chain.nominal_bin_ps,
+                rising=tuple(rising),
+                falling=tuple(falling),
+            )
+        )
+    return records, live_deltas
+
+
+class TestReplayEquivalence:
+    def test_replayed_delta_matches_live_pipeline(self, recorded_run):
+        """The archived words reproduce the live measurement exactly --
+        the property that makes real-hardware archives drop-in."""
+        records, live_deltas = recorded_run
+        for record, live in zip(records, live_deltas):
+            assert record_to_measurement(record).delta_ps == pytest.approx(live)
+
+    def test_records_to_series_orders_by_hour(self, recorded_run):
+        records, live_deltas = recorded_run
+        series = records_to_series(list(reversed(records)))
+        assert series.hours == [0.0, 1.0, 2.0, 3.0]
+        assert series.raw_delta_ps == pytest.approx(live_deltas)
+
+    def test_mixed_routes_rejected(self, recorded_run):
+        records, _ = recorded_run
+        import dataclasses
+
+        alien = dataclasses.replace(records[0], route_name="other")
+        with pytest.raises(AnalysisError):
+            records_to_series([records[0], alien])
+
+    def test_empty_replay_rejected(self):
+        with pytest.raises(AnalysisError):
+            records_to_series([])
+
+
+class TestArchiveRoundTrip:
+    def test_full_fidelity(self, recorded_run, tmp_path):
+        records, _ = recorded_run
+        path = save_trace_archive(records, tmp_path / "run.npz")
+        restored = load_trace_archive(path)
+        assert len(restored) == len(records)
+        for a, b in zip(records, restored):
+            assert a.route_name == b.route_name
+            assert a.hour == b.hour
+            assert a.theta_init_ps == b.theta_init_ps
+            for ta, tb in zip(a.rising, b.rising):
+                assert np.array_equal(ta.words, tb.words)
+                assert ta.theta_ps == tb.theta_ps
+
+    def test_replay_after_round_trip_matches(self, recorded_run, tmp_path):
+        records, live_deltas = recorded_run
+        path = save_trace_archive(records, tmp_path / "run.npz")
+        series = records_to_series(load_trace_archive(path))
+        assert series.raw_delta_ps == pytest.approx(live_deltas)
+
+    def test_missing_archive_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_trace_archive(tmp_path / "nope.npz")
+
+    def test_empty_archive_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            save_trace_archive([], tmp_path / "x.npz")
+
+    def test_record_requires_both_polarities(self, recorded_run):
+        records, _ = recorded_run
+        with pytest.raises(SensorError):
+            MeasurementRecord(
+                route_name="r", nominal_delay_ps=1000.0, hour=0.0,
+                theta_init_ps=100.0, bin_ps=2.8,
+                rising=records[0].rising, falling=(),
+            )

@@ -1,0 +1,100 @@
+"""Tests for the related-work baselines (thermal channel, SRAM imprint)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PhysicsError
+from repro.baselines import (
+    SramImprintCell,
+    ThermalChannel,
+    TransientThermalState,
+    sram_imprint_detectable,
+)
+from repro.baselines.sram_imprint import (
+    CLOUD_TDC_RESOLUTION_PS,
+    ZICK_BURN_HOURS,
+    ZICK_RESOLUTION_PS,
+    detectability_summary,
+)
+
+
+class TestTransientThermal:
+    def test_heating_approaches_steady_state(self):
+        state = TransientThermalState()
+        state.advance(60.0, 60.0)  # an hour at 60 W
+        assert state.excess_c == pytest.approx(0.35 * 60.0, rel=0.01)
+
+    def test_cooling_returns_to_ambient_within_minutes(self):
+        """The paper's point: temperature dies in minutes."""
+        state = TransientThermalState()
+        state.advance(30.0, 60.0)
+        state.advance(10.0, 0.0)  # ten idle minutes
+        assert state.excess_c < 0.2
+
+    def test_exponential_relaxation(self):
+        state = TransientThermalState()
+        state.advance(30.0, 60.0)
+        peak = state.excess_c
+        state.advance(TransientThermalState().tau_minutes, 0.0)
+        assert state.excess_c == pytest.approx(peak / 2.718, rel=0.02)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransientThermalState().advance(-1.0, 0.0)
+
+
+class TestThermalChannel:
+    def test_decodes_with_immediate_handoff(self):
+        channel = ThermalChannel(seed=1)
+        assert channel.accuracy_at_gap(0.0) > 0.95
+
+    def test_channel_dies_within_minutes(self):
+        channel = ThermalChannel(seed=1)
+        assert channel.accuracy_at_gap(12.0) < 0.7
+
+    def test_accuracy_monotone_in_gap(self):
+        channel = ThermalChannel(seed=2)
+        accuracies = [channel.accuracy_at_gap(g, bits=128)
+                      for g in (0.0, 4.0, 12.0)]
+        assert accuracies[0] > accuracies[-1]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThermalChannel(heater_watts=0.0)
+        channel = ThermalChannel(seed=1)
+        with pytest.raises(ConfigurationError):
+            channel.transmit_and_receive([2], 0.0)
+        with pytest.raises(ConfigurationError):
+            channel.transmit_and_receive([1], -1.0)
+
+
+class TestSramImprint:
+    def test_signature_magnitude_far_below_routing(self):
+        cell = SramImprintCell(held_value=1, burn_hours=200.0)
+        # A 1000 ps route imprints ~1.5 ps; the cell is ~2-3 orders below.
+        assert cell.delay_signature_ps < 0.01
+
+    def test_signature_signed_by_value(self):
+        one = SramImprintCell(held_value=1, burn_hours=200.0)
+        zero = SramImprintCell(held_value=0, burn_hours=200.0)
+        assert one.delay_signature_ps == -zero.delay_signature_ps > 0.0
+
+    def test_zick_lab_setup_detects(self):
+        assert sram_imprint_detectable(ZICK_BURN_HOURS, ZICK_RESOLUTION_PS)
+
+    def test_cloud_tdc_cannot_detect(self):
+        """The paper's reason for targeting routing instead of SRAM."""
+        assert not sram_imprint_detectable(
+            ZICK_BURN_HOURS, CLOUD_TDC_RESOLUTION_PS
+        )
+
+    def test_summary_matches_section7(self):
+        summary = detectability_summary()
+        assert summary["zick_lab_sensor"] is True
+        assert summary["cloud_tdc"] is False
+        assert summary["cloud_tdc_200h"] is False
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(PhysicsError):
+            SramImprintCell(held_value=2, burn_hours=1.0)
+        with pytest.raises(ConfigurationError):
+            sram_imprint_detectable(100.0, 0.0)

@@ -1,0 +1,55 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_exp1_flags(self):
+        args = build_parser().parse_args(
+            ["exp1", "--quick", "--seed", "9", "--burn-hours", "12"]
+        )
+        assert args.quick and args.seed == 9 and args.burn_hours == 12
+
+    def test_table1_flags(self):
+        args = build_parser().parse_args(["table1", "--compare"])
+        assert args.compare
+
+
+class TestMain:
+    def test_table1_prints_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "/kmac_app_rsp" in out
+
+    def test_exp1_quick(self, capsys):
+        code = main(["exp1", "--quick", "--no-figure",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+
+    def test_exp1_figure_panels(self, capsys):
+        main(["exp1", "--quick", "--burn-hours", "16",
+              "--recovery-hours", "8", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "ps routes" in out
+
+    def test_exp2_quick(self, capsys):
+        assert main(["exp2", "--quick", "--no-figure",
+                     "--burn-hours", "24", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy by length" in out
+
+    def test_exp3_quick(self, capsys):
+        assert main(["exp3", "--quick", "--no-figure",
+                     "--recovery-hours", "8", "--seed", "19"]) == 0
+        out = capsys.readouterr().out
+        assert "boards probed" in out

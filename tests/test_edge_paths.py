@@ -1,0 +1,152 @@
+"""Edge-path tests across smaller surfaces."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PlacementError, SensorError
+
+
+class TestArithmeticHeater:
+    def test_insufficient_dsp_sites_rejected(self):
+        from repro.designs.arithmetic import build_fma_array
+        from repro.fabric.netlist import Netlist
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+        from repro.fabric.placement import FixedPlacer
+
+        grid = ZYNQ_ULTRASCALE_PLUS.make_grid()
+        netlist = Netlist(name="x")
+        placer = FixedPlacer(grid)
+        with pytest.raises(PlacementError):
+            build_fma_array(netlist, placer, dsp_count=10**6)
+
+    def test_avoid_columns_respected(self):
+        from repro.designs.arithmetic import build_fma_array
+        from repro.fabric.netlist import Netlist
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+        from repro.fabric.placement import FixedPlacer
+
+        grid = ZYNQ_ULTRASCALE_PLUS.make_grid()
+        netlist = Netlist(name="x")
+        placer = FixedPlacer(grid)
+        avoid = frozenset(range(0, 24))
+        build_fma_array(netlist, placer, dsp_count=32, avoid_columns=avoid)
+        for name, site in placer.placement.sites.items():
+            if name.endswith("_dsp"):
+                assert site.coord.x not in avoid
+
+    def test_negative_count_rejected(self):
+        from repro.designs.arithmetic import build_fma_array
+        from repro.fabric.netlist import Netlist
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+        from repro.fabric.placement import FixedPlacer
+
+        with pytest.raises(PlacementError):
+            build_fma_array(
+                Netlist(name="x"),
+                FixedPlacer(ZYNQ_ULTRASCALE_PLUS.make_grid()),
+                dsp_count=-1,
+            )
+
+
+class TestPowerEdges:
+    def test_invalid_activity_factor_rejected(self):
+        from repro.fabric.netlist import Netlist
+        from repro.fabric.power import estimate_power
+
+        with pytest.raises(ConfigurationError):
+            estimate_power(Netlist(name="x"), activity_factor=1.5)
+
+
+class TestTransitionCache:
+    def test_cache_refreshes_after_time_advances(self):
+        from repro.designs import build_route_bank, build_target_design
+        from repro.fabric.device import FpgaDevice
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+        from repro.sensor.trace import Polarity
+        from repro.sensor.transition import TransitionGenerator
+
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=93)
+        route = build_route_bank(device.grid, [5000.0])[0]
+        generator = TransitionGenerator(device=device, route=route)
+        before = generator.arrival_at_chain_ps(Polarity.FALLING)
+        # Repeated queries at the same sim time hit the cache.
+        assert generator.arrival_at_chain_ps(Polarity.FALLING) == before
+        design = build_target_design(device.part, [route], [1], heater_dsps=0)
+        device.load(design.bitstream)
+        device.advance_hours(50.0, 340.15)
+        after = generator.arrival_at_chain_ps(Polarity.FALLING)
+        assert after > before  # BTI slowed the falling transition
+
+    def test_negative_insertion_delay_rejected(self):
+        from repro.designs import build_route_bank
+        from repro.fabric.device import FpgaDevice
+        from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+        from repro.sensor.transition import TransitionGenerator
+
+        device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=94)
+        route = build_route_bank(device.grid, [1000.0])[0]
+        with pytest.raises(SensorError):
+            TransitionGenerator(device=device, route=route,
+                                insertion_delay_ps=-1.0)
+
+
+class TestRoutingValidation:
+    def test_validate_disjoint_catches_overlap(self):
+        from repro.errors import RoutingError
+        from repro.fabric.geometry import Coordinate
+        from repro.fabric.routing import Route, SegmentId, validate_disjoint
+        from repro.fabric.segments import SegmentKind
+
+        shared = SegmentId(SegmentKind.LONG, Coordinate(0, 0), 0)
+        a = Route(name="a", segments=(shared,))
+        b = Route(name="b", segments=(shared,))
+        with pytest.raises(RoutingError):
+            validate_disjoint([a, b])
+
+    def test_empty_route_rejected(self):
+        from repro.errors import RoutingError
+        from repro.fabric.routing import Route
+
+        with pytest.raises(RoutingError):
+            Route(name="empty", segments=())
+
+    def test_route_helpers(self):
+        from repro.fabric.geometry import Coordinate
+        from repro.fabric.routing import Route, SegmentId
+        from repro.fabric.segments import SegmentKind
+
+        segs = (
+            SegmentId(SegmentKind.LONG, Coordinate(0, 0), 0),
+            SegmentId(SegmentKind.SINGLE, Coordinate(0, 12), 0),
+        )
+        route = Route(name="r", segments=segs)
+        assert len(route) == 2
+        assert route.endpoints == (Coordinate(0, 0), Coordinate(0, 12))
+        assert route.switch_count == 4
+        assert route.nominal_delay_ps == pytest.approx(570.0)
+
+
+class TestSealedMarketplaceDeploy:
+    def test_sealed_image_loads_but_stays_sealed(self):
+        """End to end: a customer can run what they cannot read."""
+        from repro.cloud.fleet import build_fleet
+        from repro.cloud.marketplace import Marketplace
+        from repro.cloud.provider import CloudProvider
+        from repro.designs import build_route_bank, build_target_design
+        from repro.errors import AccessError
+        from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+
+        provider = CloudProvider(seed=1)
+        provider.create_region(
+            "r", build_fleet(VIRTEX_ULTRASCALE_PLUS, 1, seed=2)
+        )
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [1000.0])
+        design = build_target_design(VIRTEX_ULTRASCALE_PLUS, routes, [1],
+                                     heater_dsps=0)
+        marketplace = Marketplace()
+        listing = marketplace.publish(design.bitstream, publisher="v")
+        instance = provider.rent("r", "customer")
+        marketplace.deploy(listing.afi_id, instance)
+        assert instance.device.loaded_design is not None
+        with pytest.raises(AccessError):
+            listing.image.static_values()

@@ -1,0 +1,87 @@
+"""Tests for units, RNG management and the error hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.rng import RngFactory, make_rng
+from repro.units import (
+    celsius_to_kelvin,
+    hours_to_seconds,
+    kelvin_to_celsius,
+    ns_to_ps,
+    ps_to_ns,
+    seconds_to_hours,
+)
+
+
+class TestUnits:
+    def test_temperature_round_trip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(60.0)) == pytest.approx(60.0)
+
+    def test_known_values(self):
+        assert celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert hours_to_seconds(1.0) == 3600.0
+        assert seconds_to_hours(1800.0) == 0.5
+        assert ns_to_ps(2.8) == pytest.approx(2800.0)
+        assert ps_to_ns(2800.0) == pytest.approx(2.8)
+
+
+class TestRng:
+    def test_make_rng_accepts_int(self):
+        a, b = make_rng(42), make_rng(42)
+        assert a.integers(0, 100) == b.integers(0, 100)
+
+    def test_make_rng_passes_generator_through(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_factory_spawns_independent_streams(self):
+        factory = RngFactory(7)
+        a, b = factory.spawn(), factory.spawn()
+        draws_a = a.integers(0, 1000, 20)
+        draws_b = b.integers(0, 1000, 20)
+        assert not np.array_equal(draws_a, draws_b)
+
+    def test_named_streams_stable(self):
+        factory = RngFactory(7)
+        first = factory.stream("device")
+        second = factory.stream("device")
+        assert first is second
+
+    def test_named_streams_reproducible_across_factories(self):
+        a = RngFactory(7).stream("device").integers(0, 1000, 10)
+        b = RngFactory(7).stream("device").integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        factory = RngFactory(7)
+        a = factory.stream("x").integers(0, 1000, 10)
+        b = factory.stream("y").integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_adding_consumers_does_not_perturb_named_streams(self):
+        plain = RngFactory(3)
+        values_before = plain.stream("sensors").integers(0, 1000, 5)
+        busy = RngFactory(3)
+        busy.spawn()  # extra consumer
+        busy.stream("other")
+        values_after = busy.stream("sensors").integers(0, 1000, 5)
+        assert np.array_equal(values_before, values_after)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.ConfigurationError, errors.PhysicsError, errors.FabricError,
+        errors.PlacementError, errors.RoutingError, errors.DesignRuleViolation,
+        errors.SensorError, errors.CalibrationError, errors.CloudError,
+        errors.CapacityError, errors.AccessError, errors.TenancyError,
+        errors.AttackError, errors.AnalysisError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_subdomain_relationships(self):
+        assert issubclass(errors.PlacementError, errors.FabricError)
+        assert issubclass(errors.CalibrationError, errors.SensorError)
+        assert issubclass(errors.CapacityError, errors.CloudError)

@@ -1,0 +1,146 @@
+"""Cross-package integration invariants."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.fleet import build_fleet, cloud_wear_profile
+from repro.cloud.provider import CloudProvider
+from repro.designs import (
+    build_measure_design,
+    build_route_bank,
+    build_target_design,
+)
+from repro.experiments import Experiment1Config, run_experiment1
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_everything(self):
+        """One seed pins the full pipeline: fabric, physics, sensors."""
+        a = run_experiment1(Experiment1Config.quick(seed=17))
+        b = run_experiment1(Experiment1Config.quick(seed=17))
+        assert a.burn_values == b.burn_values
+        for name, series in a.bundle.series.items():
+            assert series.raw_delta_ps == b.bundle.series[name].raw_delta_ps
+
+    def test_different_seeds_differ(self):
+        a = run_experiment1(Experiment1Config.quick(seed=17))
+        b = run_experiment1(Experiment1Config.quick(seed=18))
+        some_route = next(iter(a.bundle.series))
+        assert (a.bundle.series[some_route].raw_delta_ps
+                != b.bundle.series[some_route].raw_delta_ps)
+
+
+class TestMultiTenantIsolationFailure:
+    """The vulnerability, stated as an integration property: tenant N's
+    data is readable by tenant N+1, but NOT by a tenant on a different
+    physical board."""
+
+    def _platform(self):
+        provider = CloudProvider(seed=5)
+        fleet = build_fleet(VIRTEX_ULTRASCALE_PLUS, 2,
+                            wear=cloud_wear_profile(100.0), seed=6)
+        provider.create_region("r", fleet)
+        return provider
+
+    def test_imprint_is_board_local(self):
+        provider = self._platform()
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [10000.0, 10000.0])
+        design = build_target_design(
+            VIRTEX_ULTRASCALE_PLUS, routes, [1, 1], heater_dsps=0
+        )
+        victim = provider.rent("r", "victim")
+        victim_device = victim.device
+        other = provider.rent("r", "bystander")
+        other_device = other.device
+        victim.load_image(design.bitstream)
+        provider.advance(48.0)
+        provider.release(victim)
+        provider.release(other)
+        assert victim_device.route_delta_ps(routes[0]) > 1.0
+        assert abs(other_device.route_delta_ps(routes[0])) < 0.5
+
+    def test_successive_tenants_stack_imprints(self):
+        provider = self._platform()
+        grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [10000.0])
+        one = build_target_design(VIRTEX_ULTRASCALE_PLUS, routes, [1],
+                                  heater_dsps=0, name="tenant-one")
+        zero = build_target_design(VIRTEX_ULTRASCALE_PLUS, routes, [0],
+                                   heater_dsps=0, name="tenant-two")
+        first = provider.rent("r", "one")
+        device = first.device
+        first.load_image(one.bitstream)
+        provider.advance(100.0)
+        provider.release(first)
+        after_first = device.route_delta_ps(routes[0])
+        second = provider.rent("r", "two")
+        assert second.device is device  # LIFO hands the same board out
+        second.load_image(zero.bitstream)
+        provider.advance(20.0)
+        provider.release(second)
+        after_second = device.route_delta_ps(routes[0])
+        # The second tenant's opposite value eats into the imprint.
+        assert after_second < after_first
+
+
+class TestPartPortability:
+    @pytest.mark.parametrize("part", [ZYNQ_ULTRASCALE_PLUS,
+                                      VIRTEX_ULTRASCALE_PLUS])
+    def test_full_stack_runs_on_both_parts(self, part):
+        from repro.core.bench import LabBench
+        from repro.core.protocol import ConditionMeasureProtocol
+        from repro.fabric.device import FpgaDevice
+        from repro.sensor.noise import LAB_NOISE
+
+        device = FpgaDevice(part, seed=23)
+        bench = LabBench(device)
+        routes = build_route_bank(device.grid, [5000.0, 5000.0])
+        target = build_target_design(part, routes, [1, 0], heater_dsps=0)
+        measure = build_measure_design(part, routes)
+        protocol = ConditionMeasureProtocol(
+            environment=bench,
+            target_bitstream=target.bitstream,
+            measure_design=measure,
+            routes=routes,
+            condition_hours_per_cycle=4.0,
+        )
+        protocol.calibration.noise = LAB_NOISE
+        protocol.calibrate()
+        bundle = protocol.run_cycles(6)
+        assert bundle.series[routes[0].name].centered[-1] > 0.0
+        assert bundle.series[routes[1].name].centered[-1] < 0.0
+
+
+class TestVerifierPredictsAttack:
+    def test_high_grade_nets_are_the_recoverable_ones(self):
+        """The Section 8.1 analyzer's grades match attack reality: on a
+        fresh board, long routes grade CRITICAL and short ones lower,
+        mirroring the per-length accuracies every experiment measures."""
+        from repro.verify import ThreatScenario, analyze_routes
+
+        grid = ZYNQ_ULTRASCALE_PLUS.make_grid()
+        routes = build_route_bank(grid, [1000.0, 10000.0])
+        report = analyze_routes(
+            routes, ThreatScenario(residency_hours=48.0,
+                                   device_age_hours=0.0)
+        )
+        short, long_ = report.exposures
+        assert long_.attacker_snr > 4.0 * short.attacker_snr
+        assert long_.hours_to_extraction < short.hours_to_extraction
+
+
+class TestMultiRegion:
+    def test_regions_advance_together(self):
+        provider = CloudProvider(seed=9)
+        provider.create_region(
+            "us", build_fleet(VIRTEX_ULTRASCALE_PLUS, 1, seed=1)
+        )
+        provider.create_region(
+            "eu", build_fleet(VIRTEX_ULTRASCALE_PLUS, 1, seed=2)
+        )
+        provider.advance(7.0)
+        for region_name in ("us", "eu"):
+            for device in provider.region(region_name).devices():
+                assert device.sim_hours == pytest.approx(7.0)

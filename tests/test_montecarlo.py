@@ -1,0 +1,61 @@
+"""Tests for the Monte Carlo robustness harness."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.montecarlo import MonteCarloResult, experiment_sweep, run_monte_carlo
+
+
+class TestRunner:
+    def test_evaluates_every_seed(self):
+        result = run_monte_carlo(lambda s: float(s) / 10.0, [1, 2, 3],
+                                 metric_name="demo")
+        assert result.values == (0.1, 0.2, 0.3)
+        assert result.mean == pytest.approx(0.2)
+        assert result.minimum == pytest.approx(0.1)
+        assert result.maximum == pytest.approx(0.3)
+
+    def test_single_seed_has_zero_std(self):
+        result = run_monte_carlo(lambda s: 0.5, [7])
+        assert result.std == 0.0
+
+    def test_percentile_interval(self):
+        result = run_monte_carlo(lambda s: float(s), range(1, 101))
+        lo, hi = result.percentile_interval(0.9)
+        assert lo == pytest.approx(5.95, abs=1.0)
+        assert hi == pytest.approx(95.05, abs=1.0)
+
+    def test_invalid_coverage_rejected(self):
+        result = run_monte_carlo(lambda s: 1.0, [1, 2])
+        with pytest.raises(AnalysisError):
+            result.percentile_interval(1.5)
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(lambda s: 1.0, [])
+
+    def test_str_summary(self):
+        result = run_monte_carlo(lambda s: 0.9, [1, 2, 3],
+                                 metric_name="accuracy")
+        assert "accuracy" in str(result)
+        assert "n=3" in str(result)
+
+
+class TestExperimentSweep:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            experiment_sweep("exp9", [1])
+
+    def test_exp1_sweep_is_robust(self):
+        """Experiment 1's quick configuration recovers perfectly across
+        seeds -- the lab setting's headline robustness claim."""
+        result = experiment_sweep("exp1", seeds=[5, 6, 7])
+        assert result.mean == 1.0
+        assert result.std == 0.0
+
+    def test_overrides_apply(self):
+        result = experiment_sweep(
+            "exp1", seeds=[5],
+            config_overrides={"burn_hours": 16, "recovery_hours": 8},
+        )
+        assert 0.0 <= result.mean <= 1.0

@@ -1,0 +1,99 @@
+"""Tests for JSON result persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
+from repro.persistence import (
+    bundle_from_dict,
+    bundle_to_dict,
+    load_bundle,
+    load_experiment_bundle,
+    save_bundle,
+    save_experiment,
+)
+
+
+def make_bundle():
+    bundle = SeriesBundle("archive-test")
+    for i, burn in enumerate((1, 0)):
+        series = DeltaPsSeries(
+            route_name=f"rut[{i}]", nominal_delay_ps=5000.0, burn_value=burn
+        )
+        for hour in range(5):
+            series.append(float(hour), 0.1 * hour * (1 if burn else -1))
+        bundle.add(series)
+    return bundle
+
+
+class TestBundleRoundTrip:
+    def test_full_fidelity(self, tmp_path):
+        bundle = make_bundle()
+        path = save_bundle(bundle, tmp_path / "run.json")
+        restored = load_bundle(path)
+        assert restored.label == bundle.label
+        for name, series in bundle.series.items():
+            twin = restored.series[name]
+            assert twin.hours == series.hours
+            assert twin.raw_delta_ps == series.raw_delta_ps
+            assert twin.burn_value == series.burn_value
+            assert twin.nominal_delay_ps == series.nominal_delay_ps
+
+    def test_centered_analysis_survives(self, tmp_path):
+        bundle = make_bundle()
+        path = save_bundle(bundle, tmp_path / "run.json")
+        restored = load_bundle(path)
+        for name in bundle.series:
+            assert np.allclose(
+                restored.series[name].centered, bundle.series[name].centered
+            )
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(AnalysisError):
+            load_bundle(tmp_path / "ghost.json")
+
+    def test_wrong_schema_rejected(self):
+        payload = bundle_to_dict(make_bundle())
+        payload["schema"] = 99
+        with pytest.raises(AnalysisError):
+            bundle_from_dict(payload)
+
+    def test_misaligned_series_rejected(self):
+        payload = bundle_to_dict(make_bundle())
+        payload["series"][0]["hours"].append(99.0)
+        with pytest.raises(AnalysisError):
+            bundle_from_dict(payload)
+
+    def test_non_bundle_payload_rejected(self):
+        with pytest.raises(AnalysisError):
+            bundle_from_dict({"totally": "unrelated"})
+
+
+class TestExperimentArchive:
+    def test_round_trip_with_provenance(self, tmp_path):
+        from repro.experiments import Experiment1Config, run_experiment1
+
+        result = run_experiment1(Experiment1Config.quick(seed=5))
+        path = save_experiment(result, tmp_path / "exp1.json")
+        metadata, bundle = load_experiment_bundle(path)
+        assert metadata["result_type"] == "Experiment1Result"
+        assert metadata["recovery"]["accuracy"] == result.recovery_score.accuracy
+        assert metadata["config"]["burn_hours"] == result.config.burn_hours
+        assert len(bundle) == len(result.bundle)
+
+    def test_archive_is_plain_json(self, tmp_path):
+        from repro.experiments import Experiment1Config, run_experiment1
+
+        result = run_experiment1(Experiment1Config.quick(seed=5))
+        path = save_experiment(result, tmp_path / "exp1.json")
+        payload = json.loads(path.read_text())
+        assert payload["repro_version"]
+
+    def test_non_archive_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"schema": 1}))
+        with pytest.raises(AnalysisError):
+            load_experiment_bundle(path)

@@ -1,0 +1,55 @@
+"""Tests for the one-shot reproduction report and its CLI."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting import generate_reproduction_report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_reproduction_report(scale="quick", seed=5,
+                                            routes_per_length=2)
+
+    def test_contains_all_four_artefacts(self, report):
+        assert "## Table 1" in report
+        assert "## Figure 6" in report
+        assert "## Figure 7" in report
+        assert "## Figure 8" in report
+
+    def test_compares_against_paper(self, report):
+        assert "(paper)" in report
+        assert "paper band" in report
+
+    def test_records_recovery_scores(self, report):
+        assert report.count("recovered") >= 3
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_reproduction_report(scale="gigantic")
+
+
+class TestReportCli:
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(["report", "--scale", "quick", "--seed", "5",
+                     "--output", str(target)]) == 0
+        assert "report written" in capsys.readouterr().out
+        text = target.read_text()
+        assert "# Pentimento reproduction report" in text
+        assert "## Figure 8" in text
+
+    def test_experiment_archive_flag(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.persistence import load_experiment_bundle
+
+        target = tmp_path / "exp1.json"
+        assert main(["exp1", "--quick", "--no-figure", "--seed", "5",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--output", str(target)]) == 0
+        metadata, bundle = load_experiment_bundle(target)
+        assert metadata["result_type"] == "Experiment1Result"
+        assert len(bundle) > 0

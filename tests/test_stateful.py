@@ -1,0 +1,130 @@
+"""Stateful property tests (hypothesis rule-based machines).
+
+Two state machines exercise long random operation sequences:
+
+* :class:`TrapPoolMachine` -- arbitrary stress/release/query schedules
+  must keep the pool's physics invariants;
+* :class:`ProviderMachine` -- arbitrary rent/release/advance sequences
+  must keep the platform's tenancy invariants.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.cloud.fleet import build_fleet
+from repro.cloud.provider import CloudProvider
+from repro.errors import CapacityError
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.physics.constants import HIGH_POOL, REFERENCE_TEMPERATURE_K
+from repro.physics.kinetics import TrapPool
+
+
+class TrapPoolMachine(RuleBasedStateMachine):
+    """Physics invariants under arbitrary schedules."""
+
+    def __init__(self):
+        super().__init__()
+        self.pool = TrapPool(params=HIGH_POOL, amplitude_ps=1.0)
+        self.total_stress_hours = 0.0
+        self.peak_charge = 0.0
+
+    @rule(hours=st.floats(min_value=0.01, max_value=100.0),
+          temp_offset=st.floats(min_value=-30.0, max_value=30.0))
+    def stress(self, hours, temp_offset):
+        self.pool.stress(hours, REFERENCE_TEMPERATURE_K + temp_offset)
+        self.total_stress_hours += hours
+        self.peak_charge = max(self.peak_charge, self.pool.charge_ps)
+
+    @rule(hours=st.floats(min_value=0.01, max_value=100.0))
+    def release(self, hours):
+        before = self.pool.charge_ps
+        self.pool.release(hours, REFERENCE_TEMPERATURE_K)
+        assert self.pool.charge_ps <= before
+
+    @invariant()
+    def charge_never_negative(self):
+        assert self.pool.charge_ps >= 0.0
+
+    @invariant()
+    def charge_bounded_by_accelerated_continuous_stress(self):
+        if self.total_stress_hours <= 0.0:
+            return
+        bound_pool = TrapPool(params=HIGH_POOL, amplitude_ps=1.0)
+        bound_pool.stress(
+            self.total_stress_hours, REFERENCE_TEMPERATURE_K + 30.0
+        )
+        assert self.pool.charge_ps <= bound_pool.charge_ps * 1.001
+
+    @invariant()
+    def equivalent_time_never_negative(self):
+        assert self.pool.equivalent_stress_hours >= 0.0
+
+
+TestTrapPoolStateful = TrapPoolMachine.TestCase
+TestTrapPoolStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+
+
+class ProviderMachine(RuleBasedStateMachine):
+    """Platform tenancy invariants under arbitrary operation sequences."""
+
+    FLEET_SIZE = 3
+
+    def __init__(self):
+        super().__init__()
+        self.provider = CloudProvider(seed=3)
+        fleet = build_fleet(ZYNQ_ULTRASCALE_PLUS, self.FLEET_SIZE, seed=4)
+        self.device_ids = {d.device_id for d in fleet}
+        self.provider.create_region("r", fleet)
+        self.held = []
+
+    @rule()
+    def rent(self):
+        try:
+            instance = self.provider.rent("r", "tenant")
+        except CapacityError:
+            assert len(self.held) == self.FLEET_SIZE
+            return
+        self.held.append(instance)
+
+    @precondition(lambda self: self.held)
+    @rule(index=st.integers(min_value=0, max_value=10))
+    def release(self, index):
+        instance = self.held.pop(index % len(self.held))
+        self.provider.release(instance)
+        assert instance.device.loaded_design is None  # wiped
+
+    @rule(hours=st.floats(min_value=0.1, max_value=24.0))
+    def advance(self, hours):
+        self.provider.advance(hours)
+
+    @invariant()
+    def no_device_double_rented(self):
+        rented = [inst.device.device_id for inst in self.held]
+        assert len(rented) == len(set(rented))
+
+    @invariant()
+    def every_device_accounted_for(self):
+        region = self.provider.region("r")
+        pooled = {d.device_id for d in region.devices()}
+        assert pooled == self.device_ids
+
+    @invariant()
+    def clocks_are_synchronised(self):
+        region = self.provider.region("r")
+        for device in region.devices():
+            assert abs(device.sim_hours - self.provider.clock_hours) < 1e-6
+
+
+TestProviderStateful = ProviderMachine.TestCase
+TestProviderStateful.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,130 @@
+"""Tests for the Section 8.1 vulnerability verification tool."""
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.designs import build_route_bank, build_target_design
+from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+from repro.verify import (
+    ExposureGrade,
+    ThreatScenario,
+    analyze_bitstream,
+    analyze_routes,
+    render_vulnerability_report,
+)
+
+PART = VIRTEX_ULTRASCALE_PLUS
+
+
+@pytest.fixture(scope="module")
+def routes():
+    grid = PART.make_grid()
+    return build_route_bank(grid, [1000.0, 2000.0, 5000.0, 10000.0])
+
+
+class TestScenario:
+    def test_defaults_match_paper_cloud(self):
+        scenario = ThreatScenario.aws_f1_default()
+        assert scenario.residency_hours == 200.0
+        assert scenario.device_age_hours == 4000.0
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThreatScenario(residency_hours=0.0)
+        with pytest.raises(ConfigurationError):
+            ThreatScenario(device_age_hours=-1.0)
+        with pytest.raises(ConfigurationError):
+            ThreatScenario(measurement_passes=0)
+
+
+class TestAnalyzeRoutes:
+    def test_snr_grows_with_route_length(self, routes):
+        report = analyze_routes(routes)
+        snrs = [e.attacker_snr for e in report.exposures]
+        assert snrs == sorted(snrs)
+
+    def test_fresh_device_is_worse(self, routes):
+        aged = analyze_routes(routes, ThreatScenario.aws_f1_default())
+        fresh = analyze_routes(routes, ThreatScenario.fresh_device())
+        for a, f in zip(aged.exposures, fresh.exposures):
+            assert f.attacker_snr > a.attacker_snr
+
+    def test_longer_residency_is_worse(self, routes):
+        short = analyze_routes(routes, ThreatScenario(residency_hours=24.0))
+        long_ = analyze_routes(routes, ThreatScenario(residency_hours=400.0))
+        assert long_.worst().attacker_snr > short.worst().attacker_snr
+
+    def test_extraction_time_decreases_with_length(self, routes):
+        report = analyze_routes(routes, ThreatScenario.fresh_device())
+        hours = [e.hours_to_extraction for e in report.exposures]
+        assert all(h is not None for h in hours)
+        assert hours == sorted(hours, reverse=True)
+
+    def test_grades_cover_spectrum(self, routes):
+        fresh = analyze_routes(routes, ThreatScenario.fresh_device())
+        grades = {e.grade for e in fresh.exposures}
+        assert ExposureGrade.CRITICAL in grades
+
+    def test_unmeasurable_routes_grade_low(self, routes):
+        hopeless = ThreatScenario(
+            residency_hours=1.0, device_age_hours=50000.0
+        )
+        report = analyze_routes(routes[:1], hopeless)
+        assert report.exposures[0].grade is ExposureGrade.LOW
+        assert report.exposures[0].hours_to_extraction is None
+
+    def test_empty_routes_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_routes([])
+
+
+class TestAnalyzeBitstream:
+    def test_defaults_to_static_nets(self, routes):
+        design = build_target_design(PART, routes, [1, 0, 1, 0],
+                                     heater_dsps=16)
+        report = analyze_bitstream(design.bitstream)
+        analysed = {e.net_name for e in report.exposures}
+        assert analysed == {r.name for r in routes}  # heater nets excluded
+
+    def test_explicit_net_selection(self, routes):
+        design = build_target_design(PART, routes, [1, 0, 1, 0],
+                                     heater_dsps=0)
+        report = analyze_bitstream(
+            design.bitstream, sensitive_nets=[routes[3].name]
+        )
+        assert len(report.exposures) == 1
+
+    def test_design_without_routes_rejected(self):
+        from repro.fabric.bitstream import Bitstream
+        from repro.fabric.netlist import Netlist
+        from repro.fabric.placement import Placement
+
+        empty = Bitstream.compile(Netlist(name="empty"), Placement())
+        with pytest.raises(AnalysisError):
+            analyze_bitstream(empty)
+
+
+class TestReportOutput:
+    def test_render_contains_all_nets_and_verdicts(self, routes):
+        report = analyze_routes(routes, ThreatScenario.fresh_device())
+        text = render_vulnerability_report(report)
+        for route in routes:
+            assert route.name in text
+        assert "recommendations:" in text
+        assert "CRITICAL" in text
+
+    def test_recommendations_track_findings(self, routes):
+        risky = analyze_routes(routes, ThreatScenario.fresh_device())
+        assert any("invert or shuffle" in r for r in risky.recommendations())
+        safe = analyze_routes(
+            routes[:1],
+            ThreatScenario(residency_hours=1.0, device_age_hours=50000.0),
+        )
+        assert any("noise floor" in r for r in safe.recommendations())
+
+    def test_mitigated_scenario_downgrades(self, routes):
+        """The report quantifies what a mitigation buys: shorter
+        residency (rotation) lowers every grade."""
+        static = analyze_routes(routes, ThreatScenario(residency_hours=200.0))
+        rotated = analyze_routes(routes, ThreatScenario(residency_hours=8.0))
+        assert rotated.worst().attacker_snr < static.worst().attacker_snr
