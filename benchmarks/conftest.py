@@ -6,11 +6,18 @@ default the figure benchmarks run the full experiment *duration* with a
 reduced route count (4 per length class instead of 16) so the whole
 suite completes in minutes; set ``REPRO_BENCH_FULL=1`` for the paper's
 exact scale.
+
+Each session also writes ``BENCH_observability.json`` at the repo root:
+per-benchmark wall times plus the observability metrics the run
+accumulated, so the bench trajectory is machine-readable run over run.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 import pytest
 
@@ -32,3 +39,41 @@ def emit(capsys):
             print(text)
 
     return _emit
+
+
+_durations: dict[str, float] = {}
+_session_start = time.time()
+
+
+def pytest_runtest_logreport(report):
+    """Collect per-benchmark call durations."""
+    if report.when == "call" and report.passed:
+        _durations[report.nodeid] = round(report.duration, 4)
+
+
+def pytest_sessionfinish(session):
+    """Write the ``BENCH_observability.json`` timing summary."""
+    if not _durations:
+        return
+    try:
+        from repro import __version__
+        from repro.observability.metrics import get_registry
+
+        metrics = get_registry().snapshot()
+        version = __version__
+    except Exception:  # repro not importable: still record the timings
+        metrics, version = {}, "unknown"
+    payload = {
+        "suite": "benchmarks",
+        "repro_version": version,
+        "python_version": platform.python_version(),
+        "full_scale": full_scale(),
+        "started_unix": round(_session_start, 3),
+        "total_seconds": round(time.time() - _session_start, 3),
+        "benchmarks": dict(sorted(_durations.items())),
+        "metrics": metrics,
+    }
+    target = os.path.join(str(session.config.rootpath),
+                          "BENCH_observability.json")
+    with open(target, "w") as handle:
+        json.dump(payload, handle, indent=1)

@@ -6,6 +6,12 @@ Examples::
     python -m repro exp2 --seed 7
     python -m repro exp3 --quick --recovery-hours 20
     python -m repro table1 --compare
+    python -m repro exp1 --quick --trace --metrics-out run.json
+
+Every sub-command accepts the observability flag pair: ``--trace``
+prints the run's span tree (experiment -> phase -> capture) and
+``--metrics-out FILE`` writes the metrics registry, span tree and run
+manifest as one JSON document.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ import sys
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro import __version__
 from repro.experiments import (
     Experiment1Config,
     Experiment2Config,
@@ -24,6 +31,7 @@ from repro.experiments import (
     run_experiment2,
     run_experiment3,
 )
+from repro.observability import trace
 from repro.opentitan import build_table1, render_table1
 
 
@@ -36,7 +44,18 @@ def build_parser() -> argparse.ArgumentParser:
             "on the simulated substrate."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def observability(p: argparse.ArgumentParser) -> None:
+        """The flag pair every sub-command carries."""
+        p.add_argument("--trace", action="store_true",
+                       help="collect and print the run's span tree")
+        p.add_argument("--metrics-out", type=str, default=None,
+                       metavar="FILE",
+                       help="write metrics + spans + manifest as JSON")
 
     def common(p: argparse.ArgumentParser) -> None:
         """Flags shared by every experiment sub-command."""
@@ -49,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--output", type=str, default=None, metavar="FILE",
                        help="archive the full result (series + "
                             "provenance) as JSON")
+        observability(p)
 
     p1 = sub.add_parser("exp1", help="Experiment 1 / Figure 6 (lab)")
     common(p1)
@@ -67,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--seed", type=int, default=1)
     pt.add_argument("--compare", action="store_true",
                     help="interleave the paper's published rows")
+    observability(pt)
 
     pr = sub.add_parser(
         "report",
@@ -76,6 +97,7 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=1)
     pr.add_argument("--output", type=str, default=None, metavar="FILE",
                     help="write the report to a file instead of stdout")
+    observability(pr)
     return parser
 
 
@@ -98,75 +120,134 @@ def _override(config, args, fields: Sequence[str]):
     return replace(config, **updates) if updates else config
 
 
+def _finish_observability(args) -> int:
+    """Print the span tree / write the metrics file after a command.
+
+    Returns 0, or 1 if the metrics file could not be written (the run
+    itself already happened, so the tree is still printed first).
+    """
+    if getattr(args, "trace", False):
+        rendered = trace.render_tree()
+        if rendered:
+            print("\n-- span tree " + "-" * 27)
+            print(rendered)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from repro.observability.export import write_metrics_json
+        from repro.observability.manifest import build_manifest
+
+        manifest = build_manifest(
+            config=getattr(args, "_config", None),
+            argv=list(sys.argv),
+            include_spans=False,
+        )
+        try:
+            path = write_metrics_json(metrics_out, manifest=manifest.to_dict())
+        except OSError as exc:
+            print(f"repro: cannot write metrics to {metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"metrics written to {path}")
+    return 0
+
+
+def _cmd_exp1(args) -> int:
+    base = (Experiment1Config.quick() if args.quick
+            else Experiment1Config.paper())
+    config = _override(base, args, ("burn_hours", "recovery_hours"))
+    args._config = config
+    result = run_experiment1(config)
+    if not args.no_figure:
+        print(render_experiment_panels(
+            result.bundle, "Figure 6 (Experiment 1, lab)",
+            stress_change_hour=result.stress_change_hour,
+        ))
+    print(f"\n{result.recovery_score}")
+    _archive(result, args)
+    return 0
+
+
+def _cmd_exp2(args) -> int:
+    base = (Experiment2Config.quick() if args.quick
+            else Experiment2Config.paper())
+    config = _override(base, args, ("burn_hours",))
+    args._config = config
+    result = run_experiment2(config)
+    if not args.no_figure:
+        print(render_experiment_panels(
+            result.bundle, "Figure 7 (Experiment 2, cloud TM1)"
+        ))
+    print(f"\n{result.recovery_score}")
+    accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
+    print(f"accuracy by length: {accuracy}")
+    _archive(result, args)
+    return 0
+
+
+def _cmd_exp3(args) -> int:
+    base = (Experiment3Config.quick() if args.quick
+            else Experiment3Config.paper())
+    config = _override(base, args, ("recovery_hours",))
+    args._config = config
+    result = run_experiment3(config)
+    if not args.no_figure:
+        print(render_experiment_panels(
+            result.bundle, "Figure 8 (Experiment 3, cloud TM2)"
+        ))
+    print(f"\n{result.recovery_score}")
+    accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
+    print(f"accuracy by length: {accuracy}")
+    print(f"boards probed: {result.devices_probed}")
+    _archive(result, args)
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    rows = build_table1(seed=args.seed)
+    print(render_table1(rows, compare=args.compare))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.reporting import generate_reproduction_report
+
+    report = generate_reproduction_report(scale=args.scale, seed=args.seed)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+_HANDLERS = {
+    "exp1": _cmd_exp1,
+    "exp2": _cmd_exp2,
+    "exp3": _cmd_exp3,
+    "table1": _cmd_table1,
+    "report": _cmd_report,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
 
-    if args.command == "report":
-        from repro.reporting import generate_reproduction_report
+    handler = _HANDLERS.get(args.command)
+    if handler is None:
+        # A sub-parser was registered without a handler: a programming
+        # error here, but the user still gets a diagnostic, not silence.
+        print(f"repro: no handler for command {args.command!r}",
+              file=sys.stderr)
+        return 2
 
-        report = generate_reproduction_report(scale=args.scale,
-                                              seed=args.seed)
-        if args.output:
-            from pathlib import Path
-
-            Path(args.output).write_text(report)
-            print(f"report written to {args.output}")
-        else:
-            print(report)
-        return 0
-
-    if args.command == "table1":
-        rows = build_table1(seed=args.seed)
-        print(render_table1(rows, compare=args.compare))
-        return 0
-
-    if args.command == "exp1":
-        base = (Experiment1Config.quick() if args.quick
-                else Experiment1Config.paper())
-        config = _override(base, args, ("burn_hours", "recovery_hours"))
-        result = run_experiment1(config)
-        if not args.no_figure:
-            print(render_experiment_panels(
-                result.bundle, "Figure 6 (Experiment 1, lab)",
-                stress_change_hour=result.stress_change_hour,
-            ))
-        print(f"\n{result.recovery_score}")
-        _archive(result, args)
-        return 0
-
-    if args.command == "exp2":
-        base = (Experiment2Config.quick() if args.quick
-                else Experiment2Config.paper())
-        config = _override(base, args, ("burn_hours",))
-        result = run_experiment2(config)
-        if not args.no_figure:
-            print(render_experiment_panels(
-                result.bundle, "Figure 7 (Experiment 2, cloud TM1)"
-            ))
-        print(f"\n{result.recovery_score}")
-        accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
-        print(f"accuracy by length: {accuracy}")
-        _archive(result, args)
-        return 0
-
-    if args.command == "exp3":
-        base = (Experiment3Config.quick() if args.quick
-                else Experiment3Config.paper())
-        config = _override(base, args, ("recovery_hours",))
-        result = run_experiment3(config)
-        if not args.no_figure:
-            print(render_experiment_panels(
-                result.bundle, "Figure 8 (Experiment 3, cloud TM2)"
-            ))
-        print(f"\n{result.recovery_score}")
-        accuracy = {k: round(v, 2) for k, v in result.accuracy_by_length().items()}
-        print(f"accuracy by length: {accuracy}")
-        print(f"boards probed: {result.devices_probed}")
-        _archive(result, args)
-        return 0
-
-    return 2  # unreachable: argparse enforces the sub-command
+    if getattr(args, "trace", False):
+        trace.enable()
+    code = handler(args)
+    finish_code = _finish_observability(args)
+    return code or finish_code
 
 
 if __name__ == "__main__":

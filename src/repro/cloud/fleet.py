@@ -11,8 +11,13 @@ from __future__ import annotations
 from repro.errors import ConfigurationError
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import PartDescriptor
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, WearProfile
 from repro.rng import SeedLike, make_rng
+
+_log = get_logger("cloud.fleet")
 
 
 def cloud_wear_profile(age_mean_hours: float) -> WearProfile:
@@ -44,7 +49,14 @@ def build_fleet(
     if size <= 0:
         raise ConfigurationError(f"fleet size must be positive, got {size}")
     rng = make_rng(seed)
-    return [
-        FpgaDevice(part=part, wear=wear, seed=rng.integers(0, 2**63))
-        for _ in range(size)
-    ]
+    with trace.span("cloud.build_fleet", part=part.name, size=size,
+                    wear=wear.name):
+        devices = [
+            FpgaDevice(part=part, wear=wear, seed=rng.integers(0, 2**63))
+            for _ in range(size)
+        ]
+    registry.counter(
+        "fleet_devices_built_total", "physical devices manufactured"
+    ).inc(size)
+    _log.info("fleet_built", part=part.name, size=size, wear=wear.name)
+    return devices

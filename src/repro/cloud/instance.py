@@ -18,10 +18,14 @@ from repro.fabric.bitstream import Bitstream, SealedBitstream, loadable
 from repro.fabric.device import FpgaDevice
 from repro.fabric.drc import check_design
 from repro.designs.measure import MeasureDesign, MeasureSession
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.rng import SeedLike
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel
 
 _instance_ids = itertools.count(1)
+
+_log = get_logger("cloud.instance")
 
 
 class F1Instance:
@@ -70,14 +74,26 @@ class F1Instance:
         self._require_active()
         bitstream = loadable(image)
         if bitstream is None:
+            registry.counter(
+                "drc_rejections_total", "images rejected by provider DRC"
+            ).inc()
             raise DesignRuleViolation(f"{image!r} is not a loadable image")
         report = check_design(
             bitstream, self._device.grid, self._device.part.power_cap_watts
         )
+        if not report.passed:
+            registry.counter(
+                "drc_rejections_total", "images rejected by provider DRC"
+            ).inc()
+            _log.warning("drc_rejected", design=bitstream.name,
+                         instance=self.instance_id)
         report.raise_on_failure()
         if self._device.loaded_design is not None:
             self._device.wipe()
         self._device.load(bitstream)
+        registry.counter(
+            "images_loaded_total", "bitstreams programmed onto instances"
+        ).inc()
 
     def clear(self) -> None:
         """Unload the current design (tenant-initiated)."""

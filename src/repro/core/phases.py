@@ -19,9 +19,14 @@ from typing import Optional
 from repro.errors import AttackError
 from repro.designs.measure import MeasureDesign, MeasureSession
 from repro.fabric.bitstream import Bitstream
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.rng import SeedLike
 from repro.sensor.noise import NoiseModel
 from repro.sensor.tdc import Measurement
+
+_log = get_logger("core.phases")
 
 
 @dataclass
@@ -43,14 +48,26 @@ class CalibrationPhase:
         self, environment, theta_init: Optional[dict] = None
     ) -> MeasureSession:
         """Load the Measure design and calibrate (or replay theta_init)."""
-        environment.load_image(self.measure_design.bitstream)
-        self.session = environment.attach_sensors(
-            self.measure_design, noise=self.noise, seed=self.seed
-        )
-        if theta_init is not None:
-            self.session.use_theta_init(theta_init)
-        else:
-            self.session.calibrate()
+        with trace.span(
+            "phase.calibration",
+            routes=len(self.measure_design.routes),
+            replayed=theta_init is not None,
+        ):
+            environment.load_image(self.measure_design.bitstream)
+            self.session = environment.attach_sensors(
+                self.measure_design, noise=self.noise, seed=self.seed
+            )
+            if theta_init is not None:
+                self.session.use_theta_init(theta_init)
+                registry.counter(
+                    "theta_init_replays_total",
+                    "calibrations replayed from a-priori theta_init",
+                ).inc()
+            else:
+                self.session.calibrate()
+        _log.info("calibration_phase_done",
+                  routes=len(self.measure_design.routes),
+                  replayed=theta_init is not None)
         return self.session
 
 
@@ -63,8 +80,15 @@ class ConditionPhase:
 
     def run(self, environment) -> None:
         """Execute the phase against an environment."""
-        environment.load_image(self.target_bitstream)
-        environment.run_hours(self.hours)
+        with trace.span("phase.condition", hours=self.hours):
+            environment.load_image(self.target_bitstream)
+            environment.run_hours(self.hours)
+        registry.counter(
+            "condition_phases_total", "Condition (stress) phases executed"
+        ).inc()
+        registry.counter(
+            "condition_hours_total", "simulated hours spent conditioning"
+        ).inc(self.hours)
 
 
 @dataclass
@@ -81,7 +105,14 @@ class MeasurementPhase:
         session = self.calibration.session
         if session is None or not session.theta_init:
             raise AttackError("measurement requires a completed calibration")
-        environment.load_image(self.measure_design.bitstream)
-        environment.run_hours(session.measurement_duration_hours())
-        self.passes += 1
-        return session.measure_all()
+        with trace.span(
+            "phase.measurement", routes=len(self.measure_design.routes)
+        ):
+            environment.load_image(self.measure_design.bitstream)
+            environment.run_hours(session.measurement_duration_hours())
+            self.passes += 1
+            measurements = session.measure_all()
+        registry.counter(
+            "measurement_phases_total", "Measurement phases executed"
+        ).inc()
+        return measurements

@@ -18,6 +18,8 @@ from repro.core.phases import CalibrationPhase, ConditionPhase, MeasurementPhase
 from repro.designs.measure import MeasureDesign
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.routing import Route
+from repro.observability import trace
+from repro.observability.metrics import registry
 
 ProgressCallback = Callable[[int, int], None]
 
@@ -83,17 +85,21 @@ class ConditionMeasureProtocol:
         if cycles <= 0:
             raise AttackError(f"cycles must be positive, got {cycles}")
         for cycle in range(cycles):
-            self.measure_once()
-            bitstream = (
-                target_for_cycle(cycle)
-                if target_for_cycle is not None
-                else self.target_bitstream
-            )
-            ConditionPhase(
-                target_bitstream=bitstream,
-                hours=self.condition_hours_per_cycle,
-            ).run(self.environment)
-            self._clock += self.condition_hours_per_cycle
+            with trace.span("protocol.cycle", index=cycle, hour=self._clock):
+                self.measure_once()
+                bitstream = (
+                    target_for_cycle(cycle)
+                    if target_for_cycle is not None
+                    else self.target_bitstream
+                )
+                ConditionPhase(
+                    target_bitstream=bitstream,
+                    hours=self.condition_hours_per_cycle,
+                ).run(self.environment)
+                self._clock += self.condition_hours_per_cycle
+            registry.counter(
+                "protocol_cycles_total", "condition/measure cycles completed"
+            ).inc()
             if progress is not None:
                 progress(cycle + 1, cycles)
         self.measure_once()
@@ -101,7 +107,8 @@ class ConditionMeasureProtocol:
 
     def condition_only(self, hours: float) -> None:
         """An unobserved stress interval (Experiment 3's victim period)."""
-        ConditionPhase(
-            target_bitstream=self.target_bitstream, hours=hours
-        ).run(self.environment)
-        self._clock += hours
+        with trace.span("protocol.condition_only", hours=hours):
+            ConditionPhase(
+                target_bitstream=self.target_bitstream, hours=hours
+            ).run(self.environment)
+            self._clock += hours

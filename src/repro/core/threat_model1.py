@@ -26,6 +26,7 @@ from repro.core.classify import BurnTrendClassifier
 from repro.core.phases import CalibrationPhase, ConditionPhase, MeasurementPhase
 from repro.designs.measure import build_measure_design
 from repro.fabric.bitstream import DesignSkeleton
+from repro.observability import trace
 from repro.rng import SeedLike
 
 
@@ -112,14 +113,15 @@ class ThreatModel1Attack:
             # Steps 3-5: interleave AFI execution with measurement.
             listing = self.marketplace.listing(self.afi_id)
             cycles = int(round(burn_hours / measure_every_hours))
-            for _ in range(cycles):
-                instance.load_image(listing.image)
-                instance.run_hours(measure_every_hours)
-                clock += measure_every_hours
-                measurements = measurement.run(instance)
-                for route_name, m in measurements.items():
-                    bundle.series[route_name].append(clock, m.delta_ps)
-                clock += calibration.session.measurement_duration_hours()
+            for cycle in range(cycles):
+                with trace.span("tm1.cycle", index=cycle, hour=clock):
+                    instance.load_image(listing.image)
+                    instance.run_hours(measure_every_hours)
+                    clock += measure_every_hours
+                    measurements = measurement.run(instance)
+                    for route_name, m in measurements.items():
+                        bundle.series[route_name].append(clock, m.delta_ps)
+                    clock += calibration.session.measurement_duration_hours()
 
             # Step 6: classify the drift into bits.
             recovered = self.classifier.classify_many(list(bundle))
@@ -185,17 +187,19 @@ class ThreatModel1Attack:
                 )
             listing = self.marketplace.listing(self.afi_id)
             cycles = int(round(max_hours / measure_every_hours))
-            for _ in range(cycles):
-                instance.load_image(listing.image)
-                instance.run_hours(measure_every_hours)
-                clock += measure_every_hours
-                for route_name, m in measurement.run(instance).items():
-                    bundle.series[route_name].append(clock, m.delta_ps)
-                    route = bundle.series[route_name]
-                    extractor.update(
-                        route_name, route.nominal_delay_ps, clock, m.delta_ps
-                    )
-                clock += calibration.session.measurement_duration_hours()
+            for cycle in range(cycles):
+                with trace.span("tm1.cycle", index=cycle, hour=clock):
+                    instance.load_image(listing.image)
+                    instance.run_hours(measure_every_hours)
+                    clock += measure_every_hours
+                    for route_name, m in measurement.run(instance).items():
+                        bundle.series[route_name].append(clock, m.delta_ps)
+                        route = bundle.series[route_name]
+                        extractor.update(
+                            route_name, route.nominal_delay_ps, clock,
+                            m.delta_ps,
+                        )
+                    clock += calibration.session.measurement_duration_hours()
                 if extractor.all_settled():
                     break
             recovered = extractor.decisions()

@@ -40,6 +40,8 @@ from repro.core.classify import (
 from repro.designs.measure import MeasureSession, build_measure_design
 from repro.designs.target import build_target_design
 from repro.fabric.routing import Route
+from repro.observability import trace
+from repro.observability.metrics import registry
 from repro.rng import RngFactory, SeedLike
 
 
@@ -192,12 +194,14 @@ class ThreatModel2Attack:
         """
         clock = 0.0
         measure_dt = probes[0].session.measurement_duration_hours()
-        for _ in range(recovery_hours):
-            clock = self._measure_all_boards(probes, clock, measure_dt)
-            for probe in probes:
-                probe.instance.load_image(self._hold_design.bitstream)
-            self.provider.advance(1.0)
-            clock += 1.0
+        for hour in range(recovery_hours):
+            with trace.span("tm2.lockstep_cycle", hour=hour,
+                            boards=len(probes)):
+                clock = self._measure_all_boards(probes, clock, measure_dt)
+                for probe in probes:
+                    probe.instance.load_image(self._hold_design.bitstream)
+                self.provider.advance(1.0)
+                clock += 1.0
         self._measure_all_boards(probes, clock, measure_dt)
 
     def _measure_all_boards(
@@ -205,13 +209,23 @@ class ThreatModel2Attack:
     ) -> float:
         passes = max(self.measurement_passes, 1)
         for probe in probes:
-            probe.instance.load_image(self._measure_design.bitstream)
-            totals: dict[str, float] = {}
-            for _ in range(passes):
-                for route_name, m in probe.session.measure_all().items():
-                    totals[route_name] = totals.get(route_name, 0.0) + m.delta_ps
-            for route_name, total in totals.items():
-                probe.bundle.series[route_name].append(clock, total / passes)
+            with trace.span("tm2.board_measure",
+                            board=probe.instance.instance_id, passes=passes):
+                probe.instance.load_image(self._measure_design.bitstream)
+                totals: dict[str, float] = {}
+                for _ in range(passes):
+                    for route_name, m in probe.session.measure_all().items():
+                        totals[route_name] = (
+                            totals.get(route_name, 0.0) + m.delta_ps
+                        )
+                for route_name, total in totals.items():
+                    probe.bundle.series[route_name].append(
+                        clock, total / passes
+                    )
+            registry.counter(
+                "tm2_board_measurements_total",
+                "per-board lockstep measurement passes",
+            ).inc(passes)
         self.provider.advance(measure_dt * passes)
         return clock + measure_dt * passes
 

@@ -15,9 +15,13 @@ and implements the Calibration and Measurement phases.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError, SensorError
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.device import FpgaDevice
 from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
@@ -35,6 +39,8 @@ _CARRIES_PER_CHAIN = 8
 #: Wall-clock cost of measuring one route (traces, readout, tuning); the
 #: paper reports ~52 s for 64 routes, i.e. well under a minute total.
 MEASUREMENT_SECONDS_PER_ROUTE = 0.8
+
+_log = get_logger("designs.measure")
 
 
 @dataclass(frozen=True)
@@ -89,7 +95,12 @@ class MeasureSession:
     def calibrate(self) -> dict[str, float]:
         """The Calibration phase: find and store theta_init per route."""
         for name, tdc in self._tdcs.items():
-            self.theta_init[name] = find_theta_init(tdc)
+            with trace.span("sensor.calibrate", route=name):
+                self.theta_init[name] = find_theta_init(tdc)
+            registry.counter(
+                "calibrations_total", "routes calibrated from scratch"
+            ).inc()
+        _log.info("calibrated", routes=len(self._tdcs))
         return dict(self.theta_init)
 
     def use_theta_init(self, theta_init: dict[str, float]) -> None:
@@ -115,7 +126,22 @@ class MeasureSession:
                 f"route {route_name!r} is not calibrated; run calibrate() "
                 f"or use_theta_init()"
             )
-        return self._tdcs[route_name].measure(self.theta_init[route_name])
+        start = perf_counter()
+        with trace.span("sensor.capture", route=route_name):
+            measurement = self._tdcs[route_name].measure(
+                self.theta_init[route_name]
+            )
+        registry.counter(
+            "captures_total", "complete TDC measurements taken"
+        ).inc()
+        registry.histogram(
+            "capture_latency_seconds", "host wall time per TDC measurement"
+        ).observe(perf_counter() - start)
+        registry.histogram(
+            "readout_skew_ps",
+            "falling-minus-rising delta per capture (dT readout skew)",
+        ).observe(measurement.delta_ps)
+        return measurement
 
     def measure_all(self) -> dict[str, Measurement]:
         """Measure every route; the whole pass takes under a minute."""

@@ -27,8 +27,13 @@ from repro.experiments.config import Experiment1Config
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
 from repro.fabric.thermal import OvenAmbient
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.physics.aging import NEW_PART
 from repro.rng import RngFactory
+
+_log = get_logger("experiments.exp1")
 
 
 @dataclass(frozen=True)
@@ -90,65 +95,89 @@ def run_experiment1(
     config = config or Experiment1Config.paper()
     rng = RngFactory(config.seed)
 
-    device = FpgaDevice(
-        ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=rng.stream("device")
-    )
-    bench = LabBench(device, oven=OvenAmbient(config.oven_celsius))
+    with trace.span(
+        "experiment", experiment="exp1", seed=config.seed,
+        routes=len(config.route_lengths),
+    ) as root:
+        device = FpgaDevice(
+            ZYNQ_ULTRASCALE_PLUS, wear=NEW_PART, seed=rng.stream("device")
+        )
+        bench = LabBench(device, oven=OvenAmbient(config.oven_celsius))
 
-    routes = build_route_bank(device.grid, config.route_lengths)
-    burn_values = tuple(
-        int(b) for b in rng.stream("burn-values").integers(0, 2, len(routes))
-    )
-    target = build_target_design(
-        device.part, routes, burn_values, heater_dsps=config.heater_dsps
-    )
-    complement = build_target_design(
-        device.part,
-        routes,
-        [1 - b for b in burn_values],
-        heater_dsps=config.heater_dsps,
-        name="target-complement",
-    )
-    measure = build_measure_design(device.part, routes)
+        with trace.span("experiment.build_designs"):
+            routes = build_route_bank(device.grid, config.route_lengths)
+            burn_values = tuple(
+                int(b)
+                for b in rng.stream("burn-values").integers(0, 2, len(routes))
+            )
+            target = build_target_design(
+                device.part, routes, burn_values,
+                heater_dsps=config.heater_dsps,
+            )
+            complement = build_target_design(
+                device.part,
+                routes,
+                [1 - b for b in burn_values],
+                heater_dsps=config.heater_dsps,
+                name="target-complement",
+            )
+            measure = build_measure_design(device.part, routes)
 
-    protocol = ConditionMeasureProtocol(
-        environment=bench,
-        target_bitstream=target.bitstream,
-        measure_design=measure,
-        routes=routes,
-        condition_hours_per_cycle=config.measure_every_hours,
-    )
-    protocol.calibration.seed = rng.stream("sensors")
-    protocol.calibrate()
+        protocol = ConditionMeasureProtocol(
+            environment=bench,
+            target_bitstream=target.bitstream,
+            measure_design=measure,
+            routes=routes,
+            condition_hours_per_cycle=config.measure_every_hours,
+        )
+        protocol.calibration.seed = rng.stream("sensors")
+        protocol.calibrate()
 
-    burn_cycles = int(config.burn_hours / config.measure_every_hours)
-    protocol.run_cycles(burn_cycles, progress=progress)
-    stress_change_hour = protocol._clock
+        burn_cycles = int(config.burn_hours / config.measure_every_hours)
+        with trace.span("experiment.burn", hours=config.burn_hours):
+            protocol.run_cycles(burn_cycles, progress=progress)
+        stress_change_hour = protocol._clock
 
-    # Recovery period: condition with the complemented values.
-    protocol.target_bitstream = complement.bitstream
-    recovery_cycles = int(config.recovery_hours / config.measure_every_hours)
-    if recovery_cycles:
-        protocol.run_cycles(recovery_cycles, progress=progress)
+        # Recovery period: condition with the complemented values.
+        protocol.target_bitstream = complement.bitstream
+        recovery_cycles = int(
+            config.recovery_hours / config.measure_every_hours
+        )
+        if recovery_cycles:
+            with trace.span(
+                "experiment.recovery", hours=config.recovery_hours
+            ):
+                protocol.run_cycles(recovery_cycles, progress=progress)
 
-    bundle = protocol.bundle
-    for route, value in zip(routes, burn_values):
-        bundle.series[route.name].burn_value = value
+        bundle = protocol.bundle
+        for route, value in zip(routes, burn_values):
+            bundle.series[route.name].burn_value = value
 
-    classifier = BurnTrendClassifier()
-    burn_window = {
-        name: series.window(0.0, stress_change_hour)
-        for name, series in bundle.series.items()
-    }
-    recovered = {
-        name: classifier.classify(series)
-        for name, series in burn_window.items()
-    }
-    truth = {route.name: value for route, value in zip(routes, burn_values)}
+        with trace.span("experiment.classify"):
+            classifier = BurnTrendClassifier()
+            burn_window = {
+                name: series.window(0.0, stress_change_hour)
+                for name, series in bundle.series.items()
+            }
+            recovered = {
+                name: classifier.classify(series)
+                for name, series in burn_window.items()
+            }
+        truth = {
+            route.name: value for route, value in zip(routes, burn_values)
+        }
+        score = score_recovery(recovered, truth)
+        root.set(accuracy=round(score.accuracy, 4))
+    registry.counter("experiments_total", "experiment runs completed").inc()
+    registry.gauge(
+        "recovery_accuracy", "bit-recovery accuracy of the last run"
+    ).set(score.accuracy)
+    _log.info("experiment_done", experiment="exp1", seed=config.seed,
+              accuracy=round(score.accuracy, 4))
     return Experiment1Result(
         config=config,
         bundle=bundle,
         burn_values=burn_values,
         stress_change_hour=stress_change_hour,
-        recovery_score=score_recovery(recovered, truth),
+        recovery_score=score,
     )

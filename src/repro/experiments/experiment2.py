@@ -23,7 +23,12 @@ from repro.core.threat_model1 import ThreatModel1Attack
 from repro.designs import build_route_bank, build_target_design
 from repro.experiments.config import Experiment2Config
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.rng import RngFactory
+
+_log = get_logger("experiments.exp2")
 
 
 @dataclass(frozen=True)
@@ -64,54 +69,70 @@ def run_experiment2(
     config = config or Experiment2Config.paper()
     rng = RngFactory(config.seed)
 
-    provider = CloudProvider(seed=rng.stream("provider"))
-    fleet = build_fleet(
-        VIRTEX_ULTRASCALE_PLUS,
-        size=config.fleet_size,
-        wear=cloud_wear_profile(config.device_age_mean_hours),
-        seed=rng.stream("fleet"),
-    )
-    provider.create_region(config.region, fleet)
-    marketplace = Marketplace()
+    with trace.span(
+        "experiment", experiment="exp2", seed=config.seed,
+        routes=len(config.route_lengths),
+    ) as root:
+        provider = CloudProvider(seed=rng.stream("provider"))
+        fleet = build_fleet(
+            VIRTEX_ULTRASCALE_PLUS,
+            size=config.fleet_size,
+            wear=cloud_wear_profile(config.device_age_mean_hours),
+            seed=rng.stream("fleet"),
+        )
+        provider.create_region(config.region, fleet)
+        marketplace = Marketplace()
 
-    # The attacker authors the AFI, so they know its skeleton and can
-    # leave the sensing region uninitialised (Threat Model 1's setting).
-    grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
-    routes = build_route_bank(grid, config.route_lengths)
-    burn_values = tuple(
-        int(b) for b in rng.stream("burn-values").integers(0, 2, len(routes))
-    )
-    target = build_target_design(
-        VIRTEX_ULTRASCALE_PLUS,
-        routes,
-        burn_values,
-        heater_dsps=config.heater_dsps,
-        name="marketplace-accelerator",
-    )
-    listing = marketplace.publish(
-        target.bitstream,
-        publisher="attacker-shell-co",
-        description="FMA acceleration library",
-        public_skeleton=True,
-    )
+        # The attacker authors the AFI, so they know its skeleton and can
+        # leave the sensing region uninitialised (Threat Model 1's setting).
+        with trace.span("experiment.build_designs"):
+            grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+            routes = build_route_bank(grid, config.route_lengths)
+            burn_values = tuple(
+                int(b)
+                for b in rng.stream("burn-values").integers(0, 2, len(routes))
+            )
+            target = build_target_design(
+                VIRTEX_ULTRASCALE_PLUS,
+                routes,
+                burn_values,
+                heater_dsps=config.heater_dsps,
+                name="marketplace-accelerator",
+            )
+        listing = marketplace.publish(
+            target.bitstream,
+            publisher="attacker-shell-co",
+            description="FMA acceleration library",
+            public_skeleton=True,
+        )
 
-    attack = ThreatModel1Attack(
-        provider=provider,
-        marketplace=marketplace,
-        afi_id=listing.afi_id,
-        region=config.region,
-        seed=rng.stream("sensors"),
-    )
-    result = attack.run(
-        burn_hours=config.burn_hours,
-        measure_every_hours=config.measure_every_hours,
-    )
+        attack = ThreatModel1Attack(
+            provider=provider,
+            marketplace=marketplace,
+            afi_id=listing.afi_id,
+            region=config.region,
+            seed=rng.stream("sensors"),
+        )
+        with trace.span("experiment.attack", burn_hours=config.burn_hours):
+            result = attack.run(
+                burn_hours=config.burn_hours,
+                measure_every_hours=config.measure_every_hours,
+            )
 
-    bundle = result.bundle
-    truth = {route.name: value for route, value in zip(routes, burn_values)}
-    for name, series in bundle.series.items():
-        series.burn_value = truth[name]
-    score = score_recovery(result.recovered_bits, truth)
+        bundle = result.bundle
+        truth = {
+            route.name: value for route, value in zip(routes, burn_values)
+        }
+        for name, series in bundle.series.items():
+            series.burn_value = truth[name]
+        score = score_recovery(result.recovered_bits, truth)
+        root.set(accuracy=round(score.accuracy, 4))
+    registry.counter("experiments_total", "experiment runs completed").inc()
+    registry.gauge(
+        "recovery_accuracy", "bit-recovery accuracy of the last run"
+    ).set(score.accuracy)
+    _log.info("experiment_done", experiment="exp2", seed=config.seed,
+              accuracy=round(score.accuracy, 4))
     return Experiment2Result(
         config=config,
         bundle=bundle,

@@ -29,7 +29,12 @@ from repro.core.threat_model2 import ThreatModel2Attack
 from repro.designs import build_measure_design, build_route_bank, build_target_design
 from repro.experiments.config import Experiment3Config
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.rng import RngFactory
+
+_log = get_logger("experiments.exp3")
 
 
 @dataclass(frozen=True)
@@ -57,59 +62,86 @@ def run_experiment3(
     config = config or Experiment3Config.paper()
     rng = RngFactory(config.seed)
 
-    provider = CloudProvider(seed=rng.stream("provider"))
-    fleet = build_fleet(
-        VIRTEX_ULTRASCALE_PLUS,
-        size=config.fleet_size,
-        wear=cloud_wear_profile(config.device_age_mean_hours),
-        seed=rng.stream("fleet"),
-    )
-    provider.create_region(config.region, fleet)
+    with trace.span(
+        "experiment", experiment="exp3", seed=config.seed,
+        routes=len(config.route_lengths),
+    ) as root:
+        provider = CloudProvider(seed=rng.stream("provider"))
+        fleet = build_fleet(
+            VIRTEX_ULTRASCALE_PLUS,
+            size=config.fleet_size,
+            wear=cloud_wear_profile(config.device_age_mean_hours),
+            seed=rng.stream("fleet"),
+        )
+        provider.create_region(config.region, fleet)
 
-    grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
-    routes = build_route_bank(grid, config.route_lengths)
-    burn_values = tuple(
-        int(b) for b in rng.stream("burn-values").integers(0, 2, len(routes))
-    )
-    victim_design = build_target_design(
-        VIRTEX_ULTRASCALE_PLUS,
-        routes,
-        burn_values,
-        heater_dsps=config.heater_dsps,
-        name="victim-workload",
-    )
-    measure_design = build_measure_design(VIRTEX_ULTRASCALE_PLUS, routes)
+        with trace.span("experiment.build_designs"):
+            grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
+            routes = build_route_bank(grid, config.route_lengths)
+            burn_values = tuple(
+                int(b)
+                for b in rng.stream("burn-values").integers(0, 2, len(routes))
+            )
+            victim_design = build_target_design(
+                VIRTEX_ULTRASCALE_PLUS,
+                routes,
+                burn_values,
+                heater_dsps=config.heater_dsps,
+                name="victim-workload",
+            )
+            measure_design = build_measure_design(
+                VIRTEX_ULTRASCALE_PLUS, routes
+            )
 
-    # --- Attacker's prior calibration, on a board they rent themselves
-    # (theta_init transfers across boards of the same part).
-    calibration_instance = provider.rent(config.region, "attacker-calib")
-    calibration = CalibrationPhase(measure_design, seed=rng.stream("calib"))
-    session = calibration.run(calibration_instance)
-    theta_init = dict(session.theta_init)
-    provider.release(calibration_instance)
+        # --- Attacker's prior calibration, on a board they rent themselves
+        # (theta_init transfers across boards of the same part).
+        calibration_instance = provider.rent(config.region, "attacker-calib")
+        calibration = CalibrationPhase(
+            measure_design, seed=rng.stream("calib")
+        )
+        session = calibration.run(calibration_instance)
+        theta_init = dict(session.theta_init)
+        provider.release(calibration_instance)
 
-    # --- Victim period: unobserved 200-hour burn.
-    victim = provider.rent(config.region, "victim")
-    victim.load_image(victim_design.bitstream)
-    for _ in range(config.victim_burn_hours):
-        provider.advance(1.0)
-    provider.release(victim)  # the provider wipes the board here
+        # --- Victim period: unobserved 200-hour burn.
+        with trace.span(
+            "experiment.victim_burn", hours=config.victim_burn_hours
+        ):
+            victim = provider.rent(config.region, "victim")
+            victim.load_image(victim_design.bitstream)
+            for _ in range(config.victim_burn_hours):
+                provider.advance(1.0)
+            provider.release(victim)  # the provider wipes the board here
 
-    # --- Attack period.
-    attack = ThreatModel2Attack(
-        provider=provider,
-        region=config.region,
-        routes=routes,
-        theta_init=theta_init,
-        conditioned_to=config.conditioned_to,
-        seed=config.seed,
-    )
-    result = attack.run(recovery_hours=config.recovery_hours)
+        # --- Attack period.
+        attack = ThreatModel2Attack(
+            provider=provider,
+            region=config.region,
+            routes=routes,
+            theta_init=theta_init,
+            conditioned_to=config.conditioned_to,
+            seed=config.seed,
+        )
+        with trace.span(
+            "experiment.attack", recovery_hours=config.recovery_hours
+        ):
+            result = attack.run(recovery_hours=config.recovery_hours)
 
-    truth = {route.name: value for route, value in zip(routes, burn_values)}
-    for name, series in result.bundle.series.items():
-        series.burn_value = truth[name]
-    score = score_recovery(result.recovered_bits, truth)
+        truth = {
+            route.name: value for route, value in zip(routes, burn_values)
+        }
+        for name, series in result.bundle.series.items():
+            series.burn_value = truth[name]
+        score = score_recovery(result.recovered_bits, truth)
+        root.set(accuracy=round(score.accuracy, 4),
+                 devices_probed=result.devices_probed)
+    registry.counter("experiments_total", "experiment runs completed").inc()
+    registry.gauge(
+        "recovery_accuracy", "bit-recovery accuracy of the last run"
+    ).set(score.accuracy)
+    _log.info("experiment_done", experiment="exp3", seed=config.seed,
+              accuracy=round(score.accuracy, 4),
+              devices_probed=result.devices_probed)
     return Experiment3Result(
         config=config,
         bundle=result.bundle,

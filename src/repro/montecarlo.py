@@ -16,6 +16,11 @@ from typing import Callable, Optional, Sequence
 import numpy as np
 
 from repro.errors import AnalysisError, ConfigurationError
+from repro.observability import trace
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
+
+_log = get_logger("montecarlo")
 
 
 @dataclass(frozen=True)
@@ -70,12 +75,26 @@ def run_monte_carlo(
     metric_name: str = "metric",
 ) -> MonteCarloResult:
     """Evaluate ``metric(seed)`` for every seed and summarise."""
+    from time import perf_counter
+
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    values = tuple(float(metric(int(seed))) for seed in seeds)
+    values = []
+    with trace.span("montecarlo", metric=metric_name, seeds=len(seeds)):
+        for seed in seeds:
+            start = perf_counter()
+            with trace.span("montecarlo.seed", seed=int(seed)):
+                values.append(float(metric(int(seed))))
+            registry.counter(
+                "montecarlo_runs_total", "seeded metric evaluations"
+            ).inc()
+            registry.histogram(
+                "montecarlo_run_seconds", "wall time per seeded evaluation"
+            ).observe(perf_counter() - start)
+    _log.info("monte_carlo_done", metric=metric_name, n=len(seeds))
     return MonteCarloResult(
         metric_name=metric_name, seeds=tuple(int(s) for s in seeds),
-        values=values,
+        values=tuple(values),
     )
 
 

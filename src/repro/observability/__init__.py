@@ -1,0 +1,68 @@
+"""Observability: structured logging, tracing, metrics, run manifests.
+
+The measurement layer under every other subsystem:
+
+* :mod:`repro.observability.log` -- structured key=value / JSON event
+  logging, switched by the ``REPRO_LOG`` environment variable;
+* :mod:`repro.observability.trace` -- context-manager spans with nested
+  wall-clock timing (``REPRO_TRACE=1`` or the CLI's ``--trace``);
+* :mod:`repro.observability.metrics` -- a process-global registry of
+  counters, gauges and percentile-summarised histograms;
+* :mod:`repro.observability.manifest` -- self-describing run manifests
+  (version, seed, config, span tree, metrics snapshot) embedded in
+  every archived experiment;
+* :mod:`repro.observability.export` -- JSON and Prometheus-text
+  exporters over the registry and span tree.
+
+Conventions (see ``docs/observability.md``): span names are
+``layer.stage`` (``experiment``, ``phase.measurement``,
+``sensor.capture``); counters end in ``_total``; histograms name their
+unit (``capture_latency_seconds``, ``readout_skew_ps``).
+"""
+
+from __future__ import annotations
+
+from repro.observability import trace
+from repro.observability.export import (
+    metrics_to_dict,
+    to_prometheus_text,
+    write_metrics_json,
+    write_prometheus_text,
+)
+from repro.observability.log import StructuredLogger, get_logger
+from repro.observability.manifest import (
+    RunManifest,
+    build_manifest,
+    diff_manifests,
+)
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    registry,
+)
+from repro.observability.trace import Span, render_tree, span
+
+__all__ = [
+    "trace",
+    "span",
+    "Span",
+    "render_tree",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "get_registry",
+    "StructuredLogger",
+    "get_logger",
+    "RunManifest",
+    "build_manifest",
+    "diff_manifests",
+    "metrics_to_dict",
+    "write_metrics_json",
+    "to_prometheus_text",
+    "write_prometheus_text",
+]

@@ -1,0 +1,103 @@
+"""Exporters: metrics and spans as JSON or Prometheus text.
+
+Two consumers matter:
+
+* a human (or CI job) diffing runs -- :func:`write_metrics_json` writes
+  one JSON document combining the metrics snapshot, the span tree and
+  an optional manifest;
+* a scrape pipeline -- :func:`to_prometheus_text` renders the registry
+  in the Prometheus text exposition format (counters and gauges as
+  samples, histograms as ``_count``/``_sum`` plus ``quantile``-labelled
+  summary samples).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.observability import trace as _trace
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "metrics_to_dict",
+    "write_metrics_json",
+    "to_prometheus_text",
+    "write_prometheus_text",
+]
+
+PathLike = Union[str, Path]
+
+
+def metrics_to_dict(
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[dict] = None,
+    include_spans: bool = True,
+) -> dict:
+    """The combined JSON export document."""
+    registry = registry if registry is not None else get_registry()
+    payload = {"metrics": registry.snapshot()}
+    if include_spans:
+        payload["spans"] = _trace.tree_as_dicts()
+    if manifest is not None:
+        payload["manifest"] = manifest
+    return payload
+
+
+def write_metrics_json(
+    path: PathLike,
+    registry: Optional[MetricsRegistry] = None,
+    manifest: Optional[dict] = None,
+) -> Path:
+    """Write the JSON export to ``path``; returns the resolved path."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(metrics_to_dict(registry, manifest=manifest), indent=1)
+    )
+    return target
+
+
+def _sanitise(name: str) -> str:
+    return "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+
+
+def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry in the Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: list[str] = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _sanitise(name)
+        if counter.help:
+            lines.append(f"# HELP {metric} {counter.help}")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {counter.value}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _sanitise(name)
+        if gauge.help:
+            lines.append(f"# HELP {metric} {gauge.help}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {gauge.value}")
+    for name, hist in sorted(registry.histograms.items()):
+        metric = _sanitise(name)
+        if hist.help:
+            lines.append(f"# HELP {metric} {hist.help}")
+        lines.append(f"# TYPE {metric} summary")
+        for q in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{metric}{{quantile="{q}"}} {hist.percentile(q * 100.0)}'
+            )
+        lines.append(f"{metric}_sum {hist.total}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus_text(
+    path: PathLike, registry: Optional[MetricsRegistry] = None
+) -> Path:
+    """Write the Prometheus text export to ``path``."""
+    target = Path(path)
+    target.write_text(to_prometheus_text(registry))
+    return target

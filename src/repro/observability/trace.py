@@ -1,0 +1,233 @@
+"""Context-manager spans: nested wall-clock timing of pipeline stages.
+
+The attack pipeline is a tree of phases -- an experiment contains
+protocol cycles, a cycle contains Condition and Measurement phases, a
+Measurement phase contains one capture per route.  A :class:`Span`
+records the wall-clock cost of one such stage (via
+:func:`time.perf_counter`) and its children, so a finished run yields a
+span *tree* mirroring the pipeline's structure.
+
+Tracing is **off by default** and the disabled path is a deliberate
+no-op fast path: :func:`span` returns a shared null context manager
+without allocating anything, so instrumentation left in hot loops (one
+span per capture, hundreds per experiment) costs a single predicate
+check per call.  Enable with :func:`enable` (the CLI's ``--trace``
+flag) or the ``REPRO_TRACE=1`` environment variable.
+
+Usage::
+
+    from repro.observability import trace
+
+    trace.enable()
+    with trace.span("experiment", experiment="exp1"):
+        with trace.span("phase.measurement"):
+            ...
+    print(trace.render_tree())
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator, Optional
+
+__all__ = [
+    "Span",
+    "enable",
+    "disable",
+    "is_enabled",
+    "span",
+    "current_span",
+    "roots",
+    "clear",
+    "tree_as_dicts",
+    "render_tree",
+]
+
+
+@dataclass
+class Span:
+    """One timed pipeline stage and its nested children."""
+
+    name: str
+    attrs: dict = field(default_factory=dict)
+    started_s: float = 0.0
+    duration_s: Optional[float] = None
+    children: list = field(default_factory=list)
+
+    def set(self, **attrs) -> None:
+        """Attach (or update) attributes on a live span."""
+        self.attrs.update(attrs)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.duration_s is not None
+
+    def walk(self) -> Iterator["Span"]:
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def depth(self) -> int:
+        """Nesting depth of the subtree rooted here (a leaf is 1)."""
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the subtree."""
+        payload = {
+            "name": self.name,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            payload["attrs"] = dict(self.attrs)
+        if self.children:
+            payload["children"] = [c.to_dict() for c in self.children]
+        return payload
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _ActiveSpan:
+    """Context manager that pushes/pops one real span on the tracer."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, sp: Span) -> None:
+        self._span = sp
+
+    def __enter__(self) -> Span:
+        _stack.append(self._span)
+        self._span.started_s = perf_counter()
+        return self._span
+
+    def __exit__(self, *exc_info) -> None:
+        sp = self._span
+        sp.duration_s = perf_counter() - sp.started_s
+        popped = _stack.pop()
+        if popped is not sp:  # pragma: no cover - indicates misuse
+            _stack.append(popped)
+        if _stack:
+            _stack[-1].children.append(sp)
+        else:
+            _roots.append(sp)
+
+
+_enabled: bool = os.environ.get("REPRO_TRACE", "") not in ("", "0", "off")
+_stack: list[Span] = []
+_roots: list[Span] = []
+
+
+def enable() -> None:
+    """Turn span collection on (idempotent)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn span collection off; already-collected spans are kept."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether spans are currently being collected."""
+    return _enabled
+
+
+def span(name: str, **attrs):
+    """A context manager timing one pipeline stage.
+
+    When tracing is disabled this returns a shared null object -- the
+    no-op fast path -- so it is safe (and cheap) to leave in hot loops.
+    """
+    if not _enabled:
+        return _NULL_SPAN
+    return _ActiveSpan(Span(name=name, attrs=attrs))
+
+
+def current_span() -> Optional[Span]:
+    """The innermost open span, or ``None`` outside any span."""
+    return _stack[-1] if _stack else None
+
+
+def roots() -> tuple[Span, ...]:
+    """All finished top-level spans, oldest first."""
+    return tuple(_roots)
+
+
+def clear() -> None:
+    """Drop every collected span (open and finished)."""
+    _stack.clear()
+    _roots.clear()
+
+
+def tree_as_dicts() -> list[dict]:
+    """The finished span forest as JSON-ready dictionaries."""
+    return [root.to_dict() for root in _roots]
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "open"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.0f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_tree(
+    spans: Optional[tuple] = None,
+    max_children: int = 6,
+) -> str:
+    """ASCII rendering of the span forest.
+
+    Sibling lists longer than ``max_children`` are elided (first
+    ``max_children`` shown, then a ``... (+N more)`` marker) so a
+    200-cycle experiment stays readable.
+    """
+    lines: list[str] = []
+
+    def emit(sp: Span, indent: int) -> None:
+        attrs = ""
+        if sp.attrs:
+            attrs = " " + " ".join(f"{k}={v}" for k, v in sp.attrs.items())
+        lines.append(
+            f"{'  ' * indent}{sp.name} [{_format_duration(sp.duration_s)}]"
+            f"{attrs}"
+        )
+        shown = sp.children[:max_children]
+        for child in shown:
+            emit(child, indent + 1)
+        hidden = len(sp.children) - len(shown)
+        if hidden > 0:
+            total = sum(c.duration_s or 0.0 for c in sp.children[max_children:])
+            lines.append(
+                f"{'  ' * (indent + 1)}... (+{hidden} more, "
+                f"{_format_duration(total)})"
+            )
+
+    for root in (roots() if spans is None else spans):
+        emit(root, 0)
+    return "\n".join(lines)

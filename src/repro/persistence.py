@@ -6,6 +6,16 @@ artefacts: :func:`save_bundle` / :func:`load_bundle` round-trip a
 :func:`save_experiment` wraps any of the experiment drivers' results
 with their provenance (config, scores, versions) so a results directory
 is self-describing.
+
+Schema history:
+
+* **v1** -- series bundle + flat provenance fields;
+* **v2** -- adds a top-level ``"manifest"`` key: the full
+  :class:`~repro.observability.manifest.RunManifest` (package version,
+  interpreter, platform, seed, config, span tree, metrics snapshot)
+  of the run that produced the archive.
+
+Readers accept both versions; v1 archives simply load with no manifest.
 """
 
 from __future__ import annotations
@@ -13,15 +23,29 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 from repro.errors import AnalysisError
 from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
 
 #: Schema marker so future readers can migrate old archives.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Every schema version this build can read (v1: pre-manifest archives).
+SUPPORTED_SCHEMAS = (1, 2)
 
 PathLike = Union[str, Path]
+
+
+def _check_schema(schema, what: str) -> int:
+    """Validate an archive's schema marker, naming both versions."""
+    if schema not in SUPPORTED_SCHEMAS:
+        raise AnalysisError(
+            f"{what} was written at schema version {schema!r}, but this "
+            f"build writes version {SCHEMA_VERSION} and reads versions "
+            f"{SUPPORTED_SCHEMAS}"
+        )
+    return int(schema)
 
 
 def bundle_to_dict(bundle: SeriesBundle) -> dict:
@@ -43,15 +67,14 @@ def bundle_to_dict(bundle: SeriesBundle) -> dict:
 
 
 def bundle_from_dict(payload: dict) -> SeriesBundle:
-    """Rebuild a series bundle from its JSON representation."""
+    """Rebuild a series bundle from its JSON representation.
+
+    Accepts every schema in :data:`SUPPORTED_SCHEMAS`; the series shape
+    is identical across v1 and v2.
+    """
     if not isinstance(payload, dict) or "series" not in payload:
         raise AnalysisError("payload is not a serialised bundle")
-    schema = payload.get("schema")
-    if schema != SCHEMA_VERSION:
-        raise AnalysisError(
-            f"unsupported bundle schema {schema!r} "
-            f"(this build reads version {SCHEMA_VERSION})"
-        )
+    _check_schema(payload.get("schema"), "bundle")
     bundle = SeriesBundle(label=payload.get("label", "restored"))
     for entry in payload["series"]:
         series = DeltaPsSeries(
@@ -86,15 +109,23 @@ def load_bundle(path: PathLike) -> SeriesBundle:
     return bundle_from_dict(json.loads(source.read_text()))
 
 
-def save_experiment(result, path: PathLike) -> Path:
+def save_experiment(
+    result, path: PathLike, manifest: Optional[dict] = None
+) -> Path:
     """Archive an experiment driver's result with provenance.
 
     Works with any of the Experiment*Result dataclasses: the config, the
     oracle burn values, the recovery score, and the full series bundle
-    are stored.
+    are stored.  A v2 archive also embeds a run manifest -- by default
+    one built now from the result's config plus the process's span tree
+    and metrics; pass ``manifest`` (a dict) to embed a caller-built one
+    instead.
     """
     from repro import __version__
+    from repro.observability.manifest import build_manifest
 
+    if manifest is None:
+        manifest = build_manifest(config=result.config).to_dict()
     payload = {
         "schema": SCHEMA_VERSION,
         "repro_version": __version__,
@@ -106,6 +137,7 @@ def save_experiment(result, path: PathLike) -> Path:
             "correct_bits": result.recovery_score.correct_bits,
             "accuracy": result.recovery_score.accuracy,
         },
+        "manifest": manifest,
         "bundle": bundle_to_dict(result.bundle),
     }
     target = Path(path)
@@ -114,13 +146,25 @@ def save_experiment(result, path: PathLike) -> Path:
 
 
 def load_experiment_bundle(path: PathLike) -> tuple[dict, SeriesBundle]:
-    """Read back an experiment archive: (metadata, bundle)."""
+    """Read back an experiment archive: (metadata, bundle).
+
+    The metadata carries every top-level key except the bundle itself;
+    for v2 archives that includes the ``"manifest"`` dict, for v1
+    archives the key is absent.
+    """
     source = Path(path)
     if not source.exists():
         raise AnalysisError(f"no archive at {source}")
     payload = json.loads(source.read_text())
     if "bundle" not in payload:
         raise AnalysisError(f"{source} is not an experiment archive")
+    _check_schema(payload.get("schema"), f"archive {source}")
     bundle = bundle_from_dict(payload["bundle"])
     metadata = {k: v for k, v in payload.items() if k != "bundle"}
     return metadata, bundle
+
+
+def load_manifest(path: PathLike) -> Optional[dict]:
+    """The embedded run manifest of an archive, or ``None`` for v1."""
+    metadata, _ = load_experiment_bundle(path)
+    return metadata.get("manifest")

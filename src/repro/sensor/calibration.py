@@ -16,9 +16,13 @@ deliberately independent of device identity beyond the part's timing.
 from __future__ import annotations
 
 from repro.errors import CalibrationError
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
 from repro.sensor.postprocess import trace_mean_distance
 from repro.sensor.tdc import TunableDualPolarityTdc
 from repro.sensor.trace import Polarity
+
+_log = get_logger("sensor.calibration")
 
 #: Acceptable window for the mean propagation distance at theta_init,
 #: in chain elements: keeps headroom for drift in both directions.
@@ -73,28 +77,51 @@ def find_theta_init(
             break
         theta = max(theta - coarse, 0.0)
     else:
+        registry.counter(
+            "calibration_failures_total", "routes that failed calibration"
+        ).inc()
+        _log.error("calibration_failed", route=tdc.route.name,
+                   reason="never_entered_chain")
         raise CalibrationError(
             f"route {tdc.route.name!r}: transitions never entered the chain"
         )
 
     # Fine descent: centre the mean of both polarities in the window.
+    # Every probe beyond the first is a retry at a reduced theta.
     best_theta = None
     fine = phase.step_ps
     probes = int(2.0 * coarse / fine) + tdc.chain_length
-    for _ in range(probes):
+    retries = 0
+    for attempt in range(probes):
         rising, falling = _mean_positions(tdc, theta)
         centre = (rising + falling) / 2.0
         if _TARGET_LOW <= centre <= _TARGET_HIGH and min(rising, falling) > 4.0:
             best_theta = theta
+            retries = attempt
             break
         if max(rising, falling) <= _TARGET_LOW:
+            retries = attempt
             break
         theta -= fine
         if theta < 0.0:
+            retries = attempt
             break
+    else:
+        retries = probes
+    registry.counter(
+        "calibration_retries_total",
+        "fine-descent probes re-taken beyond the first per route",
+    ).inc(retries)
     if best_theta is None:
+        registry.counter(
+            "calibration_failures_total", "routes that failed calibration"
+        ).inc()
+        _log.error("calibration_failed", route=tdc.route.name,
+                   reason="could_not_centre")
         raise CalibrationError(
             f"route {tdc.route.name!r}: could not centre transitions "
             f"in the capture window"
         )
+    _log.debug("calibrated_route", route=tdc.route.name,
+               theta_init_ps=best_theta, retries=retries)
     return best_theta

@@ -7,7 +7,21 @@ import pytest
 from repro.designs import build_measure_design, build_route_bank, build_target_design
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
+from repro.observability import trace
+from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, NEW_PART
+
+
+@pytest.fixture(autouse=True)
+def clean_observability():
+    """Every test starts and ends with empty global metrics/span state."""
+    registry.reset()
+    trace.clear()
+    trace.disable()
+    yield
+    registry.reset()
+    trace.clear()
+    trace.disable()
 
 
 @pytest.fixture

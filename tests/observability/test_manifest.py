@@ -1,0 +1,60 @@
+"""Tests for run manifests and their persistence integration."""
+
+import json
+
+from repro.experiments import Experiment1Config
+from repro.observability import trace
+from repro.observability.manifest import (
+    RunManifest,
+    build_manifest,
+    diff_manifests,
+)
+from repro.observability.metrics import registry
+
+
+class TestBuild:
+    def test_captures_identity(self):
+        from repro import __version__
+
+        m = build_manifest(seed=7)
+        assert m.repro_version == __version__
+        assert m.seed == 7
+        assert m.run_id and len(m.run_id) == 12
+        assert m.python_version.count(".") == 2
+
+    def test_config_dataclass_expanded(self):
+        config = Experiment1Config.quick(seed=9)
+        m = build_manifest(config=config)
+        assert m.config["burn_hours"] == config.burn_hours
+        assert m.seed == 9  # taken from the config when not given
+
+    def test_span_and_metric_snapshots(self):
+        trace.enable()
+        registry.counter("captures_total").inc(3)
+        with trace.span("experiment"):
+            pass
+        m = build_manifest()
+        assert m.spans[0]["name"] == "experiment"
+        assert m.metrics["counters"]["captures_total"] == 3.0
+
+    def test_round_trip(self):
+        m = build_manifest(config={"k": 1}, seed=2, extra={"note": "x"})
+        payload = json.loads(json.dumps(m.to_dict()))
+        twin = RunManifest.from_dict(payload)
+        assert twin.seed == 2
+        assert twin.config == {"k": 1}
+        assert twin.extra == {"note": "x"}
+        assert twin.run_id == m.run_id
+
+
+class TestDiff:
+    def test_identical_manifests_no_diff(self):
+        payload = build_manifest(config={"a": 1}).to_dict()
+        assert diff_manifests(payload, payload) == {}
+
+    def test_seed_and_config_diffs_reported(self):
+        a = build_manifest(config={"burn_hours": 40}, seed=1).to_dict()
+        b = build_manifest(config={"burn_hours": 200}, seed=2).to_dict()
+        diffs = diff_manifests(a, b)
+        assert diffs["seed"] == (1, 2)
+        assert diffs["config.burn_hours"] == (40, 200)

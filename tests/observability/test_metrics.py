@@ -1,0 +1,146 @@
+"""Tests for the metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.export import (
+    metrics_to_dict,
+    to_prometheus_text,
+    write_metrics_json,
+)
+from repro.observability.metrics import (
+    HISTOGRAM_RESERVOIR_SIZE,
+    MetricsRegistry,
+    registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = registry.counter("events_total")
+        c.inc()
+        c.inc(2.5)
+        assert registry.counter("events_total").value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            registry.counter("y_total").inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_adjust(self):
+        g = registry.gauge("level")
+        g.set(4.0)
+        g.inc(-1.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_summary_percentiles(self):
+        h = registry.histogram("latency")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["min"] == 1.0 and s["max"] == 100.0
+        assert s["mean"] == pytest.approx(50.5)
+        assert s["p50"] == 50.0
+        assert s["p95"] == 95.0
+        assert s["p99"] == 99.0
+
+    def test_empty_summary_is_zeroes(self):
+        s = registry.histogram("empty").summary()
+        assert s["count"] == 0 and s["p50"] == 0.0
+
+    def test_reservoir_bounded_but_count_exact(self):
+        h = registry.histogram("bounded")
+        n = HISTOGRAM_RESERVOIR_SIZE + 100
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert len(h._reservoir) == HISTOGRAM_RESERVOIR_SIZE
+        assert h.minimum == 0.0 and h.maximum == float(n - 1)
+
+    def test_bad_percentile_rejected(self):
+        h = registry.histogram("p")
+        with pytest.raises(ConfigurationError):
+            h.percentile(101.0)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        registry.counter("thing")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing")
+
+    def test_reset_clears_everything(self):
+        registry.counter("a_total").inc()
+        registry.gauge("b").set(1)
+        registry.histogram("c").observe(1.0)
+        registry.reset()
+        assert registry.names() == ()
+
+    def test_autouse_fixture_gives_clean_registry(self):
+        # The clean_observability fixture in tests/conftest.py must have
+        # wiped whatever other tests recorded.
+        assert registry.names() == ()
+
+    def test_snapshot_shape(self):
+        registry.counter("a_total").inc(2)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(3.0)
+        snap = registry.snapshot()
+        assert snap["counters"] == {"a_total": 2.0}
+        assert snap["gauges"] == {"b": 7.0}
+        assert snap["histograms"]["c"]["count"] == 1
+
+
+class TestExport:
+    def test_json_export_round_trips(self, tmp_path):
+        registry.counter("captures_total").inc(4)
+        registry.histogram("capture_latency_seconds").observe(0.01)
+        path = write_metrics_json(tmp_path / "m.json")
+        payload = json.loads(path.read_text())
+        assert payload["metrics"]["counters"]["captures_total"] == 4.0
+        hist = payload["metrics"]["histograms"]["capture_latency_seconds"]
+        assert "p50" in hist and "p95" in hist
+
+    def test_json_export_embeds_manifest(self, tmp_path):
+        path = write_metrics_json(
+            tmp_path / "m.json", manifest={"run_id": "abc"}
+        )
+        payload = json.loads(path.read_text())
+        assert payload["manifest"]["run_id"] == "abc"
+
+    def test_prometheus_text_format(self):
+        own = MetricsRegistry()
+        own.counter("captures_total", "captures").inc(3)
+        own.gauge("recovery_accuracy").set(0.5)
+        own.histogram("latency_seconds").observe(2.0)
+        text = to_prometheus_text(own)
+        assert "# TYPE captures_total counter" in text
+        assert "captures_total 3.0" in text
+        assert "# TYPE recovery_accuracy gauge" in text
+        assert "# TYPE latency_seconds summary" in text
+        assert 'latency_seconds{quantile="0.5"} 2.0' in text
+        assert "latency_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_sanitises_names(self):
+        own = MetricsRegistry()
+        own.counter("bad-name.total").inc()
+        assert "bad_name_total" in to_prometheus_text(own)
+
+    def test_metrics_to_dict_includes_spans(self):
+        from repro.observability import trace
+
+        trace.enable()
+        with trace.span("root"):
+            pass
+        payload = metrics_to_dict()
+        assert payload["spans"][0]["name"] == "root"

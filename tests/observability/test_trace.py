@@ -1,0 +1,136 @@
+"""Tests for span tracing: nesting, timing, the disabled fast path."""
+
+import time
+
+from repro.observability import trace
+
+
+class TestDisabled:
+    def test_disabled_returns_shared_null(self):
+        assert trace.span("a") is trace.span("b")
+
+    def test_disabled_records_nothing(self):
+        with trace.span("root"):
+            with trace.span("child"):
+                pass
+        assert trace.roots() == ()
+
+    def test_null_span_accepts_set(self):
+        with trace.span("root") as sp:
+            sp.set(key="value")  # must not raise
+
+    def test_env_switch_default_off(self):
+        assert not trace.is_enabled()
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        trace.enable()
+        with trace.span("experiment"):
+            with trace.span("phase"):
+                with trace.span("capture"):
+                    pass
+            with trace.span("phase"):
+                pass
+        roots = trace.roots()
+        assert len(roots) == 1
+        root = roots[0]
+        assert root.name == "experiment"
+        assert [c.name for c in root.children] == ["phase", "phase"]
+        assert root.children[0].children[0].name == "capture"
+        assert root.depth() == 3
+
+    def test_sequential_roots(self):
+        trace.enable()
+        with trace.span("one"):
+            pass
+        with trace.span("two"):
+            pass
+        assert [r.name for r in trace.roots()] == ["one", "two"]
+
+    def test_current_span_tracks_stack(self):
+        trace.enable()
+        assert trace.current_span() is None
+        with trace.span("outer") as outer:
+            assert trace.current_span() is outer
+            with trace.span("inner") as inner:
+                assert trace.current_span() is inner
+            assert trace.current_span() is outer
+        assert trace.current_span() is None
+
+    def test_attrs_and_set(self):
+        trace.enable()
+        with trace.span("s", fixed=1) as sp:
+            sp.set(late=2)
+        root = trace.roots()[0]
+        assert root.attrs == {"fixed": 1, "late": 2}
+
+    def test_walk_covers_all(self):
+        trace.enable()
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+            with trace.span("c"):
+                with trace.span("d"):
+                    pass
+        names = sorted(s.name for s in trace.roots()[0].walk())
+        assert names == ["a", "b", "c", "d"]
+
+
+class TestTiming:
+    def test_duration_positive_and_ordered(self):
+        trace.enable()
+        with trace.span("outer"):
+            with trace.span("inner"):
+                time.sleep(0.01)
+        outer = trace.roots()[0]
+        inner = outer.children[0]
+        assert inner.duration_s >= 0.01
+        assert outer.duration_s >= inner.duration_s
+
+    def test_exception_still_closes_span(self):
+        trace.enable()
+        try:
+            with trace.span("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        roots = trace.roots()
+        assert len(roots) == 1 and roots[0].finished
+
+
+class TestSerialisation:
+    def test_tree_as_dicts_round_shape(self):
+        trace.enable()
+        with trace.span("root", k="v"):
+            with trace.span("leaf"):
+                pass
+        payload = trace.tree_as_dicts()
+        assert payload[0]["name"] == "root"
+        assert payload[0]["attrs"] == {"k": "v"}
+        assert payload[0]["children"][0]["name"] == "leaf"
+        assert "children" not in payload[0]["children"][0]
+
+    def test_render_tree_elides_siblings(self):
+        trace.enable()
+        with trace.span("root"):
+            for _ in range(10):
+                with trace.span("child"):
+                    pass
+        text = trace.render_tree(max_children=3)
+        assert text.count("child") == 3
+        assert "(+7 more" in text
+
+    def test_render_tree_shows_attrs_and_duration(self):
+        trace.enable()
+        with trace.span("root", route="rut[0]"):
+            pass
+        text = trace.render_tree()
+        assert "root [" in text and "route=rut[0]" in text
+
+    def test_clear_drops_everything(self):
+        trace.enable()
+        with trace.span("root"):
+            pass
+        trace.clear()
+        assert trace.roots() == ()

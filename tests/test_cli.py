@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -19,6 +21,19 @@ class TestParser:
     def test_table1_flags(self):
         args = build_parser().parse_args(["table1", "--compare"])
         assert args.compare
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_every_subcommand_has_observability_flags(self):
+        for argv in (["exp1"], ["exp2"], ["exp3"], ["table1"], ["report"]):
+            args = build_parser().parse_args(argv + ["--trace"])
+            assert args.trace and args.metrics_out is None
 
 
 class TestMain:
@@ -53,3 +68,40 @@ class TestMain:
                      "--recovery-hours", "8", "--seed", "19"]) == 0
         out = capsys.readouterr().out
         assert "boards probed" in out
+
+
+class TestObservabilityFlags:
+    def test_trace_prints_span_tree(self, capsys):
+        code = main(["exp1", "--quick", "--no-figure", "--trace",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--seed", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "experiment [" in out
+        assert "phase.measurement [" in out
+        assert "sensor.capture [" in out
+
+    def test_metrics_out_writes_valid_json(self, tmp_path, capsys):
+        target = tmp_path / "metrics.json"
+        code = main(["exp1", "--quick", "--no-figure",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--seed", "5", "--metrics-out", str(target)])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        counters = payload["metrics"]["counters"]
+        assert counters["captures_total"] > 0
+        assert counters["protocol_cycles_total"] > 0
+        latency = payload["metrics"]["histograms"]["capture_latency_seconds"]
+        assert latency["count"] > 0 and latency["p95"] >= latency["p50"]
+        assert payload["manifest"]["config"]["burn_hours"] == 16
+        assert payload["manifest"]["seed"] == 5
+
+    def test_archive_embeds_manifest(self, tmp_path):
+        target = tmp_path / "exp1.json"
+        assert main(["exp1", "--quick", "--no-figure",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--seed", "5", "--output", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 2
+        assert payload["manifest"]["seed"] == 5

@@ -72,6 +72,39 @@ class TestBundleRoundTrip:
             bundle_from_dict({"totally": "unrelated"})
 
 
+class TestSchemaCompat:
+    def test_v1_bundle_still_loads(self):
+        payload = bundle_to_dict(make_bundle())
+        payload["schema"] = 1  # as written by pre-manifest builds
+        restored = bundle_from_dict(payload)
+        assert len(restored) == 2
+
+    def test_current_schema_is_v2(self):
+        assert bundle_to_dict(make_bundle())["schema"] == 2
+
+    def test_mismatch_error_names_both_versions(self):
+        payload = bundle_to_dict(make_bundle())
+        payload["schema"] = 99
+        with pytest.raises(AnalysisError) as excinfo:
+            bundle_from_dict(payload)
+        message = str(excinfo.value)
+        assert "99" in message and "2" in message
+
+    def test_v1_experiment_archive_loads_without_manifest(self, tmp_path):
+        bundle_payload = bundle_to_dict(make_bundle())
+        bundle_payload["schema"] = 1
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "schema": 1,
+            "repro_version": "0.9.0",
+            "result_type": "Experiment1Result",
+            "bundle": bundle_payload,
+        }))
+        metadata, bundle = load_experiment_bundle(path)
+        assert "manifest" not in metadata
+        assert len(bundle) == 2
+
+
 class TestExperimentArchive:
     def test_round_trip_with_provenance(self, tmp_path):
         from repro.experiments import Experiment1Config, run_experiment1
@@ -83,6 +116,30 @@ class TestExperimentArchive:
         assert metadata["recovery"]["accuracy"] == result.recovery_score.accuracy
         assert metadata["config"]["burn_hours"] == result.config.burn_hours
         assert len(bundle) == len(result.bundle)
+
+    def test_manifest_embedded_and_round_trips(self, tmp_path):
+        from repro import __version__
+        from repro.experiments import Experiment1Config, run_experiment1
+        from repro.persistence import load_manifest
+
+        result = run_experiment1(Experiment1Config.quick(seed=5))
+        path = save_experiment(result, tmp_path / "exp1.json")
+        manifest = load_manifest(path)
+        assert manifest["repro_version"] == __version__
+        assert manifest["seed"] == 5
+        assert manifest["config"]["burn_hours"] == result.config.burn_hours
+        # The metrics snapshot recorded the run that produced the archive.
+        assert manifest["metrics"]["counters"]["captures_total"] > 0
+
+    def test_caller_built_manifest_wins(self, tmp_path):
+        from repro.experiments import Experiment1Config, run_experiment1
+        from repro.persistence import load_manifest
+
+        result = run_experiment1(Experiment1Config.quick(seed=5))
+        path = save_experiment(
+            result, tmp_path / "exp1.json", manifest={"run_id": "custom"}
+        )
+        assert load_manifest(path) == {"run_id": "custom"}
 
     def test_archive_is_plain_json(self, tmp_path):
         from repro.experiments import Experiment1Config, run_experiment1
