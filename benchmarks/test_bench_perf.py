@@ -1,0 +1,136 @@
+"""Performance benchmark: batched capture kernel and parallel sweeps.
+
+Three phases, written to ``BENCH_perf.json`` at the repo root:
+
+* **measurement microbench** -- full TDC measurements through the scalar
+  reference kernel vs the vectorised batched kernel (the PR 2 tentpole
+  targets >= 10x here);
+* **end-to-end** -- ``exp1 --quick`` wall time under each kernel with
+  recovery accuracy compared (target >= 3x, accuracy unchanged);
+* **sweep sharding** -- ``experiment_sweep(jobs=N)`` vs sequential, with
+  the bit-identical-result invariant checked.
+
+The hard gate (CI fails on it) is deliberately loose -- the batched
+kernel must not be *slower* than the scalar path -- so noisy shared
+runners cannot flake the build; the headline ratios are recorded for
+trend tracking rather than asserted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+from time import perf_counter
+
+from repro.designs import build_route_bank
+from repro.experiments import Experiment1Config, run_experiment1
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import ZYNQ_ULTRASCALE_PLUS
+from repro.montecarlo import experiment_sweep
+from repro.sensor import find_theta_init
+from repro.sensor.noise import LAB_NOISE
+from repro.sensor.tdc import TunableDualPolarityTdc, capture_kernel
+
+_TARGET = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+
+#: Full measurements timed per kernel in the microbench.
+_MICRO_REPS = 60
+
+
+def _time_measurements(tdc, theta, kernel, reps):
+    for _ in range(5):  # warm caches, allocator, rng dispatch
+        tdc.measure_raw(theta, kernel=kernel)
+    start = perf_counter()
+    for _ in range(reps):
+        tdc.measure_raw(theta, kernel=kernel)
+    return (perf_counter() - start) / reps
+
+
+def _time_exp1(kernel):
+    config = Experiment1Config.quick()
+    with capture_kernel(kernel):
+        best, accuracy = float("inf"), None
+        for _ in range(2):
+            start = perf_counter()
+            result = run_experiment1(config)
+            best = min(best, perf_counter() - start)
+            accuracy = result.recovery_score.accuracy
+    return best, accuracy
+
+
+def test_bench_perf(emit):
+    device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=21)
+    route = build_route_bank(device.grid, [1000.0])[0]
+    tdc = TunableDualPolarityTdc(device, route, noise=LAB_NOISE, seed=1)
+    theta = find_theta_init(tdc)
+
+    scalar_s = _time_measurements(tdc, theta, "scalar", _MICRO_REPS)
+    batched_s = _time_measurements(tdc, theta, "batched", _MICRO_REPS)
+    micro_speedup = scalar_s / batched_s
+    words_per_measurement = 2 * 10 * 16  # both polarities
+    emit(f"micro: scalar {scalar_s * 1e3:.2f} ms/measurement, "
+         f"batched {batched_s * 1e3:.2f} ms/measurement "
+         f"({micro_speedup:.1f}x, "
+         f"{words_per_measurement / batched_s:,.0f} words/s)")
+
+    e2e_scalar_s, scalar_accuracy = _time_exp1("scalar")
+    e2e_batched_s, batched_accuracy = _time_exp1("batched")
+    e2e_speedup = e2e_scalar_s / e2e_batched_s
+    emit(f"exp1 --quick: scalar {e2e_scalar_s:.2f} s, "
+         f"batched {e2e_batched_s:.2f} s ({e2e_speedup:.1f}x), "
+         f"accuracy {scalar_accuracy:.3f} -> {batched_accuracy:.3f}")
+
+    seeds = [1, 2, 3, 4]
+    # At least two workers so the sharded path (pool, pickling, metrics
+    # merge-back) is always exercised, even on single-core runners.
+    jobs = max(2, min(4, os.cpu_count() or 1))
+    start = perf_counter()
+    sequential = experiment_sweep("exp1", seeds=seeds, jobs=1)
+    sweep_sequential_s = perf_counter() - start
+    start = perf_counter()
+    sharded = experiment_sweep("exp1", seeds=seeds, jobs=jobs)
+    sweep_sharded_s = perf_counter() - start
+    emit(f"sweep (4 seeds): jobs=1 {sweep_sequential_s:.2f} s, "
+         f"jobs={jobs} {sweep_sharded_s:.2f} s "
+         f"({sweep_sequential_s / sweep_sharded_s:.1f}x)")
+
+    payload = {
+        "suite": "perf",
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "microbench": {
+            "scalar_seconds_per_measurement": round(scalar_s, 6),
+            "batched_seconds_per_measurement": round(batched_s, 6),
+            "speedup": round(micro_speedup, 2),
+            "batched_words_per_second": round(
+                words_per_measurement / batched_s
+            ),
+        },
+        "exp1_quick": {
+            "scalar_seconds": round(e2e_scalar_s, 3),
+            "batched_seconds": round(e2e_batched_s, 3),
+            "speedup": round(e2e_speedup, 2),
+            "scalar_accuracy": scalar_accuracy,
+            "batched_accuracy": batched_accuracy,
+        },
+        "sweep": {
+            "seeds": len(seeds),
+            "jobs": jobs,
+            "sequential_seconds": round(sweep_sequential_s, 3),
+            "sharded_seconds": round(sweep_sharded_s, 3),
+            "speedup": round(sweep_sequential_s / sweep_sharded_s, 2),
+            "bit_identical": sharded == sequential,
+        },
+    }
+    _TARGET.write_text(json.dumps(payload, indent=1))
+    emit(f"wrote {_TARGET.name}")
+
+    # Hard gates: the batched kernel must never lose to the reference
+    # path, sharding must not change the statistics, and the kernels
+    # must agree on exp1's recovery for the fixed default seed.
+    assert micro_speedup >= 1.0
+    assert e2e_speedup >= 1.0
+    assert sharded == sequential
+    assert batched_accuracy == scalar_accuracy

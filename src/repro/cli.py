@@ -5,6 +5,7 @@ Examples::
     python -m repro exp1 --quick
     python -m repro exp2 --seed 7
     python -m repro exp3 --quick --recovery-hours 20
+    python -m repro sweep exp1 --seeds 1:16 --jobs 4
     python -m repro table1 --compare
     python -m repro exp1 --quick --trace --metrics-out run.json
 
@@ -88,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--compare", action="store_true",
                     help="interleave the paper's published rows")
     observability(pt)
+
+    ps = sub.add_parser(
+        "sweep",
+        help="Monte Carlo seed sweep of an experiment (robustness)",
+    )
+    ps.add_argument("experiment", choices=("exp1", "exp2", "exp3"))
+    ps.add_argument("--seeds", type=str, default="1:8", metavar="SPEC",
+                    help="comma-separated seeds and A:B inclusive ranges, "
+                         "e.g. '1,2,5' or '1:20' (default: 1:8)")
+    ps.add_argument("--jobs", type=int, default=1, metavar="N",
+                    help="worker processes to shard the seeds over "
+                         "(default: 1, sequential)")
+    ps.add_argument("--paper", action="store_true",
+                    help="paper-scale configs (default: quick)")
+    observability(ps)
 
     pr = sub.add_parser(
         "report",
@@ -202,6 +218,48 @@ def _cmd_exp3(args) -> int:
     return 0
 
 
+def parse_seed_spec(spec: str) -> list[int]:
+    """Expand a ``--seeds`` spec: comma list with A:B inclusive ranges."""
+    seeds: list[int] = []
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" in token:
+            lo_text, hi_text = token.split(":", 1)
+            lo, hi = int(lo_text), int(hi_text)
+            if hi < lo:
+                raise ValueError(f"empty range {token!r}")
+            seeds.extend(range(lo, hi + 1))
+        else:
+            seeds.append(int(token))
+    if not seeds:
+        raise ValueError("no seeds given")
+    return seeds
+
+
+def _cmd_sweep(args) -> int:
+    from repro.montecarlo import experiment_sweep
+
+    try:
+        seeds = parse_seed_spec(args.seeds)
+    except ValueError as exc:
+        print(f"repro: invalid --seeds spec {args.seeds!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print(f"repro: --jobs must be >= 1, got {args.jobs}",
+              file=sys.stderr)
+        return 2
+    result = experiment_sweep(
+        args.experiment, seeds, quick=not args.paper, jobs=args.jobs
+    )
+    print(result)
+    print(f"min={result.minimum:.3f} max={result.maximum:.3f} "
+          f"seeds={len(seeds)} jobs={args.jobs}")
+    return 0
+
+
 def _cmd_table1(args) -> int:
     rows = build_table1(seed=args.seed)
     print(render_table1(rows, compare=args.compare))
@@ -226,6 +284,7 @@ _HANDLERS = {
     "exp1": _cmd_exp1,
     "exp2": _cmd_exp2,
     "exp3": _cmd_exp3,
+    "sweep": _cmd_sweep,
     "table1": _cmd_table1,
     "report": _cmd_report,
 }

@@ -49,14 +49,28 @@ class RouteFingerprint:
             )
 
 
-def fingerprint_session(session: MeasureSession) -> RouteFingerprint:
-    """Fingerprint the device behind a calibrated measure session."""
+def fingerprint_session(
+    session: MeasureSession, repeats: int = 4
+) -> RouteFingerprint:
+    """Fingerprint the device behind a calibrated measure session.
+
+    Each route is measured ``repeats`` times and the features averaged:
+    per-sample jitter scales the feature noise down by sqrt(repeats),
+    while the die-identifying delay offsets are deterministic and
+    survive the mean.  Measurement is cheap (one batched capture per
+    repeat), so a handful of repeats buys a fingerprint stable to small
+    fractions of a bin.
+    """
+    if repeats < 1:
+        raise AttackError("repeats must be >= 1")
     names = session.route_names
     features = np.zeros((len(names), 2))
     for i, name in enumerate(names):
-        measurement = session.measure_route(name)
-        features[i, 0] = measurement.rising_distance
-        features[i, 1] = measurement.falling_distance
+        for _ in range(repeats):
+            measurement = session.measure_route(name)
+            features[i, 0] += measurement.rising_distance
+            features[i, 1] += measurement.falling_distance
+    features /= repeats
     return RouteFingerprint(route_names=tuple(names), features=features)
 
 

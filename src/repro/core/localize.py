@@ -183,10 +183,16 @@ class ImprintScanner:
         }
         values = np.array(list(features.values()))
         # Robust null: most segments never carried a 1, so the median
-        # and MAD of the whole scan estimate the clean distribution
-        # without being dragged by the recovering minority.
+        # estimates the clean centre.  Spread comes from the *upper*
+        # (non-recovering) side only -- recovering probes all sit in the
+        # negative tail, and folding them into a two-sided MAD inflates
+        # the spread enough to hide their own significance.  For a
+        # symmetric clean distribution the one-sided median deviation
+        # equals the MAD, so the 1.4826 normal-consistency factor still
+        # applies.
         centre = float(np.median(values))
-        mad = float(np.median(np.abs(values - centre)))
+        upper = values[values > centre] - centre
+        mad = float(np.median(upper)) if upper.size else 0.0
         spread = max(1.4826 * mad, 1e-9)
         flagged = tuple(
             segment_for_probe[name]

@@ -92,11 +92,15 @@ class MeasureSession:
         """Names of the routes under test, in bank order."""
         return tuple(route.name for route in self.routes)
 
-    def calibrate(self) -> dict[str, float]:
-        """The Calibration phase: find and store theta_init per route."""
+    def calibrate(self, kernel: Optional[str] = None) -> dict[str, float]:
+        """The Calibration phase: find and store theta_init per route.
+
+        ``kernel`` selects the capture implementation per probe trace
+        ("batched"/"scalar"; ``None`` takes the process default).
+        """
         for name, tdc in self._tdcs.items():
             with trace.span("sensor.calibrate", route=name):
-                self.theta_init[name] = find_theta_init(tdc)
+                self.theta_init[name] = find_theta_init(tdc, kernel=kernel)
             registry.counter(
                 "calibrations_total", "routes calibrated from scratch"
             ).inc()
@@ -117,8 +121,14 @@ class MeasureSession:
             )
         self.theta_init = dict(theta_init)
 
-    def measure_route(self, route_name: str) -> Measurement:
-        """The Measurement phase for one route."""
+    def measure_route(
+        self, route_name: str, kernel: Optional[str] = None
+    ) -> Measurement:
+        """The Measurement phase for one route.
+
+        ``kernel`` selects the capture implementation ("batched"/
+        "scalar"; ``None`` takes the process default).
+        """
         if route_name not in self._tdcs:
             raise ConfigurationError(f"no TDC for route {route_name!r}")
         if route_name not in self.theta_init:
@@ -129,7 +139,7 @@ class MeasureSession:
         start = perf_counter()
         with trace.span("sensor.capture", route=route_name):
             measurement = self._tdcs[route_name].measure(
-                self.theta_init[route_name]
+                self.theta_init[route_name], kernel=kernel
             )
         registry.counter(
             "captures_total", "complete TDC measurements taken"
@@ -143,9 +153,14 @@ class MeasureSession:
         ).observe(measurement.delta_ps)
         return measurement
 
-    def measure_all(self) -> dict[str, Measurement]:
+    def measure_all(
+        self, kernel: Optional[str] = None
+    ) -> dict[str, Measurement]:
         """Measure every route; the whole pass takes under a minute."""
-        return {name: self.measure_route(name) for name in self.route_names}
+        return {
+            name: self.measure_route(name, kernel=kernel)
+            for name in self.route_names
+        }
 
     def measurement_duration_hours(self) -> float:
         """Simulated wall-clock cost of one measure_all pass."""

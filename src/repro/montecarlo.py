@@ -6,11 +6,24 @@ seed-parameterised metric over a seed set and summarises the
 distribution, and :func:`experiment_sweep` wraps the three experiment
 drivers so robustness numbers (mean recovery accuracy with a
 percentile interval) are one call away.
+
+Both accept ``jobs``: with ``jobs > 1`` the seed set shards across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Seeds are fully
+independent evaluations, so the sharded sweep returns a bit-identical
+:class:`MonteCarloResult` to the sequential one -- results are
+collected in submission order -- and each worker ships its metrics
+registry back to be merged into the parent's (so ``captures_total``
+and friends still reflect the whole sweep).
 """
 
 from __future__ import annotations
 
+import dataclasses
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
+from time import perf_counter
 from typing import Callable, Optional, Sequence
 
 import numpy as np
@@ -69,49 +82,101 @@ class MonteCarloResult:
         )
 
 
+def _record_seed_run(elapsed_seconds: float) -> None:
+    registry.counter(
+        "montecarlo_runs_total", "seeded metric evaluations"
+    ).inc()
+    registry.histogram(
+        "montecarlo_run_seconds", "wall time per seeded evaluation"
+    ).observe(elapsed_seconds)
+
+
+def _evaluate_seed(
+    metric: Callable[[int], float], seed: int
+) -> tuple[float, float, dict]:
+    """Worker-side evaluation: value, wall time, and the metrics delta.
+
+    Resets the (forked/fresh) worker registry first so the returned
+    dump holds exactly the instruments this one seed produced.
+    """
+    registry.reset()
+    start = perf_counter()
+    value = float(metric(int(seed)))
+    return value, perf_counter() - start, registry.dump_state()
+
+
+def _run_sequential(
+    metric: Callable[[int], float], seeds: Sequence[int]
+) -> list[float]:
+    values = []
+    for seed in seeds:
+        start = perf_counter()
+        with trace.span("montecarlo.seed", seed=int(seed)):
+            values.append(float(metric(int(seed))))
+        _record_seed_run(perf_counter() - start)
+    return values
+
+
+def _run_parallel(
+    metric: Callable[[int], float], seeds: Sequence[int], jobs: int
+) -> list[float]:
+    try:
+        pickle.dumps(metric)
+    except Exception as exc:
+        raise ConfigurationError(
+            "jobs > 1 requires a picklable metric (a module-level "
+            f"function or functools.partial of one): {exc}"
+        ) from exc
+    values = []
+    with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
+        futures = [
+            pool.submit(_evaluate_seed, metric, int(seed)) for seed in seeds
+        ]
+        # Collect in submission order: result ordering (and hence the
+        # MonteCarloResult) is deterministic regardless of which worker
+        # finishes first.
+        for future in futures:
+            value, elapsed, worker_state = future.result()
+            registry.merge_state(worker_state)
+            _record_seed_run(elapsed)
+            values.append(value)
+    return values
+
+
 def run_monte_carlo(
     metric: Callable[[int], float],
     seeds: Sequence[int],
     metric_name: str = "metric",
+    jobs: int = 1,
 ) -> MonteCarloResult:
-    """Evaluate ``metric(seed)`` for every seed and summarise."""
-    from time import perf_counter
+    """Evaluate ``metric(seed)`` for every seed and summarise.
 
+    ``jobs > 1`` shards the seeds over that many worker processes; the
+    metric must then be picklable.  Values come back in seed order
+    either way, so the result is independent of ``jobs``.
+    """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    values = []
-    with trace.span("montecarlo", metric=metric_name, seeds=len(seeds)):
-        for seed in seeds:
-            start = perf_counter()
-            with trace.span("montecarlo.seed", seed=int(seed)):
-                values.append(float(metric(int(seed))))
-            registry.counter(
-                "montecarlo_runs_total", "seeded metric evaluations"
-            ).inc()
-            registry.histogram(
-                "montecarlo_run_seconds", "wall time per seeded evaluation"
-            ).observe(perf_counter() - start)
-    _log.info("monte_carlo_done", metric=metric_name, n=len(seeds))
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    with trace.span(
+        "montecarlo", metric=metric_name, seeds=len(seeds), jobs=jobs
+    ):
+        if jobs == 1:
+            values = _run_sequential(metric, seeds)
+        else:
+            values = _run_parallel(metric, seeds, jobs)
+    _log.info("monte_carlo_done", metric=metric_name, n=len(seeds),
+              jobs=jobs)
     return MonteCarloResult(
         metric_name=metric_name, seeds=tuple(int(s) for s in seeds),
         values=tuple(values),
     )
 
 
-def experiment_sweep(
-    experiment: str,
-    seeds: Sequence[int],
-    quick: bool = True,
-    config_overrides: Optional[dict] = None,
-) -> MonteCarloResult:
-    """Recovery-accuracy distribution of one experiment over seeds.
-
-    ``experiment`` is ``"exp1"``, ``"exp2"`` or ``"exp3"``; ``quick``
-    selects the shrunken configs; ``config_overrides`` are applied with
-    :func:`dataclasses.replace`.
-    """
-    import dataclasses
-
+def _experiment_registry() -> dict:
+    # Imported lazily: repro.experiments sits above this module in the
+    # layering and is heavy to import.
     from repro.experiments import (
         Experiment1Config,
         Experiment2Config,
@@ -121,26 +186,55 @@ def experiment_sweep(
         run_experiment3,
     )
 
-    registry = {
+    return {
         "exp1": (Experiment1Config, run_experiment1),
         "exp2": (Experiment2Config, run_experiment2),
         "exp3": (Experiment3Config, run_experiment3),
     }
-    if experiment not in registry:
+
+
+def _resolve_experiment(experiment: str) -> tuple:
+    runners = _experiment_registry()
+    if experiment not in runners:
         raise ConfigurationError(
             f"unknown experiment {experiment!r}; choose from "
-            f"{sorted(registry)}"
+            f"{sorted(runners)}"
         )
-    config_cls, runner = registry[experiment]
+    return runners[experiment]
 
-    def metric(seed: int) -> float:
-        """Recovery accuracy of one seeded run."""
-        config = (config_cls.quick(seed=seed) if quick
-                  else config_cls.paper(seed=seed))
-        if config_overrides:
-            config = dataclasses.replace(config, **config_overrides)
-        return runner(config).recovery_score.accuracy
 
+def _experiment_metric(
+    experiment: str, quick: bool, overrides: tuple, seed: int
+) -> float:
+    """Recovery accuracy of one seeded run (module-level: picklable)."""
+    config_cls, runner = _resolve_experiment(experiment)
+    config = (config_cls.quick(seed=seed) if quick
+              else config_cls.paper(seed=seed))
+    if overrides:
+        config = dataclasses.replace(config, **dict(overrides))
+    return runner(config).recovery_score.accuracy
+
+
+def experiment_sweep(
+    experiment: str,
+    seeds: Sequence[int],
+    quick: bool = True,
+    config_overrides: Optional[dict] = None,
+    jobs: int = 1,
+) -> MonteCarloResult:
+    """Recovery-accuracy distribution of one experiment over seeds.
+
+    ``experiment`` is ``"exp1"``, ``"exp2"`` or ``"exp3"``; ``quick``
+    selects the shrunken configs; ``config_overrides`` are applied with
+    :func:`dataclasses.replace`; ``jobs`` shards the seeds over worker
+    processes (``repro sweep --jobs`` on the command line).
+    """
+    _resolve_experiment(experiment)  # fail fast, before any worker spawns
+    overrides = (
+        tuple(sorted(config_overrides.items())) if config_overrides else ()
+    )
+    metric = partial(_experiment_metric, experiment, quick, overrides)
     return run_monte_carlo(
-        metric, seeds, metric_name=f"{experiment} recovery accuracy"
+        metric, seeds, metric_name=f"{experiment} recovery accuracy",
+        jobs=jobs,
     )

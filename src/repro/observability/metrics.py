@@ -107,6 +107,27 @@ class Histogram:
         """Mean over the full observation stream."""
         return self.total / self.count if self.count else 0.0
 
+    def merge_raw(self, state: dict) -> None:
+        """Fold another histogram's raw dump into this one.
+
+        count/sum/min/max merge exactly; the reservoirs concatenate and
+        re-trim FIFO, matching what interleaved ``observe`` calls would
+        have retained up to reservoir churn.
+        """
+        self.count += int(state["count"])
+        self.total += float(state["total"])
+        for value in (state["min"], state["max"]):
+            if value is None:
+                continue
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+        self._reservoir.extend(state["reservoir"])
+        if len(self._reservoir) > HISTOGRAM_RESERVOIR_SIZE:
+            del self._reservoir[: len(self._reservoir)
+                                - HISTOGRAM_RESERVOIR_SIZE]
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile over the retained reservoir."""
         if not 0.0 <= p <= 100.0:
@@ -207,6 +228,50 @@ class MetricsRegistry:
                 n: h.summary() for n, h in sorted(self._histograms.items())
             },
         }
+
+    def dump_state(self) -> dict:
+        """Raw, lossless dump for cross-process merging.
+
+        Unlike :meth:`snapshot` (which summarises histograms for
+        export), this keeps the reservoirs so a parent process can fold
+        a worker's instruments into its own registry with
+        :meth:`merge_state` -- the mechanism the parallel Monte Carlo
+        sweep uses to report per-seed metrics from its worker processes.
+        """
+        return {
+            "counters": {
+                n: {"help": c.help, "value": c.value}
+                for n, c in self._counters.items()
+            },
+            "gauges": {
+                n: {"help": g.help, "value": g.value}
+                for n, g in self._gauges.items()
+            },
+            "histograms": {
+                n: {
+                    "help": h.help,
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.minimum,
+                    "max": h.maximum,
+                    "reservoir": list(h._reservoir),
+                }
+                for n, h in self._histograms.items()
+            },
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a :meth:`dump_state` payload into this registry.
+
+        Counters add, gauges take the incoming level (last write wins),
+        histograms merge exactly on count/sum/min/max.
+        """
+        for name, payload in state.get("counters", {}).items():
+            self.counter(name, payload.get("help", "")).inc(payload["value"])
+        for name, payload in state.get("gauges", {}).items():
+            self.gauge(name, payload.get("help", "")).set(payload["value"])
+        for name, payload in state.get("histograms", {}).items():
+            self.histogram(name, payload.get("help", "")).merge_raw(payload)
 
     def reset(self) -> None:
         """Drop every instrument (tests run with a clean registry)."""

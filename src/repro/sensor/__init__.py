@@ -24,14 +24,25 @@ from repro.sensor.carry_chain import CarryChain
 from repro.sensor.clocking import PhaseGenerator
 from repro.sensor.noise import NoiseModel, LAB_NOISE, CLOUD_NOISE
 from repro.sensor.postprocess import (
+    batch_delta_ps,
+    batch_hamming_distances,
+    batch_trace_mean_distances,
     binary_hamming_distance,
     trace_mean_distance,
 )
-from repro.sensor.tdc import Measurement, TunableDualPolarityTdc
+from repro.sensor.tdc import (
+    CAPTURE_KERNELS,
+    Measurement,
+    TunableDualPolarityTdc,
+    capture_kernel,
+    get_capture_kernel,
+    set_capture_kernel,
+)
 from repro.sensor.trace import Trace, Polarity
 from repro.sensor.ro import RingOscillatorSensor, build_ro_netlist
 
 __all__ = [
+    "CAPTURE_KERNELS",
     "CLOUD_NOISE",
     "CarryChain",
     "LAB_NOISE",
@@ -42,8 +53,14 @@ __all__ = [
     "RingOscillatorSensor",
     "Trace",
     "TunableDualPolarityTdc",
+    "batch_delta_ps",
+    "batch_hamming_distances",
+    "batch_trace_mean_distances",
     "binary_hamming_distance",
     "build_ro_netlist",
+    "capture_kernel",
     "find_theta_init",
+    "get_capture_kernel",
+    "set_capture_kernel",
     "trace_mean_distance",
 ]

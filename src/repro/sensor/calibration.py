@@ -31,10 +31,14 @@ _TARGET_HIGH = 44.0
 
 
 def _mean_positions(
-    tdc: TunableDualPolarityTdc, theta_ps: float
+    tdc: TunableDualPolarityTdc, theta_ps: float, kernel: str = None
 ) -> tuple[float, float]:
-    rising = trace_mean_distance(tdc.capture_trace(theta_ps, Polarity.RISING))
-    falling = trace_mean_distance(tdc.capture_trace(theta_ps, Polarity.FALLING))
+    rising = trace_mean_distance(
+        tdc.capture_trace(theta_ps, Polarity.RISING, kernel=kernel)
+    )
+    falling = trace_mean_distance(
+        tdc.capture_trace(theta_ps, Polarity.FALLING, kernel=kernel)
+    )
     return rising, falling
 
 
@@ -42,6 +46,7 @@ def find_theta_init(
     tdc: TunableDualPolarityTdc,
     theta_start_ps: float = None,
     coarse_step_ps: float = None,
+    kernel: str = None,
 ) -> float:
     """Search downward from a large theta until transitions are centred.
 
@@ -49,6 +54,11 @@ def find_theta_init(
     :class:`CalibrationError` if no setting lands both polarities inside
     the capture window (e.g. the route is far longer than the
     programmable phase range).
+
+    Every probe trace routes through the capture kernel selected by
+    ``kernel`` (``None`` takes the process default, normally the batched
+    kernel), so calibration scales with the same vectorised path as the
+    measurement phase.
     """
     phase = tdc.phase
     if theta_start_ps is None:
@@ -72,7 +82,7 @@ def find_theta_init(
 
     # Coarse descent: stop when either transition is inside the window.
     while theta > 0.0:
-        rising, falling = _mean_positions(tdc, theta)
+        rising, falling = _mean_positions(tdc, theta, kernel)
         if rising < float(tdc.chain_length) or falling < float(tdc.chain_length):
             break
         theta = max(theta - coarse, 0.0)
@@ -93,7 +103,7 @@ def find_theta_init(
     probes = int(2.0 * coarse / fine) + tdc.chain_length
     retries = 0
     for attempt in range(probes):
-        rising, falling = _mean_positions(tdc, theta)
+        rising, falling = _mean_positions(tdc, theta, kernel)
         centre = (rising + falling) / 2.0
         if _TARGET_LOW <= centre <= _TARGET_HIGH and min(rising, falling) > 4.0:
             best_theta = theta

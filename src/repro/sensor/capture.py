@@ -27,6 +27,7 @@ class CaptureBank:
             raise SensorError(f"bank length must be positive, got {length}")
         self.length = length
         self._rng = make_rng(seed)
+        self._taps = np.arange(length, dtype=float)
 
     def capture(self, position: float, polarity: Polarity) -> np.ndarray:
         """One capture word for a wavefront at ``position`` elements.
@@ -40,12 +41,44 @@ class CaptureBank:
             raise SensorError(
                 f"position {position} outside chain [0, {self.length}]"
             )
-        taps = np.arange(self.length, dtype=float)
         # Probability that each tap has seen the transition pass.
         passed = np.clip(
-            (position - taps) / METASTABLE_WINDOW_BINS + 0.5, 0.0, 1.0
+            (position - self._taps) / METASTABLE_WINDOW_BINS + 0.5, 0.0, 1.0
         )
         resolved = self._rng.random(self.length) < passed
+        if polarity is Polarity.RISING:
+            return resolved
+        return ~resolved
+
+    def capture_batch(
+        self, positions: np.ndarray, polarity: Polarity
+    ) -> np.ndarray:
+        """Capture words for a whole batch of wavefront positions at once.
+
+        ``positions`` may have any shape (a measurement uses ``(traces,
+        samples)``); the result appends a tap axis, giving boolean words
+        of shape ``positions.shape + (length,)``.
+
+        The metastability uniforms come from one C-order ``random`` draw,
+        which consumes the generator stream in exactly the order the
+        scalar :meth:`capture` would over the same positions -- so for a
+        jitter-free noise model the batched and scalar paths produce
+        identical words from identical seeds.
+        """
+        positions = np.asarray(positions, dtype=float)
+        if positions.size and (
+            positions.min() < 0.0 or positions.max() > self.length
+        ):
+            raise SensorError(
+                f"batch positions outside chain [0, {self.length}]"
+            )
+        passed = np.clip(
+            (positions[..., np.newaxis] - self._taps) / METASTABLE_WINDOW_BINS
+            + 0.5,
+            0.0,
+            1.0,
+        )
+        resolved = self._rng.random(positions.shape + (self.length,)) < passed
         if polarity is Polarity.RISING:
             return resolved
         return ~resolved

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.rng import SeedLike, make_rng
 
@@ -91,3 +93,15 @@ class NoiseState:
         if self.model.jitter_ps == 0.0:
             return 0.0
         return float(self._rng.normal(0.0, self.model.jitter_ps))
+
+    def sample_jitter_matrix_ps(self, shape: tuple[int, ...]) -> np.ndarray:
+        """A whole batch of per-sample jitter draws as one RNG call.
+
+        A jitter-free model draws nothing (matching the scalar path's
+        early return, which keeps the generator stream aligned between
+        the scalar and batched capture kernels); otherwise one vectorised
+        ``normal`` fills the requested shape.
+        """
+        if self.model.jitter_ps == 0.0:
+            return np.zeros(shape)
+        return self._rng.normal(0.0, self.model.jitter_ps, size=shape)

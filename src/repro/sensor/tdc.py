@@ -10,7 +10,10 @@ rising delay estimate in picoseconds.
 
 from __future__ import annotations
 
+import os
+from contextlib import contextmanager
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -22,12 +25,57 @@ from repro.sensor.capture import CaptureBank
 from repro.sensor.carry_chain import CarryChain
 from repro.sensor.clocking import PhaseGenerator
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel, NoiseState
-from repro.sensor.postprocess import delta_ps_from_traces
+from repro.sensor.postprocess import batch_trace_mean_distances
 from repro.sensor.trace import SAMPLES_PER_TRACE, Polarity, Trace
 from repro.sensor.transition import TransitionGenerator
 
 #: The paper's measurement depth: "Ten traces are taken from each TDC".
 TRACES_PER_MEASUREMENT = 10
+
+#: Capture kernels: the vectorised batched kernel is the production
+#: path; the scalar per-word loop stays as the reference implementation
+#: the equivalence tests pin the batched kernel against.
+CAPTURE_KERNELS = ("batched", "scalar")
+
+_default_kernel = os.environ.get("REPRO_CAPTURE_KERNEL", "batched")
+if _default_kernel not in CAPTURE_KERNELS:
+    _default_kernel = "batched"
+
+
+def _check_kernel(kernel: str) -> str:
+    if kernel not in CAPTURE_KERNELS:
+        raise SensorError(
+            f"unknown capture kernel {kernel!r}; choose from "
+            f"{CAPTURE_KERNELS}"
+        )
+    return kernel
+
+
+def get_capture_kernel() -> str:
+    """The process-wide default capture kernel."""
+    return _default_kernel
+
+
+def set_capture_kernel(kernel: str) -> str:
+    """Select the process-wide default capture kernel.
+
+    Returns the previous default so callers can restore it; benchmarks
+    and the equivalence suite use :func:`capture_kernel` instead.
+    """
+    global _default_kernel
+    previous = _default_kernel
+    _default_kernel = _check_kernel(kernel)
+    return previous
+
+
+@contextmanager
+def capture_kernel(kernel: str) -> Iterator[str]:
+    """Temporarily force every measurement through one kernel."""
+    previous = set_capture_kernel(kernel)
+    try:
+        yield kernel
+    finally:
+        set_capture_kernel(previous)
 
 
 @dataclass(frozen=True)
@@ -95,13 +143,60 @@ class TunableDualPolarityTdc:
         position = self.chain.wavefront_position(max(time_in_chain, 0.0))
         return self._bank.capture(position, polarity)
 
+    def capture_words(
+        self,
+        thetas_ps: Sequence[float],
+        polarity: Polarity,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> np.ndarray:
+        """The batched capture kernel: one polarity, many thetas at once.
+
+        Computes every capture word of a measurement in one shot as a
+        ``(len(thetas), samples, chain_length)`` boolean tensor: jitter
+        is drawn as a single RNG matrix, the wavefront positions resolve
+        through one vectorised ``searchsorted`` over the chain
+        boundaries, and metastability resolves with one broadcast
+        comparison in :meth:`CaptureBank.capture_batch`.
+        """
+        if samples <= 0:
+            raise SensorError(f"samples must be positive, got {samples}")
+        if len(thetas_ps) == 0:
+            raise SensorError("need at least one theta setting")
+        thetas = np.array([self.phase.quantise(t) for t in thetas_ps])
+        arrival = self.generator.arrival_at_chain_ps(polarity)
+        offset = self._noise.polarity_offset_ps
+        arrival += offset if polarity is Polarity.FALLING else -offset
+        jitter = self._noise.sample_jitter_matrix_ps((len(thetas), samples))
+        time_in_chain = thetas[:, np.newaxis] - (arrival + jitter)
+        positions = self.chain.wavefront_positions(
+            np.maximum(time_in_chain, 0.0)
+        )
+        return self._bank.capture_batch(positions, polarity)
+
     def capture_trace(
         self,
         theta_ps: float,
         polarity: Polarity,
         samples: int = SAMPLES_PER_TRACE,
+        kernel: str = None,
     ) -> Trace:
-        """One trace: ``samples`` capture words at a fixed theta."""
+        """One trace: ``samples`` capture words at a fixed theta.
+
+        Routes through the batched kernel by default (one-theta batch);
+        ``kernel="scalar"`` takes the per-word reference path.
+        """
+        if _check_kernel(kernel or _default_kernel) == "scalar":
+            return self.capture_trace_scalar(theta_ps, polarity, samples)
+        words = self.capture_words([theta_ps], polarity, samples)[0]
+        return Trace(polarity=polarity, theta_ps=theta_ps, words=words)
+
+    def capture_trace_scalar(
+        self,
+        theta_ps: float,
+        polarity: Polarity,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> Trace:
+        """Reference implementation: one :meth:`sample_word` per sample."""
         if samples <= 0:
             raise SensorError(f"samples must be positive, got {samples}")
         words = np.stack(
@@ -114,6 +209,7 @@ class TunableDualPolarityTdc:
         theta_init_ps: float,
         traces: int = TRACES_PER_MEASUREMENT,
         samples: int = SAMPLES_PER_TRACE,
+        kernel: str = None,
     ) -> Measurement:
         """One full measurement per the paper's procedure.
 
@@ -123,7 +219,9 @@ class TunableDualPolarityTdc:
         irregularities"), averages the Binary Hamming Distances, and
         converts to picoseconds.
         """
-        measurement, _, _ = self.measure_raw(theta_init_ps, traces, samples)
+        measurement, _, _ = self.measure_raw(
+            theta_init_ps, traces, samples, kernel
+        )
         return measurement
 
     def measure_raw(
@@ -131,30 +229,62 @@ class TunableDualPolarityTdc:
         theta_init_ps: float,
         traces: int = TRACES_PER_MEASUREMENT,
         samples: int = SAMPLES_PER_TRACE,
-    ) -> tuple:
+        kernel: str = None,
+    ) -> tuple[Measurement, list[Trace], list[Trace]]:
         """Like :meth:`measure`, but also returns the raw traces.
 
         Returns ``(measurement, rising_traces, falling_traces)``.  The
         raw capture words are what a hardware deployment would log;
         :mod:`repro.sensor.traceio` archives them so the identical
         post-processing/analysis pipeline can replay either source.
+
+        ``kernel`` selects the capture implementation ("batched" or
+        "scalar"); ``None`` uses the process default (see
+        :func:`set_capture_kernel`).  Both kernels draw from the same
+        generator stream, but the batched kernel draws the per-sample
+        jitter as one matrix before the metastability uniforms, so for a
+        jittered noise model the two kernels realise different (equally
+        distributed) noise; with jitter disabled they agree bit for bit.
         """
+        kernel = _check_kernel(kernel or _default_kernel)
         self._noise.advance_epoch()
         thetas = self.phase.steps_down(theta_init_ps, traces)
-        rising = [self.capture_trace(t, Polarity.RISING, samples) for t in thetas]
-        falling = [self.capture_trace(t, Polarity.FALLING, samples) for t in thetas]
-        delta = delta_ps_from_traces(rising, falling, self.chain.nominal_bin_ps)
+        if kernel == "scalar":
+            rising = [
+                self.capture_trace_scalar(t, Polarity.RISING, samples)
+                for t in thetas
+            ]
+            falling = [
+                self.capture_trace_scalar(t, Polarity.FALLING, samples)
+                for t in thetas
+            ]
+            rising_words = np.stack([t.words for t in rising])
+            falling_words = np.stack([t.words for t in falling])
+        else:
+            rising_words = self.capture_words(thetas, Polarity.RISING, samples)
+            falling_words = self.capture_words(
+                thetas, Polarity.FALLING, samples
+            )
+            rising = [
+                Trace(polarity=Polarity.RISING, theta_ps=t, words=w)
+                for t, w in zip(thetas, rising_words)
+            ]
+            falling = [
+                Trace(polarity=Polarity.FALLING, theta_ps=t, words=w)
+                for t, w in zip(thetas, falling_words)
+            ]
+        # One Hamming pass per polarity serves both the distances and the
+        # delta; the reduction order matches delta_ps_from_traces bit for
+        # bit (mean over samples per trace, then mean over traces).
         rising_mean = float(
-            np.mean([np.count_nonzero(t.words, axis=1).mean() for t in rising])
+            np.mean(batch_trace_mean_distances(rising_words, Polarity.RISING))
         )
         falling_mean = float(
             np.mean(
-                [
-                    (t.words.shape[1] - np.count_nonzero(t.words, axis=1)).mean()
-                    for t in falling
-                ]
+                batch_trace_mean_distances(falling_words, Polarity.FALLING)
             )
         )
+        delta = (rising_mean - falling_mean) * self.chain.nominal_bin_ps
         measurement = Measurement(
             route_name=self.route.name,
             theta_init_ps=theta_init_ps,

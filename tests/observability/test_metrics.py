@@ -144,3 +144,50 @@ class TestExport:
             pass
         payload = metrics_to_dict()
         assert payload["spans"][0]["name"] == "root"
+
+
+class TestDumpAndMerge:
+    def test_round_trip_counters_gauges(self):
+        worker = MetricsRegistry()
+        worker.counter("captures_total", "captures").inc(7)
+        worker.gauge("level", "fill level").set(0.25)
+        parent = MetricsRegistry()
+        parent.counter("captures_total").inc(3)
+        parent.merge_state(worker.dump_state())
+        assert parent.counter("captures_total").value == 10
+        assert parent.gauge("level").value == 0.25
+        assert parent.gauge("level").help == "fill level"
+
+    def test_histograms_merge_exactly(self):
+        worker = MetricsRegistry()
+        for value in (1.0, 3.0, 5.0):
+            worker.histogram("latency_seconds").observe(value)
+        parent = MetricsRegistry()
+        parent.histogram("latency_seconds").observe(2.0)
+        parent.merge_state(worker.dump_state())
+        merged = parent.histogram("latency_seconds")
+        assert merged.count == 4
+        assert merged.total == 11.0
+        assert merged.minimum == 1.0 and merged.maximum == 5.0
+        assert merged.percentile(100.0) == 5.0
+
+    def test_merged_reservoir_stays_bounded(self):
+        worker = MetricsRegistry()
+        for i in range(HISTOGRAM_RESERVOIR_SIZE):
+            worker.histogram("latency_seconds").observe(float(i))
+        parent = MetricsRegistry()
+        parent.histogram("latency_seconds").observe(-1.0)
+        parent.merge_state(worker.dump_state())
+        merged = parent.histogram("latency_seconds")
+        assert len(merged._reservoir) == HISTOGRAM_RESERVOIR_SIZE
+        assert merged.count == HISTOGRAM_RESERVOIR_SIZE + 1
+        assert merged.minimum == -1.0
+
+    def test_merge_into_empty_registry_recreates_instruments(self):
+        worker = MetricsRegistry()
+        worker.counter("a_total", "as").inc()
+        worker.histogram("b_seconds", "bs").observe(1.0)
+        parent = MetricsRegistry()
+        parent.merge_state(worker.dump_state())
+        assert parent.names() == ("a_total", "b_seconds")
+        assert parent.counter("a_total").help == "as"

@@ -31,9 +31,38 @@ class TestParser:
         assert __version__ in capsys.readouterr().out
 
     def test_every_subcommand_has_observability_flags(self):
-        for argv in (["exp1"], ["exp2"], ["exp3"], ["table1"], ["report"]):
+        for argv in (["exp1"], ["exp2"], ["exp3"], ["sweep", "exp1"],
+                     ["table1"], ["report"]):
             args = build_parser().parse_args(argv + ["--trace"])
             assert args.trace and args.metrics_out is None
+
+    def test_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "exp2", "--seeds", "1:4,9", "--jobs", "3"]
+        )
+        assert args.experiment == "exp2"
+        assert args.seeds == "1:4,9" and args.jobs == 3
+        assert not args.paper
+
+    def test_sweep_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "exp9"])
+
+
+class TestSeedSpec:
+    def test_comma_list_and_ranges(self):
+        from repro.cli import parse_seed_spec
+
+        assert parse_seed_spec("1,2,5") == [1, 2, 5]
+        assert parse_seed_spec("1:4") == [1, 2, 3, 4]
+        assert parse_seed_spec("1:3,9, 11") == [1, 2, 3, 9, 11]
+
+    def test_invalid_specs_rejected(self):
+        from repro.cli import parse_seed_spec
+
+        for spec in ("", "a", "3:1", "1:2:3"):
+            with pytest.raises(ValueError):
+                parse_seed_spec(spec)
 
 
 class TestMain:
@@ -68,6 +97,24 @@ class TestMain:
                      "--recovery-hours", "8", "--seed", "19"]) == 0
         out = capsys.readouterr().out
         assert "boards probed" in out
+
+    def test_sweep_quick(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "5,6"]) == 0
+        out = capsys.readouterr().out
+        assert "exp1 recovery accuracy" in out
+        assert "seeds=2 jobs=1" in out
+
+    def test_sweep_with_jobs(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "5:6", "--jobs", "2"]) == 0
+        assert "jobs=2" in capsys.readouterr().out
+
+    def test_sweep_bad_seed_spec_fails_cleanly(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "9:1"]) == 2
+        assert "invalid --seeds" in capsys.readouterr().err
+
+    def test_sweep_bad_jobs_fails_cleanly(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
 
 
 class TestObservabilityFlags:

@@ -4,6 +4,12 @@ import pytest
 
 from repro.errors import AnalysisError, ConfigurationError
 from repro.montecarlo import MonteCarloResult, experiment_sweep, run_monte_carlo
+from repro.observability.metrics import registry
+
+
+def _tenth(seed: int) -> float:
+    """Module-level metric: picklable for the jobs > 1 path."""
+    return float(seed) / 10.0
 
 
 class TestRunner:
@@ -41,6 +47,33 @@ class TestRunner:
         assert "n=3" in str(result)
 
 
+class TestParallelRunner:
+    def test_jobs_bit_identical_to_sequential(self):
+        seeds = [3, 1, 4, 1, 5, 9]
+        sequential = run_monte_carlo(_tenth, seeds, metric_name="demo")
+        parallel = run_monte_carlo(_tenth, seeds, metric_name="demo", jobs=3)
+        assert parallel == sequential
+
+    def test_more_jobs_than_seeds(self):
+        result = run_monte_carlo(_tenth, [2], jobs=8)
+        assert result.values == (0.2,)
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(_tenth, [1], jobs=0)
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(_tenth, [1], jobs=-2)
+
+    def test_unpicklable_metric_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(lambda s: 1.0, [1, 2], jobs=2)
+
+    def test_worker_metrics_merge_into_parent_registry(self):
+        run_monte_carlo(_tenth, [1, 2, 3], jobs=2)
+        assert registry.counter("montecarlo_runs_total").value == 3
+        assert registry.histogram("montecarlo_run_seconds").count == 3
+
+
 class TestExperimentSweep:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -59,3 +92,20 @@ class TestExperimentSweep:
             config_overrides={"burn_hours": 16, "recovery_hours": 8},
         )
         assert 0.0 <= result.mean <= 1.0
+
+    def test_sharded_sweep_bit_identical(self):
+        """Acceptance pin: jobs=N returns the same MonteCarloResult as
+        jobs=1 for the same seed list, including seed order."""
+        seeds = [5, 6, 7]
+        sequential = experiment_sweep("exp1", seeds=seeds, jobs=1)
+        sharded = experiment_sweep("exp1", seeds=seeds, jobs=2)
+        assert sharded == sequential
+
+    def test_sharded_sweep_merges_capture_metrics(self):
+        experiment_sweep("exp1", seeds=[5, 6], jobs=2)
+        assert registry.counter("captures_total").value > 0
+        assert registry.counter("montecarlo_runs_total").value == 2
+
+    def test_unknown_experiment_rejected_before_workers_spawn(self):
+        with pytest.raises(ConfigurationError):
+            experiment_sweep("exp9", [1], jobs=4)
