@@ -98,9 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--seeds", type=str, default="1:8", metavar="SPEC",
                     help="comma-separated seeds and A:B inclusive ranges, "
                          "e.g. '1,2,5' or '1:20' (default: 1:8)")
-    ps.add_argument("--jobs", type=int, default=1, metavar="N",
-                    help="worker processes to shard the seeds over "
-                         "(default: 1, sequential)")
+    ps.add_argument("--jobs", type=str, default="1", metavar="N",
+                    help="worker processes to shard the seeds over, or "
+                         "'auto' for one per CPU; requests beyond the "
+                         "machine are clamped (default: 1, sequential)")
     ps.add_argument("--paper", action="store_true",
                     help="paper-scale configs (default: quick)")
     observability(ps)
@@ -247,12 +248,21 @@ def _cmd_sweep(args) -> int:
         print(f"repro: invalid --seeds spec {args.seeds!r}: {exc}",
               file=sys.stderr)
         return 2
-    if args.jobs < 1:
-        print(f"repro: --jobs must be >= 1, got {args.jobs}",
-              file=sys.stderr)
-        return 2
+    if args.jobs == "auto":
+        jobs = "auto"
+    else:
+        try:
+            jobs = int(args.jobs)
+        except ValueError:
+            print(f"repro: --jobs must be an integer or 'auto', "
+                  f"got {args.jobs!r}", file=sys.stderr)
+            return 2
+        if jobs < 1:
+            print(f"repro: --jobs must be >= 1, got {jobs}",
+                  file=sys.stderr)
+            return 2
     result = experiment_sweep(
-        args.experiment, seeds, quick=not args.paper, jobs=args.jobs
+        args.experiment, seeds, quick=not args.paper, jobs=jobs
     )
     print(result)
     print(f"min={result.minimum:.3f} max={result.maximum:.3f} "

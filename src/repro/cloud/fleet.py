@@ -8,6 +8,8 @@ imprints from a :class:`~repro.physics.aging.WearProfile`.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.errors import ConfigurationError
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import PartDescriptor
@@ -15,6 +17,7 @@ from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, WearProfile
+from repro.physics.pool_array import get_aging_kernel
 from repro.rng import SeedLike, make_rng
 
 _log = get_logger("cloud.fleet")
@@ -44,19 +47,32 @@ def build_fleet(
     size: int,
     wear: WearProfile = CLOUD_PART,
     seed: SeedLike = None,
+    aging_kernel: Optional[str] = None,
 ) -> list[FpgaDevice]:
-    """Manufacture ``size`` devices of one part with sampled wear."""
+    """Manufacture ``size`` devices of one part with sampled wear.
+
+    ``aging_kernel`` pins every device of the fleet to one aging kernel
+    (``"array"``/``"scalar"``); by default each device resolves the
+    process-wide default at construction.  Fleet-scale workloads age
+    many devices over hundreds of simulated hours, so this is the knob
+    A/B comparisons of the kernels reach for.
+    """
     if size <= 0:
         raise ConfigurationError(f"fleet size must be positive, got {size}")
     rng = make_rng(seed)
+    kernel = aging_kernel if aging_kernel is not None else get_aging_kernel()
     with trace.span("cloud.build_fleet", part=part.name, size=size,
-                    wear=wear.name):
+                    wear=wear.name, aging_kernel=kernel):
         devices = [
-            FpgaDevice(part=part, wear=wear, seed=rng.integers(0, 2**63))
+            FpgaDevice(
+                part=part, wear=wear, seed=rng.integers(0, 2**63),
+                aging_kernel=kernel,
+            )
             for _ in range(size)
         ]
     registry.counter(
         "fleet_devices_built_total", "physical devices manufactured"
     ).inc(size)
-    _log.info("fleet_built", part=part.name, size=size, wear=wear.name)
+    _log.info("fleet_built", part=part.name, size=size, wear=wear.name,
+              aging_kernel=kernel)
     return devices

@@ -107,6 +107,9 @@ class F1Instance:
         region age/anneal over the same interval.
         """
         self._require_active()
+        registry.counter(
+            "instance_hours_total", "tenant-billed instance hours simulated"
+        ).inc(hours)
         self._region.provider.advance(hours)
 
     def attach_sensors(

@@ -12,13 +12,30 @@ Time advances through :meth:`advance_hours`: every segment bound to a
 net of the loaded design experiences that net's activity (static hold,
 toggling, or floating), every other known segment anneals, and the die's
 effective age accumulates while powered.
+
+Two aging kernels implement the advance (selected per process via
+:func:`repro.physics.pool_array.set_aging_kernel`, resolved when the
+device is constructed):
+
+* ``"array"`` (default) -- segments register into a
+  :class:`~repro.physics.pool_array.SegmentBtiArray`; routed nets are
+  grouped by activity class (static-1, static-0, toggling-by-duty,
+  idle), so one interval is a handful of masked array updates.
+  ``segment_state`` returns thin views into the arrays.
+* ``"scalar"`` -- the per-object reference path: one
+  :class:`~repro.physics.bti.SegmentBti` per segment, walked in Python.
+
+Both kernels are bit-identical (same RNG draws at materialisation, same
+numpy transcendentals in the kinetics); the equivalence suite pins this.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Union
+
+import numpy as np
 
 from repro.errors import FabricError
 from repro.fabric.bitstream import Bitstream
@@ -28,10 +45,16 @@ from repro.fabric.parts import PartDescriptor
 from repro.fabric.routing import Route, SegmentId
 from repro.fabric.segments import spec_for
 from repro.fabric.thermal import ThermalModel
+from repro.observability.metrics import registry
 from repro.physics.aging import NEW_PART, WearProfile
 from repro.physics.constants import REFERENCE_VOLTAGE_V
 from repro.physics.bti import SegmentBti, SegmentTraits
 from repro.physics.delay import TransitionDelays
+from repro.physics.pool_array import (
+    SegmentBtiArray,
+    SegmentBtiSlot,
+    get_aging_kernel,
+)
 from repro.physics.variation import ProcessVariation
 from repro.rng import SeedLike, make_rng
 
@@ -56,6 +79,24 @@ class DeviceInfo:
     effective_age_hours: float
 
 
+@dataclass(frozen=True)
+class _ActivityGroups:
+    """Segment indices of one loaded design, grouped by activity class.
+
+    Rebuilt (and cached) per (loaded design, materialised-segment
+    count); the per-interval scalars (duration, junction temperature,
+    age, voltage) are *not* part of the grouping, so the cache survives
+    across intervals of a burn schedule.
+    """
+
+    static_one: np.ndarray
+    static_zero: np.ndarray
+    toggling: np.ndarray
+    toggling_duty_high: np.ndarray
+    #: Floating-net segments plus every materialised undriven segment.
+    idle: np.ndarray
+
+
 class FpgaDevice:
     """One physical FPGA die with persistent per-segment analog state."""
 
@@ -64,6 +105,7 @@ class FpgaDevice:
         part: PartDescriptor,
         wear: WearProfile = NEW_PART,
         seed: SeedLike = None,
+        aging_kernel: Optional[str] = None,
     ) -> None:
         self.part = part
         self.wear = wear
@@ -77,7 +119,23 @@ class FpgaDevice:
         self.sim_hours = 0.0
         self.core_voltage_v = REFERENCE_VOLTAGE_V
         self.grid: FabricGrid = part.make_grid()
+        self.aging_kernel = (
+            aging_kernel if aging_kernel is not None else get_aging_kernel()
+        )
+        if self.aging_kernel not in ("array", "scalar"):
+            raise FabricError(
+                f"unknown aging kernel {self.aging_kernel!r}"
+            )
+        # Scalar kernel: one SegmentBti object per materialised segment.
         self._segments: dict[SegmentId, SegmentBti] = {}
+        # Array kernel: SoA state plus the SegmentId -> slot index map
+        # and the cached per-slot views.
+        self._bti_array = SegmentBtiArray()
+        self._array_index: dict[SegmentId, int] = {}
+        self._array_slots: dict[SegmentId, SegmentBtiSlot] = {}
+        self._groups: Optional[_ActivityGroups] = None
+        self._groups_loaded: Optional[Bitstream] = None
+        self._groups_count: int = -1
         self._loaded: Optional[Bitstream] = None
         self._ambient_k: float = 308.15  # 35 C until an environment says otherwise
 
@@ -85,33 +143,74 @@ class FpgaDevice:
     # Analog state store
     # ------------------------------------------------------------------
 
-    def segment_state(self, segment_id: SegmentId) -> SegmentBti:
+    def segment_state(
+        self, segment_id: SegmentId
+    ) -> Union[SegmentBti, SegmentBtiSlot]:
         """The persistent analog state of one physical segment.
 
         Created lazily on first touch, with die-specific process
         variation and (for worn devices) residual imprints from prior,
-        unobserved tenants.
+        unobserved tenants.  Under the array kernel the returned object
+        is a thin view into the device's arrays; either way it exposes
+        the full :class:`~repro.physics.bti.SegmentBti` surface.
         """
+        if self.aging_kernel == "array":
+            slot = self._array_slots.get(segment_id)
+            if slot is None:
+                slot = self._bti_array.view(self._segment_index(segment_id))
+                self._array_slots[segment_id] = slot
+            return slot
         state = self._segments.get(segment_id)
         if state is None:
-            spec = spec_for(segment_id.kind)
-            rising, falling, amplitude = self._variation.sample_segment(
-                spec.delay_ps, spec.burn_amplitude_ps
-            )
-            state = SegmentBti(
-                SegmentTraits(
-                    rising_delay_ps=rising,
-                    falling_delay_ps=falling,
-                    burn_amplitude_ps=amplitude,
-                )
-            )
-            high, low = self.wear.sample_residual_imprints(
-                amplitude, self._imprint_rng
-            )
+            traits, high, low = self._materialise(segment_id)
+            state = SegmentBti(traits)
             if high or low:
                 state.preload_imprint(high_charge_ps=high, low_charge_ps=low)
             self._segments[segment_id] = state
         return state
+
+    def _materialise(
+        self, segment_id: SegmentId
+    ) -> tuple[SegmentTraits, float, float]:
+        """Sample one segment's traits and residual imprints.
+
+        The RNG draw order is identical under both kernels (one
+        variation sample, then one imprint sample), which is what keeps
+        the kernels' device states bit-identical from a shared seed.
+        """
+        spec = spec_for(segment_id.kind)
+        rising, falling, amplitude = self._variation.sample_segment(
+            spec.delay_ps, spec.burn_amplitude_ps
+        )
+        traits = SegmentTraits(
+            rising_delay_ps=rising,
+            falling_delay_ps=falling,
+            burn_amplitude_ps=amplitude,
+        )
+        high, low = self.wear.sample_residual_imprints(
+            amplitude, self._imprint_rng
+        )
+        return traits, high, low
+
+    def _segment_index(self, segment_id: SegmentId) -> int:
+        """Array-kernel slot of a segment, materialising on first touch."""
+        index = self._array_index.get(segment_id)
+        if index is None:
+            traits, high, low = self._materialise(segment_id)
+            index = self._bti_array.register(traits)
+            if high or low:
+                self._bti_array.preload_imprint(
+                    [index], high_charge_ps=high, low_charge_ps=low
+                )
+            self._array_index[segment_id] = index
+        return index
+
+    @property
+    def materialised_segments(self) -> int:
+        """Number of segments whose analog state has been realised."""
+        if self.aging_kernel == "array":
+            return len(self._array_index)
+        return len(self._segments)
 
     # ------------------------------------------------------------------
     # Design lifecycle
@@ -143,7 +242,7 @@ class FpgaDevice:
         """The provider's scrub: clear all logical state.
 
         Analog (BTI) state is physically incapable of being cleared by a
-        configuration wipe, so ``self._segments`` is deliberately left
+        configuration wipe, so the segment store is deliberately left
         untouched.
         """
         self._loaded = None
@@ -165,17 +264,105 @@ class FpgaDevice:
             return
         self._ambient_k = ambient_k
         junction = self.junction_k()
-        driven: set[SegmentId] = set()
-        if self._loaded is not None:
-            for net in self._loaded.netlist.routed_nets():
-                self._apply_net_activity(net, duration_hours, junction)
-                driven.update(net.route)
-        for segment_id, state in self._segments.items():
-            if segment_id not in driven:
-                state.idle(duration_hours, junction)
+        if self.aging_kernel == "array":
+            self._advance_array(duration_hours, junction)
+        else:
+            self._advance_scalar(duration_hours, junction)
         if self._loaded is not None:
             self.effective_age_hours += duration_hours
         self.sim_hours += duration_hours
+        registry.counter(
+            "device_advance_intervals_total", "device time-advance intervals"
+        ).inc()
+        registry.counter(
+            "device_segment_hours_total",
+            "simulated segment-hours of BTI integration",
+        ).inc(duration_hours * self.materialised_segments)
+
+    def _advance_scalar(self, duration_hours: float, junction_k: float) -> None:
+        """Reference path: walk every segment object in Python."""
+        driven: set[SegmentId] = set()
+        if self._loaded is not None:
+            for net in self._loaded.netlist.routed_nets():
+                self._apply_net_activity(net, duration_hours, junction_k)
+                driven.update(net.route)
+        for segment_id, state in self._segments.items():
+            if segment_id not in driven:
+                state.idle(duration_hours, junction_k)
+
+    def _advance_array(self, duration_hours: float, junction_k: float) -> None:
+        """Vectorised path: a handful of masked array updates."""
+        groups = self._activity_groups()
+        age = self.effective_age_hours
+        voltage = self.core_voltage_v
+        bti = self._bti_array
+        if groups.static_one.size:
+            bti.hold(
+                groups.static_one, 1, duration_hours, junction_k,
+                device_age_hours=age, voltage_v=voltage,
+            )
+        if groups.static_zero.size:
+            bti.hold(
+                groups.static_zero, 0, duration_hours, junction_k,
+                device_age_hours=age, voltage_v=voltage,
+            )
+        if groups.toggling.size:
+            bti.toggle(
+                groups.toggling, duration_hours, junction_k,
+                device_age_hours=age, duty_high=groups.toggling_duty_high,
+                voltage_v=voltage,
+            )
+        if groups.idle.size:
+            bti.idle(groups.idle, duration_hours, junction_k)
+
+    def _activity_groups(self) -> _ActivityGroups:
+        """Activity-class index groups for the current design, cached.
+
+        The cache key is (loaded design, materialised-segment count):
+        loading, wiping, or materialising a new segment invalidates it;
+        advancing time does not.
+        """
+        if (
+            self._groups is not None
+            and self._groups_loaded is self._loaded
+            and self._groups_count == len(self._array_index)
+        ):
+            return self._groups
+        static_one: list[int] = []
+        static_zero: list[int] = []
+        toggling: list[int] = []
+        duty_high: list[float] = []
+        floating: list[int] = []
+        driven: set[int] = set()
+        if self._loaded is not None:
+            for net in self._loaded.netlist.routed_nets():
+                indices = [self._segment_index(s) for s in net.route]
+                if net.activity is NetActivity.STATIC:
+                    target = (
+                        static_one if int(net.static_value) == 1 else static_zero
+                    )
+                    target.extend(indices)
+                elif net.activity is NetActivity.TOGGLING:
+                    toggling.extend(indices)
+                    duty_high.extend([net.duty_high] * len(indices))
+                else:
+                    floating.extend(indices)
+                driven.update(indices)
+        idle = floating + [
+            i for i in range(len(self._array_index)) if i not in driven
+        ]
+        self._groups = _ActivityGroups(
+            static_one=np.asarray(static_one, dtype=np.intp),
+            static_zero=np.asarray(static_zero, dtype=np.intp),
+            toggling=np.asarray(toggling, dtype=np.intp),
+            toggling_duty_high=np.asarray(duty_high, dtype=float),
+            idle=np.asarray(idle, dtype=np.intp),
+        )
+        # Keyed after the build: materialising the design's own segments
+        # above grows the index map, and the key must reflect that.
+        self._groups_loaded = self._loaded
+        self._groups_count = len(self._array_index)
+        return self._groups
 
     def _apply_net_activity(
         self, net: Net, duration_hours: float, junction_k: float
@@ -236,6 +423,13 @@ class FpgaDevice:
         power = self._loaded.power.total_watts if self._loaded else 0.0
         return ThermalModel().junction_k(self._ambient_k, power)
 
+    def _route_indices(self, route: Route) -> np.ndarray:
+        """Array-kernel slots of a route's segments (materialising)."""
+        return np.fromiter(
+            (self._segment_index(s) for s in route), dtype=np.intp,
+            count=len(route),
+        )
+
     def transition_delays(self, route: Route) -> TransitionDelays:
         """True rising/falling propagation delay through a route, now.
 
@@ -244,9 +438,17 @@ class FpgaDevice:
         code observes delays exclusively through the TDC's quantised,
         noisy output.
         """
-        total = TransitionDelays.zero()
-        for segment_id in route:
-            total = total + self.segment_state(segment_id).transition_delays()
+        if self.aging_kernel == "array":
+            indices = self._route_indices(route)
+            # Sequential left-to-right sum: bit-identical to the scalar
+            # kernel's TransitionDelays accumulation.
+            rising = sum(self._bti_array.rising_delay_ps(indices).tolist())
+            falling = sum(self._bti_array.falling_delay_ps(indices).tolist())
+            total = TransitionDelays(rising_ps=rising, falling_ps=falling)
+        else:
+            total = TransitionDelays.zero()
+            for segment_id in route:
+                total = total + self.segment_state(segment_id).transition_delays()
         scale = 1.0 + DELAY_TEMP_COEFF_PER_K * (self.junction_k() - _DELAY_TEMP_REF_K)
         return TransitionDelays(
             rising_ps=total.rising_ps * scale,
@@ -255,6 +457,9 @@ class FpgaDevice:
 
     def route_delta_ps(self, route: Route) -> float:
         """True BTI delta-ps of a route (oracle; for tests/analysis only)."""
+        if self.aging_kernel == "array":
+            indices = self._route_indices(route)
+            return float(sum(self._bti_array.delta_ps(indices).tolist()))
         return float(
             sum(self.segment_state(seg).delta_ps for seg in route)
         )
@@ -271,5 +476,6 @@ class FpgaDevice:
         loaded = self._loaded.name if self._loaded else None
         return (
             f"FpgaDevice(id={self.device_id}, part={self.part.name!r}, "
-            f"age={self.effective_age_hours:.0f}h, loaded={loaded!r})"
+            f"age={self.effective_age_hours:.0f}h, loaded={loaded!r}, "
+            f"kernel={self.aging_kernel!r})"
         )

@@ -19,7 +19,13 @@ Public surface:
 * :class:`~repro.physics.variation.ProcessVariation` -- per-device
   manufacturing variation;
 * :class:`~repro.physics.aging.WearProfile` -- prior-lifetime wear for
-  fresh lab boards vs. aged cloud devices.
+  fresh lab boards vs. aged cloud devices;
+* :class:`~repro.physics.pool_array.TrapPoolArray` /
+  :class:`~repro.physics.pool_array.SegmentBtiArray` -- the vectorised
+  structure-of-arrays aging engine, with the
+  :func:`~repro.physics.pool_array.set_aging_kernel` /
+  :func:`~repro.physics.pool_array.aging_kernel` selection knobs
+  (``REPRO_AGING_KERNEL`` sets the import-time default).
 """
 
 from repro.physics.arrhenius import stress_acceleration, recovery_acceleration
@@ -37,12 +43,21 @@ from repro.physics.constants import (
 )
 from repro.physics.delay import TransitionDelays
 from repro.physics.kinetics import TrapPool
+from repro.physics.pool_array import (
+    AGING_KERNELS,
+    SegmentBtiArray,
+    TrapPoolArray,
+    aging_kernel,
+    get_aging_kernel,
+    set_aging_kernel,
+)
 from repro.physics.variation import ProcessVariation
 from repro.physics.aging import WearProfile, NEW_PART, CLOUD_PART
 
 __all__ = [
     "AGE_SUPPRESSION_EXPONENT",
     "AGE_SUPPRESSION_HOURS",
+    "AGING_KERNELS",
     "CLOUD_PART",
     "HIGH_POOL",
     "LOW_POOL",
@@ -53,10 +68,15 @@ __all__ = [
     "REFERENCE_STRESS_HOURS",
     "REFERENCE_TEMPERATURE_K",
     "SegmentBti",
+    "SegmentBtiArray",
     "TransitionDelays",
     "TrapPool",
+    "TrapPoolArray",
     "WearProfile",
     "age_suppression",
-    "recovery_acceleration",
+    "aging_kernel",
+    "get_aging_kernel",
+    "set_aging_kernel",
     "stress_acceleration",
+    "recovery_acceleration",
 ]

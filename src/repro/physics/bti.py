@@ -15,6 +15,7 @@ exploits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.errors import PhysicsError
 from repro.physics.constants import HIGH_POOL, LOW_POOL
@@ -62,7 +63,7 @@ class SegmentBti:
         duration_hours: float,
         temperature_k: float,
         device_age_hours: float = 0.0,
-        voltage_v: float = None,
+        voltage_v: Optional[float] = None,
     ) -> None:
         """Hold a constant logic value on the segment for a duration.
 
@@ -91,7 +92,7 @@ class SegmentBti:
         device_age_hours: float = 0.0,
         duty_high: float = 0.5,
         ac_factor: float = 0.5,
-        voltage_v: float = None,
+        voltage_v: Optional[float] = None,
     ) -> None:
         """Drive the segment with switching activity.
 
@@ -157,7 +158,7 @@ class SegmentSnapshot:
     delta_ps: float
 
 
-def aggregate_delays(segments: list) -> TransitionDelays:
+def aggregate_delays(segments: Iterable[SegmentBti]) -> TransitionDelays:
     """Total rising/falling delay of a chain of segments.
 
     ``segments`` is an iterable of :class:`SegmentBti`; a route's delay is
@@ -169,6 +170,6 @@ def aggregate_delays(segments: list) -> TransitionDelays:
     return total
 
 
-def aggregate_delta_ps(segments: list) -> float:
+def aggregate_delta_ps(segments: Iterable[SegmentBti]) -> float:
     """Total BTI delta-ps over a chain of segments."""
     return float(sum(segment.delta_ps for segment in segments))

@@ -26,20 +26,44 @@ The integration rules:
   - 50%-duty AC stress (one hour on, one hour off) must land at the
     literature's ~60% of DC degradation, which ``REFILL_PENALTY = 0.5``
     reproduces: each off-hour refunds half an hour of equivalent time.
+
+The per-element transcendentals (``exp``, ``pow``) go through numpy's
+float64 ufuncs rather than :mod:`math`: numpy's SIMD kernels differ from
+libm by ULPs, but agree exactly between length-1 and vectorised calls,
+which is what lets :class:`~repro.physics.pool_array.TrapPoolArray`
+reproduce this class bit-for-bit.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
 
 from repro.errors import PhysicsError
 from repro.physics.arrhenius import recovery_acceleration, stress_acceleration
-from repro.physics.constants import MechanismParams, age_suppression
+from repro.physics.constants import (
+    REFERENCE_STRESS_HOURS,
+    REFERENCE_VOLTAGE_V,
+    MechanismParams,
+    age_suppression,
+    voltage_acceleration,
+)
 
 #: Equivalent stress time refunded per hour of recovery gap when stress
 #: resumes (see module docstring for the two anchoring limits).
 REFILL_PENALTY = 0.5
+
+
+def _pow(base: float, exponent: float) -> float:
+    """``base ** exponent`` through the numpy float64 ufunc."""
+    return float(np.power(base, exponent))
+
+
+def _exp(value: float) -> float:
+    """``e ** value`` through the numpy float64 ufunc."""
+    return float(np.exp(value))
 
 
 @dataclass
@@ -84,8 +108,6 @@ class TrapPool:
         Normalised so that ``t_eq = REFERENCE_STRESS_HOURS`` yields
         ``amplitude_ps`` on a fresh device at reference temperature.
         """
-        from repro.physics.constants import REFERENCE_STRESS_HOURS
-
         n = self.params.stress_exponent
         return self.amplitude_ps / (REFERENCE_STRESS_HOURS**n)
 
@@ -95,7 +117,7 @@ class TrapPool:
         temperature_k: float,
         device_age_hours: float = 0.0,
         duty: float = 1.0,
-        voltage_v: float = None,
+        voltage_v: Optional[float] = None,
     ) -> None:
         """Apply stress for ``duration_hours`` at ``temperature_k``.
 
@@ -106,11 +128,6 @@ class TrapPool:
         ``voltage_v`` applies the exponential voltage acceleration
         (defaults to the 0.85 V nominal).
         """
-        from repro.physics.constants import (
-            REFERENCE_VOLTAGE_V,
-            voltage_acceleration,
-        )
-
         self._check_interval(duration_hours, temperature_k)
         if not 0.0 <= duty <= 1.0:
             raise PhysicsError(f"duty must be in [0, 1], got {duty}")
@@ -128,7 +145,7 @@ class TrapPool:
         suppression = age_suppression(device_age_hours)
         t_old = self._equivalent_stress_hours
         t_new = t_old + effective_hours
-        increment = rate * (t_new**n - t_old**n)
+        increment = rate * (_pow(t_new, n) - _pow(t_old, n))
         self._charge_ps += suppression * increment
         self._equivalent_stress_hours = t_new
 
@@ -146,7 +163,7 @@ class TrapPool:
         self._recovery_elapsed_hours += duration_hours * acceleration
         self._recovery_wall_hours += duration_hours
         ratio = self._recovery_elapsed_hours / self.params.recovery_tau_hours
-        fraction = math.exp(-(ratio**self.params.recovery_beta))
+        fraction = _exp(-_pow(ratio, self.params.recovery_beta))
         self._charge_ps = self._charge_at_release_ps * fraction
 
     def _reenter_stress_curve(self) -> None:
@@ -162,7 +179,7 @@ class TrapPool:
         lost = REFILL_PENALTY * self._recovery_wall_hours
         t_new = max(t_frozen - lost, 0.0)
         if t_frozen > 0.0 and t_new > 0.0:
-            refilled = self._charge_at_release_ps * (t_new / t_frozen) ** n
+            refilled = self._charge_at_release_ps * _pow(t_new / t_frozen, n)
             # Never refill below the surviving (decayed) charge.
             self._charge_ps = max(refilled, self._charge_ps)
         elif t_new == 0.0:
@@ -170,7 +187,7 @@ class TrapPool:
             # remainder and restart the curve from the time it implies.
             rate = self._rate_amplitude()
             if rate > 0.0 and self._charge_ps > 0.0:
-                t_new = (self._charge_ps / rate) ** (1.0 / n)
+                t_new = _pow(self._charge_ps / rate, 1.0 / n)
         self._equivalent_stress_hours = t_new
         self._recovering = False
         self._recovery_elapsed_hours = 0.0

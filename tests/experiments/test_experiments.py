@@ -14,6 +14,7 @@ from repro.experiments import (
     run_experiment2,
     run_experiment3,
 )
+from repro.physics.pool_array import aging_kernel
 
 
 class TestConfigs:
@@ -119,3 +120,25 @@ class TestExperiment3:
     def test_series_start_at_attack_time(self, result):
         for series in result.bundle:
             assert series.hours[0] == 0.0  # attacker's clock, not victim's
+
+
+class TestAgingKernelEquality:
+    """Acceptance pin: the experiments report identical recovery
+    accuracy under the vectorised and the scalar aging kernels."""
+
+    @pytest.mark.parametrize("config_cls,runner,seed", [
+        (Experiment1Config, run_experiment1, 5),
+        (Experiment2Config, run_experiment2, 5),
+        (Experiment3Config, run_experiment3, 19),
+    ], ids=["exp1", "exp2", "exp3"])
+    def test_accuracy_identical_under_both_kernels(
+        self, config_cls, runner, seed
+    ):
+        with aging_kernel("array"):
+            vectorised = runner(config_cls.quick(seed=seed))
+        with aging_kernel("scalar"):
+            reference = runner(config_cls.quick(seed=seed))
+        assert (vectorised.recovery_score.accuracy
+                == reference.recovery_score.accuracy)
+        assert (vectorised.recovery_score.per_route
+                == reference.recovery_score.per_route)

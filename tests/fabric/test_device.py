@@ -9,6 +9,7 @@ from repro.designs import build_route_bank, build_target_design
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
 from repro.physics.aging import CLOUD_PART, NEW_PART
+from repro.physics.pool_array import aging_kernel
 from repro.units import celsius_to_kelvin
 
 AMBIENT = celsius_to_kelvin(60.0)
@@ -128,6 +129,84 @@ class TestWear:
         info = device.info()
         assert info.part_name == "xcvu9p"
         assert info.effective_age_hours > 0.0
+
+
+class TestAgingKernelEquivalence:
+    """The array kernel must be bit-identical to the scalar reference
+    at the device level: same seed, same schedule, same delays."""
+
+    @staticmethod
+    def _run_history(kernel, wear):
+        with aging_kernel(kernel):
+            device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, wear=wear, seed=21)
+        routes = build_route_bank(device.grid, [2000.0, 3000.0, 1500.0])
+        design = build_target_design(
+            device.part, routes, [1, 0, 1], heater_dsps=2
+        )
+        device.load(design.bitstream)
+        device.advance_hours(24.0, AMBIENT)
+        device.advance_hours(12.0, AMBIENT + 10.0)
+        device.wipe()
+        device.advance_hours(8.0, AMBIENT)
+        second = build_target_design(
+            device.part, routes, [0, 1, 0], heater_dsps=0, name="tenant-2"
+        )
+        device.load(second.bitstream)
+        device.advance_hours(16.0, AMBIENT)
+        return device, routes
+
+    @pytest.mark.parametrize("wear", [NEW_PART, CLOUD_PART],
+                             ids=["new", "cloud"])
+    def test_kernels_bit_identical_across_tenant_history(self, wear):
+        scalar_dev, scalar_routes = self._run_history("scalar", wear)
+        array_dev, array_routes = self._run_history("array", wear)
+        for sr, ar in zip(scalar_routes, array_routes):
+            assert array_dev.route_delta_ps(ar) == scalar_dev.route_delta_ps(sr)
+            assert (array_dev.transition_delays(ar)
+                    == scalar_dev.transition_delays(sr))
+
+    def test_kernel_resolved_at_construction(self):
+        with aging_kernel("scalar"):
+            device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1)
+        # Leaving the context does not retroactively change the device.
+        assert device.aging_kernel == "scalar"
+        assert "scalar" in repr(device)
+
+    def test_explicit_kernel_overrides_default(self):
+        with aging_kernel("scalar"):
+            device = FpgaDevice(
+                ZYNQ_ULTRASCALE_PLUS, seed=1, aging_kernel="array"
+            )
+        assert device.aging_kernel == "array"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(FabricError):
+            FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=1, aging_kernel="turbo")
+
+    def test_segment_views_are_stable(self):
+        """segment_state under the array kernel returns the same cached
+        view object for the same physical segment."""
+        device, routes = conditioned_device()
+        assert device.aging_kernel == "array"
+        segment_id = next(iter(routes[0]))
+        assert device.segment_state(segment_id) is device.segment_state(
+            segment_id
+        )
+
+    def test_group_cache_invalidated_by_reload(self):
+        """A second tenant's design must not reuse the first design's
+        activity grouping."""
+        device, routes = conditioned_device(burn_values=(1, 1), hours=24)
+        first = device.route_delta_ps(routes[0])
+        device.wipe()
+        opposite = build_target_design(
+            device.part, routes, [0, 0], heater_dsps=0, name="opposite"
+        )
+        device.load(opposite.bitstream)
+        device.advance_hours(24.0, AMBIENT)
+        # Holding the opposite value anneals the high pool and stresses
+        # the low pool: the imprint must move downward.
+        assert device.route_delta_ps(routes[0]) < first
 
 
 class TestThermalCoupling:

@@ -191,6 +191,84 @@ class TestPreload:
             make_pool().preload(-0.1)
 
 
+class TestEdgePaths:
+    def test_preload_then_restress_continues_curve(self):
+        """Stress applied after a preload continues the power-law curve
+        from the preload's implied equivalent time."""
+        pool = make_pool()
+        pool.preload(0.5)
+        t_eq = pool.equivalent_stress_hours
+        pool.stress(50.0, REFERENCE_TEMPERATURE_K)
+        reference = make_pool()
+        reference.stress(t_eq + 50.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(reference.charge_ps)
+
+    def test_preload_after_recovery_keeps_wall_hours_discount(self):
+        """Preload deliberately leaves recovery wall hours untouched, so
+        a preload mid-recovery re-enters the curve with the refill
+        discount of the elapsed gap applied."""
+        pool = make_pool()
+        pool.stress(100.0, REFERENCE_TEMPERATURE_K)
+        pool.release(10.0, REFERENCE_TEMPERATURE_K)
+        pool.preload(0.3)
+        # 100 frozen hours minus REFILL_PENALTY * 10 wall hours.
+        expected = 100.0 - REFILL_PENALTY * 10.0
+        assert pool.equivalent_stress_hours == pytest.approx(expected)
+        assert pool.charge_ps == pytest.approx(0.3)
+
+    def test_zero_amplitude_pool_never_charges(self):
+        pool = make_pool(amplitude=0.0)
+        pool.stress(500.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == 0.0
+        pool.release(100.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == 0.0
+
+    def test_zero_amplitude_pool_preload_survives_restress(self):
+        """A zero-amplitude pool cannot place preloaded charge on any
+        stress curve (rate is zero), but the charge itself must persist
+        through subsequent stress and still decay under release."""
+        pool = make_pool(amplitude=0.0)
+        pool.preload(0.4)
+        assert pool.charge_ps == pytest.approx(0.4)
+        assert pool.equivalent_stress_hours == 0.0
+        pool.stress(100.0, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(0.4)
+        pool.release(50.0, REFERENCE_TEMPERATURE_K)
+        assert 0.0 < pool.charge_ps < 0.4
+
+    def test_full_refund_restarts_curve_from_decayed_charge(self):
+        """At the t_new == 0 boundary (the recovery gap refunds the whole
+        accumulated equivalent time) the curve restarts from the time the
+        surviving decayed charge implies -- not from zero charge."""
+        pool = make_pool()
+        pool.stress(10.0, REFERENCE_TEMPERATURE_K)
+        # REFILL_PENALTY * 20 wall hours == the 10 accumulated hours.
+        pool.release(20.0, REFERENCE_TEMPERATURE_K)
+        remainder = pool.charge_ps
+        assert remainder > 0.0
+        pool.stress(1e-9, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(remainder, rel=1e-6)
+        n = HIGH_POOL.stress_exponent
+        implied = (remainder / (1.0 / REFERENCE_STRESS_HOURS**n)) ** (1.0 / n)
+        assert pool.equivalent_stress_hours == pytest.approx(
+            implied, rel=1e-6
+        )
+
+    def test_overlong_gap_still_restarts_from_remainder(self):
+        """Past the boundary (gap refund exceeds accumulated time) the
+        behaviour is the same restart-from-remainder, clamped at zero."""
+        pool = make_pool()
+        pool.stress(10.0, REFERENCE_TEMPERATURE_K)
+        pool.release(500.0, REFERENCE_TEMPERATURE_K)
+        remainder = pool.charge_ps
+        # The curve restarts near t = 0 where the power law is steep, so
+        # even an epsilon of re-stress adds a visible sliver of charge.
+        pool.stress(1e-9, REFERENCE_TEMPERATURE_K)
+        assert pool.charge_ps == pytest.approx(remainder, rel=1e-4)
+        assert pool.charge_ps >= remainder
+        assert pool.equivalent_stress_hours < 10.0
+
+
 class TestProperties:
     @given(
         durations=st.lists(

@@ -41,8 +41,12 @@ class TestParser:
             ["sweep", "exp2", "--seeds", "1:4,9", "--jobs", "3"]
         )
         assert args.experiment == "exp2"
-        assert args.seeds == "1:4,9" and args.jobs == 3
+        assert args.seeds == "1:4,9" and args.jobs == "3"
         assert not args.paper
+
+    def test_sweep_jobs_auto_accepted(self):
+        args = build_parser().parse_args(["sweep", "exp1", "--jobs", "auto"])
+        assert args.jobs == "auto"
 
     def test_sweep_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
@@ -115,6 +119,14 @@ class TestMain:
     def test_sweep_bad_jobs_fails_cleanly(self, capsys):
         assert main(["sweep", "exp1", "--seeds", "1", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_non_numeric_jobs_fails_cleanly(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "1", "--jobs", "lots"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_sweep_jobs_auto_runs(self, capsys):
+        assert main(["sweep", "exp1", "--seeds", "5", "--jobs", "auto"]) == 0
+        assert "jobs=auto" in capsys.readouterr().out
 
 
 class TestObservabilityFlags:

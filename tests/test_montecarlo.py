@@ -2,14 +2,31 @@
 
 import pytest
 
+import repro.montecarlo as montecarlo
 from repro.errors import AnalysisError, ConfigurationError
-from repro.montecarlo import MonteCarloResult, experiment_sweep, run_monte_carlo
+from repro.montecarlo import (
+    MonteCarloResult,
+    experiment_sweep,
+    resolve_jobs,
+    run_monte_carlo,
+)
 from repro.observability.metrics import registry
 
 
 def _tenth(seed: int) -> float:
     """Module-level metric: picklable for the jobs > 1 path."""
     return float(seed) / 10.0
+
+
+@pytest.fixture
+def four_cpus(monkeypatch):
+    """Pretend the machine has four CPUs so the pool path really runs.
+
+    CI containers can report a single CPU, which would clamp every
+    ``jobs > 1`` request down to the sequential path and silently skip
+    the ProcessPoolExecutor coverage these tests exist for.
+    """
+    monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 4)
 
 
 class TestRunner:
@@ -48,7 +65,7 @@ class TestRunner:
 
 
 class TestParallelRunner:
-    def test_jobs_bit_identical_to_sequential(self):
+    def test_jobs_bit_identical_to_sequential(self, four_cpus):
         seeds = [3, 1, 4, 1, 5, 9]
         sequential = run_monte_carlo(_tenth, seeds, metric_name="demo")
         parallel = run_monte_carlo(_tenth, seeds, metric_name="demo", jobs=3)
@@ -63,15 +80,61 @@ class TestParallelRunner:
             run_monte_carlo(_tenth, [1], jobs=0)
         with pytest.raises(ConfigurationError):
             run_monte_carlo(_tenth, [1], jobs=-2)
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(_tenth, [1], jobs="turbo")
 
     def test_unpicklable_metric_rejected(self):
         with pytest.raises(ConfigurationError):
             run_monte_carlo(lambda s: 1.0, [1, 2], jobs=2)
 
-    def test_worker_metrics_merge_into_parent_registry(self):
+    def test_unpicklable_metric_rejected_even_when_clamped(self, monkeypatch):
+        """An explicit jobs=2 request holds the documented contract even
+        when the machine only has one CPU and the run falls back to the
+        sequential path."""
+        monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 1)
+        with pytest.raises(ConfigurationError):
+            run_monte_carlo(lambda s: 1.0, [1, 2], jobs=2)
+
+    def test_worker_metrics_merge_into_parent_registry(self, four_cpus):
         run_monte_carlo(_tenth, [1, 2, 3], jobs=2)
         assert registry.counter("montecarlo_runs_total").value == 3
         assert registry.histogram("montecarlo_run_seconds").count == 3
+
+    def test_jobs_auto_runs_every_seed(self):
+        result = run_monte_carlo(_tenth, [1, 2, 3], jobs="auto")
+        assert result.values == (0.1, 0.2, 0.3)
+
+    def test_auto_metric_need_not_pickle_on_one_cpu(self, monkeypatch):
+        """``auto`` on a single-CPU machine resolves to the sequential
+        path, which accepts any callable."""
+        monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 1)
+        result = run_monte_carlo(lambda s: float(s), [4], jobs="auto")
+        assert result.values == (4.0,)
+
+
+class TestResolveJobs:
+    def test_explicit_request_clamped_to_cpus(self, monkeypatch):
+        monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 2)
+        assert resolve_jobs(8, n_seeds=16) == 2
+
+    def test_clamped_to_seed_count(self, four_cpus):
+        assert resolve_jobs(4, n_seeds=2) == 2
+
+    def test_auto_uses_available_cpus(self, four_cpus):
+        assert resolve_jobs("auto", n_seeds=16) == 4
+
+    def test_auto_on_one_cpu_is_sequential(self, monkeypatch):
+        monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 1)
+        assert resolve_jobs("auto", n_seeds=16) == 1
+
+    def test_unclamped_request_passes_through(self, four_cpus):
+        assert resolve_jobs(3, n_seeds=16) == 3
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_jobs(0, n_seeds=4)
+        with pytest.raises(ConfigurationError):
+            resolve_jobs("fast", n_seeds=4)
 
 
 class TestExperimentSweep:
@@ -93,7 +156,7 @@ class TestExperimentSweep:
         )
         assert 0.0 <= result.mean <= 1.0
 
-    def test_sharded_sweep_bit_identical(self):
+    def test_sharded_sweep_bit_identical(self, four_cpus):
         """Acceptance pin: jobs=N returns the same MonteCarloResult as
         jobs=1 for the same seed list, including seed order."""
         seeds = [5, 6, 7]
@@ -101,7 +164,7 @@ class TestExperimentSweep:
         sharded = experiment_sweep("exp1", seeds=seeds, jobs=2)
         assert sharded == sequential
 
-    def test_sharded_sweep_merges_capture_metrics(self):
+    def test_sharded_sweep_merges_capture_metrics(self, four_cpus):
         experiment_sweep("exp1", seeds=[5, 6], jobs=2)
         assert registry.counter("captures_total").value > 0
         assert registry.counter("montecarlo_runs_total").value == 2
