@@ -10,6 +10,14 @@ exact scale.
 Each session also writes ``BENCH_observability.json`` at the repo root:
 per-benchmark wall times plus the observability metrics the run
 accumulated, so the bench trajectory is machine-readable run over run.
+
+Bench cases are isolated the same way tests are: the autouse
+``clean_bench_observability`` fixture (mirroring ``clean_observability``
+in ``tests/conftest.py``) gives every case a fresh process-global
+metrics registry and span state, so one benchmark's counters cannot
+leak into another's measurements.  Each case's instruments are folded
+into a session-level accumulator before the reset, so the session
+summary still reflects the whole run.
 """
 
 from __future__ import annotations
@@ -24,6 +32,42 @@ import pytest
 
 def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+#: Session-wide accumulator the per-case registries fold into; built
+#: lazily so a broken ``repro`` import degrades to timings-only output.
+_session_metrics = None
+
+
+def _accumulator():
+    global _session_metrics
+    if _session_metrics is None:
+        from repro.observability.metrics import MetricsRegistry
+
+        _session_metrics = MetricsRegistry()
+    return _session_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_bench_observability():
+    """Every bench case starts with empty global metrics/span state.
+
+    Mirrors the autouse reset in ``tests/conftest.py`` so counters
+    cannot leak between bench cases; the case's instruments are merged
+    into the session accumulator for the ``BENCH_observability.json``
+    summary before being dropped.
+    """
+    from repro.observability import trace
+    from repro.observability.metrics import registry
+
+    registry.reset()
+    trace.clear()
+    trace.disable()
+    yield
+    _accumulator().merge_state(registry.dump_state())
+    registry.reset()
+    trace.clear()
+    trace.disable()
 
 
 def routes_per_length() -> int:
@@ -59,7 +103,11 @@ def pytest_sessionfinish(session):
         from repro import __version__
         from repro.observability.metrics import get_registry
 
-        metrics = get_registry().snapshot()
+        accumulated = _accumulator()
+        # Anything recorded outside a bench case (collection hooks,
+        # session fixtures) is still in the live registry; fold it in.
+        accumulated.merge_state(get_registry().dump_state())
+        metrics = accumulated.snapshot()
         version = __version__
     except Exception:  # repro not importable: still record the timings
         metrics, version = {}, "unknown"

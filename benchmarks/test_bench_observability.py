@@ -55,6 +55,11 @@ def test_noop_instrumentation_overhead(benchmark, emit):
     assert not trace.roots(), "tracing must stay disabled in this bench"
 
     # How many instrumented operations did the run actually perform?
+    # Counters are priced by *increment* count, not value: the batch
+    # kernels count hundreds of words/segments per single inc() call
+    # (capture_words_total, aging_segment_updates_total), so summing
+    # values would overstate the instrumentation work by orders of
+    # magnitude.
     snapshot = registry.snapshot()
     span_sites = sum(
         snapshot["counters"].get(name, 0.0)
@@ -65,7 +70,9 @@ def test_noop_instrumentation_overhead(benchmark, emit):
     histogram_observes = sum(
         h["count"] for h in snapshot["histograms"].values()
     )
-    counter_incs = sum(snapshot["counters"].values())
+    counter_incs = sum(
+        counter.increments for counter in registry.counters.values()
+    )
 
     per_span = _time_noop_span()
     per_inc = _time_counter_inc()

@@ -8,11 +8,16 @@ Examples::
     python -m repro sweep exp1 --seeds 1:16 --jobs 4
     python -m repro table1 --compare
     python -m repro exp1 --quick --trace --metrics-out run.json
+    python -m repro sweep exp1 --seeds 1:8 --jobs 4 --trace spans.jsonl
+    python -m repro profile exp1 --quick
+    python -m repro bench diff OLD_BENCH.json BENCH_perf.json --gate 80
 
-Every sub-command accepts the observability flag pair: ``--trace``
-prints the run's span tree (experiment -> phase -> capture) and
-``--metrics-out FILE`` writes the metrics registry, span tree and run
-manifest as one JSON document.
+Every sub-command accepts the observability flags: ``--trace`` prints
+the run's span tree (experiment -> phase -> capture; give it a FILE to
+also write the forest as JSON Lines), ``--metrics-out FILE`` writes
+the metrics registry, span tree and run manifest as one JSON document,
+and ``--chrome-trace FILE`` exports the spans in the Chrome Trace
+Event Format for Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -51,12 +56,20 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def observability(p: argparse.ArgumentParser) -> None:
-        """The flag pair every sub-command carries."""
-        p.add_argument("--trace", action="store_true",
-                       help="collect and print the run's span tree")
+        """The flag set every sub-command carries."""
+        p.add_argument("--trace", nargs="?", const=True, default=False,
+                       metavar="FILE",
+                       help="collect and print the run's span tree; with "
+                            "FILE, also write it as JSON Lines (one root "
+                            "span per line, worker spans included)")
         p.add_argument("--metrics-out", type=str, default=None,
                        metavar="FILE",
                        help="write metrics + spans + manifest as JSON")
+        p.add_argument("--chrome-trace", type=str, default=None,
+                       metavar="FILE",
+                       help="export spans as Chrome Trace Event JSON "
+                            "(open in Perfetto or chrome://tracing); "
+                            "implies span collection")
 
     def common(p: argparse.ArgumentParser) -> None:
         """Flags shared by every experiment sub-command."""
@@ -115,6 +128,35 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--output", type=str, default=None, metavar="FILE",
                     help="write the report to a file instead of stdout")
     observability(pr)
+
+    pp = sub.add_parser(
+        "profile",
+        help="run one experiment under tracing and print wall-time "
+             "attribution (per-phase self vs children)",
+    )
+    pp.add_argument("experiment", choices=("exp1", "exp2", "exp3"))
+    pp.add_argument("--quick", action="store_true",
+                    help="shrunken config for smoke runs")
+    pp.add_argument("--seed", type=int, default=None,
+                    help="experiment seed (default: the config's)")
+    pp.add_argument("--json", dest="profile_json", type=str, default=None,
+                    metavar="FILE",
+                    help="also write the attribution report as JSON")
+    observability(pp)
+
+    pb = sub.add_parser("bench", help="benchmark-suite utilities")
+    bench_sub = pb.add_subparsers(dest="bench_command", required=True)
+    pbd = bench_sub.add_parser(
+        "diff",
+        help="compare two BENCH_*.json suites key by key; optionally "
+             "fail past a regression threshold",
+    )
+    pbd.add_argument("old", help="baseline suite JSON (e.g. the "
+                                 "committed BENCH_perf.json)")
+    pbd.add_argument("new", help="freshly generated suite JSON")
+    pbd.add_argument("--gate", type=float, default=None, metavar="PCT",
+                     help="exit nonzero if any benchmark regressed by "
+                          "more than PCT percent (omit to report only)")
     return parser
 
 
@@ -138,9 +180,9 @@ def _override(config, args, fields: Sequence[str]):
 
 
 def _finish_observability(args) -> int:
-    """Print the span tree / write the metrics file after a command.
+    """Print the span tree / write the export files after a command.
 
-    Returns 0, or 1 if the metrics file could not be written (the run
+    Returns 0, or 1 if an export file could not be written (the run
     itself already happened, so the tree is still printed first).
     """
     if getattr(args, "trace", False):
@@ -148,6 +190,29 @@ def _finish_observability(args) -> int:
         if rendered:
             print("\n-- span tree " + "-" * 27)
             print(rendered)
+    trace_file = getattr(args, "trace", None)
+    if isinstance(trace_file, str):
+        from repro.observability.export import write_spans_jsonl
+
+        try:
+            path = write_spans_jsonl(trace_file)
+        except OSError as exc:
+            print(f"repro: cannot write spans to {trace_file}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"spans written to {path}")
+    chrome_trace = getattr(args, "chrome_trace", None)
+    if chrome_trace:
+        from repro.observability.timeline import write_trace_events
+
+        try:
+            path = write_trace_events(chrome_trace)
+        except OSError as exc:
+            print(f"repro: cannot write Chrome trace to {chrome_trace}: "
+                  f"{exc}", file=sys.stderr)
+            return 1
+        print(f"Chrome trace written to {path} "
+              f"(open in https://ui.perfetto.dev)")
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
         from repro.observability.export import write_metrics_json
@@ -276,6 +341,69 @@ def _cmd_table1(args) -> int:
     return 0
 
 
+_EXPERIMENT_RUNNERS = {
+    "exp1": (Experiment1Config, run_experiment1),
+    "exp2": (Experiment2Config, run_experiment2),
+    "exp3": (Experiment3Config, run_experiment3),
+}
+
+
+def _cmd_profile(args) -> int:
+    from time import perf_counter
+
+    from repro.observability.profile import build_report, render_report
+
+    config_cls, runner = _EXPERIMENT_RUNNERS[args.experiment]
+    config = config_cls.quick() if args.quick else config_cls.paper()
+    if args.seed is not None:
+        config = replace(config, seed=args.seed)
+    args._config = config
+    trace.enable()
+    start = perf_counter()
+    result = runner(config)
+    wall = perf_counter() - start
+    report = build_report(wall_s=wall)
+    report["experiment"] = args.experiment
+    print(render_report(report))
+    print(f"\n{result.recovery_score}")
+    if args.profile_json:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.profile_json).write_text(_json.dumps(report, indent=1))
+        print(f"profile written to {args.profile_json}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.observability.benchdiff import (
+        diff_suites,
+        gate_failures,
+        load_suite,
+        render_deltas,
+    )
+
+    try:
+        deltas = diff_suites(load_suite(args.old), load_suite(args.new))
+        failures = (gate_failures(deltas, args.gate)
+                    if args.gate is not None else [])
+    except ConfigurationError as exc:
+        print(f"repro: {exc}", file=sys.stderr)
+        return 2
+    print(render_deltas(deltas, gate_pct=args.gate))
+    if failures:
+        print(f"\nbench diff: {len(failures)} benchmark(s) regressed past "
+              f"the {args.gate:g}% gate:", file=sys.stderr)
+        for delta in failures:
+            print(f"  {delta.key}: {delta.old:g} -> {delta.new:g} "
+                  f"({delta.regression_pct:+.1f}% worse)", file=sys.stderr)
+        return 1
+    if args.gate is not None:
+        print(f"bench diff: no regression past the {args.gate:g}% gate")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.reporting import generate_reproduction_report
 
@@ -297,6 +425,8 @@ _HANDLERS = {
     "sweep": _cmd_sweep,
     "table1": _cmd_table1,
     "report": _cmd_report,
+    "profile": _cmd_profile,
+    "bench": _cmd_bench,
 }
 
 
@@ -312,7 +442,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               file=sys.stderr)
         return 2
 
-    if getattr(args, "trace", False):
+    if getattr(args, "trace", False) or getattr(args, "chrome_trace", None):
         trace.enable()
     code = handler(args)
     finish_code = _finish_observability(args)

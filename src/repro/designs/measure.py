@@ -31,7 +31,11 @@ from repro.fabric.routing import Route
 from repro.rng import SeedLike, make_rng
 from repro.sensor.calibration import find_theta_init
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel
-from repro.sensor.tdc import Measurement, TunableDualPolarityTdc
+from repro.sensor.tdc import (
+    Measurement,
+    TunableDualPolarityTdc,
+    get_capture_kernel,
+)
 
 #: CARRY8 primitives per 64-element chain (eight 8-bit carries).
 _CARRIES_PER_CHAIN = 8
@@ -137,7 +141,8 @@ class MeasureSession:
                 f"or use_theta_init()"
             )
         start = perf_counter()
-        with trace.span("sensor.capture", route=route_name):
+        with trace.span("sensor.capture", route=route_name,
+                        kernel=kernel or get_capture_kernel()):
             measurement = self._tdcs[route_name].measure(
                 self.theta_init[route_name], kernel=kernel
             )

@@ -12,8 +12,16 @@ Both accept ``jobs``: with ``jobs > 1`` the seed set shards across a
 independent evaluations, so the sharded sweep returns a bit-identical
 :class:`MonteCarloResult` to the sequential one -- results are
 collected in submission order -- and each worker ships its metrics
-registry back to be merged into the parent's (so ``captures_total``
-and friends still reflect the whole sweep).
+registry *and its span forest* back to be merged into the parent's, so
+``captures_total`` and friends still reflect the whole sweep and
+``--trace`` under ``--jobs N`` shows every worker's subtree (tagged
+with ``worker_pid``/``shard``) instead of only the parent's skeleton.
+
+A worker whose metric raises still ships whatever partial metrics and
+spans it accumulated before failing: the parent merges every shard's
+state first and re-raises the original exception afterwards, so a
+crash late in a long sweep does not silently discard the telemetry of
+the seeds that did complete.
 
 ``jobs`` may also be ``"auto"`` (one worker per available CPU), and
 explicit values are clamped to the machine: oversubscribing a host
@@ -28,8 +36,9 @@ from __future__ import annotations
 import dataclasses
 import os
 import pickle
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from time import perf_counter
 from typing import Callable, Optional, Sequence, Union
@@ -141,18 +150,71 @@ def _record_seed_run(elapsed_seconds: float) -> None:
     ).observe(elapsed_seconds)
 
 
-def _evaluate_seed(
-    metric: Callable[[int], float], seed: int
-) -> tuple[float, float, dict]:
-    """Worker-side evaluation: value, wall time, and the metrics delta.
+@dataclass
+class _SeedOutcome:
+    """Everything a worker ships back to the parent for one seed.
 
-    Resets the (forked/fresh) worker registry first so the returned
-    dump holds exactly the instruments this one seed produced.
+    ``value`` is ``None`` exactly when the metric raised; the partial
+    ``metrics_state``/``trace_state`` are shipped either way, so a
+    failed shard still contributes its telemetry to the merged view.
+    ``error`` carries the original exception when it pickles (the
+    common case) and its formatted traceback text always.
+    """
+
+    seed: int
+    pid: int
+    elapsed_s: float
+    metrics_state: dict = field(default_factory=dict)
+    trace_state: dict = field(default_factory=dict)
+    value: Optional[float] = None
+    error: Optional[BaseException] = None
+    error_text: Optional[str] = None
+
+
+def _evaluate_seed(
+    metric: Callable[[int], float], seed: int, collect_spans: bool = False
+) -> _SeedOutcome:
+    """Worker-side evaluation: value, wall time, metrics and spans.
+
+    Resets the (forked/fresh) worker observability state first so the
+    returned dumps hold exactly what this one seed produced.  The
+    evaluation runs inside a ``montecarlo.seed`` span when the parent
+    is tracing, mirroring the sequential path's tree shape.  A raising
+    metric is caught so the partial state still makes it back; the
+    parent re-raises after merging.
     """
     registry.reset()
+    trace.clear()
+    if collect_spans:
+        trace.enable()
+    else:
+        trace.disable()
     start = perf_counter()
-    value = float(metric(int(seed)))
-    return value, perf_counter() - start, registry.dump_state()
+    value = error = error_text = None
+    try:
+        with trace.span("montecarlo.seed", seed=int(seed)):
+            value = float(metric(int(seed)))
+    except Exception as exc:
+        error = exc
+        error_text = _traceback.format_exc()
+    outcome = _SeedOutcome(
+        seed=int(seed),
+        pid=os.getpid(),
+        elapsed_s=perf_counter() - start,
+        metrics_state=registry.dump_state(),
+        trace_state=trace.dump_state() if collect_spans else {},
+        value=value,
+        error=error,
+        error_text=error_text,
+    )
+    if error is not None:
+        try:
+            pickle.dumps(outcome)
+        except Exception:
+            # The metric's exception does not pickle; ship the
+            # traceback text and let the parent raise on our behalf.
+            outcome = dataclasses.replace(outcome, error=None)
+    return outcome
 
 
 def _run_sequential(
@@ -171,19 +233,44 @@ def _run_parallel(
     metric: Callable[[int], float], seeds: Sequence[int], jobs: int
 ) -> list[float]:
     _require_picklable(metric)
+    collect_spans = trace.is_enabled()
     values = []
+    first_failure: Optional[_SeedOutcome] = None
     with ProcessPoolExecutor(max_workers=min(jobs, len(seeds))) as pool:
         futures = [
-            pool.submit(_evaluate_seed, metric, int(seed)) for seed in seeds
+            pool.submit(_evaluate_seed, metric, int(seed), collect_spans)
+            for seed in seeds
         ]
         # Collect in submission order: result ordering (and hence the
         # MonteCarloResult) is deterministic regardless of which worker
         # finishes first.
-        for future in futures:
-            value, elapsed, worker_state = future.result()
-            registry.merge_state(worker_state)
-            _record_seed_run(elapsed)
-            values.append(value)
+        for shard, future in enumerate(futures):
+            outcome = future.result()
+            registry.merge_state(outcome.metrics_state)
+            if collect_spans and outcome.trace_state:
+                trace.merge_state(outcome.trace_state, shard=shard)
+            if outcome.value is None:
+                registry.counter(
+                    "montecarlo_worker_failures_total",
+                    "seeded evaluations that raised in a worker",
+                ).inc()
+                _log.info("worker_seed_failed", seed=outcome.seed,
+                          pid=outcome.pid)
+                if first_failure is None:
+                    first_failure = outcome
+                continue
+            _record_seed_run(outcome.elapsed_s)
+            values.append(outcome.value)
+    if first_failure is not None:
+        # Every shard's partial metrics/spans are merged by now; only
+        # then surface the failure, matching what the sequential path
+        # leaves behind when a metric raises mid-sweep.
+        if first_failure.error is not None:
+            raise first_failure.error
+        raise AnalysisError(
+            f"seed {first_failure.seed} failed in worker "
+            f"{first_failure.pid}:\n{first_failure.error_text}"
+        )
     return values
 
 

@@ -12,7 +12,14 @@ The measurement layer under every other subsystem:
   (version, seed, config, span tree, metrics snapshot) embedded in
   every archived experiment;
 * :mod:`repro.observability.export` -- JSON and Prometheus-text
-  exporters over the registry and span tree.
+  exporters over the registry and span tree;
+* :mod:`repro.observability.profile` -- wall-time attribution: roll a
+  span forest up into a per-stage self-vs-children table (``repro
+  profile``);
+* :mod:`repro.observability.timeline` -- Chrome Trace Event Format
+  export for Perfetto / ``chrome://tracing``;
+* :mod:`repro.observability.benchdiff` -- benchmark-suite diffing and
+  the CI regression gate (``repro bench diff``).
 
 Conventions (see ``docs/observability.md``): span names are
 ``layer.stage`` (``experiment``, ``phase.measurement``,
@@ -22,12 +29,13 @@ unit (``capture_latency_seconds``, ``readout_skew_ps``).
 
 from __future__ import annotations
 
-from repro.observability import trace
+from repro.observability import benchdiff, profile, timeline, trace
 from repro.observability.export import (
     metrics_to_dict,
     to_prometheus_text,
     write_metrics_json,
     write_prometheus_text,
+    write_spans_jsonl,
 )
 from repro.observability.log import StructuredLogger, get_logger
 from repro.observability.manifest import (
@@ -47,6 +55,9 @@ from repro.observability.trace import Span, render_tree, span
 
 __all__ = [
     "trace",
+    "profile",
+    "timeline",
+    "benchdiff",
     "span",
     "Span",
     "render_tree",
@@ -63,6 +74,7 @@ __all__ = [
     "diff_manifests",
     "metrics_to_dict",
     "write_metrics_json",
+    "write_spans_jsonl",
     "to_prometheus_text",
     "write_prometheus_text",
 ]

@@ -1,0 +1,200 @@
+"""Benchmark suite comparison: diff two BENCH_*.json files, gate on
+regressions.
+
+The repo's benchmark suites (``BENCH_perf.json``,
+``BENCH_observability.json``) are nested JSON documents of numbers.
+This module flattens two of them to dotted keys, classifies each key's
+direction from its name (``*_seconds*`` regress upward, ``*speedup*``/
+``*_per_second`` regress downward, identity keys like ``cpu_count``
+are informational), and reports per-key deltas.  With a gate
+percentage, any key that regressed past the threshold fails the
+comparison -- ``repro bench diff OLD NEW --gate 80`` is the CI step
+that stops a silent kernel regression from landing.
+
+The gate is meant to be loose in CI: absolute seconds differ several-
+fold across runner hardware, so the threshold must only catch
+catastrophic regressions (a vectorised kernel silently falling back to
+its scalar reference is 5-60x, i.e. hundreds of percent).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BenchDelta",
+    "load_suite",
+    "flatten_suite",
+    "diff_suites",
+    "render_deltas",
+    "gate_failures",
+]
+
+PathLike = Union[str, Path]
+
+#: Key-name fragments marking a metric where *smaller* is better.
+_LOWER_IS_BETTER = ("seconds", "_ms", "latency", "overhead")
+
+#: Key-name fragments marking a metric where *larger* is better.
+_HIGHER_IS_BETTER = ("speedup", "per_second", "accuracy", "throughput")
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One benchmark key compared across two suites."""
+
+    key: str
+    old: Optional[float]
+    new: Optional[float]
+    direction: str  # "lower", "higher", or "info"
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        """Relative change new vs old, in percent (None if undefined)."""
+        if self.old is None or self.new is None or self.old == 0.0:
+            return None
+        return (self.new - self.old) / abs(self.old) * 100.0
+
+    @property
+    def regression_pct(self) -> Optional[float]:
+        """How much *worse* the new value is, in percent.
+
+        ``None`` for informational keys, keys missing on either side,
+        and improvements; gating compares this against the threshold.
+        """
+        change = self.change_pct
+        if change is None or self.direction == "info":
+            return None
+        worse = change if self.direction == "lower" else -change
+        return worse if worse > 0.0 else None
+
+
+def classify_key(key: str) -> str:
+    """Direction of one dotted benchmark key: lower/higher/info."""
+    leaf = key.rsplit(".", 1)[-1].lower()
+    if any(fragment in leaf for fragment in _LOWER_IS_BETTER):
+        return "lower"
+    if any(fragment in leaf for fragment in _HIGHER_IS_BETTER):
+        return "higher"
+    return "info"
+
+
+def load_suite(path: PathLike) -> dict:
+    """Load one benchmark suite JSON document."""
+    target = Path(path)
+    if not target.is_file():
+        raise ConfigurationError(f"benchmark suite not found: {target}")
+    try:
+        payload = json.loads(target.read_text())
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(
+            f"benchmark suite {target} is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"benchmark suite {target} must be a JSON object, "
+            f"got {type(payload).__name__}"
+        )
+    return payload
+
+
+def flatten_suite(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested suite document, by dotted key.
+
+    Booleans and strings are dropped -- they are identity fields, not
+    benchmarks (``bit_identical`` is asserted by the bench itself).
+    """
+    flat: dict[str, float] = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            flat.update(flatten_suite(value, dotted))
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            flat[dotted] = float(value)
+    return flat
+
+
+def diff_suites(old: dict, new: dict) -> list[BenchDelta]:
+    """Key-by-key comparison of two suite documents.
+
+    Keys present in only one suite appear with ``None`` on the other
+    side (shape drift is visible but never gates).
+    """
+    flat_old = flatten_suite(old)
+    flat_new = flatten_suite(new)
+    return [
+        BenchDelta(
+            key=key,
+            old=flat_old.get(key),
+            new=flat_new.get(key),
+            direction=classify_key(key),
+        )
+        for key in sorted(set(flat_old) | set(flat_new))
+    ]
+
+
+def gate_failures(
+    deltas: list[BenchDelta], gate_pct: float
+) -> list[BenchDelta]:
+    """The deltas regressing past ``gate_pct`` percent."""
+    if gate_pct < 0.0:
+        raise ConfigurationError(
+            f"gate must be a non-negative percentage, got {gate_pct}"
+        )
+    return [
+        delta for delta in deltas
+        if delta.regression_pct is not None
+        and delta.regression_pct > gate_pct
+    ]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_deltas(
+    deltas: list[BenchDelta], gate_pct: Optional[float] = None
+) -> str:
+    """ASCII delta table, worst regressions first."""
+    ordered = sorted(
+        deltas,
+        key=lambda d: -(d.regression_pct if d.regression_pct is not None
+                        else float("-inf")),
+    )
+    key_width = max([len(d.key) for d in deltas] + [len("benchmark")])
+    lines = [
+        f"{'benchmark':<{key_width}}  {'old':>12}  {'new':>12}  "
+        f"{'change':>8}  note"
+    ]
+    lines.append("-" * len(lines[0]))
+    for delta in ordered:
+        change = delta.change_pct
+        change_text = f"{change:+.1f}%" if change is not None else "-"
+        if delta.old is None:
+            note = "added"
+        elif delta.new is None:
+            note = "removed"
+        elif delta.direction == "info":
+            note = "info"
+        elif delta.regression_pct is None:
+            note = "ok"
+        elif gate_pct is not None and delta.regression_pct > gate_pct:
+            note = f"REGRESSION (> {gate_pct:g}% gate)"
+        else:
+            note = "worse"
+        lines.append(
+            f"{delta.key:<{key_width}}  {_fmt(delta.old):>12}  "
+            f"{_fmt(delta.new):>12}  {change_text:>8}  {note}"
+        )
+    return "\n".join(lines)

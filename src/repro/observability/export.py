@@ -23,6 +23,7 @@ from repro.observability.metrics import MetricsRegistry, get_registry
 __all__ = [
     "metrics_to_dict",
     "write_metrics_json",
+    "write_spans_jsonl",
     "to_prometheus_text",
     "write_prometheus_text",
 ]
@@ -55,6 +56,21 @@ def write_metrics_json(
     target.write_text(
         json.dumps(metrics_to_dict(registry, manifest=manifest), indent=1)
     )
+    return target
+
+
+def write_spans_jsonl(path: PathLike) -> Path:
+    """Write the span forest as JSON Lines: one root span tree per line.
+
+    The line-per-root layout streams and greps well for sweeps with
+    many seeds; each line is a :meth:`repro.observability.trace.Span.
+    to_dict` document (wall-clock start included), so a consumer can
+    rebuild the forest with ``Span.from_dict`` per line.
+    """
+    target = Path(path)
+    with target.open("w") as handle:
+        for payload in _trace.tree_as_dicts():
+            handle.write(json.dumps(payload) + "\n")
     return target
 
 

@@ -22,6 +22,7 @@ Tests reset state between cases via :meth:`MetricsRegistry.reset`
 from __future__ import annotations
 
 import math
+import uuid
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -49,6 +50,10 @@ class Counter:
     name: str
     help: str = ""
     value: float = 0.0
+    #: ``inc`` calls, as opposed to units counted: a batch kernel that
+    #: counts 160 words per call performs one increment.  The overhead
+    #: bench prices instrumentation by call, not by unit.
+    increments: int = 0
 
     def inc(self, amount: float = 1.0) -> None:
         """Add ``amount`` (must be non-negative) to the counter."""
@@ -57,6 +62,7 @@ class Counter:
                 f"counter {self.name!r} cannot decrease (inc {amount})"
             )
         self.value += amount
+        self.increments += 1
 
 
 @dataclass
@@ -159,6 +165,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._merged_dump_ids: set[str] = set()
 
     def _check_name_free(self, name: str, kind: dict) -> None:
         for family, instruments in (
@@ -237,10 +244,16 @@ class MetricsRegistry:
         a worker's instruments into its own registry with
         :meth:`merge_state` -- the mechanism the parallel Monte Carlo
         sweep uses to report per-seed metrics from its worker processes.
+
+        Each dump carries a unique ``dump_id``; :meth:`merge_state`
+        refuses to fold the same dump twice, so retry paths cannot
+        double-count a shard.
         """
         return {
+            "dump_id": uuid.uuid4().hex,
             "counters": {
-                n: {"help": c.help, "value": c.value}
+                n: {"help": c.help, "value": c.value,
+                    "increments": c.increments}
                 for n, c in self._counters.items()
             },
             "gauges": {
@@ -260,24 +273,42 @@ class MetricsRegistry:
             },
         }
 
-    def merge_state(self, state: dict) -> None:
+    def merge_state(self, state: dict) -> bool:
         """Fold a :meth:`dump_state` payload into this registry.
 
-        Counters add, gauges take the incoming level (last write wins),
-        histograms merge exactly on count/sum/min/max.
+        Counters add (both value and increment count), gauges take the
+        incoming level (last write wins), histograms merge exactly on
+        count/sum/min/max.  A dump already merged into this registry
+        (same ``dump_id``) is skipped -- the idempotence guard for
+        retry/replay paths -- and ``False`` is returned; ``True`` means
+        the dump was applied.
         """
+        dump_id = state.get("dump_id")
+        if dump_id is not None and dump_id in self._merged_dump_ids:
+            return False
         for name, payload in state.get("counters", {}).items():
-            self.counter(name, payload.get("help", "")).inc(payload["value"])
+            counter = self.counter(name, payload.get("help", ""))
+            amount = payload["value"]
+            if amount < 0.0:
+                raise ConfigurationError(
+                    f"counter {name!r} cannot decrease (merge {amount})"
+                )
+            counter.value += amount
+            counter.increments += int(payload.get("increments", 0))
         for name, payload in state.get("gauges", {}).items():
             self.gauge(name, payload.get("help", "")).set(payload["value"])
         for name, payload in state.get("histograms", {}).items():
             self.histogram(name, payload.get("help", "")).merge_raw(payload)
+        if dump_id is not None:
+            self._merged_dump_ids.add(dump_id)
+        return True
 
     def reset(self) -> None:
         """Drop every instrument (tests run with a clean registry)."""
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+        self._merged_dump_ids.clear()
 
 
 #: The process-global registry every instrumented module records into.

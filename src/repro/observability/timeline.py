@@ -1,0 +1,169 @@
+"""Chrome Trace Event Format export of the span forest.
+
+Any traced run -- including a sharded Monte Carlo sweep whose worker
+spans were merged back into the parent (see
+:func:`repro.observability.trace.merge_state`) -- can be exported as a
+``trace_events`` JSON document and opened in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* every span becomes a complete event (``ph="X"``) with microsecond
+  ``ts``/``dur``, placed on the track of the process that recorded it
+  (worker spans carry a ``worker_pid`` attribute and land on their
+  worker's track);
+* each top-level span within a process gets its own thread track
+  (``tid``), so the phases of an experiment and the seeds of a sweep
+  render as parallel lanes;
+* the hot-kernel throughput counters (``capture_words_total``,
+  ``aging_segment_updates_total``) become counter events (``ph="C"``)
+  so the words/segments ramp is visible alongside the spans.
+
+The format reference is the Trace Event Format spec; only the
+long-stable ``X``/``C``/``M`` phases are emitted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.observability import trace
+from repro.observability.metrics import MetricsRegistry, get_registry
+
+__all__ = [
+    "THROUGHPUT_COUNTERS",
+    "to_trace_events",
+    "write_trace_events",
+]
+
+PathLike = Union[str, Path]
+
+#: Counters exported as Chrome counter tracks when present.
+THROUGHPUT_COUNTERS = (
+    "capture_words_total",
+    "aging_segment_updates_total",
+)
+
+
+def _span_pid(sp: trace.Span, default_pid: int) -> int:
+    pid = sp.attrs.get("worker_pid")
+    return int(pid) if pid is not None else default_pid
+
+
+def _jsonable_attrs(attrs: dict) -> dict:
+    return {
+        key: (value if isinstance(value, (int, float, str, bool))
+              or value is None else repr(value))
+        for key, value in attrs.items()
+    }
+
+
+def to_trace_events(
+    spans: Optional[Sequence[trace.Span]] = None,
+    registry: Optional[MetricsRegistry] = None,
+    process_name: str = "repro",
+) -> dict:
+    """The span forest as a Trace Event Format document (a dict).
+
+    ``spans`` defaults to the collected forest, ``registry`` to the
+    process-global metrics registry (pass ``None``-like empty registry
+    to skip counter events).  Timestamps are microseconds relative to
+    the earliest span start, so the trace opens at t=0.
+    """
+    forest = trace.roots() if spans is None else list(spans)
+    registry = registry if registry is not None else get_registry()
+    own_pid = os.getpid()
+
+    starts = [root.start_unix() for root in forest]
+    t0 = min(starts) if starts else 0.0
+
+    events: list[dict] = []
+    seen_pids: set[int] = set()
+    next_tid: dict[int, int] = {}
+
+    def allocate_tid(pid: int) -> int:
+        tid = next_tid.get(pid, 1)
+        next_tid[pid] = tid + 1
+        return tid
+
+    def emit(sp: trace.Span, pid: int, tid: int) -> None:
+        events.append({
+            "name": sp.name,
+            "ph": "X",
+            "ts": round((sp.start_unix() - t0) * 1e6, 3),
+            "dur": round((sp.duration_s or 0.0) * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+            "cat": sp.name.split(".", 1)[0],
+            "args": _jsonable_attrs(sp.attrs),
+        })
+        for child in sp.children:
+            child_pid = _span_pid(child, pid)
+            # A merged worker subtree opens its own track in its
+            # worker's process rather than riding the parent's lane.
+            child_tid = tid if child_pid == pid else allocate_tid(child_pid)
+            emit(child, child_pid, child_tid)
+
+    for root in forest:
+        pid = _span_pid(root, own_pid)
+        seen_pids.add(pid)
+        emit(root, pid, allocate_tid(pid))
+
+    # Worker spans may sit below a parent root; their pids surface
+    # through the recursive emit above, so collect them for metadata.
+    for event in events:
+        seen_pids.add(event["pid"])
+
+    metadata: list[dict] = []
+    for pid in sorted(seen_pids):
+        label = (process_name if pid == own_pid
+                 else f"{process_name} worker {pid}")
+        metadata.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+
+    counters: list[dict] = []
+    if events:
+        end_ts = max(event["ts"] + event["dur"] for event in events)
+        for name in THROUGHPUT_COUNTERS:
+            counter = registry.counters.get(name)
+            if counter is None or counter.value == 0:
+                continue
+            for ts, value in ((0.0, 0.0), (end_ts, counter.value)):
+                counters.append({
+                    "name": name,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": own_pid,
+                    "tid": 0,
+                    "args": {"value": value},
+                })
+
+    return {
+        "traceEvents": metadata + events + counters,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "exporter": "repro.observability.timeline",
+            "origin_unix": t0,
+        },
+    }
+
+
+def write_trace_events(
+    path: PathLike,
+    spans: Optional[Sequence[trace.Span]] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> Path:
+    """Write the Trace Event JSON to ``path``; returns the path.
+
+    Open the file in Perfetto or ``chrome://tracing`` to inspect the
+    run's timeline.
+    """
+    target = Path(path)
+    target.write_text(json.dumps(to_trace_events(spans, registry), indent=1))
+    return target

@@ -28,6 +28,7 @@ Usage::
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Iterator, Optional
@@ -41,9 +42,20 @@ __all__ = [
     "current_span",
     "roots",
     "clear",
+    "attach",
+    "dump_state",
+    "merge_state",
     "tree_as_dicts",
     "render_tree",
 ]
+
+# Spans time with perf_counter (monotonic, high resolution), but a
+# cross-process timeline needs a shared clock.  This pair anchors the
+# process's perf_counter domain to the Unix epoch once at import, so
+# any span start can be mapped to wall-clock time without paying a
+# time() syscall per span.
+_ANCHOR_PERF: float = perf_counter()
+_ANCHOR_UNIX: float = time.time()
 
 
 @dataclass
@@ -55,10 +67,24 @@ class Span:
     started_s: float = 0.0
     duration_s: Optional[float] = None
     children: list = field(default_factory=list)
+    #: Explicit wall-clock start, only set on spans rebuilt from another
+    #: process's dump (whose perf_counter domain is meaningless here).
+    started_unix: Optional[float] = None
 
     def set(self, **attrs) -> None:
         """Attach (or update) attributes on a live span."""
         self.attrs.update(attrs)
+
+    def start_unix(self) -> float:
+        """Wall-clock start time (Unix epoch seconds).
+
+        Locally recorded spans map their perf_counter start through the
+        module's import-time anchor; spans merged from worker dumps
+        carry the worker's wall-clock start directly.
+        """
+        if self.started_unix is not None:
+            return self.started_unix
+        return _ANCHOR_UNIX + (self.started_s - _ANCHOR_PERF)
 
     @property
     def finished(self) -> bool:
@@ -82,12 +108,32 @@ class Span:
         payload = {
             "name": self.name,
             "duration_s": self.duration_s,
+            "started_unix": self.start_unix(),
         }
         if self.attrs:
             payload["attrs"] = dict(self.attrs)
         if self.children:
             payload["children"] = [c.to_dict() for c in self.children]
         return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        """Rebuild a span subtree from :meth:`to_dict` output.
+
+        The inverse of :meth:`to_dict` up to the perf_counter start
+        (which is process-local and not serialised); the wall-clock
+        start survives the round trip via ``started_unix``.
+        """
+        return cls(
+            name=payload["name"],
+            attrs=dict(payload.get("attrs", {})),
+            duration_s=payload.get("duration_s"),
+            children=[
+                cls.from_dict(child)
+                for child in payload.get("children", [])
+            ],
+            started_unix=payload.get("started_unix"),
+        )
 
 
 class _NullSpan:
@@ -180,6 +226,51 @@ def clear() -> None:
     """Drop every collected span (open and finished)."""
     _stack.clear()
     _roots.clear()
+
+
+def attach(sp: Span) -> None:
+    """Graft an already-finished span (tree) into the collected forest.
+
+    The span becomes a child of the innermost open span, or a new root
+    if no span is open -- the mechanism by which a parent process
+    splices worker span trees into its own under the sweep span that
+    spawned them.
+    """
+    if _stack:
+        _stack[-1].children.append(sp)
+    else:
+        _roots.append(sp)
+
+
+def dump_state() -> dict:
+    """Serialisable dump of the finished span forest for shipping
+    across a process boundary.
+
+    The payload records the producing process id so the consumer can
+    attribute the spans; fold it into another process's forest with
+    :func:`merge_state`.
+    """
+    return {"pid": os.getpid(), "spans": tree_as_dicts()}
+
+
+def merge_state(state: dict, **attrs) -> int:
+    """Fold a :func:`dump_state` payload into this process's forest.
+
+    Every merged root span is tagged with the dump's ``worker_pid``
+    plus any extra ``attrs`` (shard index, seed, ...), and attached
+    under the currently open span (see :func:`attach`).  Returns the
+    number of root spans merged.
+    """
+    pid = state.get("pid")
+    merged = 0
+    for payload in state.get("spans", ()):
+        sp = Span.from_dict(payload)
+        if pid is not None:
+            sp.attrs.setdefault("worker_pid", pid)
+        sp.attrs.update(attrs)
+        attach(sp)
+        merged += 1
+    return merged
 
 
 def tree_as_dicts() -> list[dict]:

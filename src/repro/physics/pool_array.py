@@ -51,6 +51,7 @@ from typing import Iterator, Optional, Union
 import numpy as np
 
 from repro.errors import PhysicsError
+from repro.observability.metrics import registry
 from repro.physics.arrhenius import recovery_acceleration, stress_acceleration
 from repro.physics.bti import SegmentSnapshot, SegmentTraits
 from repro.physics.constants import (
@@ -449,6 +450,15 @@ class SegmentBtiArray:
     # Vectorised schedule operations (SegmentBti semantics per element)
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _count_updates(indices: IndexArray) -> None:
+        # One increment per vectorised call, sized in segments: O(1)
+        # cost per interval regardless of how many segments it touches.
+        registry.counter(
+            "aging_segment_updates_total",
+            "segment state updates applied by the array aging kernel",
+        ).inc(int(np.asarray(indices).size))
+
     def hold(
         self,
         indices: IndexArray,
@@ -461,6 +471,7 @@ class SegmentBtiArray:
         """Hold one constant logic value on every indexed segment."""
         if value not in (0, 1):
             raise PhysicsError(f"logic value must be 0 or 1, got {value!r}")
+        self._count_updates(indices)
         stressed, recovering = (
             (self.high, self.low) if value == 1 else (self.low, self.high)
         )
@@ -490,6 +501,7 @@ class SegmentBtiArray:
             raise PhysicsError("duty_high must be in [0, 1]")
         if not 0.0 <= ac_factor <= 1.0:
             raise PhysicsError(f"ac_factor must be in [0, 1], got {ac_factor}")
+        self._count_updates(indices)
         self.high.stress(
             indices, duration_hours, temperature_k,
             device_age_hours=device_age_hours,
@@ -505,6 +517,7 @@ class SegmentBtiArray:
         self, indices: IndexArray, duration_hours: float, temperature_k: float
     ) -> None:
         """Leave every indexed segment undriven: both pools recover."""
+        self._count_updates(indices)
         self.high.release(indices, duration_hours, temperature_k)
         self.low.release(indices, duration_hours, temperature_k)
 

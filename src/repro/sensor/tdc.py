@@ -20,6 +20,7 @@ import numpy as np
 from repro.errors import SensorError
 from repro.fabric.device import FpgaDevice
 from repro.fabric.routing import Route
+from repro.observability.metrics import registry
 from repro.rng import SeedLike, make_rng
 from repro.sensor.capture import CaptureBank
 from repro.sensor.carry_chain import CarryChain
@@ -171,7 +172,14 @@ class TunableDualPolarityTdc:
         positions = self.chain.wavefront_positions(
             np.maximum(time_in_chain, 0.0)
         )
-        return self._bank.capture_batch(positions, polarity)
+        words = self._bank.capture_batch(positions, polarity)
+        # One increment per batch, sized in words: the kernel's
+        # throughput counter costs O(1) per call, not per word.
+        registry.counter(
+            "capture_words_total",
+            "capture words computed by the batched kernel",
+        ).inc(len(thetas) * samples)
+        return words
 
     def capture_trace(
         self,

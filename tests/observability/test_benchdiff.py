@@ -1,0 +1,147 @@
+"""Tests for the benchmark suite differ and regression gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.benchdiff import (
+    classify_key,
+    diff_suites,
+    flatten_suite,
+    gate_failures,
+    load_suite,
+    render_deltas,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("key,expected", [
+        ("exp1.total_seconds", "lower"),
+        ("capture.latency_p95_ms", "lower"),
+        ("overhead_fraction", "lower"),
+        ("capture.speedup", "higher"),
+        ("capture.words_per_second", "higher"),
+        ("exp1.recovery_accuracy", "higher"),
+        ("meta.cpu_count", "info"),
+        ("meta.routes", "info"),
+    ])
+    def test_direction_from_leaf_name(self, key, expected):
+        assert classify_key(key) == expected
+
+    def test_only_leaf_segment_matters(self):
+        # "seconds" in a parent segment must not classify the leaf.
+        assert classify_key("total_seconds.count") == "info"
+
+
+class TestFlatten:
+    def test_nested_numeric_leaves(self):
+        flat = flatten_suite({
+            "exp1": {"total_seconds": 1.5, "depth": {"p50": 2}},
+            "count": 3,
+        })
+        assert flat == {
+            "exp1.total_seconds": 1.5,
+            "exp1.depth.p50": 2.0,
+            "count": 3.0,
+        }
+
+    def test_strings_and_bools_dropped(self):
+        flat = flatten_suite({
+            "version": "1.0", "bit_identical": True, "runs": 4,
+        })
+        assert flat == {"runs": 4.0}
+
+
+class TestDiff:
+    def test_identical_suites_have_no_regressions(self):
+        suite = {"exp1": {"total_seconds": 2.0, "recovery_accuracy": 0.9}}
+        deltas = diff_suites(suite, suite)
+        assert all(d.regression_pct is None for d in deltas)
+        assert gate_failures(deltas, 0.0) == []
+
+    def test_regression_past_gate_detected(self):
+        old = {"exp1": {"total_seconds": 1.0}}
+        new = {"exp1": {"total_seconds": 3.0}}
+        (delta,) = diff_suites(old, new)
+        assert delta.change_pct == pytest.approx(200.0)
+        assert delta.regression_pct == pytest.approx(200.0)
+        assert gate_failures([delta], 80.0) == [delta]
+        assert gate_failures([delta], 250.0) == []
+
+    def test_improvement_never_gates(self):
+        old = {"exp1": {"total_seconds": 3.0, "speedup": 2.0}}
+        new = {"exp1": {"total_seconds": 1.0, "speedup": 8.0}}
+        deltas = diff_suites(old, new)
+        assert all(d.regression_pct is None for d in deltas)
+
+    def test_higher_is_better_regresses_downward(self):
+        old = {"capture": {"speedup": 10.0}}
+        new = {"capture": {"speedup": 2.0}}
+        (delta,) = diff_suites(old, new)
+        assert delta.regression_pct == pytest.approx(80.0)
+
+    def test_info_keys_never_gate(self):
+        old = {"meta": {"cpu_count": 8.0}}
+        new = {"meta": {"cpu_count": 1.0}}
+        (delta,) = diff_suites(old, new)
+        assert delta.direction == "info"
+        assert delta.regression_pct is None
+
+    def test_added_and_removed_keys_visible_but_not_gating(self):
+        old = {"a_seconds": 1.0}
+        new = {"b_seconds": 1.0}
+        deltas = {d.key: d for d in diff_suites(old, new)}
+        assert deltas["a_seconds"].new is None
+        assert deltas["b_seconds"].old is None
+        assert gate_failures(list(deltas.values()), 0.0) == []
+
+    def test_zero_baseline_is_undefined_not_infinite(self):
+        (delta,) = diff_suites({"x_seconds": 0.0}, {"x_seconds": 5.0})
+        assert delta.change_pct is None
+        assert delta.regression_pct is None
+
+    def test_negative_gate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gate_failures([], -1.0)
+
+
+class TestLoad:
+    def test_load_round_trip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"exp1": {"total_seconds": 1.0}}))
+        assert load_suite(path) == {"exp1": {"total_seconds": 1.0}}
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="not found"):
+            load_suite(tmp_path / "absent.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            load_suite(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ConfigurationError, match="JSON object"):
+            load_suite(path)
+
+
+class TestRender:
+    def test_table_marks_regressions_and_sorts_worst_first(self):
+        old = {"slow_seconds": 1.0, "fine_seconds": 1.0, "cpu_count": 4.0}
+        new = {"slow_seconds": 5.0, "fine_seconds": 1.1, "cpu_count": 4.0}
+        deltas = diff_suites(old, new)
+        text = render_deltas(deltas, gate_pct=80.0)
+        lines = text.splitlines()
+        assert "REGRESSION (> 80% gate)" in text
+        assert "worse" in text and "info" in text
+        # Worst regression is listed first after the header rule.
+        assert lines[2].startswith("slow_seconds")
+
+    def test_table_notes_added_and_removed(self):
+        deltas = diff_suites({"gone": 1.0}, {"fresh": 2.0})
+        text = render_deltas(deltas)
+        assert "added" in text and "removed" in text

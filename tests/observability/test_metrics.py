@@ -191,3 +191,122 @@ class TestDumpAndMerge:
         parent.merge_state(worker.dump_state())
         assert parent.names() == ("a_total", "b_seconds")
         assert parent.counter("a_total").help == "as"
+
+    def test_counter_increments_tracked_separately_from_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("capture_words_total")
+        counter.inc(160)
+        counter.inc(160)
+        assert counter.value == 320
+        assert counter.increments == 2
+
+    def test_counter_increments_survive_merge(self):
+        worker = MetricsRegistry()
+        worker.counter("capture_words_total").inc(160)
+        worker.counter("capture_words_total").inc(160)
+        parent = MetricsRegistry()
+        parent.counter("capture_words_total").inc(160)
+        parent.merge_state(worker.dump_state())
+        merged = parent.counter("capture_words_total")
+        assert merged.value == 480
+        assert merged.increments == 3
+
+
+class TestNestedMergeAndIdempotence:
+    """Satellite: dump/merge round-trips under parent<-worker<-re-merge."""
+
+    def test_nested_merge_round_trip(self):
+        """A grandchild's dump merged into a worker, then the worker's
+        dump merged into the parent, must add up exactly once."""
+        grandchild = MetricsRegistry()
+        grandchild.counter("captures_total").inc(5)
+        grandchild.histogram("latency_seconds").observe(1.0)
+
+        worker = MetricsRegistry()
+        worker.counter("captures_total").inc(2)
+        worker.histogram("latency_seconds").observe(3.0)
+        assert worker.merge_state(grandchild.dump_state())
+
+        parent = MetricsRegistry()
+        parent.counter("captures_total").inc(1)
+        assert parent.merge_state(worker.dump_state())
+
+        assert parent.counter("captures_total").value == 8
+        merged = parent.histogram("latency_seconds")
+        assert merged.count == 2
+        assert merged.total == 4.0
+        assert merged.minimum == 1.0 and merged.maximum == 3.0
+
+    def test_same_dump_merged_twice_is_noop(self):
+        """The idempotence guard: re-merging one dump cannot double
+        count."""
+        worker = MetricsRegistry()
+        worker.counter("captures_total").inc(7)
+        worker.histogram("latency_seconds").observe(2.0)
+        state = worker.dump_state()
+
+        parent = MetricsRegistry()
+        assert parent.merge_state(state) is True
+        assert parent.merge_state(state) is False
+        assert parent.counter("captures_total").value == 7
+        assert parent.histogram("latency_seconds").count == 1
+
+    def test_fresh_dumps_of_same_registry_both_merge(self):
+        """Two *separate* dumps are distinct deltas, not replays."""
+        worker = MetricsRegistry()
+        worker.counter("captures_total").inc(1)
+        parent = MetricsRegistry()
+        assert parent.merge_state(worker.dump_state())
+        assert parent.merge_state(worker.dump_state())
+        assert parent.counter("captures_total").value == 2
+
+    def test_legacy_dump_without_id_always_merges(self):
+        worker = MetricsRegistry()
+        worker.counter("captures_total").inc(1)
+        state = worker.dump_state()
+        del state["dump_id"]
+        parent = MetricsRegistry()
+        assert parent.merge_state(state) is True
+        assert parent.merge_state(state) is True
+        assert parent.counter("captures_total").value == 2
+
+    def test_reset_forgets_merged_dump_ids(self):
+        worker = MetricsRegistry()
+        worker.counter("captures_total").inc(3)
+        state = worker.dump_state()
+        parent = MetricsRegistry()
+        parent.merge_state(state)
+        parent.reset()
+        assert parent.merge_state(state) is True
+        assert parent.counter("captures_total").value == 3
+
+    def test_negative_merged_counter_rejected(self):
+        parent = MetricsRegistry()
+        state = {"counters": {"captures_total": {"help": "", "value": -1.0}}}
+        with pytest.raises(ConfigurationError):
+            parent.merge_state(state)
+
+    def test_percentiles_stable_under_merge_order(self):
+        """Merging A into B or B into A yields the same percentile
+        summaries while the reservoirs have not churned."""
+        observations_a = [float(i) for i in range(100)]
+        observations_b = [float(i) for i in range(100, 200)]
+
+        def merged(first, second):
+            a = MetricsRegistry()
+            for value in first:
+                a.histogram("h").observe(value)
+            b = MetricsRegistry()
+            for value in second:
+                b.histogram("h").observe(value)
+            a.merge_state(b.dump_state())
+            return a.histogram("h")
+
+        ab = merged(observations_a, observations_b)
+        ba = merged(observations_b, observations_a)
+        for p in (50.0, 95.0, 99.0):
+            assert ab.percentile(p) == ba.percentile(p)
+        combined = sorted(observations_a + observations_b)
+        # Nearest-rank definition: p50 of 200 samples is index 99.
+        assert ab.percentile(50.0) == combined[99]
+        assert ab.minimum == 0.0 and ab.maximum == 199.0

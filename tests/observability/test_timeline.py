@@ -1,0 +1,138 @@
+"""Tests for the Chrome Trace Event Format exporter."""
+
+import json
+import os
+
+from repro.observability import trace
+from repro.observability.metrics import MetricsRegistry, registry
+from repro.observability.timeline import (
+    THROUGHPUT_COUNTERS,
+    to_trace_events,
+    write_trace_events,
+)
+
+
+def _span(name, start, duration, children=(), **attrs):
+    return trace.Span(
+        name=name,
+        attrs=dict(attrs),
+        duration_s=duration,
+        children=list(children),
+        started_unix=start,
+    )
+
+
+def _events(document, phase):
+    return [e for e in document["traceEvents"] if e["ph"] == phase]
+
+
+class TestTraceEventFormat:
+    def test_complete_events_have_required_fields(self):
+        forest = [_span("experiment", 100.0, 2.0,
+                        children=[_span("sensor.capture", 100.5, 0.25,
+                                        route="rut[0]")])]
+        document = to_trace_events(forest, registry=MetricsRegistry())
+        xs = _events(document, "X")
+        assert len(xs) == 2
+        for event in xs:
+            assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid"}
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0 and event["dur"] >= 0.0
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+
+    def test_timestamps_are_microseconds_from_first_span(self):
+        forest = [_span("experiment", 100.0, 2.0,
+                        children=[_span("sensor.capture", 100.5, 0.25)])]
+        document = to_trace_events(forest, registry=MetricsRegistry())
+        root, child = _events(document, "X")
+        assert root["ts"] == 0.0
+        assert root["dur"] == 2_000_000.0
+        assert child["ts"] == 500_000.0
+        assert child["dur"] == 250_000.0
+        assert document["otherData"]["origin_unix"] == 100.0
+
+    def test_category_is_name_prefix(self):
+        document = to_trace_events(
+            [_span("sensor.capture", 0.0, 1.0)], registry=MetricsRegistry()
+        )
+        assert _events(document, "X")[0]["cat"] == "sensor"
+
+    def test_worker_spans_land_on_worker_track(self):
+        worker_seed = _span("montecarlo.seed", 1.0, 0.5,
+                            worker_pid=4242, seed=7, shard=3)
+        sweep = _span("sweep", 0.0, 2.0, children=[worker_seed])
+        document = to_trace_events([sweep], registry=MetricsRegistry())
+        by_name = {e["name"]: e for e in _events(document, "X")}
+        own_pid = os.getpid()
+        assert by_name["sweep"]["pid"] == own_pid
+        assert by_name["montecarlo.seed"]["pid"] == 4242
+        # The worker subtree gets its own thread lane in its process.
+        assert by_name["montecarlo.seed"]["tid"] >= 1
+
+    def test_process_metadata_labels_workers(self):
+        sweep = _span("sweep", 0.0, 2.0, children=[
+            _span("montecarlo.seed", 1.0, 0.5, worker_pid=4242),
+        ])
+        document = to_trace_events([sweep], registry=MetricsRegistry())
+        labels = {e["pid"]: e["args"]["name"]
+                  for e in _events(document, "M")}
+        assert labels[os.getpid()] == "repro"
+        assert labels[4242] == "repro worker 4242"
+
+    def test_sibling_roots_get_distinct_tids(self):
+        forest = [_span("one", 0.0, 1.0), _span("two", 1.0, 1.0)]
+        document = to_trace_events(forest, registry=MetricsRegistry())
+        tids = [e["tid"] for e in _events(document, "X")]
+        assert len(set(tids)) == 2
+
+    def test_attrs_exported_as_jsonable_args(self):
+        document = to_trace_events(
+            [_span("capture", 0.0, 1.0, route="r0", obj=object())],
+            registry=MetricsRegistry(),
+        )
+        args = _events(document, "X")[0]["args"]
+        assert args["route"] == "r0"
+        assert isinstance(args["obj"], str)  # repr()ed, not a raw object
+
+    def test_counter_events_for_throughput_counters(self):
+        own = MetricsRegistry()
+        own.counter("capture_words_total").inc(640)
+        own.counter("unrelated_total").inc(3)
+        document = to_trace_events([_span("root", 0.0, 1.0)], registry=own)
+        counters = _events(document, "C")
+        assert {e["name"] for e in counters} == {"capture_words_total"}
+        assert counters[0]["args"]["value"] == 0.0
+        assert counters[-1]["args"]["value"] == 640.0
+
+    def test_zero_valued_counters_omitted(self):
+        own = MetricsRegistry()
+        for name in THROUGHPUT_COUNTERS:
+            own.counter(name)
+        document = to_trace_events([_span("root", 0.0, 1.0)], registry=own)
+        assert _events(document, "C") == []
+
+    def test_empty_forest_yields_no_events(self):
+        document = to_trace_events([], registry=MetricsRegistry())
+        assert _events(document, "X") == []
+        assert _events(document, "C") == []
+
+    def test_defaults_to_collected_forest_and_global_registry(self):
+        trace.enable()
+        registry.counter("capture_words_total").inc(64)
+        with trace.span("root"):
+            pass
+        document = to_trace_events()
+        assert [e["name"] for e in _events(document, "X")] == ["root"]
+        assert _events(document, "C")
+
+
+class TestWrite:
+    def test_written_file_is_valid_json(self, tmp_path):
+        trace.enable()
+        with trace.span("root"):
+            pass
+        path = write_trace_events(tmp_path / "trace.json")
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in document["traceEvents"])

@@ -134,3 +134,75 @@ class TestSerialisation:
             pass
         trace.clear()
         assert trace.roots() == ()
+
+    def test_to_dict_carries_unix_start(self):
+        trace.enable()
+        before = time.time()
+        with trace.span("root"):
+            pass
+        after = time.time()
+        payload = trace.tree_as_dicts()[0]
+        assert before - 1.0 <= payload["started_unix"] <= after + 1.0
+
+    def test_from_dict_round_trip(self):
+        trace.enable()
+        with trace.span("root", k="v"):
+            with trace.span("leaf"):
+                pass
+        payload = trace.tree_as_dicts()[0]
+        rebuilt = trace.Span.from_dict(payload)
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"k": "v"}
+        assert rebuilt.duration_s == payload["duration_s"]
+        assert rebuilt.start_unix() == payload["started_unix"]
+        assert [c.name for c in rebuilt.children] == ["leaf"]
+
+
+class TestCrossProcessMerge:
+    def test_dump_state_names_own_pid(self):
+        import os
+
+        trace.enable()
+        with trace.span("root"):
+            pass
+        state = trace.dump_state()
+        assert state["pid"] == os.getpid()
+        assert state["spans"][0]["name"] == "root"
+
+    def test_merge_attributes_worker_pid_and_extras(self):
+        worker_state = {
+            "pid": 4242,
+            "spans": [
+                {"name": "montecarlo.seed", "attrs": {"seed": 7},
+                 "duration_s": 0.5, "started_unix": 100.0,
+                 "children": [{"name": "sensor.capture",
+                               "duration_s": 0.1,
+                               "started_unix": 100.1}]},
+            ],
+        }
+        trace.enable()
+        merged = trace.merge_state(worker_state, shard=3)
+        assert merged == 1
+        root = trace.roots()[0]
+        assert root.attrs["worker_pid"] == 4242
+        assert root.attrs["shard"] == 3
+        assert root.attrs["seed"] == 7
+        # Children keep their identity but not the worker attribution
+        # (the subtree root is enough to place the whole tree).
+        assert root.children[0].name == "sensor.capture"
+
+    def test_merge_attaches_under_open_span(self):
+        trace.enable()
+        with trace.span("sweep"):
+            trace.merge_state(
+                {"pid": 1, "spans": [{"name": "montecarlo.seed",
+                                      "duration_s": 0.1,
+                                      "started_unix": 5.0}]}
+            )
+        sweep = trace.roots()[0]
+        assert [c.name for c in sweep.children] == ["montecarlo.seed"]
+
+    def test_merge_empty_state_is_noop(self):
+        trace.enable()
+        assert trace.merge_state({}) == 0
+        assert trace.roots() == ()

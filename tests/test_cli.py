@@ -32,9 +32,43 @@ class TestParser:
 
     def test_every_subcommand_has_observability_flags(self):
         for argv in (["exp1"], ["exp2"], ["exp3"], ["sweep", "exp1"],
-                     ["table1"], ["report"]):
+                     ["table1"], ["report"], ["profile", "exp1"]):
             args = build_parser().parse_args(argv + ["--trace"])
             assert args.trace and args.metrics_out is None
+
+    def test_trace_accepts_optional_file(self):
+        args = build_parser().parse_args(["exp1", "--trace", "out.jsonl"])
+        assert args.trace == "out.jsonl"
+        args = build_parser().parse_args(["exp1", "--trace"])
+        assert args.trace is True
+        args = build_parser().parse_args(["exp1"])
+        assert args.trace is False
+
+    def test_chrome_trace_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "exp1", "--chrome-trace", "trace.json"]
+        )
+        assert args.chrome_trace == "trace.json"
+
+    def test_profile_flags(self):
+        args = build_parser().parse_args(
+            ["profile", "exp1", "--quick", "--seed", "5",
+             "--json", "prof.json"]
+        )
+        assert args.experiment == "exp1"
+        assert args.quick and args.seed == 5
+        assert args.profile_json == "prof.json"
+
+    def test_bench_diff_flags(self):
+        args = build_parser().parse_args(
+            ["bench", "diff", "old.json", "new.json", "--gate", "80"]
+        )
+        assert args.old == "old.json" and args.new == "new.json"
+        assert args.gate == 80.0
+
+    def test_bench_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
 
     def test_sweep_flags(self):
         args = build_parser().parse_args(
@@ -164,3 +198,109 @@ class TestObservabilityFlags:
         payload = json.loads(target.read_text())
         assert payload["schema"] == 2
         assert payload["manifest"]["seed"] == 5
+
+
+def _walk_span_dicts(payload):
+    yield payload
+    for child in payload.get("children", ()):
+        yield from _walk_span_dicts(child)
+
+
+class TestShardedTraceCollection:
+    def test_sharded_sweep_writes_worker_spans(self, tmp_path, capsys,
+                                               monkeypatch):
+        """Acceptance: ``repro sweep exp1 --seeds 1:8 --jobs 4 --trace
+        out.jsonl`` captures spans from every worker -- each shard has
+        at least one worker-attributed span in the written forest."""
+        import repro.montecarlo as montecarlo
+
+        monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 4)
+        target = tmp_path / "out.jsonl"
+        code = main(["sweep", "exp1", "--seeds", "1:8", "--jobs", "4",
+                     "--trace", str(target)])
+        assert code == 0
+        assert "spans written to" in capsys.readouterr().out
+        roots = [json.loads(line)
+                 for line in target.read_text().splitlines() if line]
+        spans = [sp for root in roots for sp in _walk_span_dicts(root)]
+        worker_spans = [sp for sp in spans
+                        if sp.get("attrs", {}).get("worker_pid")]
+        per_shard = {}
+        for sp in worker_spans:
+            shard = sp["attrs"]["shard"]
+            per_shard[shard] = per_shard.get(shard, 0) + 1
+        assert sorted(per_shard) == list(range(8))
+        assert all(count > 0 for count in per_shard.values())
+        # More than one worker process actually contributed.
+        assert len({sp["attrs"]["worker_pid"] for sp in worker_spans}) > 1
+
+    def test_chrome_trace_export_from_experiment(self, tmp_path, capsys):
+        target = tmp_path / "trace.json"
+        code = main(["exp1", "--quick", "--no-figure",
+                     "--burn-hours", "16", "--recovery-hours", "8",
+                     "--seed", "5", "--chrome-trace", str(target)])
+        assert code == 0
+        assert "Chrome trace written to" in capsys.readouterr().out
+        document = json.loads(target.read_text())
+        xs = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert xs and all(
+            {"name", "ts", "dur", "pid", "tid"} <= set(e) for e in xs
+        )
+        counters = [e for e in document["traceEvents"] if e["ph"] == "C"]
+        assert any(e["name"] == "capture_words_total" for e in counters)
+
+
+class TestProfileCommand:
+    def test_profile_exp1_quick_covers_wall_time(self, tmp_path, capsys):
+        """Acceptance: the attribution table's total accounts for at
+        least 90% of the measured wall time."""
+        target = tmp_path / "prof.json"
+        code = main(["profile", "exp1", "--quick", "--seed", "5",
+                     "--json", str(target)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "self%" in out and "experiment" in out
+        assert "measured wall time" in out
+        report = json.loads(target.read_text())
+        assert report["experiment"] == "exp1"
+        assert report["coverage"] >= 0.9
+        assert report["rows"] and report["wall_s"] > 0
+        assert set(report["kernels"]) == {"capture", "aging"}
+
+
+class TestBenchCommand:
+    @staticmethod
+    def _suite(tmp_path, name, seconds):
+        path = tmp_path / name
+        path.write_text(json.dumps(
+            {"exp1": {"total_seconds": seconds, "recovery_accuracy": 1.0}}
+        ))
+        return str(path)
+
+    def test_identical_suites_pass_gate(self, tmp_path, capsys):
+        old = self._suite(tmp_path, "old.json", 2.0)
+        new = self._suite(tmp_path, "new.json", 2.0)
+        assert main(["bench", "diff", old, new, "--gate", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "no regression past the 80% gate" in out
+
+    def test_regression_past_gate_fails(self, tmp_path, capsys):
+        old = self._suite(tmp_path, "old.json", 1.0)
+        new = self._suite(tmp_path, "new.json", 5.0)
+        assert main(["bench", "diff", old, new, "--gate", "80"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "regressed past the 80% gate" in captured.err
+        assert "exp1.total_seconds" in captured.err
+
+    def test_without_gate_only_reports(self, tmp_path, capsys):
+        old = self._suite(tmp_path, "old.json", 1.0)
+        new = self._suite(tmp_path, "new.json", 5.0)
+        assert main(["bench", "diff", old, new]) == 0
+        assert "+400.0%" in capsys.readouterr().out
+
+    def test_missing_suite_fails_cleanly(self, tmp_path, capsys):
+        old = self._suite(tmp_path, "old.json", 1.0)
+        assert main(["bench", "diff", old,
+                     str(tmp_path / "absent.json")]) == 2
+        assert "not found" in capsys.readouterr().err

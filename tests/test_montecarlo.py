@@ -10,12 +10,28 @@ from repro.montecarlo import (
     resolve_jobs,
     run_monte_carlo,
 )
+from repro.observability import trace
 from repro.observability.metrics import registry
 
 
 def _tenth(seed: int) -> float:
     """Module-level metric: picklable for the jobs > 1 path."""
     return float(seed) / 10.0
+
+
+def _boom_on_two(seed: int) -> float:
+    """Records work, then crashes on seed 2 -- partial-state fixture."""
+    registry.counter("partial_work_total").inc()
+    if seed == 2:
+        raise ValueError("seed 2 exploded")
+    return float(seed)
+
+
+def _boom_unpicklable(seed: int) -> float:
+    """Raises an exception that cannot travel between processes."""
+    exc = RuntimeError("cannot travel")
+    exc.payload = lambda: None  # lambdas do not pickle
+    raise exc
 
 
 @pytest.fixture
@@ -110,6 +126,73 @@ class TestParallelRunner:
         monkeypatch.setattr(montecarlo, "_available_cpus", lambda: 1)
         result = run_monte_carlo(lambda s: float(s), [4], jobs="auto")
         assert result.values == (4.0,)
+
+
+class TestWorkerSpans:
+    def test_worker_spans_merged_with_attribution(self, four_cpus):
+        """--trace under --jobs N: every worker's subtree comes back,
+        tagged with the worker's pid and its shard index."""
+        trace.enable()
+        run_monte_carlo(_tenth, [1, 2, 3], jobs=2)
+        (root,) = trace.roots()
+        assert root.name == "montecarlo"
+        seed_spans = [c for c in root.children
+                      if c.name == "montecarlo.seed"]
+        assert len(seed_spans) == 3
+        for sp in seed_spans:
+            assert sp.attrs["worker_pid"] > 0
+            assert sp.finished
+        assert {sp.attrs["seed"] for sp in seed_spans} == {1, 2, 3}
+        assert {sp.attrs["shard"] for sp in seed_spans} == {0, 1, 2}
+
+    def test_no_spans_collected_when_tracing_off(self, four_cpus):
+        run_monte_carlo(_tenth, [1, 2], jobs=2)
+        assert trace.roots() == ()
+
+    def test_sharded_tree_matches_sequential_shape(self, four_cpus):
+        trace.enable()
+        run_monte_carlo(_tenth, [1, 2], jobs=1)
+        sequential = [c.name for c in trace.roots()[0].children]
+        trace.clear()
+        run_monte_carlo(_tenth, [1, 2], jobs=2)
+        sharded = [c.name for c in trace.roots()[0].children]
+        assert sharded == sequential == ["montecarlo.seed"] * 2
+
+
+class TestWorkerCrash:
+    def test_crash_reraises_original_exception(self, four_cpus):
+        with pytest.raises(ValueError, match="seed 2 exploded"):
+            run_monte_carlo(_boom_on_two, [1, 2, 3], jobs=2)
+
+    def test_crashed_shard_still_ships_partial_metrics(self, four_cpus):
+        with pytest.raises(ValueError):
+            run_monte_carlo(_boom_on_two, [1, 2, 3], jobs=2)
+        # Every shard incremented the counter before seed 2 raised, and
+        # the parent merged all three dumps before re-raising.
+        assert registry.counter("partial_work_total").value == 3
+        assert registry.counter("montecarlo_worker_failures_total").value == 1
+        # Only the seeds that completed count as runs.
+        assert registry.counter("montecarlo_runs_total").value == 2
+
+    def test_crashed_shard_still_ships_spans(self, four_cpus):
+        trace.enable()
+        with pytest.raises(ValueError):
+            run_monte_carlo(_boom_on_two, [1, 2, 3], jobs=2)
+        (root,) = trace.roots()
+        seed_spans = [c for c in root.children
+                      if c.name == "montecarlo.seed"]
+        assert {sp.attrs["seed"] for sp in seed_spans} == {1, 2, 3}
+        assert all(sp.finished for sp in seed_spans)
+
+    def test_unpicklable_exception_surfaces_as_traceback_text(
+        self, four_cpus
+    ):
+        with pytest.raises(AnalysisError) as excinfo:
+            run_monte_carlo(_boom_unpicklable, [1, 2], jobs=2)
+        message = str(excinfo.value)
+        assert "cannot travel" in message
+        assert "RuntimeError" in message
+        assert "failed in worker" in message
 
 
 class TestResolveJobs:
