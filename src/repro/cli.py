@@ -9,6 +9,9 @@ Examples::
     python -m repro table1 --compare
     python -m repro exp1 --quick --trace --metrics-out run.json
     python -m repro sweep exp1 --seeds 1:8 --jobs 4 --trace spans.jsonl
+    python -m repro sweep exp1 --seeds 1:64 --jobs 4 --resume sweep.journal
+    python -m repro chaos exp1 --quick
+    python -m repro chaos sweep --experiment exp2 --seeds 1:8 --jobs 2
     python -m repro profile exp1 --quick
     python -m repro bench diff OLD_BENCH.json BENCH_perf.json --gate 80
 
@@ -23,11 +26,14 @@ Event Format for Perfetto / ``chrome://tracing``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import traceback
 from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro import __version__
+from repro.errors import ReproError
 from repro.experiments import (
     Experiment1Config,
     Experiment2Config,
@@ -117,7 +123,42 @@ def build_parser() -> argparse.ArgumentParser:
                          "machine are clamped (default: 1, sequential)")
     ps.add_argument("--paper", action="store_true",
                     help="paper-scale configs (default: quick)")
+    ps.add_argument("--resume", type=str, default=None, metavar="PATH",
+                    help="journal per-seed completions to PATH and skip "
+                         "seeds already recorded there (checkpoint/"
+                         "resume; the resumed result is bit-identical "
+                         "to an uninterrupted run)")
     observability(ps)
+
+    pc = sub.add_parser(
+        "chaos",
+        help="run an experiment under a fault storm and gate on the "
+             "documented recovery-accuracy bound",
+    )
+    pc.add_argument("target", choices=("exp1", "exp2", "exp3", "sweep"),
+                    help="experiment to storm, or 'sweep' for a Monte "
+                         "Carlo chaos sweep")
+    pc.add_argument("--experiment", choices=("exp1", "exp2", "exp3"),
+                    default="exp1",
+                    help="experiment for 'chaos sweep' (default: exp1)")
+    pc.add_argument("--quick", action="store_true", default=True,
+                    help="shrunken configs (the default)")
+    pc.add_argument("--paper", action="store_true",
+                    help="paper-scale configs instead of quick")
+    pc.add_argument("--seed", type=int, default=0,
+                    help="experiment seed for a single chaos run "
+                         "(default: 0)")
+    pc.add_argument("--plan", type=str, default=None, metavar="FILE",
+                    help="fault plan JSON (default: the committed "
+                         "default storm, plans/chaos-default.json)")
+    pc.add_argument("--seeds", type=str, default="1:4", metavar="SPEC",
+                    help="seed spec for 'chaos sweep' (default: 1:4)")
+    pc.add_argument("--jobs", type=str, default="1", metavar="N",
+                    help="worker processes for 'chaos sweep' "
+                         "(default: 1)")
+    pc.add_argument("--resume", type=str, default=None, metavar="PATH",
+                    help="checkpoint journal for 'chaos sweep'")
+    observability(pc)
 
     pr = sub.add_parser(
         "report",
@@ -304,34 +345,87 @@ def parse_seed_spec(spec: str) -> list[int]:
     return seeds
 
 
-def _cmd_sweep(args) -> int:
-    from repro.montecarlo import experiment_sweep
-
+def _parse_sweep_spec(args):
+    """Parse ``--seeds``/``--jobs``; returns (seeds, jobs) or None after
+    printing a diagnostic (the caller then exits 2)."""
     try:
         seeds = parse_seed_spec(args.seeds)
     except ValueError as exc:
         print(f"repro: invalid --seeds spec {args.seeds!r}: {exc}",
               file=sys.stderr)
-        return 2
+        return None
     if args.jobs == "auto":
-        jobs = "auto"
-    else:
-        try:
-            jobs = int(args.jobs)
-        except ValueError:
-            print(f"repro: --jobs must be an integer or 'auto', "
-                  f"got {args.jobs!r}", file=sys.stderr)
-            return 2
-        if jobs < 1:
-            print(f"repro: --jobs must be >= 1, got {jobs}",
-                  file=sys.stderr)
-            return 2
+        return seeds, "auto"
+    try:
+        jobs = int(args.jobs)
+    except ValueError:
+        print(f"repro: --jobs must be an integer or 'auto', "
+              f"got {args.jobs!r}", file=sys.stderr)
+        return None
+    if jobs < 1:
+        print(f"repro: --jobs must be >= 1, got {jobs}",
+              file=sys.stderr)
+        return None
+    return seeds, jobs
+
+
+def _cmd_sweep(args) -> int:
+    from repro.montecarlo import experiment_sweep
+
+    parsed = _parse_sweep_spec(args)
+    if parsed is None:
+        return 2
+    seeds, jobs = parsed
     result = experiment_sweep(
-        args.experiment, seeds, quick=not args.paper, jobs=jobs
+        args.experiment, seeds, quick=not args.paper, jobs=jobs,
+        journal_path=args.resume,
     )
     print(result)
     print(f"min={result.minimum:.3f} max={result.maximum:.3f} "
           f"seeds={len(seeds)} jobs={args.jobs}")
+    if args.resume:
+        print(f"journal: {args.resume}")
+    return 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.reliability.chaos import (
+        CHAOS_ACCURACY_BOUNDS,
+        run_chaos,
+        run_chaos_sweep,
+    )
+
+    plan = None
+    if args.plan:
+        from repro.reliability.faults import load_fault_plan
+
+        plan = load_fault_plan(args.plan)
+    quick = not args.paper
+    if args.target == "sweep":
+        parsed = _parse_sweep_spec(args)
+        if parsed is None:
+            return 2
+        seeds, jobs = parsed
+        result = run_chaos_sweep(
+            args.experiment, seeds, quick=quick, jobs=jobs, plan=plan,
+            journal_path=args.resume,
+        )
+        print(result)
+        bound = CHAOS_ACCURACY_BOUNDS.get(args.experiment, 0.5)
+        verdict = "within bound" if result.minimum >= bound else "BELOW BOUND"
+        print(f"min={result.minimum:.3f} bound={bound:.2f} ({verdict}) "
+              f"seeds={len(seeds)} jobs={args.jobs}")
+        if result.minimum < bound:
+            print(f"repro: chaos sweep of {args.experiment} fell below "
+                  f"the documented bound", file=sys.stderr)
+            return 1
+        return 0
+    report = run_chaos(args.target, quick=quick, seed=args.seed, plan=plan)
+    print(report)
+    if not report.passed:
+        print(f"repro: chaos {args.target} fell below the documented "
+              f"bound", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -423,6 +517,7 @@ _HANDLERS = {
     "exp2": _cmd_exp2,
     "exp3": _cmd_exp3,
     "sweep": _cmd_sweep,
+    "chaos": _cmd_chaos,
     "table1": _cmd_table1,
     "report": _cmd_report,
     "profile": _cmd_profile,
@@ -444,7 +539,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if getattr(args, "trace", False) or getattr(args, "chrome_trace", None):
         trace.enable()
-    code = handler(args)
+    try:
+        code = handler(args)
+    except ReproError as exc:
+        # One actionable line for the operator; the stack only under
+        # REPRO_DEBUG=1 (it names internals, not the fix).
+        if os.environ.get("REPRO_DEBUG") == "1":
+            traceback.print_exc(file=sys.stderr)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     finish_code = _finish_observability(args)
     return code or finish_code
 

@@ -12,7 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import ConfigurationError
+from repro.errors import CapacityError, ConfigurationError
+from repro.reliability.faults import maybe_inject
 
 
 class AllocationOrder(enum.Enum):
@@ -45,3 +46,18 @@ class AllocationPolicy:
             raise ConfigurationError(
                 f"holdback_hours must be >= 0, got {self.holdback_hours}"
             )
+
+    def admission_check(self, region_name: str) -> None:
+        """Admission control at the head of every allocation request.
+
+        Chaos fault site ``cloud.allocate``: an active fault plan can
+        make this raise :class:`~repro.errors.CapacityError` exactly as
+        a genuinely empty pool would, before the region touches its
+        free list or consumes any allocation randomness -- so a
+        retried request replays the clean run's draw sequence.
+        """
+        maybe_inject(
+            "cloud.allocate", CapacityError,
+            f"region {region_name!r}: request limit exceeded (injected "
+            f"capacity miss)",
+        )

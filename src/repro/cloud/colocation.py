@@ -22,6 +22,7 @@ from repro.errors import AttackError, CapacityError
 from repro.cloud.fingerprint import RouteFingerprint, match_score
 from repro.cloud.instance import F1Instance
 from repro.cloud.provider import CloudProvider
+from repro.reliability.retry import get_retry_policy, note_retry
 
 
 @dataclass
@@ -39,12 +40,35 @@ class FlashAttack:
         ``limit`` guards against unexpectedly deep pools (the paper's
         observation: request-limit errors arrive "through acquiring only
         a few devices").
+
+        A capacity error normally *is* the stop signal -- the region is
+        exhausted, exactly what the flash attack wants.  But a chaos
+        plan can inject the same error while devices remain free; when
+        the pool still reports availability the miss is treated as
+        transient and retried (bounded by the retry policy), so the
+        attack still ends holding the whole region.
         """
+        policy = get_retry_policy()
+        transient_misses = 0
         while len(self.holdings) < limit:
             try:
                 instance = self.provider.rent(self.region_name, self.tenant)
-            except CapacityError:
+            except CapacityError as exc:
+                region = self.provider.region(self.region_name)
+                still_free = region.available_count(
+                    self.provider.clock_hours
+                )
+                if still_free > 0 and transient_misses < policy.max_attempts - 1:
+                    transient_misses += 1
+                    note_retry(
+                        "cloud.flash_acquire", transient_misses,
+                        policy.delay_s(transient_misses,
+                                       "cloud.flash_acquire"),
+                        exc,
+                    )
+                    continue
                 break
+            transient_misses = 0
             self.holdings.append(instance)
         if not self.holdings:
             raise AttackError(

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PreemptionError
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import PartDescriptor
 from repro.observability import trace
@@ -18,9 +18,26 @@ from repro.observability.log import get_logger
 from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, WearProfile
 from repro.physics.pool_array import get_aging_kernel
+from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike, make_rng
 
 _log = get_logger("cloud.fleet")
+
+
+def preemption_check(instance_id: int, tenant: str) -> None:
+    """Fleet-level capacity pressure can reclaim a running instance.
+
+    Chaos fault site ``cloud.preempt``: called at the head of every
+    ``run_hours`` interval, before the interval's hours are billed or
+    the shared clock advances -- the spot-reclamation notice arrives
+    *before* the run starts, so a tenant that backs off and re-issues
+    the run resumes with the simulation state untouched.
+    """
+    maybe_inject(
+        "cloud.preempt", PreemptionError,
+        f"instance {instance_id} (tenant {tenant!r}): spot capacity "
+        f"reclaimed (injected preemption notice)",
+    )
 
 
 def cloud_wear_profile(age_mean_hours: float) -> WearProfile:

@@ -13,13 +13,15 @@ from __future__ import annotations
 import itertools
 from typing import Optional, Union
 
-from repro.errors import DesignRuleViolation, TenancyError
+from repro.errors import DesignRuleViolation, EvictionError, TenancyError
 from repro.fabric.bitstream import Bitstream, SealedBitstream, loadable
 from repro.fabric.device import FpgaDevice
 from repro.fabric.drc import check_design
+from repro.cloud.fleet import preemption_check
 from repro.designs.measure import MeasureDesign, MeasureSession
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel
 
@@ -72,6 +74,13 @@ class F1Instance:
         violations, or shell intrusions.
         """
         self._require_active()
+        # Chaos fault site: an eviction notice lands before any device
+        # state changes, so a retried load starts from a clean slate.
+        maybe_inject(
+            "cloud.evict", EvictionError,
+            f"instance {self.instance_id} (tenant {self.tenant!r}): "
+            f"tenant evicted while programming image (injected)",
+        )
         bitstream = loadable(image)
         if bitstream is None:
             registry.counter(
@@ -107,6 +116,7 @@ class F1Instance:
         region age/anneal over the same interval.
         """
         self._require_active()
+        preemption_check(self.instance_id, self.tenant)
         registry.counter(
             "instance_hours_total", "tenant-billed instance hours simulated"
         ).inc(hours)

@@ -58,6 +58,7 @@ class Region:
 
     def allocate(self, now_hours: float, rng) -> FpgaDevice:
         """Hand out a free, non-quarantined device per the policy."""
+        self.policy.admission_check(self.name)
         eligible = self._eligible(now_hours)
         if not eligible:
             raise CapacityError(

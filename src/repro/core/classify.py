@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -32,6 +32,49 @@ from repro.errors import AnalysisError
 from repro.analysis.kernel_regression import local_linear_smooth
 from repro.analysis.stats import theil_sen_slope
 from repro.analysis.timeseries import DeltaPsSeries
+from repro.observability.log import get_logger
+from repro.observability.metrics import registry
+
+_log = get_logger("core.classify")
+
+
+def classify_tolerantly(
+    series_list: Sequence[DeltaPsSeries],
+    classify_bank: Callable[[Sequence[DeltaPsSeries]], dict],
+    min_points: int,
+    route_status: Optional[dict] = None,
+    fallback_bit: int = 0,
+) -> dict[str, int]:
+    """Classify a route bank, degrading per-route instead of aborting.
+
+    Series too short to yield a feature (measurements dropped past the
+    retry budget) are excluded from ``classify_bank``; they -- and any
+    route the bank itself could not decide -- fall back to
+    ``fallback_bit`` (a guess, reported as such: ``route_status`` gets
+    ``"unrecovered"`` for them and the ``routes_unrecovered_total``
+    counter advances).  A bank-level :class:`AnalysisError` (e.g. too
+    few classifiable routes to cluster) degrades the *whole* bank to
+    guesses rather than killing the attack run.
+    """
+    usable = [s for s in series_list if len(s) >= min_points]
+    bits: dict[str, int] = {}
+    if usable:
+        try:
+            bits = dict(classify_bank(usable))
+        except AnalysisError as exc:
+            _log.warning("bank_classification_degraded", error=str(exc),
+                         routes=len(usable))
+            bits = {}
+    for series in series_list:
+        if series.route_name not in bits:
+            bits[series.route_name] = fallback_bit
+            if route_status is not None:
+                route_status[series.route_name] = "unrecovered"
+            registry.counter(
+                "routes_unrecovered_total",
+                "routes whose bits fell back to the default guess",
+            ).inc()
+    return bits
 
 
 def two_means_split(values: Sequence[float]) -> float:

@@ -16,17 +16,52 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import AttackError
+from repro.errors import AttackError, TransientError
 from repro.designs.measure import MeasureDesign, MeasureSession
 from repro.fabric.bitstream import Bitstream
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.reliability.retry import retry_call
 from repro.rng import SeedLike
 from repro.sensor.noise import NoiseModel
 from repro.sensor.tdc import Measurement
 
 _log = get_logger("core.phases")
+
+
+def measure_with_recovery(
+    session: MeasureSession, kernel: Optional[str] = None
+) -> tuple[dict[str, Measurement], list[str]]:
+    """Measure every calibrated route, retrying transient drops.
+
+    Returns ``(measurements, dropped)``: one measurement per route that
+    succeeded, plus the names of the routes that stayed unmeasured --
+    either never calibrated (an unrecovered glitch upstream) or dropped
+    past the retry budget.  Callers degrade per-route: the failed
+    routes simply contribute no point this pass.
+    """
+    measurements: dict[str, Measurement] = {}
+    dropped: list[str] = []
+    for name in session.route_names:
+        if name not in session.theta_init:
+            dropped.append(name)
+            continue
+        try:
+            measurements[name] = retry_call(
+                session.measure_route, name, kernel=kernel,
+                label=f"sensor.capture:{name}",
+            )
+        except TransientError:
+            dropped.append(name)
+    if dropped:
+        registry.counter(
+            "route_measurements_unrecovered_total",
+            "route measurements abandoned past the retry budget",
+        ).inc(len(dropped))
+        _log.warning("measurement_degraded", dropped=len(dropped),
+                     measured=len(measurements))
+    return measurements, dropped
 
 
 @dataclass
@@ -53,7 +88,8 @@ class CalibrationPhase:
             routes=len(self.measure_design.routes),
             replayed=theta_init is not None,
         ):
-            environment.load_image(self.measure_design.bitstream)
+            retry_call(environment.load_image, self.measure_design.bitstream,
+                       label="phase.calibration.load")
             self.session = environment.attach_sensors(
                 self.measure_design, noise=self.noise, seed=self.seed
             )
@@ -81,8 +117,10 @@ class ConditionPhase:
     def run(self, environment) -> None:
         """Execute the phase against an environment."""
         with trace.span("phase.condition", hours=self.hours):
-            environment.load_image(self.target_bitstream)
-            environment.run_hours(self.hours)
+            retry_call(environment.load_image, self.target_bitstream,
+                       label="phase.condition.load")
+            retry_call(environment.run_hours, self.hours,
+                       label="phase.condition.run")
         registry.counter(
             "condition_phases_total", "Condition (stress) phases executed"
         ).inc()
@@ -108,10 +146,13 @@ class MeasurementPhase:
         with trace.span(
             "phase.measurement", routes=len(self.measure_design.routes)
         ):
-            environment.load_image(self.measure_design.bitstream)
-            environment.run_hours(session.measurement_duration_hours())
+            retry_call(environment.load_image, self.measure_design.bitstream,
+                       label="phase.measurement.load")
+            retry_call(environment.run_hours,
+                       session.measurement_duration_hours(),
+                       label="phase.measurement.run")
             self.passes += 1
-            measurements = session.measure_all()
+            measurements, _ = measure_with_recovery(session)
         registry.counter(
             "measurement_phases_total", "Measurement phases executed"
         ).inc()

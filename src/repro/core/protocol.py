@@ -59,12 +59,19 @@ class ConditionMeasureProtocol:
         return dict(session.theta_init)
 
     def measure_once(self) -> None:
-        """One Measurement phase; records a point in every series."""
+        """One Measurement phase; records a point per measured route.
+
+        Routes whose measurement stayed failed past the retry budget
+        simply contribute no point this pass -- their series end up
+        shorter, and classification degrades per-route downstream.
+        """
         measurements = self._measurement.run(self.environment)
         for route in self.routes:
-            self.bundle.series[route.name].append(
-                self._clock, measurements[route.name].delta_ps
-            )
+            measurement = measurements.get(route.name)
+            if measurement is not None:
+                self.bundle.series[route.name].append(
+                    self._clock, measurement.delta_ps
+                )
         self._clock += self.calibration.session.measurement_duration_hours()
 
     def run_cycles(

@@ -22,11 +22,12 @@ from repro.errors import AttackError
 from repro.analysis.timeseries import SeriesBundle
 from repro.cloud.marketplace import Marketplace
 from repro.cloud.provider import CloudProvider
-from repro.core.classify import BurnTrendClassifier
+from repro.core.classify import BurnTrendClassifier, classify_tolerantly
 from repro.core.phases import CalibrationPhase, ConditionPhase, MeasurementPhase
 from repro.designs.measure import build_measure_design
 from repro.fabric.bitstream import DesignSkeleton
 from repro.observability import trace
+from repro.reliability.retry import retry_call
 from repro.rng import SeedLike
 
 
@@ -37,12 +38,24 @@ class ThreatModel1Result:
     recovered_bits: dict[str, int]
     bundle: SeriesBundle
     burn_hours: float
+    #: Per-route recovery status: ``"ok"`` (full series), ``"degraded"``
+    #: (some measurement passes lost past the retry budget) or
+    #: ``"unrecovered"`` (too little data -- the bit is a guess).
+    route_status: dict[str, str] = field(default_factory=dict)
 
     def bit_for(self, net_name: str) -> int:
         """The recovered bit of one net."""
         if net_name not in self.recovered_bits:
             raise AttackError(f"no recovered bit for net {net_name!r}")
         return self.recovered_bits[net_name]
+
+
+def _note_pass(measurements: dict, route_status: dict) -> dict:
+    """Mark routes a measurement pass lost as degraded; pass through."""
+    for name in route_status:
+        if name not in measurements and route_status[name] == "ok":
+            route_status[name] = "degraded"
+    return measurements
 
 
 @dataclass
@@ -83,7 +96,9 @@ class ThreatModel1Attack:
         routes = skeleton.static_routes()
         if not routes:
             routes = [skeleton.route_for(name) for name in skeleton.net_names]
-        instance = self.provider.rent(self.region, self.tenant)
+        route_status = {route.name: "ok" for route in routes}
+        instance = retry_call(self.provider.rent, self.region, self.tenant,
+                              label="cloud.rent")
         try:
             part = instance.device.part
             measure_design = build_measure_design(
@@ -107,7 +122,9 @@ class ThreatModel1Attack:
                     )
                 )
             clock = 0.0
-            for route_name, m in measurement.run(instance).items():
+            for route_name, m in _note_pass(
+                measurement.run(instance), route_status
+            ).items():
                 bundle.series[route_name].append(clock, m.delta_ps)
 
             # Steps 3-5: interleave AFI execution with measurement.
@@ -115,20 +132,30 @@ class ThreatModel1Attack:
             cycles = int(round(burn_hours / measure_every_hours))
             for cycle in range(cycles):
                 with trace.span("tm1.cycle", index=cycle, hour=clock):
-                    instance.load_image(listing.image)
-                    instance.run_hours(measure_every_hours)
+                    retry_call(instance.load_image, listing.image,
+                               label="tm1.load_target")
+                    retry_call(instance.run_hours, measure_every_hours,
+                               label="tm1.burn")
                     clock += measure_every_hours
-                    measurements = measurement.run(instance)
+                    measurements = _note_pass(
+                        measurement.run(instance), route_status
+                    )
                     for route_name, m in measurements.items():
                         bundle.series[route_name].append(clock, m.delta_ps)
                     clock += calibration.session.measurement_duration_hours()
 
-            # Step 6: classify the drift into bits.
-            recovered = self.classifier.classify_many(list(bundle))
+            # Step 6: classify the drift into bits; routes whose series
+            # came back too thin degrade to a guessed 0 instead of
+            # aborting the whole extraction.
+            recovered = classify_tolerantly(
+                list(bundle), self.classifier.classify_many,
+                min_points=4, route_status=route_status,
+            )
         finally:
             self.provider.release(instance)
         return ThreatModel1Result(
-            recovered_bits=recovered, bundle=bundle, burn_hours=float(burn_hours)
+            recovered_bits=recovered, bundle=bundle,
+            burn_hours=float(burn_hours), route_status=route_status,
         )
 
     def run_until_confident(
@@ -157,7 +184,9 @@ class ThreatModel1Attack:
         if not routes:
             routes = [skeleton.route_for(name) for name in skeleton.net_names]
         extractor = SequentialExtractor(config=sprt or SprtConfig())
-        instance = self.provider.rent(self.region, self.tenant)
+        route_status = {route.name: "ok" for route in routes}
+        instance = retry_call(self.provider.rent, self.region, self.tenant,
+                              label="cloud.rent")
         try:
             part = instance.device.part
             measure_design = build_measure_design(
@@ -179,7 +208,9 @@ class ThreatModel1Attack:
                     )
                 )
             clock = 0.0
-            for route_name, m in measurement.run(instance).items():
+            for route_name, m in _note_pass(
+                measurement.run(instance), route_status
+            ).items():
                 bundle.series[route_name].append(clock, m.delta_ps)
                 route = bundle.series[route_name]
                 extractor.update(
@@ -189,10 +220,14 @@ class ThreatModel1Attack:
             cycles = int(round(max_hours / measure_every_hours))
             for cycle in range(cycles):
                 with trace.span("tm1.cycle", index=cycle, hour=clock):
-                    instance.load_image(listing.image)
-                    instance.run_hours(measure_every_hours)
+                    retry_call(instance.load_image, listing.image,
+                               label="tm1.load_target")
+                    retry_call(instance.run_hours, measure_every_hours,
+                               label="tm1.burn")
                     clock += measure_every_hours
-                    for route_name, m in measurement.run(instance).items():
+                    for route_name, m in _note_pass(
+                        measurement.run(instance), route_status
+                    ).items():
                         bundle.series[route_name].append(clock, m.delta_ps)
                         route = bundle.series[route_name]
                         extractor.update(
@@ -203,8 +238,15 @@ class ThreatModel1Attack:
                 if extractor.all_settled():
                     break
             recovered = extractor.decisions()
+            for route in routes:
+                if route.name not in recovered:
+                    # No data ever reached the SPRT for this route:
+                    # report a guessed 0 rather than aborting.
+                    recovered[route.name] = 0
+                    route_status[route.name] = "unrecovered"
         finally:
             self.provider.release(instance)
         return ThreatModel1Result(
-            recovered_bits=recovered, bundle=bundle, burn_hours=clock
+            recovered_bits=recovered, bundle=bundle, burn_hours=clock,
+            route_status=route_status,
         )

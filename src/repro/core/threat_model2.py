@@ -36,12 +36,15 @@ from repro.cloud.provider import CloudProvider
 from repro.core.classify import (
     NullReferencedSlopeClassifier,
     RecoverySlopeClassifier,
+    classify_tolerantly,
 )
+from repro.core.phases import measure_with_recovery
 from repro.designs.measure import MeasureSession, build_measure_design
 from repro.designs.target import build_target_design
 from repro.fabric.routing import Route
 from repro.observability import trace
 from repro.observability.metrics import registry
+from repro.reliability.retry import retry_call
 from repro.rng import RngFactory, SeedLike
 
 
@@ -54,6 +57,9 @@ class ThreatModel2Result:
     recovery_hours: float
     devices_probed: int
     all_bundles: tuple = ()
+    #: Per-route recovery status: ``"ok"``, ``"degraded"`` (points lost
+    #: past the retry budget) or ``"unrecovered"`` (bit is a guess).
+    route_status: dict[str, str] = field(default_factory=dict)
 
 
 @dataclass
@@ -120,6 +126,7 @@ class ThreatModel2Attack:
                 tenant=self.tenant,
             )
             instances = flash.acquire_all()
+        self._route_status = {route.name: "ok" for route in self.routes}
         try:
             probes = self._arm_boards(instances)
             self._lockstep_recovery(probes, recovery_hours)
@@ -130,15 +137,32 @@ class ThreatModel2Attack:
         if len(bundles) > 1:
             best = _identify_victim_board(bundles, self.conditioned_to)
             # The other flash-acquired boards ran the identical probe
-            # without victim data: a measured null distribution.
-            null_series = [s for b in bundles if b is not best for s in b]
-            recovered = NullReferencedSlopeClassifier().classify_many(
-                list(best), null_series, conditioned_to=self.conditioned_to
+            # without victim data: a measured null distribution.  Null
+            # series too thin to yield a slope (their measurements were
+            # dropped past the retry budget) are left out of the
+            # reference; victim routes without any usable reference
+            # degrade to a guess instead of aborting.
+            null_series = [
+                s for b in bundles if b is not best
+                for s in b if len(s) >= 3
+            ]
+            covered = {s.route_name for s in null_series}
+            recovered = classify_tolerantly(
+                list(best),
+                lambda usable: NullReferencedSlopeClassifier().classify_many(
+                    [s for s in usable if s.route_name in covered],
+                    null_series, conditioned_to=self.conditioned_to,
+                ),
+                min_points=3, route_status=self._route_status,
             )
         else:
             best = bundles[0]
-            recovered = self.classifier.classify_many(
-                list(best), conditioned_to=self.conditioned_to
+            recovered = classify_tolerantly(
+                list(best),
+                lambda usable: self.classifier.classify_many(
+                    usable, conditioned_to=self.conditioned_to
+                ),
+                min_points=3, route_status=self._route_status,
             )
         return ThreatModel2Result(
             recovered_bits=recovered,
@@ -146,6 +170,7 @@ class ThreatModel2Attack:
             recovery_hours=float(recovery_hours),
             devices_probed=len(bundles),
             all_bundles=bundles,
+            route_status=dict(self._route_status),
         )
 
     def _arm_boards(self, instances: Sequence[F1Instance]) -> list:
@@ -166,7 +191,8 @@ class ThreatModel2Attack:
         )
         probes = []
         for instance in instances:
-            instance.load_image(self._measure_design.bitstream)
+            retry_call(instance.load_image, self._measure_design.bitstream,
+                       label="tm2.arm")
             session = instance.attach_sensors(
                 self._measure_design, seed=rng.spawn()
             )
@@ -199,7 +225,9 @@ class ThreatModel2Attack:
                             boards=len(probes)):
                 clock = self._measure_all_boards(probes, clock, measure_dt)
                 for probe in probes:
-                    probe.instance.load_image(self._hold_design.bitstream)
+                    retry_call(probe.instance.load_image,
+                               self._hold_design.bitstream,
+                               label="tm2.hold")
                 self.provider.advance(1.0)
                 clock += 1.0
         self._measure_all_boards(probes, clock, measure_dt)
@@ -208,19 +236,32 @@ class ThreatModel2Attack:
         self, probes: list, clock: float, measure_dt: float
     ) -> float:
         passes = max(self.measurement_passes, 1)
+        route_status = getattr(self, "_route_status", {})
         for probe in probes:
             with trace.span("tm2.board_measure",
                             board=probe.instance.instance_id, passes=passes):
-                probe.instance.load_image(self._measure_design.bitstream)
+                retry_call(probe.instance.load_image,
+                           self._measure_design.bitstream,
+                           label="tm2.measure_load")
                 totals: dict[str, float] = {}
+                counts: dict[str, int] = {}
                 for _ in range(passes):
-                    for route_name, m in probe.session.measure_all().items():
+                    measurements, dropped = measure_with_recovery(
+                        probe.session
+                    )
+                    for route_name, m in measurements.items():
                         totals[route_name] = (
                             totals.get(route_name, 0.0) + m.delta_ps
                         )
+                        counts[route_name] = counts.get(route_name, 0) + 1
+                    for route_name in dropped:
+                        if route_status.get(route_name) == "ok":
+                            route_status[route_name] = "degraded"
+                # A route with zero surviving passes this hour simply
+                # contributes no point; surviving passes still average.
                 for route_name, total in totals.items():
                     probe.bundle.series[route_name].append(
-                        clock, total / passes
+                        clock, total / counts[route_name]
                     )
             registry.counter(
                 "tm2_board_measurements_total",

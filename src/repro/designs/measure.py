@@ -18,10 +18,11 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional, Sequence
 
-from repro.errors import ConfigurationError, SensorError
+from repro.errors import ConfigurationError, SensorError, TransientError
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.reliability.retry import retry_call
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.device import FpgaDevice
 from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
@@ -102,13 +103,29 @@ class MeasureSession:
         ``kernel`` selects the capture implementation per probe trace
         ("batched"/"scalar"; ``None`` takes the process default).
         """
+        unrecovered = 0
         for name, tdc in self._tdcs.items():
             with trace.span("sensor.calibrate", route=name):
-                self.theta_init[name] = find_theta_init(tdc, kernel=kernel)
+                try:
+                    self.theta_init[name] = retry_call(
+                        find_theta_init, tdc, kernel=kernel,
+                        label=f"sensor.calibrate:{name}",
+                    )
+                except TransientError:
+                    # Glitch past the retry budget: the route stays
+                    # uncalibrated and downstream passes skip it.
+                    unrecovered += 1
+                    registry.counter(
+                        "calibrations_unrecovered_total",
+                        "routes left uncalibrated past the retry budget",
+                    ).inc()
+                    _log.warning("calibration_unrecovered", route=name)
+                    continue
             registry.counter(
                 "calibrations_total", "routes calibrated from scratch"
             ).inc()
-        _log.info("calibrated", routes=len(self._tdcs))
+        _log.info("calibrated", routes=len(self._tdcs) - unrecovered,
+                  unrecovered=unrecovered)
         return dict(self.theta_init)
 
     def use_theta_init(self, theta_init: dict[str, float]) -> None:

@@ -11,6 +11,21 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
+class TransientError(Exception):
+    """Mixin marking an error as *transient*: retrying may succeed.
+
+    The fault-tolerance layer (:mod:`repro.reliability.retry`) retries
+    exactly the errors that carry this mixin -- capacity misses,
+    preemptions, evictions, calibration glitches, dropped captures --
+    and lets everything else (programming errors, genuine analysis
+    failures) propagate immediately.  It is a mixin (multiple
+    inheritance alongside the domain hierarchy) so an error can stay
+    in its family -- e.g. :class:`CapacityError` remains a
+    :class:`CloudError` -- *and* be retryable via
+    ``except TransientError``.
+    """
+
+
 class ConfigurationError(ReproError):
     """An object was constructed or configured with invalid parameters."""
 
@@ -48,12 +63,43 @@ class CalibrationError(SensorError):
     """Sensor calibration failed to find a usable phase offset."""
 
 
+class CalibrationGlitchError(CalibrationError, TransientError):
+    """A calibration sweep aborted for environmental reasons.
+
+    Unlike its parent (a route that genuinely cannot be centred), a
+    glitch is transient: re-running the sweep on the same route is
+    expected to succeed.
+    """
+
+
+class CaptureDropError(SensorError, TransientError):
+    """A capture trace was dropped or corrupted in flight (transient)."""
+
+
 class CloudError(ReproError):
     """The simulated cloud platform rejected an operation."""
 
 
-class CapacityError(CloudError):
-    """No FPGA instances are available in the requested region."""
+class CapacityError(CloudError, TransientError):
+    """No FPGA instances are available in the requested region.
+
+    Capacity comes and goes with tenant churn, so allocation failures
+    are the canonical transient cloud error -- AWS's own guidance for
+    request-limit errors is to back off and retry.
+    """
+
+
+class PreemptionError(CloudError, TransientError):
+    """The platform issued a preemption notice for a running instance.
+
+    Models the spot-reclamation warning: the interval had not started
+    when the notice arrived, so an orchestrator that backs off and
+    retries the run call resumes exactly where it left off.
+    """
+
+
+class EvictionError(CloudError, TransientError):
+    """A tenant was evicted while programming an image (transient)."""
 
 
 class AccessError(CloudError):
@@ -75,3 +121,14 @@ class AttackError(ReproError):
 
 class AnalysisError(ReproError):
     """A statistical analysis routine received unusable input."""
+
+
+class PersistenceError(AnalysisError):
+    """An archive or journal on disk is corrupt or unreadable.
+
+    Raised (naming the offending file) when persistence-layer JSON is
+    truncated, malformed or missing required keys.  Subclasses
+    :class:`AnalysisError` so existing callers that treat archive
+    problems as analysis-input problems keep working, while new code
+    can catch the precise class.
+    """

@@ -32,6 +32,7 @@ from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.reliability.retry import retry_call
 from repro.rng import RngFactory
 
 _log = get_logger("experiments.exp3")
@@ -95,7 +96,10 @@ def run_experiment3(
 
         # --- Attacker's prior calibration, on a board they rent themselves
         # (theta_init transfers across boards of the same part).
-        calibration_instance = provider.rent(config.region, "attacker-calib")
+        calibration_instance = retry_call(
+            provider.rent, config.region, "attacker-calib",
+            label="cloud.rent",
+        )
         calibration = CalibrationPhase(
             measure_design, seed=rng.stream("calib")
         )
@@ -107,8 +111,10 @@ def run_experiment3(
         with trace.span(
             "experiment.victim_burn", hours=config.victim_burn_hours
         ):
-            victim = provider.rent(config.region, "victim")
-            victim.load_image(victim_design.bitstream)
+            victim = retry_call(provider.rent, config.region, "victim",
+                                label="cloud.rent")
+            retry_call(victim.load_image, victim_design.bitstream,
+                       label="exp3.victim_load")
             for _ in range(config.victim_burn_hours):
                 provider.advance(1.0)
             provider.release(victim)  # the provider wipes the board here

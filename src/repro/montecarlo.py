@@ -217,20 +217,71 @@ def _evaluate_seed(
     return outcome
 
 
+def _resume_from_journal(journal, seeds: Sequence[int]) -> dict[int, float]:
+    """Replay journaled seeds: values plus their metric/span state.
+
+    The journal entries carry their original ``dump_id``s, so merging
+    is idempotent; the counters and (for parallel-journaled runs) span
+    forests of skipped seeds land in the parent exactly as a live run
+    of those seeds would have left them.
+    """
+    collect_spans = trace.is_enabled()
+    resumed: dict[int, float] = {}
+    for index, seed in enumerate(seeds):
+        if seed not in journal:
+            continue
+        entry = journal.get(seed)
+        state = entry.get("metrics_state")
+        if state:
+            registry.merge_state(state)
+        trace_state = entry.get("trace_state")
+        if collect_spans and trace_state:
+            trace.merge_state(trace_state, shard=index, resumed=True)
+        resumed[seed] = float(entry["value"])
+        registry.counter(
+            "sweep_seeds_resumed_total",
+            "sweep seeds skipped via a resume journal",
+        ).inc()
+    if resumed:
+        _log.info("seeds_resumed", n=len(resumed),
+                  journal=str(journal.path))
+    return resumed
+
+
 def _run_sequential(
-    metric: Callable[[int], float], seeds: Sequence[int]
+    metric: Callable[[int], float], seeds: Sequence[int], journal=None
 ) -> list[float]:
     values = []
     for seed in seeds:
         start = perf_counter()
-        with trace.span("montecarlo.seed", seed=int(seed)):
-            values.append(float(metric(int(seed))))
-        _record_seed_run(perf_counter() - start)
+        if journal is None:
+            with trace.span("montecarlo.seed", seed=int(seed)):
+                values.append(float(metric(int(seed))))
+            _record_seed_run(perf_counter() - start)
+            continue
+        # Journaled: isolate this seed's metric deltas so the journal
+        # entry replays exactly them on resume.  The finally block
+        # restores the parent state even on a crash or Ctrl-C, and the
+        # journal gains an entry only for a *completed* seed.
+        parent_state = registry.dump_state()
+        registry.reset()
+        try:
+            with trace.span("montecarlo.seed", seed=int(seed)):
+                value = float(metric(int(seed)))
+            _record_seed_run(perf_counter() - start)
+        finally:
+            seed_state = registry.dump_state()
+            registry.reset()
+            registry.merge_state(parent_state)
+            registry.merge_state(seed_state)
+        journal.record(int(seed), value, metrics_state=seed_state)
+        values.append(value)
     return values
 
 
 def _run_parallel(
-    metric: Callable[[int], float], seeds: Sequence[int], jobs: int
+    metric: Callable[[int], float], seeds: Sequence[int], jobs: int,
+    journal=None,
 ) -> list[float]:
     _require_picklable(metric)
     collect_spans = trace.is_enabled()
@@ -244,23 +295,58 @@ def _run_parallel(
         # Collect in submission order: result ordering (and hence the
         # MonteCarloResult) is deterministic regardless of which worker
         # finishes first.
-        for shard, future in enumerate(futures):
-            outcome = future.result()
-            registry.merge_state(outcome.metrics_state)
-            if collect_spans and outcome.trace_state:
-                trace.merge_state(outcome.trace_state, shard=shard)
-            if outcome.value is None:
-                registry.counter(
-                    "montecarlo_worker_failures_total",
-                    "seeded evaluations that raised in a worker",
-                ).inc()
-                _log.info("worker_seed_failed", seed=outcome.seed,
-                          pid=outcome.pid)
-                if first_failure is None:
-                    first_failure = outcome
-                continue
-            _record_seed_run(outcome.elapsed_s)
-            values.append(outcome.value)
+        try:
+            for shard, (seed, future) in enumerate(zip(seeds, futures)):
+                outcome = future.result()
+                if outcome.value is None:
+                    registry.merge_state(outcome.metrics_state)
+                    if collect_spans and outcome.trace_state:
+                        trace.merge_state(outcome.trace_state, shard=shard)
+                    registry.counter(
+                        "montecarlo_worker_failures_total",
+                        "seeded evaluations that raised in a worker",
+                    ).inc()
+                    _log.info("worker_seed_failed", seed=outcome.seed,
+                              pid=outcome.pid)
+                    if first_failure is None:
+                        first_failure = outcome
+                    continue
+                if journal is None:
+                    registry.merge_state(outcome.metrics_state)
+                    if collect_spans and outcome.trace_state:
+                        trace.merge_state(outcome.trace_state, shard=shard)
+                    _record_seed_run(outcome.elapsed_s)
+                else:
+                    # Journaled: fold the parent-side per-seed
+                    # accounting into the same state the journal stores,
+                    # so a resume replays it all in one merge.
+                    parent_state = registry.dump_state()
+                    registry.reset()
+                    registry.merge_state(outcome.metrics_state)
+                    _record_seed_run(outcome.elapsed_s)
+                    entry_state = registry.dump_state()
+                    registry.reset()
+                    registry.merge_state(parent_state)
+                    registry.merge_state(entry_state)
+                    if collect_spans and outcome.trace_state:
+                        trace.merge_state(outcome.trace_state, shard=shard)
+                    journal.record(
+                        int(seed), outcome.value,
+                        metrics_state=entry_state,
+                        trace_state=(outcome.trace_state
+                                     if collect_spans and outcome.trace_state
+                                     else None),
+                    )
+                values.append(outcome.value)
+        except BaseException:
+            # Ctrl-C (or any other non-metric failure) while collecting:
+            # drop the queued seeds, let running workers finish their
+            # current seed, and leave the journal consistent -- a
+            # --resume of the same sweep picks up from here.
+            pool.shutdown(wait=True, cancel_futures=True)
+            _log.warning("sweep_interrupted", completed=len(values),
+                         total=len(seeds))
+            raise
     if first_failure is not None:
         # Every shard's partial metrics/spans are merged by now; only
         # then surface the failure, matching what the sequential path
@@ -279,6 +365,7 @@ def run_monte_carlo(
     seeds: Sequence[int],
     metric_name: str = "metric",
     jobs: Union[int, str] = 1,
+    journal=None,
 ) -> MonteCarloResult:
     """Evaluate ``metric(seed)`` for every seed and summarise.
 
@@ -287,9 +374,23 @@ def run_monte_carlo(
     available CPU, and explicit requests are clamped to the machine (see
     :func:`resolve_jobs`).  Values come back in seed order either way,
     so the result is independent of ``jobs``.
+
+    ``journal`` (a :class:`~repro.reliability.checkpoint.SweepJournal`)
+    turns on checkpoint/resume: every completed seed is journaled
+    atomically with its per-seed metric state, seeds already journaled
+    are skipped (their value and telemetry replayed,
+    ``sweep_seeds_resumed_total`` counts them), and a sweep killed
+    partway resumes to the same :class:`MonteCarloResult` an
+    uninterrupted run produces.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
+    seeds = [int(s) for s in seeds]
+    if journal is not None and len(set(seeds)) != len(seeds):
+        raise ConfigurationError(
+            "checkpoint/resume requires unique seeds (the journal is "
+            "keyed by seed); drop the duplicates or the journal"
+        )
     effective = resolve_jobs(jobs, len(seeds))
     if not isinstance(jobs, str) and jobs > 1 and effective == 1:
         # The caller explicitly asked for sharding, so hold the metric to
@@ -303,12 +404,23 @@ def run_monte_carlo(
     with trace.span(
         "montecarlo", metric=metric_name, seeds=len(seeds), jobs=effective
     ):
-        if effective == 1:
-            values = _run_sequential(metric, seeds)
+        resumed = (
+            _resume_from_journal(journal, seeds)
+            if journal is not None else {}
+        )
+        pending = [s for s in seeds if s not in resumed]
+        if not pending:
+            run_values: list[float] = []
+        elif effective == 1:
+            run_values = _run_sequential(metric, pending, journal)
         else:
-            values = _run_parallel(metric, seeds, effective)
+            run_values = _run_parallel(metric, pending, effective, journal)
+        fresh = iter(run_values)
+        values = [
+            resumed[s] if s in resumed else next(fresh) for s in seeds
+        ]
     _log.info("monte_carlo_done", metric=metric_name, n=len(seeds),
-              jobs=effective)
+              jobs=effective, resumed=len(resumed))
     return MonteCarloResult(
         metric_name=metric_name, seeds=tuple(int(s) for s in seeds),
         values=tuple(values),
@@ -362,6 +474,7 @@ def experiment_sweep(
     quick: bool = True,
     config_overrides: Optional[dict] = None,
     jobs: Union[int, str] = 1,
+    journal_path=None,
 ) -> MonteCarloResult:
     """Recovery-accuracy distribution of one experiment over seeds.
 
@@ -370,13 +483,30 @@ def experiment_sweep(
     :func:`dataclasses.replace`; ``jobs`` (an integer or ``"auto"``)
     shards the seeds over worker processes (``repro sweep --jobs`` on
     the command line).
+
+    ``journal_path`` enables checkpoint/resume (``repro sweep
+    --resume PATH``): completed seeds are journaled there and skipped
+    on the next invocation.  The journal refuses to resume a sweep run
+    with different parameters (experiment, quick flag, overrides or
+    seed set).
     """
     _resolve_experiment(experiment)  # fail fast, before any worker spawns
     overrides = (
         tuple(sorted(config_overrides.items())) if config_overrides else ()
     )
+    journal = None
+    if journal_path is not None:
+        from repro.reliability.checkpoint import SweepJournal
+
+        journal = SweepJournal.load(journal_path, context={
+            "experiment": experiment,
+            "quick": bool(quick),
+            "overrides": [list(pair) for pair in overrides],
+            "seeds": [int(s) for s in seeds],
+            "metric": "recovery_accuracy",
+        })
     metric = partial(_experiment_metric, experiment, quick, overrides)
     return run_monte_carlo(
         metric, seeds, metric_name=f"{experiment} recovery accuracy",
-        jobs=jobs,
+        jobs=jobs, journal=journal,
     )

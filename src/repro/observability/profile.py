@@ -103,10 +103,28 @@ def build_report(
         "spans_total_s": round(roots_total, 6),
         "kernels": _active_kernels(),
     }
+    retries, simulated_s = _retry_wait(forest)
+    if retries:
+        # Simulated backoff is budgeted but never slept, so it is real
+        # attack time without being wall time -- report it on its own
+        # line rather than letting it vanish into zero-duration spans.
+        report["retry_waits"] = retries
+        report["retry_wait_simulated_s"] = round(simulated_s, 6)
     if wall_s is not None:
         report["wall_s"] = round(wall_s, 6)
         report["coverage"] = round(roots_total / wall_s, 4) if wall_s else 0.0
     return report
+
+
+def _retry_wait(forest: Sequence[trace.Span]) -> tuple[int, float]:
+    """(count, simulated seconds) summed over ``retry.wait`` spans."""
+    count, simulated = 0, 0.0
+    for root in forest:
+        for sp in root.walk():
+            if sp.name == "retry.wait":
+                count += 1
+                simulated += float(sp.attrs.get("simulated_delay_s", 0.0))
+    return count, simulated
 
 
 def _active_kernels() -> dict:
@@ -151,6 +169,12 @@ def render_report(report: dict) -> str:
         lines.append(
             "kernels: "
             + " ".join(f"{k}={v}" for k, v in sorted(kernels.items()))
+        )
+    if report.get("retry_waits"):
+        lines.append(
+            f"retry: {report['retry_waits']} backoff wait(s), "
+            f"{_fmt_seconds(report['retry_wait_simulated_s'])} simulated "
+            f"(budgeted, never slept; excluded from wall time)"
         )
     if "coverage" in report:
         lines.append(

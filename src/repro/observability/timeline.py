@@ -14,11 +14,19 @@ spans were merged back into the parent (see
   (``tid``), so the phases of an experiment and the seeds of a sweep
   render as parallel lanes;
 * the hot-kernel throughput counters (``capture_words_total``,
-  ``aging_segment_updates_total``) become counter events (``ph="C"``)
-  so the words/segments ramp is visible alongside the spans.
+  ``aging_segment_updates_total``) and the reliability counters
+  (``faults_injected_total``, ``retries_total``) become counter events
+  (``ph="C"``) so the words/segments ramp -- and the fault storm's
+  cost -- is visible alongside the spans;
+* the zero-duration reliability markers (``fault.inject`` spans from
+  :func:`repro.reliability.faults.maybe_inject`, ``retry.wait`` spans
+  from :func:`repro.reliability.retry.note_retry`) become instant
+  events (``ph="i"``, thread-scoped) so injections and backoffs render
+  as pins on the lane where they struck rather than invisible
+  zero-width slices.
 
 The format reference is the Trace Event Format spec; only the
-long-stable ``X``/``C``/``M`` phases are emitted.
+long-stable ``X``/``C``/``M``/``i`` phases are emitted.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.observability import trace
 from repro.observability.metrics import MetricsRegistry, get_registry
 
 __all__ = [
+    "INSTANT_SPANS",
     "THROUGHPUT_COUNTERS",
     "to_trace_events",
     "write_trace_events",
@@ -43,7 +52,12 @@ PathLike = Union[str, Path]
 THROUGHPUT_COUNTERS = (
     "capture_words_total",
     "aging_segment_updates_total",
+    "faults_injected_total",
+    "retries_total",
 )
+
+#: Zero-duration marker spans rendered as instant events, not slices.
+INSTANT_SPANS = frozenset({"fault.inject", "retry.wait"})
 
 
 def _span_pid(sp: trace.Span, default_pid: int) -> int:
@@ -88,6 +102,18 @@ def to_trace_events(
         return tid
 
     def emit(sp: trace.Span, pid: int, tid: int) -> None:
+        if sp.name in INSTANT_SPANS:
+            events.append({
+                "name": sp.name,
+                "ph": "i",
+                "s": "t",
+                "ts": round((sp.start_unix() - t0) * 1e6, 3),
+                "pid": pid,
+                "tid": tid,
+                "cat": sp.name.split(".", 1)[0],
+                "args": _jsonable_attrs(sp.attrs),
+            })
+            return
         events.append({
             "name": sp.name,
             "ph": "X",
@@ -129,7 +155,7 @@ def to_trace_events(
 
     counters: list[dict] = []
     if events:
-        end_ts = max(event["ts"] + event["dur"] for event in events)
+        end_ts = max(event["ts"] + event.get("dur", 0.0) for event in events)
         for name in THROUGHPUT_COUNTERS:
             counter = registry.counters.get(name)
             if counter is None or counter.value == 0:

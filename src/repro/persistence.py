@@ -22,10 +22,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PersistenceError
 from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
 
 #: Schema marker so future readers can migrate old archives.
@@ -35,6 +37,43 @@ SCHEMA_VERSION = 2
 SUPPORTED_SCHEMAS = (1, 2)
 
 PathLike = Union[str, Path]
+
+
+def atomic_write_text(path: PathLike, text: str) -> Path:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temp file lives in the target's directory so the final rename
+    never crosses filesystems; a crash mid-write leaves at worst a stray
+    ``.tmp`` file, never a truncated archive.  Every writer in this
+    module (and the reliability layer's journals/plans) goes through
+    here.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent or Path("."),
+        prefix=f".{target.name}.", suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def _read_json(source: Path, what: str) -> dict:
+    """Parse a persistence-layer JSON file, naming it on corruption."""
+    try:
+        return json.loads(source.read_text())
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(
+            f"{what} {source} is corrupt or truncated: {exc}"
+        ) from exc
 
 
 def _check_schema(schema, what: str) -> int:
@@ -95,18 +134,25 @@ def bundle_from_dict(payload: dict) -> SeriesBundle:
 
 
 def save_bundle(bundle: SeriesBundle, path: PathLike) -> Path:
-    """Write a bundle to a JSON file; returns the resolved path."""
-    target = Path(path)
-    target.write_text(json.dumps(bundle_to_dict(bundle), indent=1))
-    return target
+    """Write a bundle to a JSON file atomically; returns the path."""
+    return atomic_write_text(path, json.dumps(bundle_to_dict(bundle), indent=1))
 
 
 def load_bundle(path: PathLike) -> SeriesBundle:
-    """Read a bundle back from :func:`save_bundle` output."""
+    """Read a bundle back from :func:`save_bundle` output.
+
+    Raises :class:`~repro.errors.PersistenceError` (naming the file)
+    when the JSON is corrupt/truncated or keys are missing.
+    """
     source = Path(path)
     if not source.exists():
         raise AnalysisError(f"no archive at {source}")
-    return bundle_from_dict(json.loads(source.read_text()))
+    try:
+        return bundle_from_dict(_read_json(source, "bundle"))
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(
+            f"bundle {source} is missing required data: {exc!r}"
+        ) from exc
 
 
 def save_experiment(
@@ -140,9 +186,7 @@ def save_experiment(
         "manifest": manifest,
         "bundle": bundle_to_dict(result.bundle),
     }
-    target = Path(path)
-    target.write_text(json.dumps(payload, indent=1))
-    return target
+    return atomic_write_text(path, json.dumps(payload, indent=1))
 
 
 def load_experiment_bundle(path: PathLike) -> tuple[dict, SeriesBundle]:
@@ -155,11 +199,16 @@ def load_experiment_bundle(path: PathLike) -> tuple[dict, SeriesBundle]:
     source = Path(path)
     if not source.exists():
         raise AnalysisError(f"no archive at {source}")
-    payload = json.loads(source.read_text())
+    payload = _read_json(source, "archive")
     if "bundle" not in payload:
         raise AnalysisError(f"{source} is not an experiment archive")
     _check_schema(payload.get("schema"), f"archive {source}")
-    bundle = bundle_from_dict(payload["bundle"])
+    try:
+        bundle = bundle_from_dict(payload["bundle"])
+    except (KeyError, TypeError) as exc:
+        raise PersistenceError(
+            f"archive {source} is missing required data: {exc!r}"
+        ) from exc
     metadata = {k: v for k, v in payload.items() if k != "bundle"}
     return metadata, bundle
 

@@ -15,9 +15,10 @@ deliberately independent of device identity beyond the part's timing.
 
 from __future__ import annotations
 
-from repro.errors import CalibrationError
+from repro.errors import CalibrationError, CalibrationGlitchError
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.reliability.faults import maybe_inject
 from repro.sensor.postprocess import trace_mean_distance
 from repro.sensor.tdc import TunableDualPolarityTdc
 from repro.sensor.trace import Polarity
@@ -60,6 +61,13 @@ def find_theta_init(
     kernel), so calibration scales with the same vectorised path as the
     measurement phase.
     """
+    # Chaos fault site: a glitched sweep aborts before the first probe
+    # trace, so the re-run consumes the identical noise sequence.
+    maybe_inject(
+        "sensor.calibrate", CalibrationGlitchError,
+        f"route {tdc.route.name!r}: calibration sweep aborted "
+        f"(injected environmental glitch)",
+    )
     phase = tdc.phase
     if theta_start_ps is None:
         # The attacker knows the route skeleton (Assumption 1), hence its

@@ -17,10 +17,11 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
-from repro.errors import SensorError
+from repro.errors import CaptureDropError, SensorError
 from repro.fabric.device import FpgaDevice
 from repro.fabric.routing import Route
 from repro.observability.metrics import registry
+from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike, make_rng
 from repro.sensor.capture import CaptureBank
 from repro.sensor.carry_chain import CarryChain
@@ -255,6 +256,14 @@ class TunableDualPolarityTdc:
         distributed) noise; with jitter disabled they agree bit for bit.
         """
         kernel = _check_kernel(kernel or _default_kernel)
+        # Chaos fault site: a dropped capture aborts before the noise
+        # epoch advances, so a retried measurement sees exactly the
+        # noise sequence the clean run would have.
+        maybe_inject(
+            "sensor.capture", CaptureDropError,
+            f"route {self.route.name!r}: capture trace dropped in "
+            f"flight (injected)",
+        )
         self._noise.advance_epoch()
         thetas = self.phase.steps_down(theta_init_ps, traces)
         if kernel == "scalar":

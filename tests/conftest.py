@@ -10,18 +10,25 @@ from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
 from repro.observability import trace
 from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, NEW_PART
+from repro.reliability.faults import set_fault_plan
+from repro.reliability.retry import RetryPolicy, set_retry_policy
 
 
 @pytest.fixture(autouse=True)
 def clean_observability():
-    """Every test starts and ends with empty global metrics/span state."""
+    """Every test starts and ends with empty global metrics/span state,
+    no fault plan installed, and the default retry policy."""
     registry.reset()
     trace.clear()
     trace.disable()
+    set_fault_plan(None)
+    set_retry_policy(RetryPolicy())
     yield
     registry.reset()
     trace.clear()
     trace.disable()
+    set_fault_plan(None)
+    set_retry_policy(RetryPolicy())
 
 
 @pytest.fixture

@@ -1,0 +1,85 @@
+"""Sweep journal: atomic per-seed checkpointing and resume safety."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.reliability.checkpoint import JOURNAL_SCHEMA, SweepJournal
+
+
+class TestSweepJournal:
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        journal = SweepJournal.load(tmp_path / "new.json", context={"x": 1})
+        assert len(journal) == 0
+        assert journal.completed_seeds() == []
+        assert not (tmp_path / "new.json").exists()
+
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        journal = SweepJournal(path, context={"experiment": "exp1"})
+        journal.record(3, 0.875, metrics_state={"counters": {}})
+        journal.record(1, 1.0)
+        assert path.exists()
+
+        loaded = SweepJournal.load(path, context={"experiment": "exp1"})
+        assert loaded.completed_seeds() == [1, 3]
+        assert 3 in loaded and 2 not in loaded
+        assert loaded.value(3) == 0.875
+        assert loaded.get(3)["metrics_state"] == {"counters": {}}
+        assert "metrics_state" not in loaded.get(1)
+
+    def test_rerecording_a_seed_overwrites(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        journal = SweepJournal(path)
+        journal.record(1, 0.5)
+        journal.record(1, 0.75)
+        loaded = SweepJournal.load(path)
+        assert len(loaded) == 1
+        assert loaded.value(1) == 0.75
+
+    def test_flush_leaves_no_temp_files(self, tmp_path):
+        journal = SweepJournal(tmp_path / "sweep.json")
+        for seed in range(5):
+            journal.record(seed, float(seed))
+        assert [p.name for p in tmp_path.iterdir()] == ["sweep.json"]
+
+    def test_corrupt_journal_names_file(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text('{"schema": 1, "entries": [')
+        with pytest.raises(PersistenceError, match="sweep.json"):
+            SweepJournal.load(path)
+
+    def test_not_a_journal(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(PersistenceError, match="not a sweep journal"):
+            SweepJournal.load(path)
+
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "schema": JOURNAL_SCHEMA + 1, "context": {}, "entries": [],
+        }))
+        with pytest.raises(PersistenceError, match="schema"):
+            SweepJournal.load(path)
+
+    def test_context_mismatch_refuses_to_mix(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        SweepJournal(path, context={"experiment": "exp1"}).record(1, 1.0)
+        with pytest.raises(PersistenceError, match="different sweep"):
+            SweepJournal.load(path, context={"experiment": "exp2"})
+        # Without a requested context the journal loads as written.
+        loaded = SweepJournal.load(path)
+        assert loaded.context == {"experiment": "exp1"}
+
+    def test_malformed_entries(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "schema": JOURNAL_SCHEMA, "context": {},
+            "entries": [{"value": 1.0}],  # no seed
+        }))
+        with pytest.raises(PersistenceError, match="missing required data"):
+            SweepJournal.load(path)

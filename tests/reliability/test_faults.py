@@ -1,0 +1,182 @@
+"""Fault injection: plans, specs, determinism, and the no-op fast path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import (
+    CaptureDropError,
+    ConfigurationError,
+    PersistenceError,
+    TransientError,
+)
+from repro.observability.metrics import registry
+from repro.reliability.faults import (
+    FAULT_SITES,
+    FaultPlan,
+    FaultSpec,
+    fault_plan,
+    get_fault_plan,
+    load_fault_plan,
+    maybe_inject,
+    set_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_needs_exactly_one_mode(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec()
+        with pytest.raises(ConfigurationError):
+            FaultSpec(probability=0.5, schedule=(1,))
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(probability=-0.1)
+        FaultSpec(probability=0.0)
+        FaultSpec(probability=1.0)
+
+    def test_schedule_indices_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(schedule=(-1,))
+
+    def test_max_fires_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(probability=0.5, max_fires=-1)
+
+    def test_round_trip(self):
+        spec = FaultSpec(schedule=(0, 3), max_fires=1)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        spec = FaultSpec(probability=0.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestFaultPlan:
+    def test_schedule_fires_on_listed_visits(self):
+        plan = FaultPlan(seed=1, specs={"s": FaultSpec(schedule=(1, 3))})
+        fired = [plan.should_fire("s") for _ in range(5)]
+        assert fired == [False, True, False, True, False]
+        assert plan.fires == {"s": 2}
+        assert plan.visits == {"s": 5}
+        assert plan.total_fires == 2
+
+    def test_probability_is_deterministic_per_seed(self):
+        def sequence(seed):
+            plan = FaultPlan(
+                seed=seed, specs={"s": FaultSpec(probability=0.5)}
+            )
+            return [plan.should_fire("s") for _ in range(64)]
+
+        assert sequence(7) == sequence(7)
+        assert sequence(7) != sequence(8)
+        assert any(sequence(7))
+        assert not all(sequence(7))
+
+    def test_streams_are_independent_per_site(self):
+        # Visiting site A must not perturb site B's decisions.
+        specs = {
+            "a": FaultSpec(probability=0.5),
+            "b": FaultSpec(probability=0.5),
+        }
+        solo = FaultPlan(seed=3, specs=dict(specs))
+        solo_b = [solo.should_fire("b") for _ in range(32)]
+        mixed = FaultPlan(seed=3, specs=dict(specs))
+        mixed_b = []
+        for _ in range(32):
+            mixed.should_fire("a")
+            mixed_b.append(mixed.should_fire("b"))
+        assert solo_b == mixed_b
+
+    def test_max_fires_caps_injections(self):
+        plan = FaultPlan(
+            seed=1,
+            specs={"s": FaultSpec(probability=1.0, max_fires=2)},
+        )
+        fired = [plan.should_fire("s") for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert plan.fires == {"s": 2}
+
+    def test_unknown_site_never_fires(self):
+        plan = FaultPlan(seed=1, specs={"s": FaultSpec(probability=1.0)})
+        assert not plan.should_fire("other")
+
+    def test_rejects_non_spec_values(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan(seed=1, specs={"s": {"probability": 0.5}})
+
+    def test_save_load_round_trip(self, tmp_path):
+        plan = FaultPlan(seed=11, specs={
+            "cloud.allocate": FaultSpec(probability=0.2),
+            "cloud.preempt": FaultSpec(schedule=(1, 4), max_fires=1),
+        })
+        path = plan.save(tmp_path / "plan.json")
+        loaded = load_fault_plan(path)
+        assert loaded.seed == 11
+        assert loaded.specs == plan.specs
+
+    def test_load_missing_plan(self, tmp_path):
+        with pytest.raises(PersistenceError, match="no fault plan"):
+            load_fault_plan(tmp_path / "absent.json")
+
+    def test_load_corrupt_plan_names_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(PersistenceError, match="bad.json"):
+            load_fault_plan(bad)
+
+    def test_load_wrong_shape(self, tmp_path):
+        bad = tmp_path / "shape.json"
+        bad.write_text(json.dumps({"seed": 1}))
+        with pytest.raises(PersistenceError):
+            load_fault_plan(bad)
+
+    def test_committed_default_plan_is_loadable(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        plan = load_fault_plan(root / "plans" / "chaos-default.json")
+        assert set(plan.specs) == set(FAULT_SITES)
+        assert plan.specs["cloud.allocate"].probability >= 0.10
+        assert len(plan.specs["cloud.preempt"].schedule) >= 2
+        assert plan.specs["sensor.capture"].probability >= 0.05
+
+
+class TestMaybeInject:
+    def test_no_plan_is_a_noop(self):
+        assert get_fault_plan() is None
+        maybe_inject("sensor.capture", CaptureDropError, "unused")
+        assert "faults_injected_total" not in registry.counters
+
+    def test_injection_raises_and_counts(self):
+        plan = FaultPlan(
+            seed=1, specs={"sensor.capture": FaultSpec(probability=1.0)}
+        )
+        with fault_plan(plan):
+            with pytest.raises(CaptureDropError) as excinfo:
+                maybe_inject("sensor.capture", CaptureDropError, "dropped")
+        assert isinstance(excinfo.value, TransientError)
+        assert registry.counters["faults_injected_total"].value == 1
+        assert (
+            registry.counters["faults_injected_sensor_capture_total"].value
+            == 1
+        )
+        assert plan.fires == {"sensor.capture": 1}
+
+    def test_context_manager_restores_previous(self):
+        plan = FaultPlan(seed=1)
+        outer = FaultPlan(seed=2)
+        set_fault_plan(outer)
+        try:
+            with fault_plan(plan):
+                assert get_fault_plan() is plan
+            assert get_fault_plan() is outer
+        finally:
+            set_fault_plan(None)
+
+    def test_set_fault_plan_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            set_fault_plan("not a plan")

@@ -1,0 +1,137 @@
+"""Retry policy: backoff math, retry_call semantics, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CaptureDropError,
+    ConfigurationError,
+    SensorError,
+)
+from repro.observability import trace
+from repro.observability.metrics import registry
+from repro.reliability.retry import (
+    RetryPolicy,
+    get_retry_policy,
+    retry_call,
+    retry_policy,
+    set_retry_policy,
+)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_total_delay_s=-1.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=1.0, multiplier=2.0, max_delay_s=3.0, jitter=0.0
+        )
+        assert policy.delay_s(1) == 1.0
+        assert policy.delay_s(2) == 2.0
+        assert policy.delay_s(3) == 3.0  # capped, would be 4.0
+        with pytest.raises(ConfigurationError):
+            policy.delay_s(0)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.1)
+        first = policy.delay_s(1, "some.label")
+        assert first == policy.delay_s(1, "some.label")
+        assert 0.9 <= first <= 1.1
+        # Different labels / attempts de-correlate without an RNG.
+        assert policy.delay_s(1, "other.label") != first
+
+    def test_process_default_swap(self):
+        custom = RetryPolicy(max_attempts=2)
+        previous = set_retry_policy(custom)
+        try:
+            assert get_retry_policy() is custom
+        finally:
+            set_retry_policy(previous)
+        with pytest.raises(ConfigurationError):
+            set_retry_policy("nope")
+
+
+class TestRetryCall:
+    def test_recovers_after_transient_failures(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise CaptureDropError("transient")
+            return "ok"
+
+        trace.enable()
+        assert retry_call(flaky, label="test.flaky") == "ok"
+        assert calls["n"] == 3
+        assert registry.counters["retries_total"].value == 2
+        assert (
+            registry.counters["retry_wait_simulated_seconds_total"].value
+            > 0.0
+        )
+        waits = [
+            sp for root in trace.roots() for sp in root.walk()
+            if sp.name == "retry.wait"
+        ]
+        assert len(waits) == 2
+        assert waits[0].attrs["label"] == "test.flaky"
+        assert waits[0].attrs["simulated_delay_s"] > 0.0
+
+    def test_fatal_errors_propagate_immediately(self):
+        calls = {"n": 0}
+
+        def fatal():
+            calls["n"] += 1
+            raise SensorError("fatal")
+
+        with pytest.raises(SensorError):
+            retry_call(fatal)
+        assert calls["n"] == 1
+        assert "retries_total" not in registry.counters
+
+    def test_attempt_budget_reraises_original(self):
+        policy = RetryPolicy(max_attempts=3)
+
+        def always():
+            raise CaptureDropError("still down")
+
+        with pytest.raises(CaptureDropError, match="still down"):
+            retry_call(always, policy=policy)
+        assert registry.counters["retries_total"].value == 2
+
+    def test_total_delay_budget_gives_up_early(self):
+        policy = RetryPolicy(
+            max_attempts=10, base_delay_s=5.0, jitter=0.0,
+            max_total_delay_s=12.0,
+        )
+
+        def always():
+            raise CaptureDropError("down")
+
+        with pytest.raises(CaptureDropError):
+            retry_call(always, policy=policy)
+        # waits 5 + 10(capped at 8) = 13 > 12: give up on attempt 2's wait.
+        assert registry.counters["retries_total"].value == 1
+
+    def test_scoped_policy_context(self):
+        with retry_policy(RetryPolicy(max_attempts=1)):
+            def always():
+                raise CaptureDropError("down")
+
+            with pytest.raises(CaptureDropError):
+                retry_call(always)
+            assert "retries_total" not in registry.counters
+
+    def test_passes_arguments_through(self):
+        assert retry_call(lambda a, b=0: a + b, 2, b=3) == 5

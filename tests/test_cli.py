@@ -86,6 +86,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "exp9"])
 
+    def test_sweep_resume_flag(self):
+        args = build_parser().parse_args(
+            ["sweep", "exp1", "--resume", "sweep.journal"]
+        )
+        assert args.resume == "sweep.journal"
+        assert build_parser().parse_args(["sweep", "exp1"]).resume is None
+
+    def test_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "exp2", "--seed", "3", "--plan", "storm.json"]
+        )
+        assert args.target == "exp2"
+        assert args.seed == 3 and args.plan == "storm.json"
+        assert not args.paper
+
+    def test_chaos_sweep_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "sweep", "--experiment", "exp2", "--seeds", "1:4",
+             "--jobs", "2", "--resume", "chaos.journal"]
+        )
+        assert args.target == "sweep" and args.experiment == "exp2"
+        assert args.seeds == "1:4" and args.jobs == "2"
+        assert args.resume == "chaos.journal"
+
+    def test_chaos_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["chaos", "exp9"])
+
+    def test_chaos_has_observability_flags(self):
+        args = build_parser().parse_args(["chaos", "exp1", "--trace"])
+        assert args.trace is True
+
 
 class TestSeedSpec:
     def test_comma_list_and_ranges(self):
@@ -161,6 +193,92 @@ class TestMain:
     def test_sweep_jobs_auto_runs(self, capsys):
         assert main(["sweep", "exp1", "--seeds", "5", "--jobs", "auto"]) == 0
         assert "jobs=auto" in capsys.readouterr().out
+
+    def test_sweep_resume_round_trip(self, tmp_path, capsys):
+        journal = tmp_path / "sweep.journal"
+        assert main(["sweep", "exp1", "--seeds", "5,6",
+                     "--resume", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        assert f"journal: {journal}" in first
+        assert main(["sweep", "exp1", "--seeds", "5,6",
+                     "--resume", str(journal)]) == 0
+        second = capsys.readouterr().out
+        # The resumed run reports the identical distribution.
+        assert first == second
+
+
+class TestChaosCommand:
+    def test_chaos_exp1_quick_passes_gate(self, capsys):
+        assert main(["chaos", "exp1", "--quick", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos exp1" in out
+        assert "within bound" in out
+        assert "retries=" in out
+
+    def test_chaos_with_committed_plan(self, capsys):
+        from pathlib import Path
+
+        plan = Path(__file__).resolve().parent.parent / "plans" \
+            / "chaos-default.json"
+        assert main(["chaos", "exp1", "--quick", "--seed", "1",
+                     "--plan", str(plan)]) == 0
+        assert "within bound" in capsys.readouterr().out
+
+    def test_chaos_sweep_reports_bound(self, capsys):
+        assert main(["chaos", "sweep", "--experiment", "exp1",
+                     "--seeds", "1,2"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos recovery accuracy" in out
+        assert "bound=0.85" in out
+
+    def test_chaos_missing_plan_fails_cleanly(self, tmp_path, capsys):
+        assert main(["chaos", "exp1",
+                     "--plan", str(tmp_path / "ghost.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "ghost.json" in err
+
+
+class TestErrorReporting:
+    """ReproError -> one line on stderr, exit 2; stack under REPRO_DEBUG."""
+
+    def _corrupt_journal(self, tmp_path):
+        path = tmp_path / "broken.journal"
+        path.write_text("{half a json")
+        return path
+
+    def test_repro_error_is_one_line_exit_2(self, tmp_path, capsys,
+                                            monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        journal = self._corrupt_journal(tmp_path)
+        assert main(["sweep", "exp1", "--seeds", "5",
+                     "--resume", str(journal)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "broken.journal" in err
+        assert "Traceback" not in err
+
+    def test_repro_debug_adds_traceback(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        journal = self._corrupt_journal(tmp_path)
+        assert main(["sweep", "exp1", "--seeds", "5",
+                     "--resume", str(journal)]) == 2
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "error: " in err
+
+    def test_non_repro_errors_still_propagate(self, monkeypatch):
+        """Only ReproError is swallowed; genuine bugs keep their stack."""
+        import repro.cli as cli
+
+        def explode(args):
+            raise RuntimeError("a real bug")
+
+        monkeypatch.setitem(cli._HANDLERS, "table1", explode)
+        with pytest.raises(RuntimeError, match="a real bug"):
+            main(["table1"])
 
 
 class TestObservabilityFlags:

@@ -34,6 +34,20 @@ def _boom_unpicklable(seed: int) -> float:
     raise exc
 
 
+def _tenth_boom_on_three(seed: int) -> float:
+    """_tenth, except the process dies at seed 3 (kill-after-K fixture)."""
+    if seed == 3:
+        raise RuntimeError("killed at seed 3")
+    return _tenth(seed)
+
+
+def _tenth_interrupt_on_three(seed: int) -> float:
+    """_tenth, except seed 3 hits Ctrl-C (interrupt-safety fixture)."""
+    if seed == 3:
+        raise KeyboardInterrupt
+    return _tenth(seed)
+
+
 @pytest.fixture
 def four_cpus(monkeypatch):
     """Pretend the machine has four CPUs so the pool path really runs.
@@ -255,3 +269,124 @@ class TestExperimentSweep:
     def test_unknown_experiment_rejected_before_workers_spawn(self):
         with pytest.raises(ConfigurationError):
             experiment_sweep("exp9", [1], jobs=4)
+
+
+class TestCheckpointResume:
+    """``--resume``: journaled sweeps skip finished seeds bit-identically."""
+
+    def _journal(self, tmp_path):
+        from repro.reliability.checkpoint import SweepJournal
+
+        return SweepJournal(tmp_path / "sweep.journal")
+
+    def test_sequential_run_journals_every_seed(self, tmp_path):
+        from repro.reliability.checkpoint import SweepJournal
+
+        journal = self._journal(tmp_path)
+        result = run_monte_carlo(_tenth, [1, 2, 3], journal=journal)
+        loaded = SweepJournal.load(tmp_path / "sweep.journal")
+        assert loaded.completed_seeds() == [1, 2, 3]
+        assert [loaded.value(s) for s in (1, 2, 3)] == list(result.values)
+
+    def test_kill_after_k_of_n_resume_bit_identical(self, tmp_path):
+        """Acceptance pin: a sweep killed partway and resumed matches an
+        uninterrupted run -- values AND deterministic counters."""
+        from repro.reliability.checkpoint import SweepJournal
+
+        seeds = [1, 2, 3, 4]
+        baseline = run_monte_carlo(_tenth, seeds, metric_name="demo")
+        baseline_runs = registry.counter("montecarlo_runs_total").value
+        registry.reset()
+
+        journal = self._journal(tmp_path)
+        with pytest.raises(RuntimeError, match="killed at seed 3"):
+            run_monte_carlo(_tenth_boom_on_three, seeds,
+                            metric_name="demo", journal=journal)
+        partial = SweepJournal.load(tmp_path / "sweep.journal")
+        assert partial.completed_seeds() == [1, 2]
+        registry.reset()
+
+        resumed = run_monte_carlo(_tenth, seeds, metric_name="demo",
+                                  journal=partial)
+        assert resumed == baseline
+        assert registry.counter("montecarlo_runs_total").value \
+            == baseline_runs
+        assert registry.counter("sweep_seeds_resumed_total").value == 2
+
+    def test_fully_journaled_resume_skips_all_seeds(self, tmp_path):
+        from repro.reliability.checkpoint import SweepJournal
+
+        journal = self._journal(tmp_path)
+        first = run_monte_carlo(_tenth, [1, 2], journal=journal)
+        registry.reset()
+        reloaded = SweepJournal.load(tmp_path / "sweep.journal")
+        second = run_monte_carlo(_tenth, [1, 2], journal=reloaded)
+        assert second == first
+        assert registry.counter("sweep_seeds_resumed_total").value == 2
+        # Replayed states restore the runs counter too.
+        assert registry.counter("montecarlo_runs_total").value == 2
+
+    def test_parallel_journaled_matches_sequential(self, four_cpus,
+                                                   tmp_path):
+        sequential = run_monte_carlo(_tenth, [1, 2, 3])
+        journal = self._journal(tmp_path)
+        parallel = run_monte_carlo(_tenth, [1, 2, 3], jobs=2,
+                                   journal=journal)
+        assert parallel == sequential
+        assert journal.completed_seeds() == [1, 2, 3]
+        assert registry.counter("montecarlo_runs_total").value == 6
+
+    def test_journaled_sweep_rejects_duplicate_seeds(self, tmp_path):
+        journal = self._journal(tmp_path)
+        with pytest.raises(ConfigurationError, match="unique seeds"):
+            run_monte_carlo(_tenth, [1, 1, 2], journal=journal)
+
+    def test_experiment_sweep_resume_round_trip(self, tmp_path):
+        path = tmp_path / "exp.journal"
+        first = experiment_sweep("exp1", seeds=[5, 6], journal_path=path)
+        registry.reset()
+        second = experiment_sweep("exp1", seeds=[5, 6], journal_path=path)
+        assert second == first
+        assert registry.counter("sweep_seeds_resumed_total").value == 2
+
+    def test_experiment_sweep_refuses_foreign_journal(self, tmp_path):
+        from repro.errors import PersistenceError
+
+        path = tmp_path / "exp.journal"
+        experiment_sweep("exp1", seeds=[5], journal_path=path)
+        with pytest.raises(PersistenceError, match="different sweep"):
+            experiment_sweep("exp1", seeds=[5, 6], journal_path=path)
+
+
+class TestInterruptSafety:
+    """Ctrl-C mid-sweep: clean executor shutdown, loadable journal."""
+
+    def test_keyboard_interrupt_leaves_loadable_partial_journal(
+        self, four_cpus, tmp_path
+    ):
+        from repro.reliability.checkpoint import SweepJournal
+
+        path = tmp_path / "sweep.journal"
+        journal = SweepJournal(path)
+        with pytest.raises(KeyboardInterrupt):
+            run_monte_carlo(_tenth_interrupt_on_three, [1, 2, 3, 4],
+                            jobs=2, journal=journal)
+        # The pool shut down (the test returned at all) and the journal
+        # on disk is a consistent snapshot of the finished seeds.
+        partial = SweepJournal.load(path)
+        assert partial.completed_seeds() == [1, 2]
+        resumed = run_monte_carlo(_tenth, [1, 2, 3, 4], jobs=2,
+                                  journal=partial)
+        baseline = run_monte_carlo(_tenth, [1, 2, 3, 4])
+        assert resumed.values == baseline.values
+
+    def test_keyboard_interrupt_sequential_journal_consistent(
+        self, tmp_path
+    ):
+        from repro.reliability.checkpoint import SweepJournal
+
+        path = tmp_path / "sweep.journal"
+        with pytest.raises(KeyboardInterrupt):
+            run_monte_carlo(_tenth_interrupt_on_three, [1, 2, 3, 4],
+                            journal=SweepJournal(path))
+        assert SweepJournal.load(path).completed_seeds() == [1, 2]

@@ -5,9 +5,10 @@ import json
 import numpy as np
 import pytest
 
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, PersistenceError, ReproError
 from repro.analysis.timeseries import DeltaPsSeries, SeriesBundle
 from repro.persistence import (
+    atomic_write_text,
     bundle_from_dict,
     bundle_to_dict,
     load_bundle,
@@ -154,3 +155,66 @@ class TestExperimentArchive:
         path.write_text(json.dumps({"schema": 1}))
         with pytest.raises(AnalysisError):
             load_experiment_bundle(path)
+
+
+class TestPersistenceHardening:
+    """Corrupt files are named; writes are atomic."""
+
+    def test_persistence_error_is_a_repro_error(self):
+        assert issubclass(PersistenceError, ReproError)
+
+    def test_corrupt_bundle_names_file(self, tmp_path):
+        path = tmp_path / "mangled.json"
+        path.write_text('{"schema": 2, "series": [')  # truncated
+        with pytest.raises(PersistenceError) as excinfo:
+            load_bundle(path)
+        assert "mangled.json" in str(excinfo.value)
+
+    def test_corrupt_archive_names_file(self, tmp_path):
+        path = tmp_path / "halfway.json"
+        path.write_text("not json at all")
+        with pytest.raises(PersistenceError) as excinfo:
+            load_experiment_bundle(path)
+        assert "halfway.json" in str(excinfo.value)
+
+    def test_bundle_missing_keys_named(self, tmp_path):
+        payload = bundle_to_dict(make_bundle())
+        del payload["series"][0]["hours"]
+        path = tmp_path / "partial.json"
+        path.write_text(json.dumps(payload))
+        with pytest.raises(PersistenceError, match="partial.json"):
+            load_bundle(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, '{"ok": true}')
+        atomic_write_text(target, '{"ok": false}')
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+        assert json.loads(target.read_text()) == {"ok": False}
+
+    def test_failed_atomic_write_preserves_previous(self, tmp_path,
+                                                    monkeypatch):
+        import os as _os
+
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "first")
+
+        real_replace = _os.replace
+
+        def broken_replace(src, dst):
+            raise OSError("disk fell off")
+
+        monkeypatch.setattr(_os, "replace", broken_replace)
+        with pytest.raises(OSError):
+            atomic_write_text(target, "second")
+        monkeypatch.setattr(_os, "replace", real_replace)
+        # The old content survives and the temp file was cleaned up.
+        assert target.read_text() == "first"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_save_bundle_is_atomic_over_existing(self, tmp_path):
+        bundle = make_bundle()
+        path = save_bundle(bundle, tmp_path / "run.json")
+        save_bundle(bundle, path)  # overwrite in place
+        assert [p.name for p in tmp_path.iterdir()] == ["run.json"]
+        assert load_bundle(path).label == bundle.label
