@@ -34,6 +34,11 @@ def full_scale() -> bool:
     return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
 
 
+# Benchmarks drive the CLI in-process; keep them from writing a run
+# database into the repo unless a case opts in with its own tmp path.
+os.environ["REPRO_RUNSTORE"] = "off"
+
+
 #: Session-wide accumulator the per-case registries fold into; built
 #: lazily so a broken ``repro`` import degrades to timings-only output.
 _session_metrics = None

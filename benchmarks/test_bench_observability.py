@@ -96,3 +96,65 @@ def test_noop_instrumentation_overhead(benchmark, emit):
     # And the primitives themselves are genuinely cheap (microsecond-class).
     assert per_span < 5e-6
     assert per_inc < 10e-6
+
+
+def test_runstore_recording_overhead(tmp_path, benchmark, emit):
+    """Benchmark O2: cost of recording a finished run into the store.
+
+    ``--runstore`` prices one manifest build plus one sqlite
+    transaction per invocation, paid after the experiment finishes.
+    The promise: recording adds no more than 5 % to ``exp1 --quick``
+    wall time.  Measured as (per-record cost) / (quick-run wall time)
+    with the memoised git probe warmed, matching the steady state of a
+    long-lived CI runner.
+    """
+    from repro.observability.manifest import build_manifest, git_state
+    from repro.observability.metrics import get_registry
+    from repro.observability.runstore import RunRecord, RunStore
+
+    trace.disable()
+    registry = get_registry()
+    registry.reset()
+
+    config = Experiment1Config.quick()
+    start = time.perf_counter()
+    result = run_experiment1(config)
+    wall = time.perf_counter() - start
+    assert result.recovery_score.accuracy >= 0.5
+
+    git_state()  # memoised: the subprocess probe is a one-off, not per-run
+    store = RunStore(tmp_path / "runs.db")
+    seed_rows = [{"seed": i + 1, "value": 1.0} for i in range(8)]
+    cli_config = {"experiment": "exp1", "quick": True, "seed": 7}
+
+    def record_once():
+        manifest = build_manifest(
+            config=cli_config, seed=7,
+            include_spans=False, include_metrics=False,
+        )
+        store.record_run(RunRecord(
+            kind="experiment", experiment="exp1",
+            started_unix=1000.0, outcome="ok", accuracy=1.0,
+            config=cli_config, manifest=manifest.to_dict(),
+            metrics_state=registry.dump_state(), seed_rows=seed_rows,
+        ))
+
+    loops = 20
+    t0 = time.perf_counter()
+    benchmark.pedantic(
+        lambda: [record_once() for _ in range(loops)],
+        rounds=1, iterations=1,
+    )
+    per_record = (time.perf_counter() - t0) / loops
+    fraction = per_record / wall
+
+    emit("\nRun-store recording overhead (exp1 --quick):")
+    emit(f"  quick-run wall time    : {wall * 1e3:8.1f} ms")
+    emit(f"  per-record cost        : {per_record * 1e3:8.3f} ms"
+         f"  (manifest + sqlite txn + seed rows + metrics blob)")
+    emit(f"  overhead per recorded run: {fraction * 100:.3f} % of wall")
+
+    # Acceptance: auto-recording stays under the 5 % budget.
+    assert fraction <= 0.05, (
+        f"recording overhead {fraction * 100:.2f}% exceeds 5% budget"
+    )

@@ -14,6 +14,9 @@ Examples::
     python -m repro chaos sweep --experiment exp2 --seeds 1:8 --jobs 2
     python -m repro profile exp1 --quick
     python -m repro bench diff OLD_BENCH.json BENCH_perf.json --gate 80
+    python -m repro runs list --experiment exp1
+    python -m repro runs compare latest~1 latest --gate
+    python -m repro report --history --output history.html
 
 Every sub-command accepts the observability flags: ``--trace`` prints
 the run's span tree (experiment -> phase -> capture; give it a FILE to
@@ -21,6 +24,14 @@ also write the forest as JSON Lines), ``--metrics-out FILE`` writes
 the metrics registry, span tree and run manifest as one JSON document,
 and ``--chrome-trace FILE`` exports the spans in the Chrome Trace
 Event Format for Perfetto / ``chrome://tracing``.
+
+Additionally every experiment/sweep/chaos/profile/bench invocation is
+recorded into the run store (``.repro/runs.db`` by default;
+``--runstore PATH`` / ``REPRO_RUNSTORE`` override, value ``off``
+disables, as does ``--no-record``), and ``--progress auto|tty|jsonl|
+off`` streams live progress to stderr while long runs execute.  The
+recorded history is queried with ``repro runs list|show|compare|
+export|gc`` and rendered with ``repro report --history``.
 """
 
 from __future__ import annotations
@@ -76,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="export spans as Chrome Trace Event JSON "
                             "(open in Perfetto or chrome://tracing); "
                             "implies span collection")
+        p.add_argument("--runstore", type=str, default=None,
+                       metavar="PATH",
+                       help="run-store database to record into (default: "
+                            ".repro/runs.db or $REPRO_RUNSTORE; 'off' "
+                            "disables recording)")
+        p.add_argument("--no-record", action="store_true",
+                       help="do not record this invocation in the run "
+                            "store")
+        p.add_argument("--progress", type=str, default="auto",
+                       choices=("auto", "tty", "jsonl", "off"),
+                       help="live progress on stderr: a rewritten status "
+                            "line (tty), one JSON object per event "
+                            "(jsonl), or nothing; 'auto' shows the tty "
+                            "view only on a terminal (default)")
 
     def common(p: argparse.ArgumentParser) -> None:
         """Flags shared by every experiment sub-command."""
@@ -168,6 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--seed", type=int, default=1)
     pr.add_argument("--output", type=str, default=None, metavar="FILE",
                     help="write the report to a file instead of stdout")
+    pr.add_argument("--history", action="store_true",
+                    help="render the run store's cross-run history as a "
+                         "self-contained HTML report (accuracy trends, "
+                         "latency percentiles, counter deltas) instead "
+                         "of running the evaluation artefacts")
+    pr.add_argument("--experiment", choices=("exp1", "exp2", "exp3"),
+                    default=None,
+                    help="restrict --history to one experiment")
+    pr.add_argument("--limit", type=int, default=50,
+                    help="runs per trend series in --history "
+                         "(default: 50)")
     observability(pr)
 
     pp = sub.add_parser(
@@ -198,6 +234,89 @@ def build_parser() -> argparse.ArgumentParser:
     pbd.add_argument("--gate", type=float, default=None, metavar="PCT",
                      help="exit nonzero if any benchmark regressed by "
                           "more than PCT percent (omit to report only)")
+    pbd.add_argument("--json", dest="bench_json", type=str, default=None,
+                     metavar="FILE",
+                     help="also write the comparison (per-key deltas and "
+                          "gate verdicts) as one JSON document")
+
+    pu = sub.add_parser(
+        "runs",
+        help="query the run store: list, inspect, statistically compare "
+             "and prune recorded runs",
+    )
+    runs_sub = pu.add_subparsers(dest="runs_command", required=True)
+
+    def runstore_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--runstore", type=str, default=None,
+                       metavar="PATH",
+                       help="run-store database (default: .repro/runs.db "
+                            "or $REPRO_RUNSTORE)")
+
+    pul = runs_sub.add_parser("list", help="recorded runs, newest first")
+    runstore_flag(pul)
+    pul.add_argument("--kind", type=str, default=None,
+                     help="filter by kind (experiment/sweep/chaos/"
+                          "profile/bench)")
+    pul.add_argument("--experiment", type=str, default=None,
+                     help="filter by experiment (exp1/exp2/exp3)")
+    pul.add_argument("--limit", type=int, default=20,
+                     help="most recent N runs (default: 20)")
+    pul.add_argument("--json", dest="runs_json", action="store_true",
+                     help="print the summaries as JSON")
+
+    pus = runs_sub.add_parser(
+        "show", help="one run in full (manifest, metrics, seed rows)"
+    )
+    runstore_flag(pus)
+    pus.add_argument("ref", help="run id prefix, 'latest' or 'latest~N'")
+    pus.add_argument("--json", dest="runs_json", action="store_true",
+                     help="print the full stored row as JSON")
+
+    puc = runs_sub.add_parser(
+        "compare",
+        help="statistically compare two recorded runs (bootstrap CI + "
+             "rank test on per-seed accuracy and latency reservoirs)",
+    )
+    runstore_flag(puc)
+    puc.add_argument("ref_a", help="baseline run (id prefix / latest~N)")
+    puc.add_argument("ref_b", help="new run (id prefix / latest~N)")
+    puc.add_argument("--experiment", type=str, default=None,
+                     help="resolve latest/latest~N within one experiment")
+    puc.add_argument("--gate", action="store_true",
+                     help="exit nonzero when a CONFIRMED regression is "
+                          "found (the CI gate)")
+    puc.add_argument("--min-effect-pct", type=float, default=5.0,
+                     metavar="PCT",
+                     help="effect-size floor below which a drift is OK "
+                          "(default: 5)")
+    puc.add_argument("--alpha", type=float, default=0.05,
+                     help="rank-test significance level (default: 0.05)")
+    puc.add_argument("--json", dest="runs_json", type=str, default=None,
+                     metavar="FILE",
+                     help="also write the comparison as one JSON "
+                          "document ('-' for stdout)")
+
+    pue = runs_sub.add_parser(
+        "export", help="selected runs (full rows) as one JSON document"
+    )
+    runstore_flag(pue)
+    pue.add_argument("--output", type=str, default=None, metavar="FILE",
+                     help="write to FILE instead of stdout")
+    pue.add_argument("--kind", type=str, default=None)
+    pue.add_argument("--experiment", type=str, default=None)
+    pue.add_argument("--limit", type=int, default=None)
+
+    pug = runs_sub.add_parser(
+        "gc", help="prune old runs from the store"
+    )
+    runstore_flag(pug)
+    pug.add_argument("--keep", type=int, default=None, metavar="N",
+                     help="retain only the N newest runs")
+    pug.add_argument("--before-days", type=float, default=None,
+                     metavar="D",
+                     help="drop runs started more than D days ago")
+    pug.add_argument("--vacuum", action="store_true",
+                     help="compact the database file afterwards")
     return parser
 
 
@@ -280,6 +399,8 @@ def _cmd_exp1(args) -> int:
     config = _override(base, args, ("burn_hours", "recovery_hours"))
     args._config = config
     result = run_experiment1(config)
+    args._accuracy = result.recovery_score.accuracy
+    args._route_status = result.route_status
     if not args.no_figure:
         print(render_experiment_panels(
             result.bundle, "Figure 6 (Experiment 1, lab)",
@@ -296,6 +417,8 @@ def _cmd_exp2(args) -> int:
     config = _override(base, args, ("burn_hours",))
     args._config = config
     result = run_experiment2(config)
+    args._accuracy = result.recovery_score.accuracy
+    args._route_status = result.route_status
     if not args.no_figure:
         print(render_experiment_panels(
             result.bundle, "Figure 7 (Experiment 2, cloud TM1)"
@@ -313,6 +436,8 @@ def _cmd_exp3(args) -> int:
     config = _override(base, args, ("recovery_hours",))
     args._config = config
     result = run_experiment3(config)
+    args._accuracy = result.recovery_score.accuracy
+    args._route_status = result.route_status
     if not args.no_figure:
         print(render_experiment_panels(
             result.bundle, "Figure 8 (Experiment 3, cloud TM2)"
@@ -376,10 +501,17 @@ def _cmd_sweep(args) -> int:
     if parsed is None:
         return 2
     seeds, jobs = parsed
+    args._config = {
+        "experiment": args.experiment,
+        "quick": not args.paper,
+        "seeds": [int(s) for s in seeds],
+    }
+    args._jobs = jobs if isinstance(jobs, int) else None
     result = experiment_sweep(
         args.experiment, seeds, quick=not args.paper, jobs=jobs,
         journal_path=args.resume,
     )
+    args._accuracy = result.mean
     print(result)
     print(f"min={result.minimum:.3f} max={result.maximum:.3f} "
           f"seeds={len(seeds)} jobs={args.jobs}")
@@ -401,15 +533,25 @@ def _cmd_chaos(args) -> int:
 
         plan = load_fault_plan(args.plan)
     quick = not args.paper
+    from repro.reliability.chaos import default_chaos_plan
+
+    args._fault_plan = (plan or default_chaos_plan(args.seed)).to_dict()
     if args.target == "sweep":
         parsed = _parse_sweep_spec(args)
         if parsed is None:
             return 2
         seeds, jobs = parsed
+        args._config = {
+            "experiment": args.experiment,
+            "quick": quick,
+            "seeds": [int(s) for s in seeds],
+        }
+        args._jobs = jobs if isinstance(jobs, int) else None
         result = run_chaos_sweep(
             args.experiment, seeds, quick=quick, jobs=jobs, plan=plan,
             journal_path=args.resume,
         )
+        args._accuracy = result.mean
         print(result)
         bound = CHAOS_ACCURACY_BOUNDS.get(args.experiment, 0.5)
         verdict = "within bound" if result.minimum >= bound else "BELOW BOUND"
@@ -420,7 +562,11 @@ def _cmd_chaos(args) -> int:
                   f"the documented bound", file=sys.stderr)
             return 1
         return 0
+    args._config = {
+        "experiment": args.target, "quick": quick, "seed": args.seed,
+    }
     report = run_chaos(args.target, quick=quick, seed=args.seed, plan=plan)
+    args._accuracy = report.accuracy
     print(report)
     if not report.passed:
         print(f"repro: chaos {args.target} fell below the documented "
@@ -458,6 +604,7 @@ def _cmd_profile(args) -> int:
     wall = perf_counter() - start
     report = build_report(wall_s=wall)
     report["experiment"] = args.experiment
+    args._accuracy = result.recovery_score.accuracy
     print(render_report(report))
     print(f"\n{result.recovery_score}")
     if args.profile_json:
@@ -472,6 +619,7 @@ def _cmd_profile(args) -> int:
 def _cmd_bench(args) -> int:
     from repro.errors import ConfigurationError
     from repro.observability.benchdiff import (
+        deltas_to_dict,
         diff_suites,
         gate_failures,
         load_suite,
@@ -485,6 +633,15 @@ def _cmd_bench(args) -> int:
     except ConfigurationError as exc:
         print(f"repro: {exc}", file=sys.stderr)
         return 2
+    summary = deltas_to_dict(deltas, gate_pct=args.gate)
+    args._config = {"old": args.old, "new": args.new, "gate": args.gate}
+    args._extra = {"bench_diff": summary}
+    if args.bench_json:
+        import json as _json
+        from pathlib import Path
+
+        Path(args.bench_json).write_text(_json.dumps(summary, indent=1))
+        print(f"bench diff written to {args.bench_json}")
     print(render_deltas(deltas, gate_pct=args.gate))
     if failures:
         print(f"\nbench diff: {len(failures)} benchmark(s) regressed past "
@@ -499,6 +656,8 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_report(args) -> int:
+    if args.history:
+        return _cmd_report_history(args)
     from repro.reporting import generate_reproduction_report
 
     report = generate_reproduction_report(scale=args.scale, seed=args.seed)
@@ -512,6 +671,167 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _open_runstore(args):
+    """The run store named by ``--runstore``/env, or None + diagnostic.
+
+    Query verbs never create the database: an absent file means nothing
+    was recorded yet, which is a message, not an empty schema on disk.
+    """
+    from repro.observability.runstore import RunStore, resolve_runstore_path
+
+    path = resolve_runstore_path(getattr(args, "runstore", None))
+    if path is None:
+        print("repro: the run store is disabled (REPRO_RUNSTORE=off); "
+              "pass --runstore PATH", file=sys.stderr)
+        return None
+    if not path.exists():
+        print(f"repro: no run store at {path} -- nothing has been "
+              f"recorded yet", file=sys.stderr)
+        return None
+    return RunStore(path)
+
+
+def _cmd_report_history(args) -> int:
+    from repro.observability.history import render_history_html
+
+    store = _open_runstore(args)
+    if store is None:
+        return 2
+    html = render_history_html(
+        store, experiment=args.experiment, limit=args.limit
+    )
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(html)
+        print(f"history written to {args.output}")
+    else:
+        print(html)
+    return 0
+
+
+def _cmd_runs(args) -> int:
+    import json as _json
+
+    from repro.observability import analytics
+
+    store = _open_runstore(args)
+    if store is None:
+        return 2
+
+    if args.runs_command == "list":
+        runs = store.list_runs(kind=args.kind, experiment=args.experiment,
+                               limit=args.limit)
+        if args.runs_json:
+            print(_json.dumps(runs, indent=1))
+            return 0
+        if not runs:
+            print("(no runs)")
+            return 0
+        print(f"{'run':<14} {'kind':<10} {'exp':<5} {'outcome':<8} "
+              f"{'accuracy':>9} {'wall_s':>8}  {'config':<14} git")
+        for run in runs:
+            acc = run.get("accuracy")
+            wall = run.get("wall_seconds")
+            git = run.get("git_revision") or "-"
+            if run.get("git_dirty"):
+                git += "+"
+            print(f"{run['run_id'][:12]:<14} {run['kind']:<10} "
+                  f"{(run.get('experiment') or '-'):<5} "
+                  f"{run['outcome']:<8} "
+                  f"{(f'{acc:.4f}' if acc is not None else '-'):>9} "
+                  f"{(f'{wall:.2f}' if wall is not None else '-'):>8}  "
+                  f"{(run.get('config_hash') or '-'):<14} {git}")
+        print(f"{len(runs)} run(s) in {store.path}")
+        return 0
+
+    if args.runs_command == "show":
+        run = store.get_run(store.resolve(args.ref))
+        if args.runs_json:
+            print(_json.dumps(run, indent=1, default=str))
+            return 0
+        print(f"run       {run['run_id']}")
+        print(f"kind      {run['kind']}"
+              + (f"  ({run['experiment']})" if run.get("experiment")
+                 else ""))
+        print(f"outcome   {run['outcome']}"
+              + (f"  exit={run['exit_code']}"
+                 if run.get("exit_code") is not None else ""))
+        for key in ("accuracy", "wall_seconds", "seed", "jobs",
+                    "config_hash", "fault_plan_hash", "git_revision"):
+            if run.get(key) is not None:
+                print(f"{key:<9} {run[key]}")
+        if run.get("git_dirty"):
+            print("git_dirty yes (uncommitted changes at record time)")
+        if run.get("config"):
+            print(f"config    {_json.dumps(run['config'], sort_keys=True)}")
+        if run.get("kernels"):
+            print(f"kernels   {run['kernels']}")
+        if run.get("route_status"):
+            print(f"routes    {run['route_status']}")
+        if run.get("seed_results"):
+            values = [r["value"] for r in run["seed_results"]
+                      if r["value"] is not None]
+            print(f"seeds     {len(run['seed_results'])} recorded"
+                  + (f", mean={sum(values) / len(values):.4f}"
+                     if values else ""))
+        if run.get("argv"):
+            print(f"argv      {' '.join(run['argv'])}")
+        return 0
+
+    if args.runs_command == "compare":
+        comparison = analytics.compare_runs(
+            store, args.ref_a, args.ref_b,
+            alpha=args.alpha, min_effect_pct=args.min_effect_pct,
+            experiment=args.experiment,
+        )
+        print(analytics.render_comparison(comparison))
+        if args.runs_json:
+            document = _json.dumps(comparison.to_dict(), indent=1)
+            if args.runs_json == "-":
+                print(document)
+            else:
+                from pathlib import Path
+
+                Path(args.runs_json).write_text(document)
+                print(f"comparison written to {args.runs_json}")
+        if args.gate and comparison.regressions:
+            print(f"repro: runs compare: {len(comparison.regressions)} "
+                  f"CONFIRMED regression(s)", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.runs_command == "export":
+        document = _json.dumps(
+            store.export_runs(kind=args.kind, experiment=args.experiment,
+                              limit=args.limit),
+            indent=1, default=str,
+        )
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(document)
+            print(f"exported to {args.output}")
+        else:
+            print(document)
+        return 0
+
+    if args.runs_command == "gc":
+        before_unix = None
+        if args.before_days is not None:
+            import time as _time
+
+            before_unix = _time.time() - args.before_days * 86400.0
+        removed = store.gc(keep=args.keep, before_unix=before_unix,
+                           vacuum=args.vacuum)
+        print(f"removed {removed} run(s); {store.count_runs()} remain")
+        return 0
+
+    print(f"repro: unknown runs sub-command {args.runs_command!r}",
+          file=sys.stderr)
+    return 2
+
+
 _HANDLERS = {
     "exp1": _cmd_exp1,
     "exp2": _cmd_exp2,
@@ -522,11 +842,86 @@ _HANDLERS = {
     "report": _cmd_report,
     "profile": _cmd_profile,
     "bench": _cmd_bench,
+    "runs": _cmd_runs,
 }
+
+#: Commands whose invocations land in the run store (query/meta verbs
+#: like ``table1``, ``report`` and ``runs`` itself do not).
+_RECORDED_KINDS = {
+    "exp1": "experiment",
+    "exp2": "experiment",
+    "exp3": "experiment",
+    "sweep": "sweep",
+    "chaos": "chaos",
+    "profile": "profile",
+    "bench": "bench",
+}
+
+
+def _run_experiment_name(args) -> Optional[str]:
+    """Which experiment a recorded invocation belongs to, if any."""
+    if args.command in ("exp1", "exp2", "exp3"):
+        return args.command
+    if args.command in ("sweep", "profile"):
+        return args.experiment
+    if args.command == "chaos":
+        return (args.experiment if args.target == "sweep"
+                else args.target)
+    return None
+
+
+def _record_run(args, store_path, collector, outcome, exit_code,
+                started_unix, wall_seconds) -> None:
+    """Persist one invocation; a recording failure warns, never fails
+    the run it describes."""
+    from repro.errors import PersistenceError
+    from repro.observability.manifest import build_manifest
+    from repro.observability.metrics import registry
+    from repro.observability.runstore import RunRecord, RunStore
+
+    manifest = build_manifest(
+        config=getattr(args, "_config", None),
+        argv=list(sys.argv),
+        include_spans=False,
+        include_metrics=False,  # metrics travel losslessly below
+    )
+    extra = dict(getattr(args, "_extra", None) or {})
+    if collector is not None:
+        if collector.event_counts:
+            extra["events"] = dict(collector.event_counts)
+        if collector.phases:
+            extra["phases"] = [p["name"] for p in collector.phases]
+    record = RunRecord(
+        kind=_RECORDED_KINDS[args.command],
+        experiment=_run_experiment_name(args),
+        started_unix=started_unix,
+        wall_seconds=wall_seconds,
+        outcome=outcome,
+        exit_code=exit_code,
+        accuracy=getattr(args, "_accuracy", None),
+        seed=manifest.seed,
+        jobs=getattr(args, "_jobs", None),
+        config=manifest.config,
+        fault_plan=getattr(args, "_fault_plan", None),
+        manifest=manifest.to_dict(),
+        metrics_state=registry.dump_state(),
+        route_status=getattr(args, "_route_status", None),
+        argv=list(sys.argv[1:]),
+        seed_rows=collector.seed_rows if collector is not None else (),
+        extra=extra,
+    )
+    try:
+        with RunStore(store_path) as store:
+            store.record_run(record)
+    except PersistenceError as exc:
+        print(f"repro: run not recorded: {exc}", file=sys.stderr)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns the process exit code."""
+    import time as _time
+    from time import perf_counter
+
     args = build_parser().parse_args(argv)
 
     handler = _HANDLERS.get(args.command)
@@ -539,14 +934,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if getattr(args, "trace", False) or getattr(args, "chrome_trace", None):
         trace.enable()
+
+    from repro.observability import progress as _progress
+
+    store_path = None
+    collector = None
+    view = None
+    if args.command in _RECORDED_KINDS:
+        if not getattr(args, "no_record", False):
+            from repro.observability.runstore import resolve_runstore_path
+
+            store_path = resolve_runstore_path(
+                getattr(args, "runstore", None)
+            )
+        if store_path is not None:
+            collector = _progress.CollectingEmitter()
+        view = _progress.make_progress(getattr(args, "progress", None))
+    emitter = _progress.compose(view, collector)
+    previous = _progress.set_emitter(emitter) if emitter is not None else None
+
+    started_unix = _time.time()
+    t0 = perf_counter()
+    outcome = "ok"
     try:
         code = handler(args)
+        outcome = "ok" if not code else "failed"
     except ReproError as exc:
         # One actionable line for the operator; the stack only under
         # REPRO_DEBUG=1 (it names internals, not the fix).
         if os.environ.get("REPRO_DEBUG") == "1":
             traceback.print_exc(file=sys.stderr)
         print(f"error: {exc}", file=sys.stderr)
+        outcome, code = "error", 2
+    finally:
+        if emitter is not None:
+            emitter.close()
+            _progress.set_emitter(previous)
+    if store_path is not None:
+        _record_run(args, store_path, collector, outcome, code,
+                    started_unix, perf_counter() - t0)
+    if outcome == "error":
         return 2
     finish_code = _finish_observability(args)
     return code or finish_code

@@ -30,6 +30,7 @@ from repro.fabric.thermal import OvenAmbient
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.observability.progress import note_phase
 from repro.physics.aging import NEW_PART
 from repro.rng import RngFactory
 
@@ -45,6 +46,20 @@ class Experiment1Result:
     burn_values: tuple
     stress_change_hour: float
     recovery_score: RecoveryScore
+
+    @property
+    def route_status(self) -> dict:
+        """Per-route recovery status.
+
+        Experiment 1 runs on an undisturbed lab bench, so every route
+        with enough measurements classifies; a route is only
+        ``"unrecovered"`` if its series came back too short to feature
+        (possible under fault injection).
+        """
+        return {
+            name: ("recovered" if len(series) >= 4 else "unrecovered")
+            for name, series in self.bundle.series.items()
+        }
 
     def magnitude_band(self, length_ps: float) -> tuple[float, float]:
         """(min, max) |smoothed delta-ps| at the end of burn-in, over the
@@ -134,6 +149,8 @@ def run_experiment1(
         protocol.calibrate()
 
         burn_cycles = int(config.burn_hours / config.measure_every_hours)
+        note_phase("exp1.burn", hours=config.burn_hours,
+                   cycles=burn_cycles)
         with trace.span("experiment.burn", hours=config.burn_hours):
             protocol.run_cycles(burn_cycles, progress=progress)
         stress_change_hour = protocol._clock
@@ -144,6 +161,8 @@ def run_experiment1(
             config.recovery_hours / config.measure_every_hours
         )
         if recovery_cycles:
+            note_phase("exp1.recovery", hours=config.recovery_hours,
+                       cycles=recovery_cycles)
             with trace.span(
                 "experiment.recovery", hours=config.recovery_hours
             ):
@@ -153,6 +172,7 @@ def run_experiment1(
         for route, value in zip(routes, burn_values):
             bundle.series[route.name].burn_value = value
 
+        note_phase("exp1.classify", routes=len(routes))
         with trace.span("experiment.classify"):
             classifier = BurnTrendClassifier()
             burn_window = {

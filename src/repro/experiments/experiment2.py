@@ -26,6 +26,7 @@ from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.observability.progress import note_phase
 from repro.rng import RngFactory
 
 _log = get_logger("experiments.exp2")
@@ -39,6 +40,8 @@ class Experiment2Result:
     bundle: SeriesBundle
     burn_values: tuple
     recovery_score: RecoveryScore
+    #: Per-route health from the attack (ok / degraded / unrecovered).
+    route_status: dict = None
 
     def magnitude_band(self, length_ps: float) -> tuple[float, float]:
         """(min, max) |smoothed delta-ps| at the end of burn-in per class."""
@@ -85,6 +88,8 @@ def run_experiment2(
 
         # The attacker authors the AFI, so they know its skeleton and can
         # leave the sensing region uninitialised (Threat Model 1's setting).
+        note_phase("exp2.build_designs",
+                   routes=len(config.route_lengths))
         with trace.span("experiment.build_designs"):
             grid = VIRTEX_ULTRASCALE_PLUS.make_grid()
             routes = build_route_bank(grid, config.route_lengths)
@@ -113,6 +118,7 @@ def run_experiment2(
             region=config.region,
             seed=rng.stream("sensors"),
         )
+        note_phase("exp2.attack", burn_hours=config.burn_hours)
         with trace.span("experiment.attack", burn_hours=config.burn_hours):
             result = attack.run(
                 burn_hours=config.burn_hours,
@@ -138,4 +144,5 @@ def run_experiment2(
         bundle=bundle,
         burn_values=burn_values,
         recovery_score=score,
+        route_status=dict(result.route_status),
     )

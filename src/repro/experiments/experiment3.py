@@ -32,6 +32,7 @@ from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.observability.progress import note_phase
 from repro.reliability.retry import retry_call
 from repro.rng import RngFactory
 
@@ -47,6 +48,8 @@ class Experiment3Result:
     burn_values: tuple
     recovery_score: RecoveryScore
     devices_probed: int
+    #: Per-route health from the attack (ok / degraded / unrecovered).
+    route_status: dict = None
 
     def accuracy_by_length(self) -> dict[float, float]:
         """Recovery accuracy per route-length class."""
@@ -108,6 +111,7 @@ def run_experiment3(
         provider.release(calibration_instance)
 
         # --- Victim period: unobserved 200-hour burn.
+        note_phase("exp3.victim_burn", hours=config.victim_burn_hours)
         with trace.span(
             "experiment.victim_burn", hours=config.victim_burn_hours
         ):
@@ -128,6 +132,7 @@ def run_experiment3(
             conditioned_to=config.conditioned_to,
             seed=config.seed,
         )
+        note_phase("exp3.attack", recovery_hours=config.recovery_hours)
         with trace.span(
             "experiment.attack", recovery_hours=config.recovery_hours
         ):
@@ -154,4 +159,5 @@ def run_experiment3(
         burn_values=burn_values,
         recovery_score=score,
         devices_probed=result.devices_probed,
+        route_status=dict(result.route_status),
     )

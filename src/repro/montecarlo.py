@@ -49,6 +49,7 @@ from repro.errors import AnalysisError, ConfigurationError
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
+from repro.observability.progress import note_phase, note_seed_done
 
 _log = get_logger("montecarlo")
 
@@ -238,6 +239,7 @@ def _resume_from_journal(journal, seeds: Sequence[int]) -> dict[int, float]:
         if collect_spans and trace_state:
             trace.merge_state(trace_state, shard=index, resumed=True)
         resumed[seed] = float(entry["value"])
+        note_seed_done(seed, resumed[seed], resumed=True)
         registry.counter(
             "sweep_seeds_resumed_total",
             "sweep seeds skipped via a resume journal",
@@ -257,7 +259,9 @@ def _run_sequential(
         if journal is None:
             with trace.span("montecarlo.seed", seed=int(seed)):
                 values.append(float(metric(int(seed))))
-            _record_seed_run(perf_counter() - start)
+            elapsed = perf_counter() - start
+            _record_seed_run(elapsed)
+            note_seed_done(int(seed), values[-1], elapsed_s=elapsed)
             continue
         # Journaled: isolate this seed's metric deltas so the journal
         # entry replays exactly them on resume.  The finally block
@@ -276,6 +280,7 @@ def _run_sequential(
             registry.merge_state(seed_state)
         journal.record(int(seed), value, metrics_state=seed_state)
         values.append(value)
+        note_seed_done(int(seed), value, elapsed_s=perf_counter() - start)
     return values
 
 
@@ -338,6 +343,9 @@ def _run_parallel(
                                      else None),
                     )
                 values.append(outcome.value)
+                note_seed_done(int(seed), outcome.value,
+                               elapsed_s=outcome.elapsed_s, shard=shard,
+                               worker_pid=outcome.pid)
         except BaseException:
             # Ctrl-C (or any other non-metric failure) while collecting:
             # drop the queued seeds, let running workers finish their
@@ -401,6 +409,8 @@ def run_monte_carlo(
         _log.info("sharding_skipped", requested=jobs,
                   cpus=_available_cpus(), seeds=len(seeds),
                   reason="not beneficial on this machine")
+    note_phase("sweep", total=len(seeds), metric=metric_name,
+               jobs=effective)
     with trace.span(
         "montecarlo", metric=metric_name, seeds=len(seeds), jobs=effective
     ):

@@ -19,7 +19,16 @@ The measurement layer under every other subsystem:
 * :mod:`repro.observability.timeline` -- Chrome Trace Event Format
   export for Perfetto / ``chrome://tracing``;
 * :mod:`repro.observability.benchdiff` -- benchmark-suite diffing and
-  the CI regression gate (``repro bench diff``).
+  the CI regression gate (``repro bench diff``);
+* :mod:`repro.observability.progress` -- live progress telemetry: a
+  structured event stream (phase / seed_done / operational events)
+  rendered as a TTY status line or JSONL (``--progress``);
+* :mod:`repro.observability.runstore` -- the durable sqlite run
+  database every CLI invocation records into (``repro runs ...``);
+* :mod:`repro.observability.analytics` -- cross-run statistics:
+  bootstrap/rank-test comparisons and trend series over the run store;
+* :mod:`repro.observability.history` -- the self-contained HTML
+  history report (``repro report --history``).
 
 Conventions (see ``docs/observability.md``): span names are
 ``layer.stage`` (``experiment``, ``phase.measurement``,
@@ -29,7 +38,16 @@ unit (``capture_latency_seconds``, ``readout_skew_ps``).
 
 from __future__ import annotations
 
-from repro.observability import benchdiff, profile, timeline, trace
+from repro.observability import (
+    analytics,
+    benchdiff,
+    history,
+    profile,
+    progress,
+    runstore,
+    timeline,
+    trace,
+)
 from repro.observability.export import (
     metrics_to_dict,
     to_prometheus_text,
@@ -58,6 +76,10 @@ __all__ = [
     "profile",
     "timeline",
     "benchdiff",
+    "progress",
+    "runstore",
+    "analytics",
+    "history",
     "span",
     "Span",
     "render_tree",

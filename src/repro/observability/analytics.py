@@ -1,0 +1,487 @@
+"""Cross-run analytics: statistical comparison and trends over history.
+
+One recorded run is an anecdote; the run store makes populations.
+This module turns two recorded runs into a defensible verdict
+(:func:`compare_runs`) and a run series into a trend
+(:func:`trend_series`):
+
+* **Recovery accuracy** is compared across the two runs' per-seed
+  values with a seeded percentile-bootstrap confidence interval on the
+  difference of means plus a Wilcoxon-Mann-Whitney rank test (both
+  from :mod:`repro.analysis.stats`).
+* **Latency histograms** stored in each run's lossless metrics dump
+  are compared on their retained reservoirs with the same rank test,
+  and their p50/p95/p99 summaries are tabulated side by side.
+* **Counters** are reported as deltas (informational -- two runs of
+  different shapes legitimately count different work).
+
+Every compared key is direction-classified with
+:func:`repro.observability.benchdiff.classify_key` -- the same
+"``*_seconds`` regress upward, ``*accuracy*`` regress downward" rule
+the bench gate uses -- and folded into one of four verdicts:
+
+``CONFIRMED``
+    the new run is worse past the minimum effect size *and* the
+    statistics agree (CI excluding zero, or rank-test significance);
+``SUSPECT``
+    worse past the effect floor, but the statistics cannot rule out
+    noise (small n, high variance);
+``IMPROVED`` / ``OK``
+    better past the floor, or within it.
+
+``repro runs compare A B --gate`` exits nonzero exactly when a
+``CONFIRMED`` regression is present -- the durable-baseline gate the
+perf and mitigation roadmap items build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.analysis.stats import bootstrap_mean_diff_ci, rank_sum_test
+from repro.errors import AnalysisError, ConfigurationError
+from repro.observability.benchdiff import classify_key
+from repro.observability.metrics import Histogram
+
+__all__ = [
+    "MetricComparison",
+    "CounterDelta",
+    "RunComparison",
+    "compare_runs",
+    "compare_samples",
+    "trend_series",
+    "render_comparison",
+    "render_trend",
+]
+
+#: Histograms worth comparing statistically even when many are stored.
+#: Everything else still appears in the percentile table.
+_DEFAULT_ALPHA = 0.05
+_DEFAULT_MIN_EFFECT_PCT = 5.0
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric compared between run A (baseline) and run B (new)."""
+
+    key: str
+    direction: str  # "lower" | "higher" | "info" (benchdiff.classify_key)
+    n_a: int
+    n_b: int
+    mean_a: float
+    mean_b: float
+    ci_low: Optional[float]  # bootstrap CI on mean_b - mean_a
+    ci_high: Optional[float]
+    p_value: Optional[float]  # rank-sum, two-sided
+    verdict: str  # CONFIRMED | SUSPECT | IMPROVED | OK | INFO
+
+    @property
+    def diff(self) -> float:
+        """Point difference, new minus baseline."""
+        return self.mean_b - self.mean_a
+
+    @property
+    def change_pct(self) -> Optional[float]:
+        """Relative change in percent (None when the baseline is 0)."""
+        if self.mean_a == 0.0:
+            return None
+        return self.diff / abs(self.mean_a) * 100.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "key": self.key,
+            "direction": self.direction,
+            "n_a": self.n_a,
+            "n_b": self.n_b,
+            "mean_a": self.mean_a,
+            "mean_b": self.mean_b,
+            "diff": self.diff,
+            "change_pct": self.change_pct,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "p_value": self.p_value,
+            "verdict": self.verdict,
+        }
+
+
+@dataclass(frozen=True)
+class CounterDelta:
+    """One counter's values across the two runs (informational)."""
+
+    key: str
+    a: Optional[float]
+    b: Optional[float]
+
+    @property
+    def delta(self) -> Optional[float]:
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+
+def compare_samples(
+    key: str,
+    sample_a,
+    sample_b,
+    alpha: float = _DEFAULT_ALPHA,
+    min_effect_pct: float = _DEFAULT_MIN_EFFECT_PCT,
+    n_boot: int = 2000,
+    boot_seed: int = 7,
+) -> MetricComparison:
+    """Compare two samples of one metric and classify the outcome.
+
+    The direction comes from the key name (the bench-gate convention);
+    significance from a bootstrap CI on the mean difference and a rank
+    test; and the effect floor ``min_effect_pct`` keeps a statistically
+    real but operationally irrelevant drift (0.3% on a 4096-point
+    reservoir) out of the CONFIRMED bucket.
+    """
+    sample_a = [float(v) for v in sample_a]
+    sample_b = [float(v) for v in sample_b]
+    if not sample_a or not sample_b:
+        raise AnalysisError(f"metric {key!r} needs data on both sides")
+    mean_a = sum(sample_a) / len(sample_a)
+    mean_b = sum(sample_b) / len(sample_b)
+    ci_low = ci_high = p_value = None
+    if len(sample_a) >= 2 or len(sample_b) >= 2:
+        ci_low, ci_high = bootstrap_mean_diff_ci(
+            sample_a, sample_b, n_boot=n_boot, seed=boot_seed
+        )
+        p_value = rank_sum_test(sample_a, sample_b).p_value
+    direction = classify_key(key)
+    verdict = _classify(
+        direction, mean_a, mean_b, ci_low, ci_high, p_value,
+        alpha=alpha, min_effect_pct=min_effect_pct,
+    )
+    return MetricComparison(
+        key=key, direction=direction,
+        n_a=len(sample_a), n_b=len(sample_b),
+        mean_a=mean_a, mean_b=mean_b,
+        ci_low=ci_low, ci_high=ci_high, p_value=p_value,
+        verdict=verdict,
+    )
+
+
+def _classify(
+    direction: str,
+    mean_a: float,
+    mean_b: float,
+    ci_low: Optional[float],
+    ci_high: Optional[float],
+    p_value: Optional[float],
+    alpha: float,
+    min_effect_pct: float,
+) -> str:
+    if direction == "info":
+        return "INFO"
+    diff = mean_b - mean_a
+    if mean_a != 0.0:
+        effect_pct = abs(diff) / abs(mean_a) * 100.0
+    else:
+        effect_pct = float("inf") if diff else 0.0
+    if effect_pct < min_effect_pct:
+        return "OK"
+    worse = diff > 0.0 if direction == "lower" else diff < 0.0
+    if not worse:
+        return "IMPROVED"
+    # Worse past the effect floor: is it statistically real?  With a
+    # single value per side there is no spread to test; the point
+    # delta past the floor is the only evidence and it confirms.
+    significant = True
+    if ci_low is not None and ci_high is not None:
+        significant = not (ci_low <= 0.0 <= ci_high)
+        if p_value is not None and p_value <= alpha:
+            significant = True
+    return "CONFIRMED" if significant else "SUSPECT"
+
+
+@dataclass(frozen=True)
+class RunComparison:
+    """Everything ``repro runs compare`` reports for a pair of runs."""
+
+    run_a: dict  # summary fields of the baseline run
+    run_b: dict
+    accuracy: Optional[MetricComparison]
+    histograms: tuple[MetricComparison, ...]
+    percentiles: tuple[dict, ...]  # p50/p95/p99 side-by-side rows
+    counters: tuple[CounterDelta, ...]
+
+    @property
+    def regressions(self) -> tuple[MetricComparison, ...]:
+        """The CONFIRMED regressions (what ``--gate`` fails on)."""
+        compared = list(self.histograms)
+        if self.accuracy is not None:
+            compared.append(self.accuracy)
+        return tuple(c for c in compared if c.verdict == "CONFIRMED")
+
+    @property
+    def suspects(self) -> tuple[MetricComparison, ...]:
+        """Worse-but-unproven comparisons."""
+        compared = list(self.histograms)
+        if self.accuracy is not None:
+            compared.append(self.accuracy)
+        return tuple(c for c in compared if c.verdict == "SUSPECT")
+
+    @property
+    def verdict(self) -> str:
+        """Overall: CONFIRMED > SUSPECT > OK."""
+        if self.regressions:
+            return "CONFIRMED"
+        if self.suspects:
+            return "SUSPECT"
+        return "OK"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (CI/machine consumption)."""
+        return {
+            "run_a": self.run_a,
+            "run_b": self.run_b,
+            "verdict": self.verdict,
+            "accuracy": (self.accuracy.to_dict()
+                         if self.accuracy is not None else None),
+            "histograms": [c.to_dict() for c in self.histograms],
+            "percentiles": list(self.percentiles),
+            "counters": [
+                {"key": c.key, "a": c.a, "b": c.b, "delta": c.delta}
+                for c in self.counters
+            ],
+            "regressions": [c.key for c in self.regressions],
+            "suspects": [c.key for c in self.suspects],
+        }
+
+
+def _run_summary(run: dict) -> dict:
+    return {
+        key: run.get(key)
+        for key in ("run_id", "kind", "experiment", "started_unix",
+                    "wall_seconds", "outcome", "accuracy", "config_hash",
+                    "git_revision", "git_dirty", "jobs")
+    }
+
+
+def _accuracy_samples(run: dict) -> list[float]:
+    values = [
+        float(row["value"])
+        for row in run.get("seed_results", ())
+        if row.get("value") is not None
+    ]
+    if values:
+        return values
+    if run.get("accuracy") is not None:
+        return [float(run["accuracy"])]
+    return []
+
+
+def _histogram_states(run: dict) -> dict[str, dict]:
+    metrics = run.get("metrics") or {}
+    return dict(metrics.get("histograms") or {})
+
+
+def _counter_values(run: dict) -> dict[str, float]:
+    metrics = run.get("metrics") or {}
+    return {
+        name: float(payload.get("value", 0.0))
+        for name, payload in (metrics.get("counters") or {}).items()
+    }
+
+
+def _summary_from_state(state: dict) -> dict:
+    hist = Histogram(name="replay")
+    hist.merge_raw(state)
+    return hist.summary()
+
+
+def compare_runs(
+    store,
+    ref_a: str,
+    ref_b: str,
+    alpha: float = _DEFAULT_ALPHA,
+    min_effect_pct: float = _DEFAULT_MIN_EFFECT_PCT,
+    n_boot: int = 2000,
+    boot_seed: int = 7,
+    experiment: Optional[str] = None,
+) -> RunComparison:
+    """Statistically compare two recorded runs (A = baseline, B = new).
+
+    ``ref_a``/``ref_b`` are anything :meth:`RunStore.resolve` accepts
+    (id prefix, ``latest``, ``latest~1``).  Comparing runs of different
+    experiments is allowed but warned about in the rendered output --
+    the statistics cannot know the configs differ on purpose.
+    """
+    run_a = store.get_run(store.resolve(ref_a, experiment=experiment))
+    run_b = store.get_run(store.resolve(ref_b, experiment=experiment))
+
+    accuracy = None
+    samples_a = _accuracy_samples(run_a)
+    samples_b = _accuracy_samples(run_b)
+    if samples_a and samples_b:
+        accuracy = compare_samples(
+            "recovery_accuracy", samples_a, samples_b,
+            alpha=alpha, min_effect_pct=min_effect_pct,
+            n_boot=n_boot, boot_seed=boot_seed,
+        )
+
+    hists_a = _histogram_states(run_a)
+    hists_b = _histogram_states(run_b)
+    comparisons: list[MetricComparison] = []
+    percentile_rows: list[dict] = []
+    for name in sorted(set(hists_a) & set(hists_b)):
+        state_a, state_b = hists_a[name], hists_b[name]
+        summary_a = _summary_from_state(state_a)
+        summary_b = _summary_from_state(state_b)
+        percentile_rows.append({
+            "key": name,
+            "a": {q: summary_a[q] for q in ("count", "p50", "p95", "p99")},
+            "b": {q: summary_b[q] for q in ("count", "p50", "p95", "p99")},
+        })
+        reservoir_a = list(state_a.get("reservoir") or ())
+        reservoir_b = list(state_b.get("reservoir") or ())
+        if classify_key(name) == "info" or not reservoir_a or not reservoir_b:
+            continue
+        comparisons.append(compare_samples(
+            name, reservoir_a, reservoir_b,
+            alpha=alpha, min_effect_pct=min_effect_pct,
+            n_boot=n_boot, boot_seed=boot_seed,
+        ))
+
+    counters_a = _counter_values(run_a)
+    counters_b = _counter_values(run_b)
+    counters = tuple(
+        CounterDelta(key=name, a=counters_a.get(name), b=counters_b.get(name))
+        for name in sorted(set(counters_a) | set(counters_b))
+    )
+    return RunComparison(
+        run_a=_run_summary(run_a),
+        run_b=_run_summary(run_b),
+        accuracy=accuracy,
+        histograms=tuple(comparisons),
+        percentiles=tuple(percentile_rows),
+        counters=counters,
+    )
+
+
+def trend_series(
+    store,
+    experiment: str,
+    config_hash: Optional[str] = None,
+    limit: int = 100,
+) -> list[dict]:
+    """Accuracy/wall-time history of one experiment, oldest first.
+
+    Grouping by ``config_hash`` keeps the series comparable; with
+    ``None`` every config of the experiment interleaves (the hash
+    travels with each point so a consumer can still facet).
+    """
+    if not experiment:
+        raise ConfigurationError("trend needs an experiment name")
+    rows = store.list_runs(experiment=experiment, config_hash=config_hash,
+                           limit=limit)
+    return [
+        {
+            "run_id": row["run_id"],
+            "started_unix": row["started_unix"],
+            "accuracy": row["accuracy"],
+            "wall_seconds": row["wall_seconds"],
+            "config_hash": row["config_hash"],
+            "outcome": row["outcome"],
+            "kind": row["kind"],
+        }
+        for row in reversed(rows)
+    ]
+
+
+# -- rendering --------------------------------------------------------
+
+
+def _fmt(value, digits: int = 6) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}g}"
+
+
+def render_comparison(comparison: RunComparison) -> str:
+    """The ASCII report ``repro runs compare`` prints."""
+    a, b = comparison.run_a, comparison.run_b
+    lines = [
+        f"run A (baseline): {a['run_id']}  {a['kind']}"
+        f"  {a.get('experiment') or '-'}  acc={_fmt(a.get('accuracy'), 4)}",
+        f"run B (new):      {b['run_id']}  {b['kind']}"
+        f"  {b.get('experiment') or '-'}  acc={_fmt(b.get('accuracy'), 4)}",
+    ]
+    if a.get("experiment") != b.get("experiment"):
+        lines.append("note: the runs are of different experiments; the "
+                     "comparison below is cross-workload")
+    elif a.get("config_hash") != b.get("config_hash"):
+        lines.append("note: the runs have different config hashes; part "
+                     "of any delta may be configuration, not code")
+    lines.append("")
+    header = (f"{'metric':<32} {'dir':<6} {'mean A':>12} {'mean B':>12} "
+              f"{'change':>8}  {'95% CI of diff':>24} {'p':>8}  verdict")
+    lines.append(header)
+    lines.append("-" * len(header))
+    compared = list(comparison.histograms)
+    if comparison.accuracy is not None:
+        compared.insert(0, comparison.accuracy)
+    for c in compared:
+        change = c.change_pct
+        ci = ("-" if c.ci_low is None
+              else f"[{c.ci_low:+.4g}, {c.ci_high:+.4g}]")
+        lines.append(
+            f"{c.key:<32} {c.direction:<6} {c.mean_a:>12.6g} "
+            f"{c.mean_b:>12.6g} "
+            f"{(f'{change:+.1f}%' if change is not None else '-'):>8}  "
+            f"{ci:>24} {_fmt(c.p_value, 3):>8}  {c.verdict}"
+        )
+    if comparison.percentiles:
+        lines.append("")
+        lines.append(f"{'histogram':<32} {'n A':>8} {'n B':>8} "
+                     f"{'p50 A':>10} {'p50 B':>10} {'p95 A':>10} "
+                     f"{'p95 B':>10} {'p99 A':>10} {'p99 B':>10}")
+        for row in comparison.percentiles:
+            pa, pb = row["a"], row["b"]
+            lines.append(
+                f"{row['key']:<32} {pa['count']:>8} {pb['count']:>8} "
+                f"{pa['p50']:>10.4g} {pb['p50']:>10.4g} "
+                f"{pa['p95']:>10.4g} {pb['p95']:>10.4g} "
+                f"{pa['p99']:>10.4g} {pb['p99']:>10.4g}"
+            )
+    moved = [c for c in comparison.counters
+             if c.delta not in (None, 0.0)][:12]
+    if moved:
+        lines.append("")
+        lines.append(f"{'counter':<40} {'A':>14} {'B':>14} {'delta':>12}")
+        for c in moved:
+            lines.append(f"{c.key:<40} {_fmt(c.a):>14} {_fmt(c.b):>14} "
+                         f"{_fmt(c.delta):>12}")
+    lines.append("")
+    lines.append(f"verdict: {comparison.verdict}"
+                 + (f" ({', '.join(c.key for c in comparison.regressions)}"
+                    f" regressed)" if comparison.regressions else ""))
+    return "\n".join(lines)
+
+
+def render_trend(points: list[dict], width: int = 40) -> str:
+    """A compact ASCII accuracy trend (oldest first) for the terminal."""
+    if not points:
+        return "(no runs)"
+    lines = [f"{'run':<14} {'config':<14} {'outcome':<8} "
+             f"{'accuracy':>9}  trend"]
+    accuracies = [p["accuracy"] for p in points if p["accuracy"] is not None]
+    lo = min(accuracies) if accuracies else 0.0
+    hi = max(accuracies) if accuracies else 1.0
+    span = (hi - lo) or 1.0
+    for point in points:
+        accuracy = point["accuracy"]
+        if accuracy is None:
+            bar = ""
+            text = "-"
+        else:
+            bar = "#" * (1 + int((accuracy - lo) / span * (width - 1)))
+            text = f"{accuracy:.4f}"
+        lines.append(
+            f"{point['run_id']:<14} {(point['config_hash'] or '-'):<14} "
+            f"{point['outcome']:<8} {text:>9}  {bar}"
+        )
+    return "\n".join(lines)

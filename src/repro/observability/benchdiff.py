@@ -33,6 +33,7 @@ __all__ = [
     "diff_suites",
     "render_deltas",
     "gate_failures",
+    "deltas_to_dict",
 ]
 
 PathLike = Union[str, Path]
@@ -153,6 +154,42 @@ def gate_failures(
         if delta.regression_pct is not None
         and delta.regression_pct > gate_pct
     ]
+
+
+def deltas_to_dict(
+    deltas: list[BenchDelta], gate_pct: Optional[float] = None
+) -> dict:
+    """The comparison as one JSON-ready document (``--json FILE``).
+
+    Per key: both values, the relative change, the direction, the
+    regression percentage and -- when a gate is set -- the per-key gate
+    verdict.  The top level carries the failure list and overall
+    verdict so CI can consume one field.
+    """
+    failures = (
+        {d.key for d in gate_failures(deltas, gate_pct)}
+        if gate_pct is not None else set()
+    )
+    return {
+        "gate_pct": gate_pct,
+        "verdict": "fail" if failures else "pass",
+        "failures": sorted(failures),
+        "deltas": [
+            {
+                "key": delta.key,
+                "old": delta.old,
+                "new": delta.new,
+                "direction": delta.direction,
+                "change_pct": delta.change_pct,
+                "regression_pct": delta.regression_pct,
+                "gate": (
+                    None if gate_pct is None
+                    else ("fail" if delta.key in failures else "pass")
+                ),
+            }
+            for delta in deltas
+        ],
+    }
 
 
 def _fmt(value: Optional[float]) -> str:

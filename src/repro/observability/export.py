@@ -75,32 +75,53 @@ def write_spans_jsonl(path: PathLike) -> Path:
 
 
 def _sanitise(name: str) -> str:
-    return "".join(
+    """A legal exposition-format metric name.
+
+    Metric names must match ``[a-zA-Z_:][a-zA-Z0-9_:]*``: every other
+    character becomes ``_`` and a leading digit gets a ``_`` prefix.
+    """
+    cleaned = "".join(
         ch if ch.isalnum() or ch == "_" else "_" for ch in name
     )
+    if not cleaned or cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping per the exposition format: ``\\`` and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
 def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
-    """The registry in the Prometheus text exposition format."""
+    """The registry in the Prometheus text exposition format.
+
+    Every metric family gets both a ``# HELP`` line (escaped; the
+    metric name stands in when no help string was registered -- a
+    scraper-side convention that keeps the family block complete) and a
+    ``# TYPE`` line.  Histograms export as summaries: ``quantile``
+    -labelled samples plus the exact ``_sum``/``_count`` pair.
+    """
     registry = registry if registry is not None else get_registry()
     lines: list[str] = []
+
+    def _head(metric: str, help_text: str, kind: str) -> None:
+        lines.append(
+            f"# HELP {metric} {_escape_help(help_text or metric)}"
+        )
+        lines.append(f"# TYPE {metric} {kind}")
+
     for name, counter in sorted(registry.counters.items()):
         metric = _sanitise(name)
-        if counter.help:
-            lines.append(f"# HELP {metric} {counter.help}")
-        lines.append(f"# TYPE {metric} counter")
+        _head(metric, counter.help, "counter")
         lines.append(f"{metric} {counter.value}")
     for name, gauge in sorted(registry.gauges.items()):
         metric = _sanitise(name)
-        if gauge.help:
-            lines.append(f"# HELP {metric} {gauge.help}")
-        lines.append(f"# TYPE {metric} gauge")
+        _head(metric, gauge.help, "gauge")
         lines.append(f"{metric} {gauge.value}")
     for name, hist in sorted(registry.histograms.items()):
         metric = _sanitise(name)
-        if hist.help:
-            lines.append(f"# HELP {metric} {hist.help}")
-        lines.append(f"# TYPE {metric} summary")
+        _head(metric, hist.help, "summary")
         for q in (0.5, 0.95, 0.99):
             lines.append(
                 f'{metric}{{quantile="{q}"}} {hist.percentile(q * 100.0)}'

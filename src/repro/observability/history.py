@@ -1,0 +1,320 @@
+"""Self-contained HTML history report over the run store.
+
+``repro report --history`` renders the recorded runs into a single
+HTML file with zero external assets: per-experiment accuracy trend
+charts (inline SVG, hover tooltips on every run point), latency
+percentile tables reusing :func:`repro.analysis.report.render_table`,
+counter deltas between the two newest runs of each series, and a
+provenance table of the runs themselves.  The file is meant to be a CI
+artifact -- download, open, done.
+
+Chart conventions follow the repo's visualization rules: a single
+accuracy series per chart (so no legend -- the title names it), a 2px
+line with 8px markers in the categorical slot-1 blue, text always in
+ink tokens (never the series color), hairline grid, and light/dark
+palettes swapped by CSS custom properties under
+``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.report import render_table
+from repro.observability.analytics import compare_runs, trend_series
+from repro.observability.metrics import Histogram
+
+__all__ = ["render_history_html", "write_history_html"]
+
+PathLike = Union[str, Path]
+
+_CSS = """
+:root {
+  color-scheme: light dark;
+}
+body {
+  margin: 0;
+  padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: var(--page);
+  color: var(--text-primary);
+}
+.viz-root {
+  color-scheme: light;
+  --page:           #f9f9f7;
+  --surface-1:      #fcfcfb;
+  --text-primary:   #0b0b0b;
+  --text-secondary: #52514e;
+  --text-muted:     #898781;
+  --gridline:       #e1e0d9;
+  --baseline:       #c3c2b7;
+  --series-1:       #2a78d6;
+  --border:         rgba(11, 11, 11, 0.10);
+}
+@media (prefers-color-scheme: dark) {
+  .viz-root {
+    color-scheme: dark;
+    --page:           #0d0d0d;
+    --surface-1:      #1a1a19;
+    --text-primary:   #ffffff;
+    --text-secondary: #c3c2b7;
+    --text-muted:     #898781;
+    --gridline:       #2c2c2a;
+    --baseline:       #383835;
+    --series-1:       #3987e5;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 16px; margin: 32px 0 8px; }
+.subtitle { color: var(--text-secondary); font-size: 13px; margin: 0 0 24px; }
+.card {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 16px;
+  margin: 12px 0;
+}
+svg text { fill: var(--text-muted); font-size: 11px;
+           font-family: system-ui, sans-serif; }
+svg .grid { stroke: var(--gridline); stroke-width: 1; }
+svg .axis { stroke: var(--baseline); stroke-width: 1; }
+svg .line { stroke: var(--series-1); stroke-width: 2; fill: none;
+            stroke-linejoin: round; }
+svg .dot  { fill: var(--series-1); }
+svg .hit  { fill: transparent; }
+svg .hit:hover + .dot, svg g:hover .dot { r: 6; }
+pre {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 12px;
+  overflow-x: auto;
+  font-size: 12px;
+  line-height: 1.5;
+  color: var(--text-primary);
+}
+table { border-collapse: collapse; font-size: 13px; width: 100%; }
+th, td { text-align: left; padding: 4px 12px 4px 0;
+         border-bottom: 1px solid var(--gridline);
+         font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 600; }
+.num { text-align: right; }
+"""
+
+
+def _fmt_time(unix: Optional[float]) -> str:
+    if unix is None:
+        return "-"
+    return time.strftime("%Y-%m-%d %H:%M", time.localtime(unix))
+
+
+def _fmt(value, digits: int = 4) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}g}"
+
+
+def _trend_svg(points: list[dict], width: int = 720,
+               height: int = 200) -> str:
+    """One accuracy-over-runs line chart as inline SVG.
+
+    X is run order (recorded left to right, oldest first); Y is
+    recovery accuracy.  Each point carries a native tooltip with the
+    run id, timestamp and exact value -- the hover layer for a static
+    artifact file.
+    """
+    plotted = [p for p in points if p.get("accuracy") is not None]
+    if len(plotted) < 1:
+        return "<p class='subtitle'>no accuracy-bearing runs yet</p>"
+    pad_l, pad_r, pad_t, pad_b = 48, 16, 12, 28
+    plot_w = width - pad_l - pad_r
+    plot_h = height - pad_t - pad_b
+    values = [float(p["accuracy"]) for p in plotted]
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        lo, hi = lo - 0.05, hi + 0.05
+    span = hi - lo
+    lo -= span * 0.08
+    hi += span * 0.08
+
+    def x(i: int) -> float:
+        if len(plotted) == 1:
+            return pad_l + plot_w / 2.0
+        return pad_l + i / (len(plotted) - 1) * plot_w
+
+    def y(v: float) -> float:
+        return pad_t + (1.0 - (v - lo) / (hi - lo)) * plot_h
+
+    parts = [
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img" '
+        f'aria-label="recovery accuracy per recorded run">'
+    ]
+    for frac in (0.0, 0.5, 1.0):
+        gy = pad_t + frac * plot_h
+        value = hi - frac * (hi - lo)
+        parts.append(f'<line class="grid" x1="{pad_l}" y1="{gy:.1f}" '
+                     f'x2="{width - pad_r}" y2="{gy:.1f}"/>')
+        parts.append(f'<text x="{pad_l - 6}" y="{gy + 4:.1f}" '
+                     f'text-anchor="end">{value:.3f}</text>')
+    parts.append(f'<line class="axis" x1="{pad_l}" y1="{pad_t + plot_h}" '
+                 f'x2="{width - pad_r}" y2="{pad_t + plot_h}"/>')
+    if len(plotted) >= 2:
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{x(i):.1f},{y(v):.1f}"
+            for i, v in enumerate(values)
+        )
+        parts.append(f'<path class="line" d="{path}"/>')
+    for i, point in enumerate(plotted):
+        cx, cy = x(i), y(values[i])
+        tip = (f"{point['run_id']} · {_fmt_time(point['started_unix'])} · "
+               f"accuracy {values[i]:.4f}")
+        parts.append(
+            f'<g><circle class="hit" cx="{cx:.1f}" cy="{cy:.1f}" r="12">'
+            f"<title>{html.escape(tip)}</title></circle>"
+            f'<circle class="dot" cx="{cx:.1f}" cy="{cy:.1f}" r="4">'
+            f"<title>{html.escape(tip)}</title></circle></g>"
+        )
+    parts.append(f'<text x="{pad_l}" y="{height - 8}">oldest</text>')
+    parts.append(f'<text x="{width - pad_r}" y="{height - 8}" '
+                 f'text-anchor="end">newest</text>')
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _percentile_table(run: dict) -> Optional[str]:
+    """Latency percentile table of one run's stored histograms."""
+    metrics = run.get("metrics") or {}
+    histograms = metrics.get("histograms") or {}
+    if not histograms:
+        return None
+    rows = []
+    for name in sorted(histograms):
+        hist = Histogram(name="replay")
+        hist.merge_raw(histograms[name])
+        summary = hist.summary()
+        rows.append([
+            name, summary["count"],
+            f"{summary['p50']:.6g}", f"{summary['p95']:.6g}",
+            f"{summary['p99']:.6g}", f"{summary['max']:.6g}",
+        ])
+    return render_table(
+        ["histogram", "count", "p50", "p95", "p99", "max"], rows
+    )
+
+
+def _counter_delta_table(comparison) -> Optional[str]:
+    moved = [c for c in comparison.counters if c.delta not in (None, 0.0)]
+    if not moved:
+        return None
+    rows = [[c.key, _fmt(c.a, 6), _fmt(c.b, 6), _fmt(c.delta, 6)]
+            for c in moved]
+    return render_table(["counter", "previous", "latest", "delta"], rows)
+
+
+def _runs_table(points: list[dict], store) -> str:
+    summaries = {r["run_id"]: r for r in store.list_runs()}
+    cells = []
+    for point in reversed(points):  # newest first for the table
+        summary = summaries.get(point["run_id"], {})
+        cells.append(
+            "<tr>"
+            f"<td>{html.escape(point['run_id'])}</td>"
+            f"<td>{html.escape(_fmt_time(point['started_unix']))}</td>"
+            f"<td>{html.escape(point['kind'])}</td>"
+            f"<td>{html.escape(point.get('config_hash') or '-')}</td>"
+            f"<td>{html.escape(str(summary.get('git_revision') or '-'))}"
+            f"{'*' if summary.get('git_dirty') else ''}</td>"
+            f"<td>{html.escape(point['outcome'])}</td>"
+            f"<td class='num'>{_fmt(point.get('accuracy'))}</td>"
+            f"<td class='num'>{_fmt(point.get('wall_seconds'), 3)}</td>"
+            "</tr>"
+        )
+    return (
+        "<table><thead><tr><th>run</th><th>started</th><th>kind</th>"
+        "<th>config</th><th>git</th><th>outcome</th>"
+        "<th class='num'>accuracy</th><th class='num'>wall s</th>"
+        "</tr></thead><tbody>" + "".join(cells) + "</tbody></table>"
+    )
+
+
+def render_history_html(
+    store,
+    experiment: Optional[str] = None,
+    limit: int = 50,
+) -> str:
+    """The full history report as one HTML document string."""
+    experiments = sorted(
+        {row["experiment"] for row in store.list_runs(limit=None)
+         if row["experiment"]}
+    )
+    if experiment is not None:
+        experiments = [e for e in experiments if e == experiment]
+    sections = []
+    for name in experiments:
+        points = trend_series(store, name, limit=limit)
+        section = [f"<h2>{html.escape(name)}</h2>",
+                   "<div class='card'>", _trend_svg(points), "</div>"]
+        latest = store.get_run(points[-1]["run_id"]) if points else None
+        if latest is not None:
+            percentiles = _percentile_table(latest)
+            if percentiles:
+                section.append("<h3>latency percentiles (latest run)</h3>")
+                section.append(f"<pre>{html.escape(percentiles)}</pre>")
+        if len(points) >= 2:
+            comparison = compare_runs(
+                store, points[-2]["run_id"], points[-1]["run_id"]
+            )
+            counters = _counter_delta_table(comparison)
+            if counters:
+                section.append("<h3>counter deltas (previous → latest)</h3>")
+                section.append(f"<pre>{html.escape(counters)}</pre>")
+        section.append("<h3>recorded runs</h3>")
+        section.append(_runs_table(points, store))
+        sections.append("\n".join(section))
+    if not sections:
+        sections.append("<p class='subtitle'>the run store is empty -- "
+                        "record a run first (any repro experiment/sweep "
+                        "invocation records by default)</p>")
+    total = store.count_runs()
+    meta = {
+        "generated_unix": time.time(),
+        "runstore": str(store.path),
+        "total_runs": total,
+    }
+    return f"""<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro run history</title>
+<style>{_CSS}</style>
+</head>
+<body class="viz-root">
+<h1>Run history</h1>
+<p class="subtitle">{html.escape(str(store.path))} ·
+{total} recorded run(s) · generated {_fmt_time(meta['generated_unix'])}</p>
+{"".join(sections)}
+<script type="application/json" id="history-meta">
+{html.escape(json.dumps(meta))}
+</script>
+</body>
+</html>
+"""
+
+
+def write_history_html(
+    path: PathLike,
+    store,
+    experiment: Optional[str] = None,
+    limit: int = 50,
+) -> Path:
+    """Write the history report to ``path``; returns the resolved path."""
+    target = Path(path)
+    target.write_text(render_history_html(store, experiment=experiment,
+                                          limit=limit))
+    return target

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import platform
+import subprocess
 import sys
 import time
 import uuid
@@ -25,7 +26,13 @@ from typing import Any, Optional
 from repro.observability import metrics as _metrics
 from repro.observability import trace as _trace
 
-__all__ = ["RunManifest", "build_manifest", "diff_manifests"]
+__all__ = [
+    "RunManifest",
+    "build_manifest",
+    "diff_manifests",
+    "git_state",
+    "resolved_kernels",
+]
 
 #: Manifest payload format, independent of the archive schema version.
 MANIFEST_VERSION = 1
@@ -43,6 +50,9 @@ class RunManifest:
     argv: tuple[str, ...]
     seed: Optional[int] = None
     config: Optional[dict] = None
+    git_revision: Optional[str] = None
+    git_dirty: Optional[bool] = None
+    kernels: dict = field(default_factory=dict)
     spans: tuple = ()
     metrics: dict = field(default_factory=dict)
     extra: dict = field(default_factory=dict)
@@ -59,6 +69,9 @@ class RunManifest:
             "argv": list(self.argv),
             "seed": self.seed,
             "config": self.config,
+            "git_revision": self.git_revision,
+            "git_dirty": self.git_dirty,
+            "kernels": dict(self.kernels),
             "spans": list(self.spans),
             "metrics": dict(self.metrics),
             "extra": dict(self.extra),
@@ -76,10 +89,69 @@ class RunManifest:
             argv=tuple(payload.get("argv", ())),
             seed=payload.get("seed"),
             config=payload.get("config"),
+            git_revision=payload.get("git_revision"),
+            git_dirty=payload.get("git_dirty"),
+            kernels=dict(payload.get("kernels", {})),
             spans=tuple(payload.get("spans", ())),
             metrics=dict(payload.get("metrics", {})),
             extra=dict(payload.get("extra", {})),
         )
+
+
+#: ``git_state()`` result memoised per process -- the revision cannot
+#: change mid-run, and a subprocess per manifest would dominate quick
+#: experiments.  ``None`` means "not asked yet".
+_GIT_STATE: Optional[tuple[Optional[str], Optional[bool]]] = None
+
+
+def git_state() -> tuple[Optional[str], Optional[bool]]:
+    """``(revision, dirty)`` of the working tree, or ``(None, None)``.
+
+    Answers come from ``git rev-parse`` / ``git status --porcelain``;
+    outside a checkout (an installed wheel, a bare archive) or without
+    a ``git`` binary both fields are ``None``.  Cached for the process
+    lifetime.
+    """
+    global _GIT_STATE
+    if _GIT_STATE is not None:
+        return _GIT_STATE
+    revision: Optional[str] = None
+    dirty: Optional[bool] = None
+    try:
+        probe = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=5.0,
+        )
+        if probe.returncode == 0:
+            revision = probe.stdout.strip()[:12] or None
+        if revision is not None:
+            status = subprocess.run(
+                ["git", "status", "--porcelain"],
+                capture_output=True, text=True, timeout=5.0,
+            )
+            if status.returncode == 0:
+                dirty = bool(status.stdout.strip())
+    except (OSError, subprocess.SubprocessError):
+        revision, dirty = None, None
+    _GIT_STATE = (revision, dirty)
+    return _GIT_STATE
+
+
+def resolved_kernels() -> dict:
+    """The kernel knobs this process actually resolved to.
+
+    Records what ``REPRO_CAPTURE_KERNEL`` / ``REPRO_AGING_KERNEL`` (or
+    their in-process setters) produced, so an archived number can be
+    attributed to the batched vs reference capture path and the array
+    vs scalar aging engine.
+    """
+    from repro.physics.pool_array import get_aging_kernel
+    from repro.sensor.tdc import get_capture_kernel
+
+    return {
+        "capture": get_capture_kernel(),
+        "aging": get_aging_kernel(),
+    }
 
 
 def _config_as_dict(config: Any) -> Optional[dict]:
@@ -112,6 +184,7 @@ def build_manifest(
         seed = config_dict.get("seed")
     from repro import __version__
 
+    revision, dirty = git_state()
     return RunManifest(
         run_id=uuid.uuid4().hex[:12],
         created_unix=time.time(),
@@ -121,6 +194,9 @@ def build_manifest(
         argv=tuple(argv if argv is not None else sys.argv),
         seed=seed,
         config=config_dict,
+        git_revision=revision,
+        git_dirty=dirty,
+        kernels=resolved_kernels(),
         spans=tuple(_trace.tree_as_dicts()) if include_spans else (),
         metrics=(
             _metrics.get_registry().snapshot() if include_metrics else {}
@@ -138,12 +214,15 @@ def diff_manifests(a: dict, b: dict) -> dict:
     same experiment disagree.
     """
     diffs: dict = {}
-    for key in ("repro_version", "python_version", "platform", "seed"):
+    for key in ("repro_version", "python_version", "platform", "seed",
+                "git_revision", "git_dirty"):
         if a.get(key) != b.get(key):
             diffs[key] = (a.get(key), b.get(key))
-    config_a = a.get("config") or {}
-    config_b = b.get("config") or {}
-    for key in sorted(set(config_a) | set(config_b)):
-        if config_a.get(key) != config_b.get(key):
-            diffs[f"config.{key}"] = (config_a.get(key), config_b.get(key))
+    for group in ("config", "kernels"):
+        group_a = a.get(group) or {}
+        group_b = b.get(group) or {}
+        for key in sorted(set(group_a) | set(group_b)):
+            if group_a.get(key) != group_b.get(key):
+                diffs[f"{group}.{key}"] = (group_a.get(key),
+                                           group_b.get(key))
     return diffs

@@ -1,0 +1,392 @@
+"""Live progress telemetry: a structured event stream for long runs.
+
+A multi-hundred-seed sweep used to run dark: nothing between the
+command line and the final distribution summary.  This module gives
+every long-running pipeline a single event stream with three shapes of
+event:
+
+* ``phase`` -- a named stage transition (``experiment.burn``,
+  ``sweep``), with whatever attributes the caller knows (totals,
+  hours);
+* ``seed_done`` -- one Monte Carlo seed finished (or was replayed from
+  a resume journal), with its value, wall time and shard attribution;
+* ``event`` -- an operational occurrence worth surfacing live: a fault
+  injection, a retry, a route degrading to a guess.
+
+Emitters render the stream two ways: :class:`TtyProgress` keeps a
+single ``\\r``-rewritten status line on a terminal (completed/total,
+moving-average rate, ETA), and :class:`JsonlProgress` writes one JSON
+object per event for machines (``--progress jsonl``).  Both write to
+stderr so stdout stays parseable.
+
+Producers do not hold an emitter; they call the module-level
+:func:`note_phase` / :func:`note_seed_done` / :func:`note_event`
+hooks, which are a single ``None`` check when no emitter is installed
+-- the same fast-path contract the fault-injection sites keep.  The
+CLI installs an emitter (possibly a :func:`compose` of a terminal view
+and the run store's :class:`CollectingEmitter`) around each command.
+
+Worker processes under ``--jobs N`` do not inherit the parent's
+emitter; per-seed completions are emitted parent-side as results are
+collected, so the progress view covers sharded sweeps too, while
+per-capture events from inside workers stay in the workers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from collections import deque
+from typing import Callable, Optional, TextIO
+
+__all__ = [
+    "ProgressEmitter",
+    "TtyProgress",
+    "JsonlProgress",
+    "CollectingEmitter",
+    "compose",
+    "make_progress",
+    "set_emitter",
+    "get_emitter",
+    "note_phase",
+    "note_seed_done",
+    "note_event",
+]
+
+#: Seed completions kept for the moving-average rate estimate.
+RATE_WINDOW = 16
+
+
+class ProgressEmitter:
+    """Base emitter: every sink overrides the three event methods."""
+
+    def phase(self, name: str, **fields) -> None:
+        """A named stage transition."""
+
+    def seed_done(
+        self,
+        seed: int,
+        value: float,
+        elapsed_s: float = 0.0,
+        shard: Optional[int] = None,
+        worker_pid: Optional[int] = None,
+        resumed: bool = False,
+    ) -> None:
+        """One seed's evaluation finished (or replayed from a journal)."""
+
+    def event(self, kind: str, **fields) -> None:
+        """An operational occurrence (fault, retry, degraded route)."""
+
+    def close(self) -> None:
+        """Flush and release the output (end of run)."""
+
+
+class TtyProgress(ProgressEmitter):
+    """A single rewritten status line for humans at a terminal.
+
+    Tracks completed seeds against the announced total (the ``total``
+    field of the last ``phase`` event, or the constructor's), estimates
+    the completion rate over a moving window of recent completions and
+    projects an ETA from it.  Operational events tick per-kind tallies
+    displayed at the end of the line.
+
+    ``clock`` is injectable so tests can drive the rate/ETA arithmetic
+    deterministically.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        total: Optional[int] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self.total = total
+        self.completed = 0
+        self.phase_name = ""
+        self.last_value: Optional[float] = None
+        self.tallies: dict[str, int] = {}
+        self._window: deque[float] = deque(maxlen=RATE_WINDOW)
+        self._dirty = False
+
+    # -- event intake -------------------------------------------------
+
+    def phase(self, name: str, **fields) -> None:
+        self.phase_name = name
+        if "total" in fields and fields["total"] is not None:
+            self.total = int(fields["total"])
+        self._render()
+
+    def seed_done(self, seed, value, elapsed_s=0.0, shard=None,
+                  worker_pid=None, resumed=False) -> None:
+        self.completed += 1
+        self.last_value = value
+        self._window.append(self._clock())
+        if resumed:
+            self.tallies["resumed"] = self.tallies.get("resumed", 0) + 1
+        self._render()
+
+    def event(self, kind: str, **fields) -> None:
+        root = kind.split(".", 1)[0]
+        self.tallies[root] = self.tallies.get(root, 0) + 1
+        self._render()
+
+    # -- rate / ETA ---------------------------------------------------
+
+    def rate_per_s(self) -> Optional[float]:
+        """Moving-average completions per second (None until 2 ticks)."""
+        if len(self._window) < 2:
+            return None
+        span = self._window[-1] - self._window[0]
+        if span <= 0.0:
+            return None
+        return (len(self._window) - 1) / span
+
+    def eta_s(self) -> Optional[float]:
+        """Projected seconds to completion (None without rate/total)."""
+        rate = self.rate_per_s()
+        if rate is None or self.total is None:
+            return None
+        remaining = max(self.total - self.completed, 0)
+        return remaining / rate
+
+    # -- rendering ----------------------------------------------------
+
+    def render_line(self) -> str:
+        """The current status line (without the carriage return)."""
+        parts = []
+        if self.phase_name:
+            parts.append(f"[{self.phase_name}]")
+        if self.total is not None:
+            parts.append(f"{self.completed}/{self.total}")
+        elif self.completed:
+            parts.append(f"{self.completed} done")
+        rate = self.rate_per_s()
+        if rate is not None:
+            parts.append(f"{rate:.2f}/s")
+        eta = self.eta_s()
+        if eta is not None:
+            parts.append(f"eta {_format_eta(eta)}")
+        if self.last_value is not None:
+            parts.append(f"last {self.last_value:.3f}")
+        for kind, count in sorted(self.tallies.items()):
+            parts.append(f"{kind}={count}")
+        return "  ".join(parts)
+
+    def _render(self) -> None:
+        line = self.render_line()
+        # Pad over the previous line's tail before \r-rewriting it.
+        self._stream.write("\r" + line.ljust(79)[:200])
+        self._stream.flush()
+        self._dirty = True
+
+    def close(self) -> None:
+        if self._dirty:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._dirty = False
+
+
+def _format_eta(seconds: float) -> str:
+    if seconds >= 3600.0:
+        return f"{seconds / 3600.0:.1f}h"
+    if seconds >= 60.0:
+        return f"{seconds / 60.0:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+class JsonlProgress(ProgressEmitter):
+    """One JSON object per event -- the machine-readable stream.
+
+    Every line carries ``event`` (``phase`` / ``seed_done`` / the
+    operational kind) and ``t`` (unix seconds); ``seed_done`` lines add
+    the moving-average ``rate_per_s`` and ``eta_s`` so a consumer needs
+    no windowing of its own.
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        total: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._clock = clock
+        self.total = total
+        self.completed = 0
+        self._window: deque[float] = deque(maxlen=RATE_WINDOW)
+
+    def _write(self, payload: dict) -> None:
+        self._stream.write(json.dumps(payload) + "\n")
+        self._stream.flush()
+
+    def phase(self, name: str, **fields) -> None:
+        if "total" in fields and fields["total"] is not None:
+            self.total = int(fields["total"])
+        self._write({"event": "phase", "t": self._clock(), "name": name,
+                     **fields})
+
+    def seed_done(self, seed, value, elapsed_s=0.0, shard=None,
+                  worker_pid=None, resumed=False) -> None:
+        self.completed += 1
+        now = self._clock()
+        self._window.append(now)
+        rate = None
+        if len(self._window) >= 2:
+            span = self._window[-1] - self._window[0]
+            if span > 0.0:
+                rate = (len(self._window) - 1) / span
+        eta = None
+        if rate is not None and self.total is not None:
+            eta = max(self.total - self.completed, 0) / rate
+        self._write({
+            "event": "seed_done", "t": now, "seed": int(seed),
+            "value": value, "elapsed_s": round(float(elapsed_s), 6),
+            "shard": shard, "worker_pid": worker_pid,
+            "resumed": bool(resumed), "completed": self.completed,
+            "total": self.total, "rate_per_s": rate, "eta_s": eta,
+        })
+
+    def event(self, kind: str, **fields) -> None:
+        self._write({"event": kind, "t": self._clock(), **fields})
+
+
+class CollectingEmitter(ProgressEmitter):
+    """Accumulate the stream in memory (the run store's recording sink).
+
+    ``seed_rows`` holds one dict per *distinct* seed -- a seed replayed
+    from a resume journal and then (wrongly) re-run would overwrite,
+    not duplicate, so the run store records exactly one row per seed.
+    """
+
+    def __init__(self) -> None:
+        self.phases: list[dict] = []
+        self._seed_rows: dict[int, dict] = {}
+        self.event_counts: dict[str, int] = {}
+
+    def phase(self, name: str, **fields) -> None:
+        self.phases.append({"name": name, **fields})
+
+    def seed_done(self, seed, value, elapsed_s=0.0, shard=None,
+                  worker_pid=None, resumed=False) -> None:
+        self._seed_rows[int(seed)] = {
+            "seed": int(seed),
+            "value": float(value),
+            "elapsed_s": float(elapsed_s),
+            "shard": shard,
+            "worker_pid": worker_pid,
+            "resumed": bool(resumed),
+        }
+
+    def event(self, kind: str, **fields) -> None:
+        self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+
+    @property
+    def seed_rows(self) -> list[dict]:
+        """Per-seed rows in seed order."""
+        return [self._seed_rows[s] for s in sorted(self._seed_rows)]
+
+
+class _Compound(ProgressEmitter):
+    def __init__(self, emitters) -> None:
+        self.emitters = tuple(emitters)
+
+    def phase(self, name: str, **fields) -> None:
+        for emitter in self.emitters:
+            emitter.phase(name, **fields)
+
+    def seed_done(self, *args, **kwargs) -> None:
+        for emitter in self.emitters:
+            emitter.seed_done(*args, **kwargs)
+
+    def event(self, kind: str, **fields) -> None:
+        for emitter in self.emitters:
+            emitter.event(kind, **fields)
+
+    def close(self) -> None:
+        for emitter in self.emitters:
+            emitter.close()
+
+
+def compose(*emitters: Optional[ProgressEmitter]) -> Optional[ProgressEmitter]:
+    """Fan one stream out to several sinks (``None`` entries dropped)."""
+    live = [e for e in emitters if e is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+    return _Compound(live)
+
+
+def make_progress(
+    mode: Optional[str],
+    stream: Optional[TextIO] = None,
+    total: Optional[int] = None,
+) -> Optional[ProgressEmitter]:
+    """Build the emitter a ``--progress MODE`` flag asked for.
+
+    ``"tty"`` forces the terminal view, ``"jsonl"`` the machine
+    stream, ``"off"``/``None`` nothing, and ``"auto"`` (the CLI
+    default) picks the terminal view only when stderr actually is a
+    terminal -- so piped and CI runs stay byte-stable.
+    """
+    if mode in (None, "off", False):
+        return None
+    if mode == "jsonl":
+        return JsonlProgress(stream=stream, total=total)
+    if mode == "tty":
+        return TtyProgress(stream=stream, total=total)
+    if mode == "auto":
+        target = stream if stream is not None else sys.stderr
+        if getattr(target, "isatty", lambda: False)():
+            return TtyProgress(stream=target, total=total)
+        return None
+    from repro.errors import ConfigurationError
+
+    raise ConfigurationError(
+        f"unknown progress mode {mode!r}; choose auto, tty, jsonl or off"
+    )
+
+
+#: The process-global emitter the note_* fast paths check.
+_EMITTER: Optional[ProgressEmitter] = None
+
+
+def set_emitter(emitter: Optional[ProgressEmitter]) -> Optional[ProgressEmitter]:
+    """Install (or clear, with ``None``) the global emitter."""
+    global _EMITTER
+    previous = _EMITTER
+    _EMITTER = emitter
+    return previous
+
+
+def get_emitter() -> Optional[ProgressEmitter]:
+    """The installed emitter, or ``None``."""
+    return _EMITTER
+
+
+def note_phase(name: str, **fields) -> None:
+    """Producer hook: a stage transition (no-op without an emitter)."""
+    if _EMITTER is None:
+        return
+    _EMITTER.phase(name, **fields)
+
+
+def note_seed_done(seed: int, value: float, elapsed_s: float = 0.0,
+                   shard: Optional[int] = None,
+                   worker_pid: Optional[int] = None,
+                   resumed: bool = False) -> None:
+    """Producer hook: one seed finished (no-op without an emitter)."""
+    if _EMITTER is None:
+        return
+    _EMITTER.seed_done(seed, value, elapsed_s=elapsed_s, shard=shard,
+                       worker_pid=worker_pid, resumed=resumed)
+
+
+def note_event(kind: str, **fields) -> None:
+    """Producer hook: an operational event (no-op without an emitter)."""
+    if _EMITTER is None:
+        return
+    _EMITTER.event(kind, **fields)

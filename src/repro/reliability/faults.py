@@ -36,6 +36,7 @@ from pathlib import Path
 from typing import Iterator, Optional, Type, Union
 
 from repro.errors import ConfigurationError, PersistenceError
+from repro.observability import progress as _progress
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
@@ -277,6 +278,8 @@ def maybe_inject(site: str, exc_type: Type[Exception],
     with trace.span("fault.inject", site=site,
                     error=exc_type.__name__):
         pass  # zero-duration marker span -> timeline instant event
+    _progress.note_event("fault", site=site, error=exc_type.__name__,
+                         fires=plan.fires.get(site, 0))
     _log.info("fault_injected", site=site, error=exc_type.__name__,
               fires=plan.fires.get(site, 0))
     raise exc_type(message)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional, TypeVar
 
 from repro.errors import ConfigurationError, TransientError
+from repro.observability import progress as _progress
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
@@ -160,6 +161,8 @@ def note_retry(label: str, attempt: int, delay_s: float,
                     simulated_delay_s=round(delay_s, 6),
                     error=type(error).__name__):
         pass  # simulated: the wait is recorded, never slept
+    _progress.note_event("retry", label=label, attempt=attempt,
+                         error=type(error).__name__)
     _log.info("retrying", label=label, attempt=attempt,
               simulated_delay_s=round(delay_s, 4),
               error=type(error).__name__)

@@ -1,0 +1,97 @@
+"""The cross-run statistics: bootstrap CI and the rank-sum test."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    RankSumResult,
+    bootstrap_mean_diff_ci,
+    rank_sum_test,
+)
+from repro.errors import AnalysisError
+
+
+class TestBootstrapCI:
+    def test_interval_brackets_true_difference(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(1.0, 0.05, 40)
+        b = rng.normal(0.7, 0.05, 40)
+        lo, hi = bootstrap_mean_diff_ci(a, b)
+        assert lo <= -0.3 <= hi or abs((lo + hi) / 2 + 0.3) < 0.05
+        assert hi < 0.0  # clearly excludes zero
+
+    def test_equal_samples_straddle_zero(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(1.0, 0.1, 50)
+        b = rng.normal(1.0, 0.1, 50)
+        lo, hi = bootstrap_mean_diff_ci(a, b)
+        assert lo <= 0.0 <= hi
+
+    def test_seeded_and_reproducible(self):
+        rng = np.random.default_rng(9)
+        a = list(rng.normal(1.0, 0.2, 25))
+        b = list(rng.normal(0.8, 0.2, 25))
+        assert bootstrap_mean_diff_ci(a, b) == bootstrap_mean_diff_ci(a, b)
+        assert bootstrap_mean_diff_ci(a, b, seed=7) != \
+            bootstrap_mean_diff_ci(a, b, seed=8)
+
+    def test_constant_samples_collapse_to_point(self):
+        lo, hi = bootstrap_mean_diff_ci([1.0, 1.0], [0.7, 0.7])
+        assert lo == pytest.approx(-0.3)
+        assert hi == pytest.approx(-0.3)
+
+    def test_coverage_widens_interval(self):
+        rng = np.random.default_rng(5)
+        a = rng.normal(0.0, 1.0, 30)
+        b = rng.normal(0.5, 1.0, 30)
+        lo95, hi95 = bootstrap_mean_diff_ci(a, b, coverage=0.95)
+        lo50, hi50 = bootstrap_mean_diff_ci(a, b, coverage=0.50)
+        assert hi95 - lo95 > hi50 - lo50
+
+
+class TestRankSum:
+    def test_separated_samples_significant(self):
+        a = [1.0, 0.99, 1.0, 0.98, 1.0, 0.97]
+        b = [0.70, 0.69, 0.71, 0.68, 0.72, 0.70]
+        result = rank_sum_test(a, b)
+        assert isinstance(result, RankSumResult)
+        assert result.p_value < 0.01
+        assert result.n_a == result.n_b == 6
+
+    def test_identical_samples_not_significant(self):
+        a = [0.9, 1.0, 0.95, 0.97, 0.92]
+        result = rank_sum_test(a, list(a))
+        assert result.p_value == pytest.approx(1.0, abs=0.05)
+
+    def test_ties_handled_with_midranks(self):
+        # Heavily tied data must still produce a finite, sane p-value.
+        a = [1.0, 1.0, 1.0, 2.0, 2.0]
+        b = [1.0, 2.0, 2.0, 2.0, 2.0]
+        result = rank_sum_test(a, b)
+        assert 0.0 <= result.p_value <= 1.0
+        assert np.isfinite(result.z_score)
+
+    def test_all_constant_limits(self):
+        # Zero total variance (every observation identical): no
+        # evidence either way, the limiting p-value is 1.
+        equal = rank_sum_test([1.0, 1.0], [1.0, 1.0])
+        assert equal.p_value == 1.0
+        assert equal.z_score == 0.0
+        # Two separated constants: maximal evidence for this n.
+        separated = rank_sum_test([1.0, 1.0], [2.0, 2.0])
+        assert separated.p_value < equal.p_value
+        assert separated.u_statistic == 0.0
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            rank_sum_test([], [1.0])
+
+    def test_matches_large_sample_normal_theory(self):
+        # For two standard normal samples shifted by 1 with n=100 the
+        # test should be overwhelmingly significant.
+        rng = np.random.default_rng(6)
+        a = rng.normal(0.0, 1.0, 100)
+        b = rng.normal(1.0, 1.0, 100)
+        assert rank_sum_test(a, b).p_value < 1e-6

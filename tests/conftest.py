@@ -2,33 +2,45 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.designs import build_measure_design, build_route_bank, build_target_design
 from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
-from repro.observability import trace
+from repro.observability import progress, trace
 from repro.observability.metrics import registry
+from repro.observability.runstore import RUNSTORE_ENV
 from repro.physics.aging import CLOUD_PART, NEW_PART
 from repro.reliability.faults import set_fault_plan
 from repro.reliability.retry import RetryPolicy, set_retry_policy
+
+# Tests must never write a run database into the developer's working
+# directory: recording defaults to off for the whole suite, and each
+# test that wants a store points REPRO_RUNSTORE (or --runstore) at a
+# tmp path of its own.
+os.environ[RUNSTORE_ENV] = "off"
 
 
 @pytest.fixture(autouse=True)
 def clean_observability():
     """Every test starts and ends with empty global metrics/span state,
-    no fault plan installed, and the default retry policy."""
+    no fault plan installed, no progress emitter, and the default retry
+    policy."""
     registry.reset()
     trace.clear()
     trace.disable()
     set_fault_plan(None)
     set_retry_policy(RetryPolicy())
+    progress.set_emitter(None)
     yield
     registry.reset()
     trace.clear()
     trace.disable()
     set_fault_plan(None)
     set_retry_policy(RetryPolicy())
+    progress.set_emitter(None)
 
 
 @pytest.fixture

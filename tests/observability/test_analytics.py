@@ -1,0 +1,217 @@
+"""Cross-run analytics: verdict taxonomy, run comparison and trends."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AnalysisError, ConfigurationError
+from repro.observability.analytics import (
+    CounterDelta,
+    compare_runs,
+    compare_samples,
+    render_comparison,
+    render_trend,
+    trend_series,
+)
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.runstore import RunRecord, RunStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "runs.db")
+
+
+def record_sweep(store, values, started_unix, metrics_state=None,
+                 config=None, experiment="exp1", **overrides):
+    rows = [{"seed": i + 1, "value": float(v)}
+            for i, v in enumerate(values)]
+    return store.record_run(RunRecord(
+        kind="sweep",
+        experiment=experiment,
+        started_unix=started_unix,
+        outcome="ok",
+        accuracy=sum(values) / len(values),
+        config=config or {"experiment": experiment, "quick": True},
+        metrics_state=metrics_state,
+        seed_rows=rows,
+        **overrides,
+    ))
+
+
+class TestCompareSamples:
+    def test_confirmed_regression(self):
+        a = [1.0, 0.99, 1.0, 0.98, 1.0, 0.99]
+        b = [0.70, 0.68, 0.71, 0.69, 0.70, 0.72]
+        comparison = compare_samples("recovery_accuracy", a, b)
+        assert comparison.direction == "higher"
+        assert comparison.verdict == "CONFIRMED"
+        assert comparison.change_pct == pytest.approx(-29.7, abs=0.5)
+        assert comparison.ci_high < 0.0
+        assert comparison.p_value <= 0.05
+
+    def test_improvement(self):
+        a = [0.010, 0.011, 0.012, 0.010]
+        b = [0.005, 0.006, 0.005, 0.006]
+        comparison = compare_samples("capture_latency_seconds", a, b)
+        assert comparison.direction == "lower"
+        assert comparison.verdict == "IMPROVED"
+
+    def test_small_drift_is_ok(self):
+        a = [1.00, 1.00, 1.00, 1.00]
+        b = [0.99, 0.98, 0.99, 0.99]
+        comparison = compare_samples("recovery_accuracy", a, b)
+        assert comparison.verdict == "OK"  # under the 5% effect floor
+
+    def test_noisy_regression_is_suspect(self):
+        # Past the floor on the means, but two overlapping noisy
+        # samples: the CI straddles zero and the rank test is weak.
+        a = [1.0, 0.4, 0.9, 0.5]
+        b = [0.8, 0.3, 0.9, 0.4]
+        comparison = compare_samples("recovery_accuracy", a, b,
+                                     min_effect_pct=1.0)
+        assert comparison.verdict == "SUSPECT"
+
+    def test_single_point_per_side_confirms_on_point_delta(self):
+        comparison = compare_samples("recovery_accuracy", [1.0], [0.7])
+        assert comparison.ci_low is None and comparison.p_value is None
+        assert comparison.verdict == "CONFIRMED"
+
+    def test_info_keys_never_gate(self):
+        comparison = compare_samples("readout_skew_ps", [1.0], [99.0])
+        assert comparison.verdict == "INFO"
+
+    def test_empty_side_raises(self):
+        with pytest.raises(AnalysisError):
+            compare_samples("recovery_accuracy", [], [1.0])
+
+
+class TestCompareRuns:
+    def test_seeded_regression_is_confirmed(self, store):
+        record_sweep(store, [1.0, 0.99, 1.0, 0.98], started_unix=1000.0)
+        record_sweep(store, [0.70, 0.69, 0.71, 0.68], started_unix=2000.0)
+        comparison = compare_runs(store, "latest~1", "latest")
+        assert comparison.accuracy.verdict == "CONFIRMED"
+        assert comparison.verdict == "CONFIRMED"
+        assert [c.key for c in comparison.regressions] == [
+            "recovery_accuracy",
+        ]
+
+    def test_equal_runs_are_ok(self, store):
+        record_sweep(store, [1.0, 0.99, 1.0], started_unix=1000.0)
+        record_sweep(store, [1.0, 0.99, 1.0], started_unix=2000.0)
+        comparison = compare_runs(store, "latest~1", "latest")
+        assert comparison.verdict == "OK"
+        assert comparison.regressions == ()
+
+    def test_scalar_accuracy_fallback(self, store):
+        # Single experiment runs have no seed rows; the stored scalar
+        # accuracy still yields a point comparison.
+        for started, accuracy in ((1000.0, 0.95), (2000.0, 0.60)):
+            store.record_run(RunRecord(
+                kind="experiment", experiment="exp1",
+                started_unix=started, outcome="ok", accuracy=accuracy,
+            ))
+        comparison = compare_runs(store, "latest~1", "latest")
+        assert comparison.accuracy.n_a == 1
+        assert comparison.accuracy.verdict == "CONFIRMED"
+
+    def test_histogram_reservoirs_compared(self, store):
+        def metrics_with_latency(scale):
+            registry = MetricsRegistry()
+            hist = registry.histogram("capture_latency_seconds", "lat")
+            for i in range(32):
+                hist.observe(scale * (1.0 + (i % 7) / 10.0))
+            return registry.dump_state()
+
+        record_sweep(store, [1.0], started_unix=1000.0,
+                     metrics_state=metrics_with_latency(0.001))
+        record_sweep(store, [1.0], started_unix=2000.0,
+                     metrics_state=metrics_with_latency(0.002))
+        comparison = compare_runs(store, "latest~1", "latest")
+        latency = {c.key: c for c in comparison.histograms}[
+            "capture_latency_seconds"
+        ]
+        assert latency.verdict == "CONFIRMED"  # 2x slower
+        keys = [row["key"] for row in comparison.percentiles]
+        assert "capture_latency_seconds" in keys
+
+    def test_counter_deltas(self, store):
+        def metrics_with_counter(value):
+            registry = MetricsRegistry()
+            registry.counter("captures_total", "captures").inc(value)
+            return registry.dump_state()
+
+        record_sweep(store, [1.0], started_unix=1000.0,
+                     metrics_state=metrics_with_counter(100))
+        record_sweep(store, [1.0], started_unix=2000.0,
+                     metrics_state=metrics_with_counter(150))
+        comparison = compare_runs(store, "latest~1", "latest")
+        delta = {c.key: c for c in comparison.counters}["captures_total"]
+        assert delta.delta == 50.0
+
+    def test_to_dict_is_json_ready(self, store):
+        import json
+
+        record_sweep(store, [1.0, 0.9], started_unix=1000.0)
+        record_sweep(store, [0.6, 0.5], started_unix=2000.0)
+        document = compare_runs(store, "latest~1", "latest").to_dict()
+        parsed = json.loads(json.dumps(document))
+        assert parsed["verdict"] in ("CONFIRMED", "SUSPECT", "OK")
+        assert parsed["accuracy"]["key"] == "recovery_accuracy"
+
+
+class TestTrend:
+    def test_series_is_oldest_first(self, store):
+        for i in range(3):
+            record_sweep(store, [0.9 + i * 0.01],
+                         started_unix=1000.0 + i)
+        points = trend_series(store, "exp1")
+        assert [p["started_unix"] for p in points] == [
+            1000.0, 1001.0, 1002.0,
+        ]
+        assert points[0]["accuracy"] == pytest.approx(0.90)
+
+    def test_series_filters_config_hash(self, store):
+        from repro.observability.runstore import config_hash
+
+        record_sweep(store, [0.9], started_unix=1.0,
+                     config={"experiment": "exp1", "quick": True})
+        record_sweep(store, [0.8], started_unix=2.0,
+                     config={"experiment": "exp1", "quick": False})
+        series_hash = config_hash({"experiment": "exp1", "quick": True})
+        points = trend_series(store, "exp1", config_hash=series_hash)
+        assert len(points) == 1
+
+    def test_needs_an_experiment(self, store):
+        with pytest.raises(ConfigurationError):
+            trend_series(store, "")
+
+
+class TestRendering:
+    def test_render_comparison_mentions_verdict(self, store):
+        record_sweep(store, [1.0, 0.99], started_unix=1000.0)
+        record_sweep(store, [0.6, 0.59], started_unix=2000.0)
+        text = render_comparison(compare_runs(store, "latest~1", "latest"))
+        assert "recovery_accuracy" in text
+        assert "verdict: CONFIRMED" in text
+
+    def test_render_comparison_warns_on_config_mismatch(self, store):
+        record_sweep(store, [1.0], started_unix=1000.0,
+                     config={"experiment": "exp1", "quick": True})
+        record_sweep(store, [1.0], started_unix=2000.0,
+                     config={"experiment": "exp1", "quick": False})
+        text = render_comparison(compare_runs(store, "latest~1", "latest"))
+        assert "different config hashes" in text
+
+    def test_render_trend(self, store):
+        record_sweep(store, [0.8], started_unix=1.0)
+        record_sweep(store, [1.0], started_unix=2.0)
+        text = render_trend(trend_series(store, "exp1"))
+        assert "0.8000" in text and "1.0000" in text
+        assert "#" in text
+        assert render_trend([]) == "(no runs)"
+
+    def test_counter_delta_properties(self):
+        assert CounterDelta("x", 1.0, 3.0).delta == 2.0
+        assert CounterDelta("x", None, 3.0).delta is None

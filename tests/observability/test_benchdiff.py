@@ -145,3 +145,31 @@ class TestRender:
         deltas = diff_suites({"gone": 1.0}, {"fresh": 2.0})
         text = render_deltas(deltas)
         assert "added" in text and "removed" in text
+
+
+class TestDeltasToDict:
+    def test_gated_document(self):
+        from repro.observability.benchdiff import deltas_to_dict
+
+        old = {"slow_seconds": 1.0, "fine_seconds": 1.0, "speedup": 4.0}
+        new = {"slow_seconds": 5.0, "fine_seconds": 1.1, "speedup": 4.2}
+        document = deltas_to_dict(diff_suites(old, new), gate_pct=80.0)
+        assert document["verdict"] == "fail"
+        assert document["failures"] == ["slow_seconds"]
+        by_key = {d["key"]: d for d in document["deltas"]}
+        assert by_key["slow_seconds"]["gate"] == "fail"
+        assert by_key["fine_seconds"]["gate"] == "pass"
+        assert by_key["slow_seconds"]["regression_pct"] == pytest.approx(
+            400.0
+        )
+        json.dumps(document)  # JSON-ready
+
+    def test_ungated_document(self):
+        from repro.observability.benchdiff import deltas_to_dict
+
+        document = deltas_to_dict(
+            diff_suites({"x_seconds": 1.0}, {"x_seconds": 2.0})
+        )
+        assert document["gate_pct"] is None
+        assert document["verdict"] == "pass"
+        assert document["deltas"][0]["gate"] is None

@@ -8,6 +8,8 @@ from repro.observability.manifest import (
     RunManifest,
     build_manifest,
     diff_manifests,
+    git_state,
+    resolved_kernels,
 )
 from repro.observability.metrics import registry
 
@@ -46,6 +48,45 @@ class TestBuild:
         assert twin.extra == {"note": "x"}
         assert twin.run_id == m.run_id
 
+    def test_git_state_memoised_and_shaped(self):
+        first = git_state()
+        assert first is git_state()  # one subprocess probe per process
+        revision, dirty = first
+        # Inside the repo checkout both are populated; the shape also
+        # holds outside one (both None).
+        if revision is not None:
+            assert len(revision) == 12
+            assert isinstance(dirty, bool)
+        else:
+            assert dirty is None
+
+    def test_kernels_reflect_active_knobs(self):
+        from repro.physics.pool_array import set_aging_kernel
+        from repro.sensor.tdc import set_capture_kernel
+
+        prev_capture = set_capture_kernel("scalar")
+        prev_aging = set_aging_kernel("scalar")
+        try:
+            assert resolved_kernels() == {
+                "capture": "scalar", "aging": "scalar",
+            }
+        finally:
+            set_capture_kernel(prev_capture)
+            set_aging_kernel(prev_aging)
+
+    def test_manifest_embeds_git_and_kernels(self):
+        m = build_manifest()
+        assert m.kernels["capture"] in ("batched", "scalar")
+        assert m.kernels["aging"] in ("array", "scalar")
+        revision, dirty = git_state()
+        assert m.git_revision == revision
+        assert m.git_dirty == dirty
+        payload = json.loads(json.dumps(m.to_dict()))
+        twin = RunManifest.from_dict(payload)
+        assert twin.git_revision == m.git_revision
+        assert twin.git_dirty == m.git_dirty
+        assert twin.kernels == m.kernels
+
 
 class TestDiff:
     def test_identical_manifests_no_diff(self):
@@ -58,3 +99,16 @@ class TestDiff:
         diffs = diff_manifests(a, b)
         assert diffs["seed"] == (1, 2)
         assert diffs["config.burn_hours"] == (40, 200)
+
+    def test_git_and_kernel_diffs_reported(self):
+        a = build_manifest().to_dict()
+        b = build_manifest().to_dict()
+        b["git_revision"] = "deadbeef0000"
+        b["git_dirty"] = not a["git_dirty"]
+        b["kernels"] = dict(b["kernels"], capture="reference")
+        diffs = diff_manifests(a, b)
+        assert diffs["git_revision"] == (a["git_revision"], "deadbeef0000")
+        assert "git_dirty" in diffs
+        assert diffs["kernels.capture"] == (
+            a["kernels"]["capture"], "reference"
+        )

@@ -136,6 +136,82 @@ class TestExport:
         own.counter("bad-name.total").inc()
         assert "bad_name_total" in to_prometheus_text(own)
 
+    def test_prometheus_exposition_conformance(self):
+        """Every line conforms to the text exposition format.
+
+        Checked against the format spec: metric names match
+        ``[a-zA-Z_:][a-zA-Z0-9_:]*``; every family has exactly one
+        ``# HELP`` then one ``# TYPE`` line, in that order, before its
+        samples; sample values parse as floats; HELP text never
+        contains a raw newline or stray backslash.
+        """
+        import re
+
+        own = MetricsRegistry()
+        own.counter("captures_total", "captures with \\ and \n inside").inc(2)
+        own.counter("9starts_with_digit").inc()
+        own.counter("no_help_total").inc()
+        own.gauge("recovery_accuracy", "accuracy").set(0.875)
+        hist = own.histogram("capture_latency_seconds", "latency")
+        for value in (0.01, 0.02, 0.03):
+            hist.observe(value)
+        text = to_prometheus_text(own)
+
+        name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+        sample_re = re.compile(
+            r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+            r'(\{quantile="[0-9.]+"\})? '
+            r"([0-9.eE+-]+|NaN)$"
+        )
+        seen_help: dict[str, bool] = {}
+        seen_type: dict[str, bool] = {}
+        for line in text.splitlines():
+            assert line == line.rstrip(), f"trailing space: {line!r}"
+            if line.startswith("# HELP "):
+                _, _, rest = line.partition("# HELP ")
+                metric, _, help_text = rest.partition(" ")
+                assert name_re.fullmatch(metric), metric
+                assert metric not in seen_help, f"duplicate HELP {metric}"
+                assert "\n" not in help_text
+                # only \\ and \n escapes are legal in HELP
+                i = 0
+                while i < len(help_text):
+                    if help_text[i] == "\\":
+                        assert i + 1 < len(help_text), "dangling backslash"
+                        assert help_text[i + 1] in ("\\", "n"), (
+                            f"illegal escape in HELP: {help_text!r}"
+                        )
+                        i += 2
+                    else:
+                        i += 1
+                seen_help[metric] = True
+            elif line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                metric, _, kind = rest.partition(" ")
+                assert kind in ("counter", "gauge", "summary", "histogram")
+                assert metric in seen_help, (
+                    f"TYPE before HELP for {metric}"
+                )
+                assert metric not in seen_type
+                seen_type[metric] = True
+            else:
+                match = sample_re.match(line)
+                assert match, f"malformed sample line: {line!r}"
+                base = re.sub(r"_(sum|count)$", "", match.group(1))
+                assert base in seen_type, (
+                    f"sample {line!r} precedes its TYPE"
+                )
+                float(match.group(3))  # value parses
+        # every family emitted both comment lines
+        assert set(seen_help) == set(seen_type)
+        # families without a help string fall back to the metric name
+        assert "# HELP no_help_total no_help_total" in text
+        # escaping applied to the registered help text
+        assert "# HELP captures_total captures with \\\\ and \\n inside" \
+            in text
+        # leading-digit names are prefixed, not dropped
+        assert "_9starts_with_digit" in text
+
     def test_metrics_to_dict_includes_spans(self):
         from repro.observability import trace
 
