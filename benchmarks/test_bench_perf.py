@@ -1,6 +1,6 @@
 """Performance benchmark: batched capture, array aging, parallel sweeps.
 
-Five phases, written to ``BENCH_perf.json`` at the repo root:
+Seven phases, written to ``BENCH_perf.json`` at the repo root:
 
 * **measurement microbench** -- full TDC measurements through the scalar
   reference kernel vs the vectorised batched kernel (the PR 2 tentpole
@@ -10,17 +10,27 @@ Five phases, written to ``BENCH_perf.json`` at the repo root:
   structure-of-arrays kernel (the PR 3 tentpole targets >= 10x here);
 * **end-to-end exp1** -- ``exp1 --quick`` wall time under each capture
   kernel with recovery accuracy compared;
-* **end-to-end exp2** -- ``exp2 --quick`` wall time under each *aging*
-  kernel with recovery accuracy compared;
-* **sweep sharding** -- ``experiment_sweep(jobs=N)`` vs sequential, with
-  the bit-identical-result invariant checked (on single-CPU runners the
-  clamp resolves the request down to the sequential path, which is
-  recorded).
+* **end-to-end exp2 (aging axis)** -- ``exp2 --quick`` wall time under
+  each *aging* kernel with recovery accuracy compared;
+* **end-to-end exp2/exp3 (all axes)** -- ``exp2 --quick`` and
+  ``exp3 --quick`` with *every* knob scalar (capture, calibration scan,
+  aging) vs every knob fast (the PR 7 tentpole targets >= 5x here);
+* **calibration-axis equivalence** -- the lockstep calibration scan
+  must reproduce the sequential scan's recovery accuracy *exactly*
+  (that axis is bit-identical even with jitter, unlike the capture
+  kernel's matrix-first jitter draws);
+* **sweep sharding** -- ``experiment_sweep(jobs=N)`` vs sequential over
+  shared-memory result arrays, with the bit-identical-result invariant
+  checked.  On single-CPU runners ``resolve_jobs`` clamps the request
+  down to the sequential path; the bench then *skips* the speedup
+  ratio (a 1-core self-comparison is noise, not a benchmark) and
+  records why.
 
 The hard gates (CI fails on them) are deliberately loose -- the
 vectorised kernels must not be *slower* than their scalar references --
 so noisy shared runners cannot flake the build; the headline ratios are
-recorded for trend tracking rather than asserted.
+recorded for trend tracking rather than asserted.  The one tight gate
+is accuracy equality along the bit-identical axes.
 """
 
 from __future__ import annotations
@@ -28,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+from contextlib import ExitStack
 from pathlib import Path
 from time import perf_counter
 
@@ -35,10 +46,13 @@ from repro.designs import build_route_bank, build_target_design
 from repro.experiments import (
     Experiment1Config,
     Experiment2Config,
+    Experiment3Config,
     run_experiment1,
     run_experiment2,
+    run_experiment3,
 )
 from repro.fabric.device import FpgaDevice
+from repro.fabric.drc import clear_drc_cache
 from repro.fabric.geometry import Coordinate
 from repro.fabric.parts import VIRTEX_ULTRASCALE_PLUS, ZYNQ_ULTRASCALE_PLUS
 from repro.fabric.routing import SegmentId
@@ -46,6 +60,7 @@ from repro.fabric.segments import SegmentKind
 from repro.montecarlo import experiment_sweep, resolve_jobs
 from repro.physics.pool_array import aging_kernel
 from repro.sensor import find_theta_init
+from repro.sensor.calibration import calibration_kernel
 from repro.sensor.noise import LAB_NOISE
 from repro.sensor.tdc import TunableDualPolarityTdc, capture_kernel
 from repro.units import celsius_to_kelvin
@@ -133,6 +148,48 @@ def _time_exp2(kernel):
     return best, accuracy
 
 
+def _time_quick_all_knobs(run, config_cls, scalar, reps=2):
+    """Best-of-``reps`` wall time of one --quick experiment.
+
+    ``scalar=True`` pins *every* kernel knob to its scalar reference --
+    capture words, calibration scan and aging -- the fully unbatched
+    path the PR 7 tentpole is measured against.  The DRC cache is
+    cleared before every rep so each rep pays its own full vetting
+    cost (reports are keyed per compile, so reps never share entries;
+    clearing just keeps the comparison cold-start honest).
+    """
+    with ExitStack() as stack:
+        if scalar:
+            stack.enter_context(capture_kernel("scalar"))
+            stack.enter_context(calibration_kernel("scalar"))
+            stack.enter_context(aging_kernel("scalar"))
+        best, accuracy = float("inf"), None
+        for _ in range(reps):
+            clear_drc_cache()
+            config = config_cls.quick()
+            start = perf_counter()
+            result = run(config)
+            best = min(best, perf_counter() - start)
+            accuracy = result.recovery_score.accuracy
+    return best, accuracy
+
+
+def _calibration_axis_accuracy(run, config_cls):
+    """Recovery accuracy under each calibration *scan* kernel.
+
+    Capture stays batched on both sides: the scan orchestration is the
+    one axis pinned bit-identical even with jitter on (each route owns
+    its own generator stream), so the two accuracies must be equal to
+    the last bit.
+    """
+    accuracies = {}
+    for scan in ("scalar", "batched"):
+        clear_drc_cache()
+        with calibration_kernel(scan):
+            accuracies[scan] = run(config_cls.quick()).recovery_score.accuracy
+    return accuracies["scalar"], accuracies["batched"]
+
+
 def test_bench_perf(emit):
     device = FpgaDevice(ZYNQ_ULTRASCALE_PLUS, seed=21)
     route = build_route_bank(device.grid, [1000.0])[0]
@@ -175,10 +232,43 @@ def test_bench_perf(emit):
          f"array-aging {exp2_array_s:.2f} s ({exp2_speedup:.1f}x), "
          f"accuracy {exp2_scalar_accuracy:.3f} -> {exp2_array_accuracy:.3f}")
 
+    exp2_all_scalar_s, exp2_all_scalar_acc = _time_quick_all_knobs(
+        run_experiment2, Experiment2Config, scalar=True
+    )
+    exp2_all_fast_s, exp2_all_fast_acc = _time_quick_all_knobs(
+        run_experiment2, Experiment2Config, scalar=False
+    )
+    exp2_e2e_speedup = exp2_all_scalar_s / exp2_all_fast_s
+    emit(f"exp2 --quick (all knobs): scalar {exp2_all_scalar_s:.2f} s, "
+         f"fast {exp2_all_fast_s:.2f} s ({exp2_e2e_speedup:.1f}x), "
+         f"accuracy {exp2_all_scalar_acc:.3f} -> {exp2_all_fast_acc:.3f}")
+
+    exp3_scalar_s, exp3_scalar_acc = _time_quick_all_knobs(
+        run_experiment3, Experiment3Config, scalar=True
+    )
+    exp3_fast_s, exp3_fast_acc = _time_quick_all_knobs(
+        run_experiment3, Experiment3Config, scalar=False
+    )
+    exp3_speedup = exp3_scalar_s / exp3_fast_s
+    emit(f"exp3 --quick (all knobs): scalar {exp3_scalar_s:.2f} s, "
+         f"fast {exp3_fast_s:.2f} s ({exp3_speedup:.1f}x), "
+         f"accuracy {exp3_scalar_acc:.3f} -> {exp3_fast_acc:.3f}")
+
+    exp2_seq_scan_acc, exp2_lockstep_acc = _calibration_axis_accuracy(
+        run_experiment2, Experiment2Config
+    )
+    exp3_seq_scan_acc, exp3_lockstep_acc = _calibration_axis_accuracy(
+        run_experiment3, Experiment3Config
+    )
+    emit(f"calibration axis: exp2 {exp2_seq_scan_acc:.3f} == "
+         f"{exp2_lockstep_acc:.3f}, exp3 {exp3_seq_scan_acc:.3f} == "
+         f"{exp3_lockstep_acc:.3f}")
+
     seeds = [1, 2, 3, 4]
     # Ask for at least two workers; on single-CPU runners resolve_jobs
     # clamps the request back to the sequential path (oversubscription
-    # was measured at 0.89x) and that is recorded below.
+    # was measured at 0.89x), and the speedup ratio below is skipped
+    # rather than recorded as a meaningless ~1x self-comparison.
     jobs_requested = max(2, min(4, os.cpu_count() or 1))
     jobs_effective = resolve_jobs(jobs_requested, len(seeds))
     start = perf_counter()
@@ -187,10 +277,15 @@ def test_bench_perf(emit):
     start = perf_counter()
     sharded = experiment_sweep("exp1", seeds=seeds, jobs=jobs_requested)
     sweep_sharded_s = perf_counter() - start
-    emit(f"sweep (4 seeds): jobs=1 {sweep_sequential_s:.2f} s, "
-         f"jobs={jobs_requested} (effective {jobs_effective}) "
-         f"{sweep_sharded_s:.2f} s "
-         f"({sweep_sequential_s / sweep_sharded_s:.1f}x)")
+    if jobs_effective >= 2:
+        emit(f"sweep (4 seeds): jobs=1 {sweep_sequential_s:.2f} s, "
+             f"jobs={jobs_requested} (effective {jobs_effective}) "
+             f"{sweep_sharded_s:.2f} s "
+             f"({sweep_sequential_s / sweep_sharded_s:.1f}x)")
+    else:
+        emit(f"sweep (4 seeds): jobs=1 {sweep_sequential_s:.2f} s; "
+             f"jobs={jobs_requested} clamped to 1 on this "
+             f"{os.cpu_count()}-cpu host -- speedup gate skipped")
 
     payload = {
         "suite": "perf",
@@ -227,16 +322,46 @@ def test_bench_perf(emit):
             "scalar_accuracy": exp2_scalar_accuracy,
             "array_accuracy": exp2_array_accuracy,
         },
+        "exp2_quick_e2e": {
+            "all_scalar_seconds": round(exp2_all_scalar_s, 3),
+            "all_fast_seconds": round(exp2_all_fast_s, 3),
+            "speedup": round(exp2_e2e_speedup, 2),
+            "all_scalar_accuracy": exp2_all_scalar_acc,
+            "all_fast_accuracy": exp2_all_fast_acc,
+        },
+        "exp3_quick": {
+            "all_scalar_seconds": round(exp3_scalar_s, 3),
+            "all_fast_seconds": round(exp3_fast_s, 3),
+            "speedup": round(exp3_speedup, 2),
+            "all_scalar_accuracy": exp3_scalar_acc,
+            "all_fast_accuracy": exp3_fast_acc,
+        },
+        "calibration_axis": {
+            "exp2_sequential_accuracy": exp2_seq_scan_acc,
+            "exp2_lockstep_accuracy": exp2_lockstep_acc,
+            "exp3_sequential_accuracy": exp3_seq_scan_acc,
+            "exp3_lockstep_accuracy": exp3_lockstep_acc,
+        },
         "sweep": {
             "seeds": len(seeds),
             "jobs_requested": jobs_requested,
             "jobs_effective": jobs_effective,
             "sequential_seconds": round(sweep_sequential_s, 3),
             "sharded_seconds": round(sweep_sharded_s, 3),
-            "speedup": round(sweep_sequential_s / sweep_sharded_s, 2),
             "bit_identical": sharded == sequential,
         },
     }
+    if jobs_effective >= 2:
+        payload["sweep"]["speedup"] = round(
+            sweep_sequential_s / sweep_sharded_s, 2
+        )
+        payload["sweep"]["speedup_gate"] = "enforced"
+    else:
+        # resolve_jobs clamped the request to the sequential path: the
+        # two timings above ran the same code, so a ratio would be
+        # measurement noise dressed up as a result.  Record the skip
+        # instead of the number.
+        payload["sweep"]["speedup_gate"] = "skipped_single_cpu"
     _TARGET.write_text(json.dumps(payload, indent=1))
     emit(f"wrote {_TARGET.name}")
 
@@ -247,6 +372,21 @@ def test_bench_perf(emit):
     assert aging_speedup > 1.0
     assert aging_segments >= 1000
     assert e2e_speedup >= 1.0
+    assert exp2_e2e_speedup >= 1.0
+    assert exp3_speedup >= 1.0
     assert sharded == sequential
     assert batched_accuracy == scalar_accuracy
     assert exp2_array_accuracy == exp2_scalar_accuracy
+    # The calibration-scan axis is bit-identical by construction (each
+    # route owns an independent generator stream), so exact equality
+    # holds even though both experiments run with jitter on.  The
+    # all-scalar vs all-fast accuracies may legitimately differ: the
+    # scalar *capture* kernel interleaves its jitter draws, which is
+    # distributional, not bit-identical, equivalence (PR 2).
+    assert exp2_lockstep_acc == exp2_seq_scan_acc
+    assert exp3_lockstep_acc == exp3_seq_scan_acc
+    # Sharding must beat sequential where there is real parallelism to
+    # win; on one core the clamp makes the comparison meaningless and
+    # the gate is skipped (recorded in the payload above).
+    if jobs_effective >= 2:
+        assert sweep_sequential_s / sweep_sharded_s > 1.5

@@ -25,7 +25,7 @@ from repro.observability.metrics import registry
 from repro.reliability.retry import retry_call
 from repro.rng import SeedLike
 from repro.sensor.noise import NoiseModel
-from repro.sensor.tdc import Measurement
+from repro.sensor.tdc import Measurement, get_capture_kernel
 
 _log = get_logger("core.phases")
 
@@ -41,19 +41,26 @@ def measure_with_recovery(
     past the retry budget.  Callers degrade per-route: the failed
     routes simply contribute no point this pass.
     """
-    measurements: dict[str, Measurement] = {}
-    dropped: list[str] = []
-    for name in session.route_names:
-        if name not in session.theta_init:
-            dropped.append(name)
-            continue
-        try:
-            measurements[name] = retry_call(
-                session.measure_route, name, kernel=kernel,
-                label=f"sensor.capture:{name}",
-            )
-        except TransientError:
-            dropped.append(name)
+    if (kernel or get_capture_kernel()) != "scalar":
+        # Whole-board stacked kernel: one capture call for the bank,
+        # with the same per-route retry/degradation semantics.
+        measurements, dropped = session.measure_bank(
+            kernel=kernel, recover=True
+        )
+    else:
+        measurements = {}
+        dropped = []
+        for name in session.route_names:
+            if name not in session.theta_init:
+                dropped.append(name)
+                continue
+            try:
+                measurements[name] = retry_call(
+                    session.measure_route, name, kernel=kernel,
+                    label=f"sensor.capture:{name}",
+                )
+            except TransientError:
+                dropped.append(name)
     if dropped:
         registry.counter(
             "route_measurements_unrecovered_total",

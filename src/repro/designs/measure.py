@@ -18,7 +18,12 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Optional, Sequence
 
-from repro.errors import ConfigurationError, SensorError, TransientError
+from repro.errors import (
+    CalibrationGlitchError,
+    ConfigurationError,
+    SensorError,
+    TransientError,
+)
 from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
@@ -29,12 +34,20 @@ from repro.fabric.netlist import Cell, CellType, Net, NetActivity, Netlist
 from repro.fabric.parts import PartDescriptor
 from repro.fabric.placement import FixedPlacer
 from repro.fabric.routing import Route
+from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike, make_rng
-from repro.sensor.calibration import find_theta_init
+from repro.sensor.bank import RouteDraws, resolve_bank
+from repro.sensor.calibration import (
+    _check_calibration_kernel,
+    find_theta_init,
+    find_theta_init_bank,
+    get_calibration_kernel,
+)
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel
 from repro.sensor.tdc import (
     Measurement,
     TunableDualPolarityTdc,
+    _check_kernel,
     get_capture_kernel,
 )
 
@@ -84,12 +97,19 @@ class MeasureSession:
     theta_init: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        # One independent child stream per route: the bank-level kernels
+        # interleave routes freely (lockstep calibration, stacked
+        # measurement) yet each route materialises exactly the draws its
+        # sequential per-route scan would, so batched and per-route
+        # orchestration are bit-identical.
         rng = make_rng(self.seed)
+        streams = rng.spawn(len(self.routes)) if self.routes else []
         self._tdcs = {
             route.name: TunableDualPolarityTdc(
-                device=self.device, route=route, noise=self.noise, seed=rng
+                device=self.device, route=route, noise=self.noise,
+                seed=stream,
             )
-            for route in self.routes
+            for route, stream in zip(self.routes, streams)
         }
 
     @property
@@ -97,12 +117,27 @@ class MeasureSession:
         """Names of the routes under test, in bank order."""
         return tuple(route.name for route in self.routes)
 
-    def calibrate(self, kernel: Optional[str] = None) -> dict[str, float]:
+    def calibrate(
+        self,
+        kernel: Optional[str] = None,
+        calibration: Optional[str] = None,
+    ) -> dict[str, float]:
         """The Calibration phase: find and store theta_init per route.
 
         ``kernel`` selects the capture implementation per probe trace
-        ("batched"/"scalar"; ``None`` takes the process default).
+        ("batched"/"scalar") and ``calibration`` the scan orchestration
+        ("batched" runs every route's descent in lockstep, one stacked
+        resolve per probe round; "scalar" scans route by route).
+        ``None`` takes the process defaults.  Both axes are
+        bit-identical: each route owns an independent generator stream
+        and takes the same probes in the same order either way.
         """
+        capture = _check_kernel(kernel or get_capture_kernel())
+        scan = _check_calibration_kernel(
+            calibration or get_calibration_kernel()
+        )
+        if capture == "batched" and scan == "batched":
+            return self._calibrate_bank()
         unrecovered = 0
         for name, tdc in self._tdcs.items():
             with trace.span("sensor.calibrate", route=name):
@@ -124,6 +159,47 @@ class MeasureSession:
             registry.counter(
                 "calibrations_total", "routes calibrated from scratch"
             ).inc()
+        _log.info("calibrated", routes=len(self._tdcs) - unrecovered,
+                  unrecovered=unrecovered)
+        return dict(self.theta_init)
+
+    def _calibrate_bank(self) -> dict[str, float]:
+        """Lockstep calibration: one stacked resolve per probe round.
+
+        Mirrors the sequential loop's observable behaviour exactly: the
+        glitch fault site fires (and retries) per route in bank order
+        before any probe, glitched routes degrade to uncalibrated, and
+        the lockstep scan over the survivors stores bit-identical
+        thetas, raising :class:`~repro.errors.CalibrationError` for the
+        first route the scalar loop would have failed on.
+        """
+        survivors: dict[str, TunableDualPolarityTdc] = {}
+        unrecovered = 0
+        with trace.span(
+            "sensor.calibrate", routes=len(self._tdcs), kernel="batched"
+        ):
+            for name, tdc in self._tdcs.items():
+                def _arm(name: str = name) -> None:
+                    # The same fault check find_theta_init runs before
+                    # its first probe; retried here so the site stream
+                    # is consumed exactly as the per-route retry would.
+                    maybe_inject(
+                        "sensor.calibrate", CalibrationGlitchError,
+                        f"route {name!r}: calibration sweep aborted "
+                        f"(injected environmental glitch)",
+                    )
+                try:
+                    retry_call(_arm, label=f"sensor.calibrate:{name}")
+                except TransientError:
+                    unrecovered += 1
+                    registry.counter(
+                        "calibrations_unrecovered_total",
+                        "routes left uncalibrated past the retry budget",
+                    ).inc()
+                    _log.warning("calibration_unrecovered", route=name)
+                    continue
+                survivors[name] = tdc
+            find_theta_init_bank(survivors, results=self.theta_init)
         _log.info("calibrated", routes=len(self._tdcs) - unrecovered,
                   unrecovered=unrecovered)
         return dict(self.theta_init)
@@ -175,10 +251,100 @@ class MeasureSession:
         ).observe(measurement.delta_ps)
         return measurement
 
+    def measure_bank(
+        self, kernel: Optional[str] = None, recover: bool = False
+    ) -> tuple[dict[str, Measurement], list[str]]:
+        """Measure every calibrated route in one stacked kernel call.
+
+        Materialises each route's measurement draws sequentially in bank
+        order -- the identical generator consumption of a
+        :meth:`measure_route` loop -- then resolves the whole board as
+        one ``(routes, traces, samples, chain)`` tensor per polarity.
+
+        With ``recover=False`` (the :meth:`measure_all` contract) an
+        uncalibrated route raises :class:`SensorError` and a capture
+        drop propagates.  With ``recover=True`` (the
+        ``measure_with_recovery`` contract) drops retry per route and
+        failures degrade: the route lands in the returned ``dropped``
+        list instead.  Returns ``(measurements, dropped)``.
+        """
+        resolved = _check_kernel(kernel or get_capture_kernel())
+        if resolved != "batched":
+            raise SensorError(
+                "measure_bank requires the batched capture kernel; use "
+                "measure_route/measure_all for the scalar reference path"
+            )
+        start = perf_counter()
+        ordered: list[tuple[str, TunableDualPolarityTdc, RouteDraws]] = []
+        dropped: list[str] = []
+        with trace.span(
+            "sensor.capture", routes=len(self.routes), kernel=resolved
+        ):
+            for name in self.route_names:
+                if name not in self.theta_init:
+                    if not recover:
+                        raise SensorError(
+                            f"route {name!r} is not calibrated; run "
+                            f"calibrate() or use_theta_init()"
+                        )
+                    dropped.append(name)
+                    continue
+                tdc = self._tdcs[name]
+                theta = self.theta_init[name]
+                try:
+                    if recover:
+                        thetas, times, uniforms = retry_call(
+                            tdc.measure_draws, theta,
+                            label=f"sensor.capture:{name}",
+                        )
+                    else:
+                        thetas, times, uniforms = tdc.measure_draws(theta)
+                except TransientError:
+                    if not recover:
+                        raise
+                    dropped.append(name)
+                    continue
+                ordered.append((name, tdc, RouteDraws(
+                    name=name, theta_init_ps=theta,
+                    times=times, uniforms=uniforms,
+                )))
+            measurements = resolve_bank(
+                [tdc for _, tdc, _ in ordered],
+                [draws for _, _, draws in ordered],
+            )
+        elapsed = perf_counter() - start
+        if measurements:
+            registry.counter(
+                "captures_total", "complete TDC measurements taken"
+            ).inc(len(measurements))
+            latency = registry.histogram(
+                "capture_latency_seconds",
+                "host wall time per TDC measurement",
+            )
+            skew = registry.histogram(
+                "readout_skew_ps",
+                "falling-minus-rising delta per capture (dT readout skew)",
+            )
+            share = elapsed / len(measurements)
+            for measurement in measurements.values():
+                # The bank resolves as one call, so per-route latency is
+                # the amortised share of the bank's wall time.
+                latency.observe(share)
+                skew.observe(measurement.delta_ps)
+        return measurements, dropped
+
     def measure_all(
         self, kernel: Optional[str] = None
     ) -> dict[str, Measurement]:
-        """Measure every route; the whole pass takes under a minute."""
+        """Measure every route; the whole pass takes under a minute.
+
+        Routes through the bank-level stacked kernel when the capture
+        kernel is "batched"; the scalar kernel keeps the per-route
+        reference loop.
+        """
+        if _check_kernel(kernel or get_capture_kernel()) == "batched":
+            measurements, _ = self.measure_bank(kernel="batched")
+            return measurements
         return {
             name: self.measure_route(name, kernel=kernel)
             for name in self.route_names

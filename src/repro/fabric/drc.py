@@ -17,6 +17,7 @@ region.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import networkx as nx
@@ -24,6 +25,16 @@ import networkx as nx
 from repro.errors import DesignRuleViolation
 from repro.fabric.bitstream import Bitstream
 from repro.fabric.geometry import FabricGrid
+from repro.observability.metrics import registry
+
+#: DRC results are pure functions of (bitstream, grid shape, power cap),
+#: and experiments reload the same few compiled images hundreds of times
+#: (every Condition<->Measurement alternation re-vets its design), so a
+#: small keyed cache removes the cycle-enumeration cost from every load
+#: after the first.
+_DRC_CACHE_MAX = 128
+
+_drc_cache: "OrderedDict[tuple, DrcReport]" = OrderedDict()
 
 
 @dataclass(frozen=True)
@@ -73,10 +84,35 @@ class DrcReport:
         )
 
 
+def clear_drc_cache() -> None:
+    """Drop every cached report (tests and benchmarks)."""
+    _drc_cache.clear()
+
+
 def check_design(
     bitstream: Bitstream, grid: FabricGrid, power_cap_watts: float
 ) -> DrcReport:
-    """Run all provider checks on a compiled bitstream."""
+    """Run all provider checks on a compiled bitstream.
+
+    Reports are memoised per ``(bitstream_id, grid shape, power cap)``:
+    bitstream ids are unique per compile and both :class:`Bitstream` and
+    :class:`DrcReport` are frozen, so a cached report is exactly the
+    report a fresh check would produce.  The cache is bounded LRU.
+    """
+    key = (
+        bitstream.bitstream_id,
+        grid.columns,
+        grid.rows,
+        grid.shell_rows,
+        power_cap_watts,
+    )
+    cached = _drc_cache.get(key)
+    if cached is not None:
+        _drc_cache.move_to_end(key)
+        registry.counter(
+            "drc_cache_hits_total", "DRC reports served from the cache"
+        ).inc()
+        return cached
     graph = bitstream.netlist.combinational_graph()
     loops = tuple(
         tuple(cycle) for cycle in nx.simple_cycles(graph)
@@ -86,10 +122,14 @@ def check_design(
         for name, site in bitstream.placement.sites.items()
         if not grid.is_user_visible(site.coord)
     )
-    return DrcReport(
+    report = DrcReport(
         design_name=bitstream.name,
         combinational_loops=loops,
         power_watts=bitstream.power.total_watts,
         power_cap_watts=power_cap_watts,
         shell_violations=shell,
     )
+    _drc_cache[key] = report
+    if len(_drc_cache) > _DRC_CACHE_MAX:
+        _drc_cache.popitem(last=False)
+    return report

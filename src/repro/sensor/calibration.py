@@ -15,7 +15,12 @@ deliberately independent of device identity beyond the part's timing.
 
 from __future__ import annotations
 
-from repro.errors import CalibrationError, CalibrationGlitchError
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from repro.errors import CalibrationError, CalibrationGlitchError, SensorError
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
 from repro.reliability.faults import maybe_inject
@@ -29,6 +34,73 @@ _log = get_logger("sensor.calibration")
 #: in chain elements: keeps headroom for drift in both directions.
 _TARGET_LOW = 20.0
 _TARGET_HIGH = 44.0
+
+#: Calibration kernels: "batched" runs every route's downward scan in
+#: lockstep, resolving each probe round as one stacked tensor; "scalar"
+#: is the sequential per-route reference scan the equivalence tests pin
+#: the lockstep kernel against.
+CALIBRATION_KERNELS = ("batched", "scalar")
+
+_default_calibration_kernel = os.environ.get(
+    "REPRO_CALIBRATION_KERNEL", "batched"
+)
+if _default_calibration_kernel not in CALIBRATION_KERNELS:
+    _default_calibration_kernel = "batched"
+
+
+def _check_calibration_kernel(kernel: str) -> str:
+    if kernel not in CALIBRATION_KERNELS:
+        raise SensorError(
+            f"unknown calibration kernel {kernel!r}; choose from "
+            f"{CALIBRATION_KERNELS}"
+        )
+    return kernel
+
+
+def get_calibration_kernel() -> str:
+    """The process-wide default calibration kernel."""
+    return _default_calibration_kernel
+
+
+def set_calibration_kernel(kernel: str) -> str:
+    """Select the process-wide default calibration kernel.
+
+    Returns the previous default so callers can restore it; benchmarks
+    and the equivalence suite use :func:`calibration_kernel` instead.
+    """
+    global _default_calibration_kernel
+    previous = _default_calibration_kernel
+    _default_calibration_kernel = _check_calibration_kernel(kernel)
+    return previous
+
+
+@contextmanager
+def calibration_kernel(kernel: str) -> Iterator[str]:
+    """Temporarily force every calibration through one kernel."""
+    previous = set_calibration_kernel(kernel)
+    try:
+        yield kernel
+    finally:
+        set_calibration_kernel(previous)
+
+
+def _default_start_ps(tdc: TunableDualPolarityTdc) -> float:
+    # The attacker knows the route skeleton (Assumption 1), hence its
+    # nominal delay; starting the descent just above it saves most of
+    # the sweep without changing the result.
+    from repro.sensor.transition import NOMINAL_INSERTION_DELAY_PS
+
+    return min(
+        tdc.route.nominal_delay_ps
+        + NOMINAL_INSERTION_DELAY_PS
+        + tdc.chain.nominal_bin_ps * tdc.chain_length
+        + 600.0,
+        tdc.phase.max_ps,
+    )
+
+
+def _default_coarse_ps(tdc: TunableDualPolarityTdc) -> float:
+    return tdc.chain.nominal_bin_ps * tdc.chain_length / 4.0
 
 
 def _mean_positions(
@@ -45,9 +117,9 @@ def _mean_positions(
 
 def find_theta_init(
     tdc: TunableDualPolarityTdc,
-    theta_start_ps: float = None,
-    coarse_step_ps: float = None,
-    kernel: str = None,
+    theta_start_ps: Optional[float] = None,
+    coarse_step_ps: Optional[float] = None,
+    kernel: Optional[str] = None,
 ) -> float:
     """Search downward from a large theta until transitions are centred.
 
@@ -70,21 +142,10 @@ def find_theta_init(
     )
     phase = tdc.phase
     if theta_start_ps is None:
-        # The attacker knows the route skeleton (Assumption 1), hence its
-        # nominal delay; starting the descent just above it saves most of
-        # the sweep without changing the result.
-        from repro.sensor.transition import NOMINAL_INSERTION_DELAY_PS
-
-        theta_start_ps = min(
-            tdc.route.nominal_delay_ps
-            + NOMINAL_INSERTION_DELAY_PS
-            + tdc.chain.nominal_bin_ps * tdc.chain_length
-            + 600.0,
-            phase.max_ps,
-        )
+        theta_start_ps = _default_start_ps(tdc)
     start = theta_start_ps
     coarse = coarse_step_ps if coarse_step_ps is not None else (
-        tdc.chain.nominal_bin_ps * tdc.chain_length / 4.0
+        _default_coarse_ps(tdc)
     )
     theta = phase.quantise(start)
 
@@ -143,3 +204,150 @@ def find_theta_init(
     _log.debug("calibrated_route", route=tdc.route.name,
                theta_init_ps=best_theta, retries=retries)
     return best_theta
+
+
+@dataclass
+class _LockstepRoute:
+    """One route's scan state inside the lockstep descent."""
+
+    name: str
+    tdc: TunableDualPolarityTdc
+    theta: float
+    coarse: float
+    fine: float
+    probes: int
+    stage: str = "coarse"  # coarse | fine | done | failed
+    failure: Optional[str] = None
+    best_theta: Optional[float] = None
+    attempt: int = 0
+    retries: int = 0
+
+
+def _advance_scan(scan: _LockstepRoute, rising: float, falling: float) -> None:
+    """Apply one probe's outcome, mirroring the scalar scan exactly."""
+    if scan.stage == "coarse":
+        chain_length = float(scan.tdc.chain_length)
+        if rising < chain_length or falling < chain_length:
+            # The scalar scan re-probes this same theta as the first
+            # fine-descent attempt.
+            scan.stage = "fine"
+            return
+        scan.theta = max(scan.theta - scan.coarse, 0.0)
+        if scan.theta <= 0.0:
+            scan.stage = "failed"
+            scan.failure = "never_entered_chain"
+        return
+    centre = (rising + falling) / 2.0
+    if _TARGET_LOW <= centre <= _TARGET_HIGH and min(rising, falling) > 4.0:
+        scan.best_theta = scan.theta
+        scan.retries = scan.attempt
+        scan.stage = "done"
+        return
+    if max(rising, falling) <= _TARGET_LOW:
+        scan.retries = scan.attempt
+        scan.stage = "failed"
+        scan.failure = "could_not_centre"
+        return
+    scan.theta -= scan.fine
+    if scan.theta < 0.0:
+        scan.retries = scan.attempt
+        scan.stage = "failed"
+        scan.failure = "could_not_centre"
+        return
+    scan.attempt += 1
+    if scan.attempt >= scan.probes:
+        scan.retries = scan.probes
+        scan.stage = "failed"
+        scan.failure = "could_not_centre"
+
+
+def find_theta_init_bank(
+    tdcs: Mapping[str, TunableDualPolarityTdc],
+    results: Optional[dict] = None,
+) -> dict[str, float]:
+    """Lockstep calibration of a whole route bank (the batched kernel).
+
+    Runs every route's downward scan simultaneously: each round takes
+    one probe per still-searching route at that route's own current
+    theta and resolves the whole round as one stacked tensor via
+    :func:`repro.sensor.bank.probe_bank`.  Each route owns an
+    independent generator stream and its probe sequence (thetas, draw
+    order, draw shapes) is exactly the sequence :func:`find_theta_init`
+    takes, so the returned theta_init values and the calibration
+    counters are bit-identical to the scalar per-route scan, with or
+    without jitter.
+
+    Failures reproduce the sequential contract: counters, logs and
+    stored thetas replay in bank order and the first failing route
+    raises :class:`CalibrationError`, leaving ``results`` (when given)
+    holding the thetas of the routes preceding it -- the same partial
+    progress the per-route loop leaves behind.  (Routes after the
+    failure consumed their probe draws, but a failed calibration
+    abandons the session, so nothing observable depends on them.)
+
+    Unlike the scalar scan this function also counts
+    ``calibrations_total`` per stored route, because the caller cannot
+    interleave per-route bookkeeping with a fused scan.
+    """
+    from repro.sensor.bank import probe_bank
+
+    scans = []
+    for name, tdc in tdcs.items():
+        theta = tdc.phase.quantise(_default_start_ps(tdc))
+        coarse = _default_coarse_ps(tdc)
+        fine = tdc.phase.step_ps
+        scan = _LockstepRoute(
+            name=name, tdc=tdc, theta=theta, coarse=coarse, fine=fine,
+            probes=int(2.0 * coarse / fine) + tdc.chain_length,
+        )
+        if theta <= 0.0:
+            # The scalar while-loop never runs: an immediate failure.
+            scan.stage = "failed"
+            scan.failure = "never_entered_chain"
+        scans.append(scan)
+
+    while True:
+        active = [s for s in scans if s.stage in ("coarse", "fine")]
+        if not active:
+            break
+        rising, falling = probe_bank(
+            [s.tdc for s in active], [s.theta for s in active]
+        )
+        for scan, r, f in zip(active, rising, falling):
+            _advance_scan(scan, float(r), float(f))
+
+    if results is None:
+        results = {}
+    for scan in scans:
+        if scan.failure == "never_entered_chain":
+            registry.counter(
+                "calibration_failures_total",
+                "routes that failed calibration",
+            ).inc()
+            _log.error("calibration_failed", route=scan.name,
+                       reason="never_entered_chain")
+            raise CalibrationError(
+                f"route {scan.name!r}: transitions never entered the chain"
+            )
+        registry.counter(
+            "calibration_retries_total",
+            "fine-descent probes re-taken beyond the first per route",
+        ).inc(scan.retries)
+        if scan.best_theta is None:
+            registry.counter(
+                "calibration_failures_total",
+                "routes that failed calibration",
+            ).inc()
+            _log.error("calibration_failed", route=scan.name,
+                       reason="could_not_centre")
+            raise CalibrationError(
+                f"route {scan.name!r}: could not centre transitions "
+                f"in the capture window"
+            )
+        _log.debug("calibrated_route", route=scan.name,
+                   theta_init_ps=scan.best_theta, retries=scan.retries)
+        results[scan.name] = scan.best_theta
+        registry.counter(
+            "calibrations_total", "routes calibrated from scratch"
+        ).inc()
+    return results

@@ -19,6 +19,30 @@ from repro.sensor.trace import Polarity
 METASTABLE_WINDOW_BINS = 0.8
 
 
+def resolve_words(
+    positions: np.ndarray, uniforms: np.ndarray, polarity: Polarity
+) -> np.ndarray:
+    """Resolve wavefront positions against pre-drawn metastability uniforms.
+
+    ``positions`` has any shape; ``uniforms`` appends the tap axis
+    (``positions.shape + (length,)``).  Separating the uniform draws
+    from the resolution lets bank-level kernels materialise each
+    route's RNG in sequential per-route order and still resolve the
+    whole ``(routes, traces, samples, chain)`` stack in one comparison.
+    """
+    length = uniforms.shape[-1]
+    taps = np.arange(length, dtype=float)
+    passed = np.clip(
+        (positions[..., np.newaxis] - taps) / METASTABLE_WINDOW_BINS + 0.5,
+        0.0,
+        1.0,
+    )
+    resolved = uniforms < passed
+    if polarity is Polarity.RISING:
+        return resolved
+    return ~resolved
+
+
 class CaptureBank:
     """Samples a fractional wavefront position into a capture word."""
 
@@ -49,6 +73,16 @@ class CaptureBank:
         if polarity is Polarity.RISING:
             return resolved
         return ~resolved
+
+    def draw_uniforms(self, shape: tuple) -> np.ndarray:
+        """Metastability uniforms for a batch, as one C-order draw.
+
+        Consumes this bank's generator stream exactly as
+        :meth:`capture_batch` would for positions of ``shape``; the
+        bank-level kernels draw per route up front and resolve the
+        stacked tensor later via :func:`resolve_words`.
+        """
+        return self._rng.random(tuple(shape) + (self.length,))
 
     def capture_batch(
         self, positions: np.ndarray, polarity: Polarity

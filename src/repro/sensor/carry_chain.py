@@ -13,6 +13,8 @@ the cumulative per-bin widths.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.errors import SensorError
@@ -92,3 +94,46 @@ class CarryChain:
         return np.where(
             times >= self.total_delay_ps, float(self.length), positions
         )
+
+
+def bank_wavefront_positions(
+    chains: Sequence[CarryChain], times_in_chain_ps: np.ndarray
+) -> np.ndarray:
+    """Wavefront positions for a whole bank of chains at once.
+
+    ``times_in_chain_ps`` has shape ``(routes, ...)``; row ``r`` resolves
+    against ``chains[r]``'s boundaries, and every element equals
+    ``chains[r].wavefront_positions(times[r])`` bit for bit: the index
+    lookup counts boundaries strictly below each time (exactly what the
+    per-chain ``searchsorted`` returns) and the interpolation arithmetic
+    is identical.  One broadcast comparison replaces the per-route loop,
+    so a board's full ``(routes, traces, samples)`` tensor resolves in a
+    single call.
+    """
+    times = np.asarray(times_in_chain_ps, dtype=float)
+    if times.ndim < 1 or times.shape[0] != len(chains):
+        raise SensorError(
+            f"need one time row per chain: {len(chains)} chains, "
+            f"times shape {times.shape}"
+        )
+    if not chains:
+        raise SensorError("need at least one chain")
+    lengths = {chain.length for chain in chains}
+    if len(lengths) != 1:
+        raise SensorError(f"bank chains must share a length, got {lengths}")
+    length = lengths.pop()
+    boundaries = np.stack([chain._boundaries for chain in chains])
+    shaped = boundaries.reshape(
+        (len(chains),) + (1,) * (times.ndim - 1) + (length + 1,)
+    )
+    index = np.clip(
+        (shaped < times[..., np.newaxis]).sum(axis=-1) - 1, 0, length - 1
+    )
+    full = np.broadcast_to(shaped, times.shape + (length + 1,))
+    lo = np.take_along_axis(full, index[..., np.newaxis], axis=-1)[..., 0]
+    hi = np.take_along_axis(full, index[..., np.newaxis] + 1, axis=-1)[..., 0]
+    fraction = (times - lo) / (hi - lo)
+    positions = index + fraction
+    positions = np.where(times <= 0.0, 0.0, positions)
+    totals = boundaries[:, -1].reshape((len(chains),) + (1,) * (times.ndim - 1))
+    return np.where(times >= totals, float(length), positions)

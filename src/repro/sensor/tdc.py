@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.fabric.routing import Route
 from repro.observability.metrics import registry
 from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike, make_rng
-from repro.sensor.capture import CaptureBank
+from repro.sensor.capture import CaptureBank, resolve_words
 from repro.sensor.carry_chain import CarryChain
 from repro.sensor.clocking import PhaseGenerator
 from repro.sensor.noise import CLOUD_NOISE, NoiseModel, NoiseState
@@ -107,7 +107,7 @@ class TunableDualPolarityTdc:
         route: Route,
         noise: NoiseModel = CLOUD_NOISE,
         seed: SeedLike = None,
-        phase: PhaseGenerator = None,
+        phase: Optional[PhaseGenerator] = None,
     ) -> None:
         rng = make_rng(seed)
         self.device = device
@@ -145,6 +145,71 @@ class TunableDualPolarityTdc:
         position = self.chain.wavefront_position(max(time_in_chain, 0.0))
         return self._bank.capture(position, polarity)
 
+    def capture_draws(
+        self,
+        thetas_ps: Sequence[float],
+        polarity: Polarity,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise one capture batch's random inputs without resolving.
+
+        Returns ``(times_in_chain, uniforms)`` of shapes ``(len(thetas),
+        samples)`` and ``(len(thetas), samples, chain_length)``, consuming
+        this TDC's generator stream in exactly the order
+        :meth:`capture_words` does (jitter matrix, then metastability
+        uniforms).  Bank-level kernels call this per route, stack the
+        results, and resolve the whole board in one comparison -- so the
+        stacked path is bit-identical to the per-route batched path.
+        """
+        if samples <= 0:
+            raise SensorError(f"samples must be positive, got {samples}")
+        if len(thetas_ps) == 0:
+            raise SensorError("need at least one theta setting")
+        thetas = np.array([self.phase.quantise(t) for t in thetas_ps])
+        arrival = self.generator.arrival_at_chain_ps(polarity)
+        offset = self._noise.polarity_offset_ps
+        arrival += offset if polarity is Polarity.FALLING else -offset
+        jitter = self._noise.sample_jitter_matrix_ps((len(thetas), samples))
+        times_in_chain = thetas[:, np.newaxis] - (arrival + jitter)
+        uniforms = self._bank.draw_uniforms((len(thetas), samples))
+        return times_in_chain, uniforms
+
+    def measure_draws(
+        self,
+        theta_init_ps: float,
+        traces: int = TRACES_PER_MEASUREMENT,
+        samples: int = SAMPLES_PER_TRACE,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Materialise one full measurement's random inputs per polarity.
+
+        Runs :meth:`measure_raw`'s batched preamble -- capture-drop
+        injection check, noise epoch advance, rising then falling draws
+        -- without resolving any words, so a bank-level measurement can
+        consume each route's stream in sequential order and defer the
+        resolve to one stacked kernel call.  Returns ``(thetas, times,
+        uniforms)`` where ``times`` is ``(2, traces, samples)`` and
+        ``uniforms`` ``(2, traces, samples, chain_length)``, axis 0
+        ordered (rising, falling).
+        """
+        maybe_inject(
+            "sensor.capture", CaptureDropError,
+            f"route {self.route.name!r}: capture trace dropped in "
+            f"flight (injected)",
+        )
+        self._noise.advance_epoch()
+        thetas = self.phase.steps_down(theta_init_ps, traces)
+        rising_times, rising_uniforms = self.capture_draws(
+            thetas, Polarity.RISING, samples
+        )
+        falling_times, falling_uniforms = self.capture_draws(
+            thetas, Polarity.FALLING, samples
+        )
+        return (
+            np.asarray(thetas, dtype=float),
+            np.stack([rising_times, falling_times]),
+            np.stack([rising_uniforms, falling_uniforms]),
+        )
+
     def capture_words(
         self,
         thetas_ps: Sequence[float],
@@ -158,28 +223,21 @@ class TunableDualPolarityTdc:
         is drawn as a single RNG matrix, the wavefront positions resolve
         through one vectorised ``searchsorted`` over the chain
         boundaries, and metastability resolves with one broadcast
-        comparison in :meth:`CaptureBank.capture_batch`.
+        comparison against the pre-drawn uniforms.
         """
-        if samples <= 0:
-            raise SensorError(f"samples must be positive, got {samples}")
-        if len(thetas_ps) == 0:
-            raise SensorError("need at least one theta setting")
-        thetas = np.array([self.phase.quantise(t) for t in thetas_ps])
-        arrival = self.generator.arrival_at_chain_ps(polarity)
-        offset = self._noise.polarity_offset_ps
-        arrival += offset if polarity is Polarity.FALLING else -offset
-        jitter = self._noise.sample_jitter_matrix_ps((len(thetas), samples))
-        time_in_chain = thetas[:, np.newaxis] - (arrival + jitter)
-        positions = self.chain.wavefront_positions(
-            np.maximum(time_in_chain, 0.0)
+        times_in_chain, uniforms = self.capture_draws(
+            thetas_ps, polarity, samples
         )
-        words = self._bank.capture_batch(positions, polarity)
+        positions = self.chain.wavefront_positions(
+            np.maximum(times_in_chain, 0.0)
+        )
+        words = resolve_words(positions, uniforms, polarity)
         # One increment per batch, sized in words: the kernel's
         # throughput counter costs O(1) per call, not per word.
         registry.counter(
             "capture_words_total",
             "capture words computed by the batched kernel",
-        ).inc(len(thetas) * samples)
+        ).inc(times_in_chain.shape[0] * samples)
         return words
 
     def capture_trace(
@@ -187,7 +245,7 @@ class TunableDualPolarityTdc:
         theta_ps: float,
         polarity: Polarity,
         samples: int = SAMPLES_PER_TRACE,
-        kernel: str = None,
+        kernel: Optional[str] = None,
     ) -> Trace:
         """One trace: ``samples`` capture words at a fixed theta.
 
@@ -218,7 +276,7 @@ class TunableDualPolarityTdc:
         theta_init_ps: float,
         traces: int = TRACES_PER_MEASUREMENT,
         samples: int = SAMPLES_PER_TRACE,
-        kernel: str = None,
+        kernel: Optional[str] = None,
     ) -> Measurement:
         """One full measurement per the paper's procedure.
 
@@ -238,7 +296,7 @@ class TunableDualPolarityTdc:
         theta_init_ps: float,
         traces: int = TRACES_PER_MEASUREMENT,
         samples: int = SAMPLES_PER_TRACE,
-        kernel: str = None,
+        kernel: Optional[str] = None,
     ) -> tuple[Measurement, list[Trace], list[Trace]]:
         """Like :meth:`measure`, but also returns the raw traces.
 
