@@ -221,6 +221,47 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also write the attribution report as JSON")
     observability(pp)
 
+    pf = sub.add_parser(
+        "fleet",
+        help="fleet-scale event-driven cloud simulation: attacker "
+             "campaigns over a churning board pool, or a pure-churn "
+             "throughput run",
+    )
+    pf.add_argument("--campaign", choices=("flash", "scan", "churn"),
+                    default="flash",
+                    help="flash re-acquisition race, marketplace "
+                         "scanning, or a pure-churn throughput run "
+                         "(default: flash)")
+    pf.add_argument("--devices", type=int, default=None,
+                    help="fleet size (default: 1024; churn: 100000)")
+    pf.add_argument("--horizon-hours", type=float, default=None,
+                    help="simulated horizon (default: 336)")
+    pf.add_argument("--victims", type=int, default=None,
+                    help="victim tenancies to stage (default: 4)")
+    pf.add_argument("--arrivals", type=int, default=None,
+                    help="churn run only: background arrivals to replay "
+                         "(default: 500000)")
+    pf.add_argument("--engine", choices=("bulk", "reference"),
+                    default="bulk",
+                    help="churn engine: vectorised windows or the "
+                         "per-event reference (default: bulk)")
+    pf.add_argument("--batch-hours", type=float, default=None,
+                    help="cap bulk windows at this many simulated hours "
+                         "(results are batch-invariant; default: "
+                         "unbounded)")
+    pf.add_argument("--arrival-rate", type=float, default=None,
+                    help="background arrivals per hour (default: "
+                         "scaled to the fleet)")
+    pf.add_argument("--mean-rental", type=float, default=None,
+                    help="mean background rental hours (default: 12)")
+    pf.add_argument("--seed", type=int, default=1,
+                    help="scenario seed (default: 1)")
+    pf.add_argument("--quick", action="store_true",
+                    help="shrunken scenario for smoke runs")
+    pf.add_argument("--output", type=str, default=None, metavar="FILE",
+                    help="write the campaign result as JSON")
+    observability(pf)
+
     pb = sub.add_parser("bench", help="benchmark-suite utilities")
     bench_sub = pb.add_subparsers(dest="bench_command", required=True)
     pbd = bench_sub.add_parser(
@@ -390,6 +431,99 @@ def _finish_observability(args) -> int:
                   file=sys.stderr)
             return 1
         print(f"metrics written to {path}")
+    return 0
+
+
+def _cmd_fleet(args) -> int:
+    import json as _json
+    import math as _math
+    from pathlib import Path
+
+    from repro.cloud.campaigns import (
+        ChurnModel,
+        FleetScenario,
+        FlashAttackPlan,
+        ScanPlan,
+        run_churn_benchmark,
+        run_flash_campaign,
+        run_scan_campaign,
+    )
+
+    if args.campaign == "churn":
+        devices = args.devices or (10_000 if args.quick else 100_000)
+        arrivals = args.arrivals or (50_000 if args.quick else 500_000)
+        stats = run_churn_benchmark(
+            devices=devices,
+            arrivals=arrivals,
+            seed=args.seed,
+            engine=args.engine,
+            batch_hours=args.batch_hours or _math.inf,
+            arrival_rate_per_hour=args.arrival_rate or 60.0,
+        )
+        args._config = {
+            "campaign": "churn", "devices": devices,
+            "arrivals": arrivals, "engine": args.engine,
+            "seed": args.seed,
+        }
+        args._extra = {"fleet": stats}
+        print(f"churn [{args.engine}]: {stats['events']} lifecycle "
+              f"events over {devices} boards in "
+              f"{stats['seconds']:.3f}s "
+              f"({stats['events_per_second']:,.0f} events/sec, "
+              f"{stats['dropped_arrivals']} capacity misses)")
+        if args.output:
+            Path(args.output).write_text(_json.dumps(stats, indent=1))
+            print(f"written to {args.output}")
+        return 0
+
+    devices = args.devices or (256 if args.quick else 1024)
+    horizon = args.horizon_hours or (200.0 if args.quick else 336.0)
+    victims = args.victims or (2 if args.quick else 4)
+    # Default churn keeps the pool about half-occupied so campaigns see
+    # contention without starving.
+    rate = (args.arrival_rate if args.arrival_rate is not None
+            else devices / 48.0)
+    rental = args.mean_rental or 12.0
+    scenario = FleetScenario(
+        devices=devices,
+        horizon_hours=horizon,
+        churn=ChurnModel(arrival_rate_per_hour=rate,
+                         mean_rental_hours=rental),
+        routes=4 if args.quick else 8,
+        seed=args.seed,
+        engine=args.engine,
+        batch_hours=args.batch_hours or _math.inf,
+    )
+    if args.campaign == "flash":
+        result = run_flash_campaign(
+            scenario, FlashAttackPlan(victims=victims)
+        )
+    else:
+        result = run_scan_campaign(scenario, ScanPlan(victims=victims))
+    args._config = {
+        "campaign": args.campaign, "devices": devices,
+        "horizon_hours": horizon, "victims": victims,
+        "engine": args.engine, "arrival_rate_per_hour": rate,
+        "mean_rental_hours": rental, "seed": args.seed,
+    }
+    args._accuracy = result.recovery_yield
+    args._extra = {"fleet": result.to_dict()}
+    print(f"{args.campaign} campaign [{args.engine}] over {devices} "
+          f"boards, {horizon:.0f}h horizon:")
+    print(f"  victims attempted   {result.victims_attempted} "
+          f"(+{result.victims_skipped} skipped on capacity)")
+    print(f"  recovered           {result.recovered}")
+    print(f"  recovery yield      {result.recovery_yield:.2f}")
+    print(f"  mean accuracy       {result.mean_accuracy:.2f}")
+    print(f"  boards probed       {result.boards_probed}")
+    print(f"  lifecycle events    {result.lifecycle_events}"
+          f" (+{result.tracked_events} tracked)")
+    print(f"  capacity misses     {result.dropped_arrivals}")
+    if args.output:
+        Path(args.output).write_text(
+            _json.dumps(result.to_dict(), indent=1)
+        )
+        print(f"written to {args.output}")
     return 0
 
 
@@ -838,6 +972,7 @@ _HANDLERS = {
     "exp3": _cmd_exp3,
     "sweep": _cmd_sweep,
     "chaos": _cmd_chaos,
+    "fleet": _cmd_fleet,
     "table1": _cmd_table1,
     "report": _cmd_report,
     "profile": _cmd_profile,
@@ -853,6 +988,7 @@ _RECORDED_KINDS = {
     "exp3": "experiment",
     "sweep": "sweep",
     "chaos": "chaos",
+    "fleet": "fleet",
     "profile": "profile",
     "bench": "bench",
 }

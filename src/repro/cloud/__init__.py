@@ -16,27 +16,62 @@ Models the platform semantics Threat Models 1 and 2 depend on:
   board was obtained (:mod:`repro.cloud.colocation`,
   :mod:`repro.cloud.fingerprint`);
 * allocation policies, including the launch-rate-control (hold-back)
-  mitigation of Section 8.2 (:mod:`repro.cloud.allocation`).
+  mitigation of Section 8.2 (:mod:`repro.cloud.allocation`);
+* fleet-scale discrete-event simulation: a deterministic event loop
+  (:mod:`repro.cloud.events`), lazy aging over region timelines
+  (:mod:`repro.cloud.provider`), and attacker campaigns over a
+  churning 100k-board fleet (:mod:`repro.cloud.campaigns`).
 """
 
 from repro.cloud.allocation import AllocationPolicy
+from repro.cloud.campaigns import (
+    CampaignResult,
+    ChurnModel,
+    ChurnTrace,
+    FleetScenario,
+    FleetSimulator,
+    FlashAttackPlan,
+    LazyFleet,
+    ScanPlan,
+    VirtualRegion,
+    run_churn_benchmark,
+    run_flash_campaign,
+    run_scan_campaign,
+)
 from repro.cloud.colocation import FlashAttack
+from repro.cloud.events import Event, EventKind, EventLoop
 from repro.cloud.fingerprint import RouteFingerprint, fingerprint_session, match_score
 from repro.cloud.fleet import build_fleet
 from repro.cloud.instance import F1Instance
 from repro.cloud.marketplace import Marketplace, MarketplaceListing
-from repro.cloud.provider import CloudProvider, Region
+from repro.cloud.provider import CloudProvider, Region, RegionTimeline
 
 __all__ = [
     "AllocationPolicy",
+    "CampaignResult",
+    "ChurnModel",
+    "ChurnTrace",
     "CloudProvider",
+    "Event",
+    "EventKind",
+    "EventLoop",
     "F1Instance",
     "FlashAttack",
+    "FlashAttackPlan",
+    "FleetScenario",
+    "FleetSimulator",
+    "LazyFleet",
     "Marketplace",
     "MarketplaceListing",
     "Region",
+    "RegionTimeline",
     "RouteFingerprint",
+    "ScanPlan",
+    "VirtualRegion",
     "build_fleet",
     "fingerprint_session",
     "match_score",
+    "run_churn_benchmark",
+    "run_flash_campaign",
+    "run_scan_campaign",
 ]

@@ -1,0 +1,1057 @@
+"""Attacker campaigns over a fleet-scale churn simulation.
+
+The paper's threat is a *fleet* property: which boards an attacker can
+re-acquire, how often they are wiped, how much background tenant churn
+shuffles the free pool.  This module simulates a provider-sized fleet
+(100k boards, millions of rent/release events per simulated year) by
+splitting the simulation into two coupled layers:
+
+* **Churn** -- the background tenant population.  Arrivals and rental
+  durations are drawn *up front* into a :class:`ChurnTrace` (so the
+  randomness is independent of how the simulation is batched), and a
+  churn engine replays them against a LIFO free stack.  Two engines
+  exist: a per-event reference (:class:`_ReferenceChurn`, the obviously
+  correct one) and a vectorised window engine (:class:`_BulkChurn`)
+  that resolves an entire batch of events with a handful of numpy
+  passes.  They are pinned identical by tests; the bulk engine is what
+  sustains the >1M lifecycle-events/sec bench floor.
+
+* **Tracked boards** -- the handful of boards an attacker or victim
+  actually touches.  Those materialise as real
+  :class:`~repro.fabric.device.FpgaDevice` instances on first contact
+  (:class:`LazyFleet`), and integrate ambient/thermal history over
+  deterministic tick boundaries, so the full BTI physics runs only
+  where it matters.
+
+Campaigns (:func:`run_flash_campaign`, :func:`run_scan_campaign`)
+schedule victims and attacker actions on the
+:class:`~repro.cloud.events.EventLoop` and report fleet-level
+**recovery yield**: the fraction of victims whose secret an attacker
+recovered from remanent delay shifts.
+
+Bulk-engine mechanics (for the maintainer)
+------------------------------------------
+
+Within one window the free stack only ever changes at its top.  Each
+event therefore touches exactly one stack *boundary*: an arrival at
+fill level ``f`` pops position ``f - 1``; a release at fill ``f``
+pushes position ``f``.  Grouping the window's events by boundary (a
+stable argsort), events within a group strictly alternate pop/push, so
+each arrival's board is either the board pushed by the group's
+immediately preceding release, or -- when there is none -- the board
+sitting at that position in the pre-window stack.  That turns board
+assignment into parent pointers between arrivals, resolved in
+O(log chain) pointer-doubling passes, and the post-window stack is
+read off each boundary group's last event.  Capacity misses (an
+arrival finding an empty stack) are peeled off one at a time, exactly
+as the reference engine drops them.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import CloudError, ConfigurationError
+from repro.cloud.events import EventKind, EventLoop
+from repro.designs import build_route_bank, build_target_design
+from repro.fabric.device import FpgaDevice
+from repro.fabric.parts import PartDescriptor, VIRTEX_ULTRASCALE_PLUS
+from repro.fabric.thermal import DataCenterAmbient
+from repro.observability import trace
+from repro.observability.progress import note_event, note_phase
+from repro.physics.aging import CLOUD_PART, WearProfile
+from repro.physics.pool_array import SegmentBtiArray
+from repro.rng import RngFactory, SeedLike, make_rng
+
+__all__ = [
+    "ChurnModel",
+    "ChurnTrace",
+    "VirtualRegion",
+    "LazyFleet",
+    "FleetScenario",
+    "FleetSimulator",
+    "FlashAttackPlan",
+    "ScanPlan",
+    "CampaignResult",
+    "run_flash_campaign",
+    "run_scan_campaign",
+    "run_churn_benchmark",
+]
+
+#: Rental durations are clamped above zero so a release can never sort
+#: before its own arrival (the engines order same-time events
+#: release-first).
+_MIN_RENTAL_HOURS = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Churn model: all randomness drawn up front
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChurnTrace:
+    """A pre-drawn background-tenant schedule.
+
+    ``arrivals`` is sorted ascending; ``durations`` aligns with it.
+    Drawing the whole trace before the simulation starts is what makes
+    runs reproducible *regardless of event-batch size*: windowing the
+    simulation only slices this trace, it never draws.
+    """
+
+    arrivals: np.ndarray
+    durations: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.arrivals) != len(self.durations):
+            raise ConfigurationError("arrivals and durations must align")
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+
+@dataclass(frozen=True)
+class ChurnModel:
+    """Poisson tenant arrivals with exponential rental durations."""
+
+    arrival_rate_per_hour: float = 50.0
+    mean_rental_hours: float = 12.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate_per_hour <= 0.0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.mean_rental_hours <= 0.0:
+            raise ConfigurationError("mean rental must be positive")
+
+    def draw(self, horizon_hours: float, seed: SeedLike = None) -> ChurnTrace:
+        """Draw every arrival in ``[0, horizon)`` in one vectorised pass.
+
+        The draw count is a deterministic function of the horizon (mean
+        plus a four-sigma margin), so the trace for a given seed never
+        depends on anything downstream.
+        """
+        if horizon_hours <= 0.0:
+            raise ConfigurationError("horizon must be positive")
+        rng = make_rng(seed)
+        mean = self.arrival_rate_per_hour * horizon_hours
+        count = int(math.ceil(mean + 4.0 * math.sqrt(mean + 1.0) + 16.0))
+        gaps = rng.exponential(1.0 / self.arrival_rate_per_hour, size=count)
+        arrivals = np.cumsum(gaps)
+        durations = np.maximum(
+            rng.exponential(self.mean_rental_hours, size=count),
+            _MIN_RENTAL_HOURS,
+        )
+        inside = int(np.searchsorted(arrivals, horizon_hours, side="right"))
+        if inside == count:
+            raise CloudError(
+                "churn trace under-draw: the four-sigma margin was "
+                "exhausted (astronomically unlikely; check the model)"
+            )
+        return ChurnTrace(
+            arrivals=arrivals[:inside], durations=durations[:inside]
+        )
+
+    def draw_count(self, arrivals: int, seed: SeedLike = None) -> ChurnTrace:
+        """Draw exactly ``arrivals`` arrivals (benchmark sizing)."""
+        if arrivals <= 0:
+            raise ConfigurationError("need at least one arrival")
+        rng = make_rng(seed)
+        gaps = rng.exponential(
+            1.0 / self.arrival_rate_per_hour, size=arrivals
+        )
+        durations = np.maximum(
+            rng.exponential(self.mean_rental_hours, size=arrivals),
+            _MIN_RENTAL_HOURS,
+        )
+        return ChurnTrace(arrivals=np.cumsum(gaps), durations=durations)
+
+
+# ---------------------------------------------------------------------------
+# Churn engines
+# ---------------------------------------------------------------------------
+
+
+class _ReferenceChurn:
+    """Per-event churn replay: the semantics both engines must share.
+
+    One python-level step per arrival/release against a LIFO stack of
+    board ids.  Same-time ties resolve release-before-arrival (a
+    returned board is immediately re-rentable -- the paper's rapid
+    reallocation race), and an arrival that finds the stack empty is
+    dropped along with its release.
+    """
+
+    def __init__(self, boards: int, trace: ChurnTrace) -> None:
+        self.n_boards = boards
+        self.trace = trace
+        self.stack: list[int] = list(range(boards))
+        self._pending: list[tuple[float, int, int]] = []
+        self._pseq = itertools.count()
+        self._pos = 0
+        self.now_hours = 0.0
+        self.events_processed = 0
+        self.dropped_arrivals = 0
+
+    def advance_to(self, until_hours: float) -> None:
+        arrivals = self.trace.arrivals
+        durations = self.trace.durations
+        n = len(arrivals)
+        stack = self.stack
+        pending = self._pending
+        while True:
+            a = arrivals[self._pos] if self._pos < n else math.inf
+            r = pending[0][0] if pending else math.inf
+            if min(a, r) > until_hours:
+                break
+            if r <= a:
+                _, _, board = heapq.heappop(pending)
+                stack.append(board)
+            else:
+                self._pos += 1
+                if stack:
+                    board = stack.pop()
+                    heapq.heappush(
+                        pending,
+                        (a + durations[self._pos - 1],
+                         next(self._pseq), board),
+                    )
+                else:
+                    self.dropped_arrivals += 1
+            self.events_processed += 1
+        self.now_hours = until_hours
+
+    def rent(self) -> Optional[int]:
+        return self.stack.pop() if self.stack else None
+
+    def release(self, board: int) -> None:
+        self.stack.append(board)
+
+    def available(self) -> int:
+        return len(self.stack)
+
+    def free_boards(self) -> list[int]:
+        return list(self.stack)
+
+
+class _BulkChurn:
+    """Vectorised window churn engine (see the module docstring).
+
+    State between windows: the free stack (bottom-to-top list of board
+    ids) and the pending releases of rentals still running, as sorted
+    arrays.  :meth:`advance_to` resolves every churn event in
+    ``(now, until]`` with numpy passes instead of a per-event loop.
+    """
+
+    def __init__(self, boards: int, trace: ChurnTrace) -> None:
+        self.n_boards = boards
+        self.trace = trace
+        self.stack: list[int] = list(range(boards))
+        self._pend_times = np.empty(0, dtype=np.float64)
+        self._pend_boards = np.empty(0, dtype=np.intp)
+        self._pos = 0
+        self.now_hours = 0.0
+        self.events_processed = 0
+        self.dropped_arrivals = 0
+
+    def advance_to(self, until_hours: float) -> None:
+        if until_hours < self.now_hours:
+            raise CloudError("cannot advance the churn engine backwards")
+        trace_ = self.trace
+        lo = self._pos
+        hi = int(np.searchsorted(trace_.arrivals, until_hours, side="right"))
+        self._pos = hi
+        a_times = trace_.arrivals[lo:hi]
+        r_times = a_times + trace_.durations[lo:hi]
+        c_hi = int(np.searchsorted(self._pend_times, until_hours,
+                                   side="right"))
+        c_times = self._pend_times[:c_hi]
+        c_boards = self._pend_boards[:c_hi]
+        self._pend_times = self._pend_times[c_hi:]
+        self._pend_boards = self._pend_boards[c_hi:]
+        n_arr = len(a_times)
+        if n_arr == 0 and len(c_times) == 0:
+            self.now_hours = until_hours
+            return
+
+        stack_boards = np.asarray(self.stack, dtype=np.intp)
+        f0 = len(stack_boards)
+        keep = np.ones(n_arr, dtype=bool)
+        drops = 0
+        # Capacity misses are peeled one at a time (dropping an arrival
+        # also removes its release, which can expose the next miss).
+        # Windows with heavy drop storms degrade toward O(drops * n);
+        # campaign windows are small and the bench scenario is sized
+        # drop-free, so this stays off the hot path.
+        while True:
+            ka = np.nonzero(keep)[0]
+            internal = ka[r_times[ka] <= until_hours]
+            nc = len(c_times)
+            ev_time = np.concatenate(
+                [c_times, r_times[internal], a_times[ka]]
+            )
+            ev_kind = np.concatenate([
+                np.zeros(nc + len(internal), dtype=np.int8),
+                np.ones(len(ka), dtype=np.int8),
+            ])
+            ev_ref = np.concatenate([
+                -np.arange(nc, dtype=np.int64) - 1,
+                internal.astype(np.int64),
+                ka.astype(np.int64),
+            ])
+            order = np.lexsort((ev_ref, ev_kind, ev_time))
+            ts = ev_time[order]
+            ks = ev_kind[order]
+            rs = ev_ref[order]
+            pm = np.where(ks == 0, 1, -1)
+            fill = f0 + np.cumsum(pm)
+            f_before = fill - pm
+            bad = (ks == 1) & (f_before == 0)
+            if not bad.any():
+                break
+            keep[rs[int(np.nonzero(bad)[0][0])]] = False
+            drops += 1
+        self.dropped_arrivals += drops
+
+        n_ev = len(ts)
+        self.events_processed += n_ev + drops
+        if n_ev == 0:
+            self.now_hours = until_hours
+            return
+
+        # Boundary touched by each event, and time-stable boundary groups.
+        b = np.where(ks == 0, f_before, f_before - 1)
+        g_order = np.argsort(b, kind="stable")
+        gb = b[g_order]
+        same = np.empty(n_ev, dtype=bool)
+        same[0] = False
+        same[1:] = gb[1:] == gb[:-1]
+        idx = np.nonzero(same)[0]
+        if (ks[g_order[idx]] == ks[g_order[idx - 1]]).any():
+            raise CloudError("bulk churn invariant violated: "
+                             "non-alternating boundary group")
+        prev_stream = np.full(n_ev, -1, dtype=np.int64)
+        prev_stream[g_order[idx]] = g_order[idx - 1]
+
+        # Each arrival's board: the preceding release in its group, or
+        # the pre-window stack at its boundary.
+        arr_pos = np.nonzero(ks == 1)[0]
+        arr_idx = rs[arr_pos]
+        n_live = len(arr_pos)
+        dense = np.full(n_arr, -1, dtype=np.int64)
+        dense[arr_idx] = np.arange(n_live)
+        parent = np.full(n_live, -1, dtype=np.int64)
+        board = np.full(n_live, -1, dtype=np.intp)
+        p_stream = prev_stream[arr_pos]
+        no_prev = p_stream < 0
+        board[no_prev] = stack_boards[b[arr_pos[no_prev]]]
+        wi = np.nonzero(~no_prev)[0]
+        rel_ref = rs[p_stream[wi]]
+        carry = rel_ref < 0
+        board[wi[carry]] = c_boards[-rel_ref[carry] - 1]
+        parent[wi[~carry]] = dense[rel_ref[~carry]]
+
+        # Pointer-doubling resolution of arrival -> parent-arrival chains.
+        resolved = board >= 0
+        ptr = parent
+        while not resolved.all():
+            u = np.nonzero(~resolved)[0]
+            tgt = ptr[u]
+            if (tgt < 0).any():
+                raise CloudError("bulk churn invariant violated: "
+                                 "unresolvable arrival chain")
+            take = resolved[tgt]
+            hit = u[take]
+            board[hit] = board[tgt[take]]
+            resolved[hit] = True
+            miss = u[~take]
+            ptr[miss] = ptr[tgt[~take]]
+
+        # Post-window stack: each surviving boundary's last event must
+        # be a release; untouched positions keep their old board.
+        f_final = f0 + int(pm.sum())
+        last_mask = np.empty(n_ev, dtype=bool)
+        last_mask[:-1] = gb[:-1] != gb[1:]
+        last_mask[-1] = True
+        last_stream = g_order[last_mask]
+        last_b = gb[last_mask]
+        surv = last_b < f_final
+        if f_final <= f0:
+            new_stack = stack_boards[:f_final].copy()
+        else:
+            new_stack = np.concatenate([
+                stack_boards,
+                np.full(f_final - f0, -1, dtype=np.intp),
+            ])
+        surv_stream = last_stream[surv]
+        if (ks[surv_stream] != 0).any():
+            raise CloudError("bulk churn invariant violated: "
+                             "surviving boundary ends in an arrival")
+        srefs = rs[surv_stream]
+        sboards = np.empty(len(srefs), dtype=np.intp)
+        sc = srefs < 0
+        sboards[sc] = c_boards[-srefs[sc] - 1]
+        sboards[~sc] = board[dense[srefs[~sc]]]
+        new_stack[last_b[surv]] = sboards
+        if len(new_stack) and (new_stack < 0).any():
+            raise CloudError("bulk churn invariant violated: "
+                             "unfilled stack slot")
+
+        # Rentals that outlive the window carry their (now resolved)
+        # boards forward as pending releases.
+        future = np.nonzero(keep & (r_times > until_hours))[0]
+        if len(future):
+            f_boards = board[dense[future]]
+            times = np.concatenate([self._pend_times, r_times[future]])
+            boards_ = np.concatenate([self._pend_boards, f_boards])
+            o = np.argsort(times, kind="stable")
+            self._pend_times = times[o]
+            self._pend_boards = boards_[o]
+
+        self.stack = new_stack.tolist()
+        self.now_hours = until_hours
+
+    def rent(self) -> Optional[int]:
+        return self.stack.pop() if self.stack else None
+
+    def release(self, board: int) -> None:
+        self.stack.append(board)
+
+    def available(self) -> int:
+        return len(self.stack)
+
+    def free_boards(self) -> list[int]:
+        return list(self.stack)
+
+
+class VirtualRegion:
+    """A fleet-sized region: board ids against a pre-drawn churn trace.
+
+    Tracked tenancies (victims, attackers) rent and release through
+    this object directly; background churn replays through the chosen
+    engine whenever the clock advances.  ``batch_hours`` caps the bulk
+    window size -- results are identical for any batching, which the
+    campaign reproducibility test pins.
+    """
+
+    def __init__(
+        self,
+        boards: int,
+        trace_: ChurnTrace,
+        engine: str = "bulk",
+        batch_hours: float = math.inf,
+    ) -> None:
+        if boards <= 0:
+            raise ConfigurationError("a region needs at least one board")
+        if batch_hours <= 0.0:
+            raise ConfigurationError("batch_hours must be positive")
+        if engine == "bulk":
+            self._engine: _BulkChurn | _ReferenceChurn = _BulkChurn(
+                boards, trace_
+            )
+        elif engine == "reference":
+            self._engine = _ReferenceChurn(boards, trace_)
+        else:
+            raise ConfigurationError(
+                f"unknown churn engine {engine!r} "
+                "(expected 'bulk' or 'reference')"
+            )
+        self.engine = engine
+        self.boards = boards
+        self.batch_hours = float(batch_hours)
+
+    @property
+    def now_hours(self) -> float:
+        return self._engine.now_hours
+
+    @property
+    def events_processed(self) -> int:
+        return self._engine.events_processed
+
+    @property
+    def dropped_arrivals(self) -> int:
+        return self._engine.dropped_arrivals
+
+    def advance_to(self, until_hours: float) -> None:
+        """Replay churn up to ``until_hours`` in batch-sized windows."""
+        now = self._engine.now_hours
+        if until_hours < now:
+            raise CloudError("cannot advance a region backwards")
+        while now < until_hours:
+            now = min(now + self.batch_hours, until_hours)
+            self._engine.advance_to(now)
+
+    def rent(self) -> Optional[int]:
+        """Pop the most recently freed board (LIFO), or ``None``."""
+        return self._engine.rent()
+
+    def release(self, board: int) -> None:
+        """Return a board to the top of the free stack."""
+        self._engine.release(board)
+
+    def available(self) -> int:
+        return self._engine.available()
+
+    def free_boards(self) -> list[int]:
+        """The free stack, bottom to top (equivalence tests)."""
+        return self._engine.free_boards()
+
+
+# ---------------------------------------------------------------------------
+# Lazy board materialisation
+# ---------------------------------------------------------------------------
+
+
+class LazyFleet:
+    """Board ids that become real ``FpgaDevice`` objects on first touch.
+
+    Per-board seeds are pre-drawn in one vectorised pass, so board ``k``
+    gets the same silicon no matter how many (or in what order) boards
+    materialise -- a campaign's physics is identical under both churn
+    engines.  By default every board shares one
+    :class:`~repro.physics.pool_array.SegmentBtiArray` so cross-device
+    bulk catch-up stays available.
+    """
+
+    def __init__(
+        self,
+        part: PartDescriptor = VIRTEX_ULTRASCALE_PLUS,
+        size: int = 1024,
+        wear: WearProfile = CLOUD_PART,
+        seed: SeedLike = None,
+        shared_store: bool = True,
+    ) -> None:
+        if size <= 0:
+            raise ConfigurationError("fleet size must be positive")
+        self.part = part
+        self.size = size
+        self.wear = wear
+        self._seeds = make_rng(seed).integers(0, 2**63, size=size)
+        self._store = SegmentBtiArray() if shared_store else None
+        self._devices: dict[int, FpgaDevice] = {}
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def materialised(self) -> int:
+        """How many boards have been instantiated so far."""
+        return len(self._devices)
+
+    def device(self, board: int) -> FpgaDevice:
+        """The real device behind a board id (materialising it)."""
+        if not 0 <= board < self.size:
+            raise CloudError(f"board {board} outside fleet of {self.size}")
+        dev = self._devices.get(board)
+        if dev is None:
+            if self._store is not None:
+                dev = FpgaDevice(
+                    self.part, wear=self.wear,
+                    seed=int(self._seeds[board]),
+                    aging_kernel="array", bti_store=self._store,
+                )
+            else:
+                dev = FpgaDevice(
+                    self.part, wear=self.wear,
+                    seed=int(self._seeds[board]),
+                )
+            self._devices[board] = dev
+        return dev
+
+
+# ---------------------------------------------------------------------------
+# The simulator: fleet + churn + event loop + probe kit
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """Everything a campaign needs to be reproducible from one seed."""
+
+    devices: int = 1024
+    horizon_hours: float = 24.0 * 14
+    churn: ChurnModel = field(default_factory=ChurnModel)
+    part: PartDescriptor = VIRTEX_ULTRASCALE_PLUS
+    wear: WearProfile = CLOUD_PART
+    routes: int = 8
+    route_length_ps: float = 10000.0
+    thermal_tick_hours: float = 6.0
+    probe_resolution_ps: float = 0.25
+    accuracy_threshold: float = 0.75
+    seed: int = 1
+    engine: str = "bulk"
+    batch_hours: float = math.inf
+
+
+class _RegionClock:
+    """Adapts a :class:`VirtualRegion` to the event-loop clock protocol."""
+
+    def __init__(self, region: VirtualRegion) -> None:
+        self._region = region
+
+    @property
+    def clock_hours(self) -> float:
+        return self._region.now_hours
+
+    def advance(self, hours: float) -> None:
+        self._region.advance_to(self._region.now_hours + hours)
+
+
+class FleetSimulator:
+    """Shared campaign harness.
+
+    Owns the churn region, the lazy fleet, the route bank the victims
+    burn their secrets onto, and the per-board thermal clocks.  All
+    randomness comes from named :class:`~repro.rng.RngFactory` streams
+    of the scenario seed, so swapping the churn engine or the batch
+    size never perturbs a draw.
+    """
+
+    def __init__(self, scenario: FleetScenario) -> None:
+        self.scenario = scenario
+        factory = RngFactory(scenario.seed)
+        self.rng = factory.stream("campaign")
+        self.churn_trace = scenario.churn.draw(
+            scenario.horizon_hours, factory.stream("churn")
+        )
+        self.region = VirtualRegion(
+            scenario.devices, self.churn_trace,
+            engine=scenario.engine, batch_hours=scenario.batch_hours,
+        )
+        self.fleet = LazyFleet(
+            scenario.part, scenario.devices, wear=scenario.wear,
+            seed=factory.stream("fleet"),
+        )
+        self.ambient = DataCenterAmbient(seed=factory.stream("ambient"))
+        self.routes = build_route_bank(
+            scenario.part.make_grid(),
+            [scenario.route_length_ps] * scenario.routes,
+        )
+        self.loop = EventLoop(_RegionClock(self.region))
+        self._synced: dict[int, float] = {}
+
+    # -- board thermal clocks ---------------------------------------------
+
+    def _tick_intervals(
+        self, t0: float, t1: float
+    ) -> list[tuple[float, float]]:
+        """(duration, ambient) intervals over deterministic tick
+        boundaries -- identical for any engine, since both see the
+        same tracked event times."""
+        if t1 <= t0:
+            return []
+        tick = self.scenario.thermal_tick_hours
+        out = []
+        t = t0
+        boundary = math.floor(t0 / tick) * tick + tick
+        while boundary < t1:
+            out.append((boundary - t, self.ambient.at(t)))
+            t = boundary
+            boundary += tick
+        out.append((t1 - t, self.ambient.at(t)))
+        return out
+
+    def sync_board(self, board: int, now_hours: float) -> FpgaDevice:
+        """Materialise a board and integrate its history up to now.
+
+        A board touched for the first time has no analog state, so its
+        idle past is one O(1) fast-forward; thereafter it replays
+        (design loaded or not) over thermal-tick intervals.
+        """
+        dev = self.fleet.device(board)
+        last = self._synced.get(board)
+        if last is None:
+            if now_hours > 0.0:
+                dev.advance_hours(now_hours, self.ambient.at(0.0))
+            dev.set_ambient(self.ambient.at(now_hours))
+        else:
+            for duration, ambient_k in self._tick_intervals(last, now_hours):
+                dev.advance_hours(duration, ambient_k)
+        self._synced[board] = now_hours
+        return dev
+
+    # -- probing -----------------------------------------------------------
+
+    def probe(self, board: int, now_hours: float) -> dict:
+        """Read every route's remanent delta on a board.
+
+        A route is *readable* when the delta clears the probe
+        resolution; the inferred bit is the delta's sign (a burned-in
+        ``1`` slows the route, see the integration suite).
+        """
+        dev = self.sync_board(board, now_hours)
+        deltas = [dev.route_delta_ps(route) for route in self.routes]
+        resolution = self.scenario.probe_resolution_ps
+        return {
+            "board": board,
+            "deltas_ps": deltas,
+            "bits": [1 if d > 0.0 else 0 for d in deltas],
+            "readable": [abs(d) >= resolution for d in deltas],
+        }
+
+    def accuracy(self, probe: dict, secret: tuple) -> float:
+        """Fraction of secret bits recovered (readable and correct)."""
+        hits = sum(
+            1
+            for bit, ok, want in zip(
+                probe["bits"], probe["readable"], secret
+            )
+            if ok and bit == want
+        )
+        return hits / len(secret)
+
+
+# ---------------------------------------------------------------------------
+# Campaigns
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlashAttackPlan:
+    """A re-acquisition race: grab boards the instant a victim leaves."""
+
+    victims: int = 4
+    burn_hours: float = 48.0
+    reaction_hours: float = 0.5
+    flash_limit: int = 8
+    spacing_hours: float = 24.0
+    warmup_hours: float = 12.0
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """Marketplace scanning: periodically sample the pool for pentimenti."""
+
+    victims: int = 3
+    burn_hours: float = 48.0
+    spacing_hours: float = 36.0
+    warmup_hours: float = 12.0
+    scan_every_hours: float = 8.0
+    scan_width: int = 6
+
+
+@dataclass
+class CampaignResult:
+    """Fleet-level outcome of one attacker campaign."""
+
+    kind: str
+    engine: str
+    victims_attempted: int
+    victims_skipped: int
+    recovered: int
+    recovery_yield: float
+    mean_accuracy: float
+    boards_probed: int
+    lifecycle_events: int
+    tracked_events: int
+    dropped_arrivals: int
+    details: list = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "engine": self.engine,
+            "victims_attempted": self.victims_attempted,
+            "victims_skipped": self.victims_skipped,
+            "recovered": self.recovered,
+            "recovery_yield": self.recovery_yield,
+            "mean_accuracy": self.mean_accuracy,
+            "boards_probed": self.boards_probed,
+            "lifecycle_events": self.lifecycle_events,
+            "tracked_events": self.tracked_events,
+            "dropped_arrivals": self.dropped_arrivals,
+            "details": self.details,
+        }
+
+
+class _Victim:
+    """One victim tenancy's mutable campaign state."""
+
+    def __init__(self, index: int, secret: tuple) -> None:
+        self.index = index
+        self.secret = secret
+        self.board: Optional[int] = None
+        self.released_at: Optional[float] = None
+        self.skipped = False
+        self.recovered = False
+        self.accuracy = 0.0
+
+
+def _draw_secrets(sim: FleetSimulator, victims: int) -> list[tuple]:
+    return [
+        tuple(int(b) for b in sim.rng.integers(0, 2, size=sim.scenario.routes))
+        for _ in range(victims)
+    ]
+
+
+def _victim_rent(sim: FleetSimulator, victim: _Victim, designs: dict):
+    """RENT handler: take a board and burn the secret onto it."""
+
+    def handler(loop: EventLoop, event) -> None:
+        board = sim.region.rent()
+        if board is None:
+            victim.skipped = True
+            note_event("fleet.capacity_miss", victim=victim.index)
+            return
+        victim.board = board
+        dev = sim.sync_board(board, loop.now_hours)
+        target = build_target_design(
+            sim.scenario.part, sim.routes, list(victim.secret),
+            heater_dsps=0, name=f"victim{victim.index}",
+        )
+        designs[victim.index] = target
+        dev.load(target.bitstream)
+
+    return handler
+
+
+def _victim_release(sim: FleetSimulator, victim: _Victim):
+    """RELEASE handler: integrate the burn, wipe, return the board."""
+
+    def handler(loop: EventLoop, event) -> None:
+        if victim.skipped:
+            return
+        dev = sim.sync_board(victim.board, loop.now_hours)
+        dev.wipe()
+        sim.region.release(victim.board)
+        victim.released_at = loop.now_hours
+        note_event("fleet.victim_released", victim=victim.index,
+                   board=victim.board)
+
+    return handler
+
+
+def _finish(
+    sim: FleetSimulator,
+    kind: str,
+    victims: list[_Victim],
+    boards_probed: int,
+    details: list,
+) -> CampaignResult:
+    attempted = [v for v in victims if not v.skipped]
+    recovered = sum(1 for v in attempted if v.recovered)
+    mean_acc = (
+        sum(v.accuracy for v in attempted) / len(attempted)
+        if attempted else 0.0
+    )
+    result = CampaignResult(
+        kind=kind,
+        engine=sim.region.engine,
+        victims_attempted=len(attempted),
+        victims_skipped=len(victims) - len(attempted),
+        recovered=recovered,
+        recovery_yield=recovered / len(attempted) if attempted else 0.0,
+        mean_accuracy=mean_acc,
+        boards_probed=boards_probed,
+        lifecycle_events=sim.region.events_processed,
+        tracked_events=sim.loop.events_processed,
+        dropped_arrivals=sim.region.dropped_arrivals,
+        details=details,
+    )
+    note_event("fleet.campaign_done", campaign=kind,
+               recovery_yield=result.recovery_yield)
+    return result
+
+
+def run_flash_campaign(
+    scenario: FleetScenario, plan: Optional[FlashAttackPlan] = None
+) -> CampaignResult:
+    """A flash re-acquisition race over a churning fleet.
+
+    Each victim burns its secret for ``burn_hours``; the attacker
+    reacts ``reaction_hours`` after the release, renting up to
+    ``flash_limit`` boards, probing all of them, and keeping the one
+    with the most readable routes.  A victim counts as recovered when
+    the attacker's best board *is* the victim's board and the read
+    accuracy clears the scenario threshold.
+    """
+    plan = plan or FlashAttackPlan()
+    sim = FleetSimulator(scenario)
+    victims = [
+        _Victim(i, secret)
+        for i, secret in enumerate(_draw_secrets(sim, plan.victims))
+    ]
+    designs: dict = {}
+    details: list = []
+    probed = [0]
+
+    def flash(victim: _Victim):
+        def handler(loop: EventLoop, event) -> None:
+            if victim.skipped:
+                return
+            now = loop.now_hours
+            count = min(plan.flash_limit, sim.region.available())
+            boards = [sim.region.rent() for _ in range(count)]
+            probes = [sim.probe(board, now) for board in boards]
+            probed[0] += len(boards)
+            # The attacker harvests a candidate secret from every
+            # flashed board (stale pentimenti from earlier tenants are
+            # among them); the race is won when the victim's own board
+            # was re-acquired and its imprint decodes.
+            hit = next(
+                (p for p in probes if p["board"] == victim.board), None
+            )
+            if hit is not None:
+                victim.accuracy = sim.accuracy(hit, victim.secret)
+                victim.recovered = (
+                    victim.accuracy >= scenario.accuracy_threshold
+                )
+            details.append({
+                "victim": victim.index,
+                "victim_board": victim.board,
+                "reacquired": hit is not None,
+                "accuracy": victim.accuracy,
+                "recovered": victim.recovered,
+                "boards_flashed": len(boards),
+            })
+            # Zero-hour rentals: probed boards go straight back.
+            for board in boards:
+                sim.region.release(board)
+
+        return handler
+
+    note_phase("fleet.flash", total=plan.victims,
+               devices=scenario.devices, engine=scenario.engine)
+    with trace.span("fleet.campaign", kind="flash",
+                    engine=scenario.engine):
+        for victim in victims:
+            start = plan.warmup_hours + victim.index * (
+                plan.burn_hours + plan.spacing_hours
+            )
+            end = start + plan.burn_hours
+            sim.loop.schedule(start, EventKind.RENT,
+                              _victim_rent(sim, victim, designs))
+            sim.loop.schedule(end, EventKind.RELEASE,
+                              _victim_release(sim, victim))
+            sim.loop.schedule(end + plan.reaction_hours, EventKind.SCAN,
+                              flash(victim))
+        sim.loop.run(until_hours=scenario.horizon_hours)
+    return _finish(sim, "flash", victims, probed[0], details)
+
+
+def run_scan_campaign(
+    scenario: FleetScenario, plan: Optional[ScanPlan] = None
+) -> CampaignResult:
+    """Marketplace scanning: periodic pool sampling for pentimenti.
+
+    The attacker rents ``scan_width`` boards every
+    ``scan_every_hours``, probes them, and releases them immediately.
+    A victim is recovered when any post-release scan lands on their
+    board and reads the secret above the accuracy threshold.
+    """
+    plan = plan or ScanPlan()
+    sim = FleetSimulator(scenario)
+    victims = [
+        _Victim(i, secret)
+        for i, secret in enumerate(_draw_secrets(sim, plan.victims))
+    ]
+    designs: dict = {}
+    details: list = []
+    probed = [0]
+    by_board: dict[int, _Victim] = {}
+
+    def release_and_index(victim: _Victim):
+        inner = _victim_release(sim, victim)
+
+        def handler(loop: EventLoop, event) -> None:
+            inner(loop, event)
+            if not victim.skipped:
+                by_board[victim.board] = victim
+
+        return handler
+
+    def scan(loop: EventLoop, event) -> None:
+        now = loop.now_hours
+        count = min(plan.scan_width, sim.region.available())
+        boards = [sim.region.rent() for _ in range(count)]
+        for board in boards:
+            probe = sim.probe(board, now)
+            probed[0] += 1
+            victim = by_board.get(board)
+            if victim is not None and not victim.recovered:
+                accuracy = sim.accuracy(probe, victim.secret)
+                victim.accuracy = max(victim.accuracy, accuracy)
+                if accuracy >= scenario.accuracy_threshold:
+                    victim.recovered = True
+                    details.append({
+                        "victim": victim.index,
+                        "board": board,
+                        "scan_hours": now,
+                        "accuracy": accuracy,
+                    })
+                    note_event("fleet.scan_hit", victim=victim.index,
+                               board=board)
+        for board in boards:
+            sim.region.release(board)
+
+    note_phase("fleet.scan", total=plan.victims,
+               devices=scenario.devices, engine=scenario.engine)
+    with trace.span("fleet.campaign", kind="scan",
+                    engine=scenario.engine):
+        for victim in victims:
+            start = plan.warmup_hours + victim.index * (
+                plan.burn_hours + plan.spacing_hours
+            )
+            sim.loop.schedule(start, EventKind.RENT,
+                              _victim_rent(sim, victim, designs))
+            sim.loop.schedule(start + plan.burn_hours, EventKind.RELEASE,
+                              release_and_index(victim))
+        t = plan.warmup_hours
+        while t < scenario.horizon_hours:
+            sim.loop.schedule(t, EventKind.SCAN, scan)
+            t += plan.scan_every_hours
+        sim.loop.run(until_hours=scenario.horizon_hours)
+    return _finish(sim, "scan", victims, probed[0], details)
+
+
+# ---------------------------------------------------------------------------
+# Throughput benchmark entry point
+# ---------------------------------------------------------------------------
+
+
+def run_churn_benchmark(
+    devices: int = 100_000,
+    arrivals: int = 500_000,
+    seed: int = 0,
+    engine: str = "bulk",
+    batch_hours: float = math.inf,
+    arrival_rate_per_hour: float = 60.0,
+    mean_rental_hours: Optional[float] = None,
+) -> dict:
+    """Time a pure-churn fleet scenario; the BENCH_fleet workload.
+
+    Mean concurrency is sized to half the fleet so the run is
+    drop-free, making the lifecycle event count exactly
+    ``2 * arrivals``.
+    """
+    if mean_rental_hours is None:
+        mean_rental_hours = devices / (2.0 * arrival_rate_per_hour)
+    model = ChurnModel(
+        arrival_rate_per_hour=arrival_rate_per_hour,
+        mean_rental_hours=mean_rental_hours,
+    )
+    trace_ = model.draw_count(arrivals, seed)
+    region = VirtualRegion(
+        devices, trace_, engine=engine, batch_hours=batch_hours
+    )
+    horizon = float(trace_.arrivals[-1] + trace_.durations.max() + 1.0)
+    start = perf_counter()
+    region.advance_to(horizon)
+    elapsed = perf_counter() - start
+    events = region.events_processed
+    return {
+        "devices": devices,
+        "arrivals": arrivals,
+        "engine": engine,
+        "events": events,
+        "dropped_arrivals": region.dropped_arrivals,
+        "seconds": elapsed,
+        "events_per_second": events / elapsed if elapsed > 0 else 0.0,
+        "final_free": region.available(),
+    }

@@ -17,7 +17,7 @@ from repro.observability import trace
 from repro.observability.log import get_logger
 from repro.observability.metrics import registry
 from repro.physics.aging import CLOUD_PART, WearProfile
-from repro.physics.pool_array import get_aging_kernel
+from repro.physics.pool_array import SegmentBtiArray, get_aging_kernel
 from repro.reliability.faults import maybe_inject
 from repro.rng import SeedLike, make_rng
 
@@ -65,6 +65,7 @@ def build_fleet(
     wear: WearProfile = CLOUD_PART,
     seed: SeedLike = None,
     aging_kernel: Optional[str] = None,
+    bti_store: Optional["SegmentBtiArray"] = None,
 ) -> list[FpgaDevice]:
     """Manufacture ``size`` devices of one part with sampled wear.
 
@@ -73,17 +74,27 @@ def build_fleet(
     process-wide default at construction.  Fleet-scale workloads age
     many devices over hundreds of simulated hours, so this is the knob
     A/B comparisons of the kernels reach for.
+
+    ``bti_store`` lets every device of the fleet share one backing
+    :class:`~repro.physics.pool_array.SegmentBtiArray` (slot blocks per
+    device), which is what enables the lazy-aging path to catch idle
+    devices up in cross-device bulk updates.  Implies the array kernel.
     """
     if size <= 0:
         raise ConfigurationError(f"fleet size must be positive, got {size}")
     rng = make_rng(seed)
-    kernel = aging_kernel if aging_kernel is not None else get_aging_kernel()
+    if aging_kernel is None and bti_store is not None:
+        kernel = "array"
+    else:
+        kernel = (
+            aging_kernel if aging_kernel is not None else get_aging_kernel()
+        )
     with trace.span("cloud.build_fleet", part=part.name, size=size,
                     wear=wear.name, aging_kernel=kernel):
         devices = [
             FpgaDevice(
                 part=part, wear=wear, seed=rng.integers(0, 2**63),
-                aging_kernel=kernel,
+                aging_kernel=kernel, bti_store=bti_store,
             )
             for _ in range(size)
         ]

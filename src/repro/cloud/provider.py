@@ -1,92 +1,241 @@
 """The cloud provider: regions, the shared clock, and tenancy lifecycle.
 
 The provider owns simulated time.  :meth:`CloudProvider.advance` moves
-the global clock: rented devices execute their loaded designs, free
-devices sit unpowered (their imprints anneal), ambient conditions evolve
-per region.  Renting hands out a free device per the region's allocation
-policy; releasing **wipes the device's logical state** and returns it to
-the pool -- with an optional hold-back delay, the Section 8.2
-launch-rate-control mitigation.
+the global clock; renting hands out a free device per the region's
+allocation policy; releasing **wipes the device's logical state** and
+returns it to the pool -- with an optional hold-back delay, the Section
+8.2 launch-rate-control mitigation.
+
+Lazy aging (the fleet-scale path)
+---------------------------------
+
+By default the provider no longer walks every device on every clock
+tick.  Each region keeps an append-only :class:`RegionTimeline` of the
+intervals the clock advanced through (duration + the ambient sampled at
+the interval start), and every device carries only its *position* in
+that timeline.  A device catches up -- replaying exactly the
+``advance_hours`` calls the eager walker would have made, in the same
+order, with the same ambient values -- the first time something observes
+or mutates it (loading a design, wiping at release, reading a delay).
+Devices with no analog state yet skip the replay entirely in O(1).
+
+``CloudProvider(lazy_aging=False)`` restores the synchronous walker;
+the equivalence suite pins the two modes bit-identical.
+
+Allocation is O(log n): the free pool is kept ordered by
+``released_at_hours`` (releases arrive in clock order, so appends keep
+it sorted), hold-back eligibility is a bisect, and LIFO/FIFO hand-out
+pops an end of the live window.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Optional
+
+import numpy as np
 
 from repro.errors import CapacityError, CloudError, TenancyError
 from repro.cloud.allocation import AllocationOrder, AllocationPolicy
 from repro.cloud.instance import F1Instance
 from repro.fabric.device import FpgaDevice
 from repro.fabric.thermal import DataCenterAmbient
+from repro.physics.pool_array import FleetAgingArray
 from repro.rng import SeedLike, make_rng
 
 
-@dataclass
+class RegionTimeline:
+    """Append-only record of one region's clock intervals.
+
+    ``clock_after[i]`` is the provider clock after interval ``i``,
+    accumulated with the same floating-point ``+=`` sequence the eager
+    walker applies to ``device.sim_hours`` -- which is what lets a
+    device with no analog state fast-forward to ``clock_after[-1]``
+    bit-identically without replaying the intervals one by one.
+    """
+
+    __slots__ = ("start_clock", "durations", "ambients", "clock_after")
+
+    def __init__(self, start_clock: float) -> None:
+        self.start_clock = start_clock
+        self.durations: list[float] = []
+        self.ambients: list[float] = []
+        self.clock_after: list[float] = []
+
+    def append(self, duration_hours: float, ambient_k: float) -> None:
+        """Record one interval (ambient sampled at its start)."""
+        before = (
+            self.clock_after[-1] if self.clock_after else self.start_clock
+        )
+        self.durations.append(duration_hours)
+        self.ambients.append(ambient_k)
+        self.clock_after.append(before + duration_hours)
+
+    def __len__(self) -> int:
+        return len(self.durations)
+
+    def clock_before(self, position: int) -> float:
+        """The clock value at a timeline position (before interval i)."""
+        if position == 0:
+            return self.start_clock
+        return self.clock_after[position - 1]
+
+
 class _PooledDevice:
     """A free device plus when it was returned (for hold-back)."""
 
-    device: FpgaDevice
-    released_at_hours: float
+    __slots__ = ("device", "released_at_hours")
+
+    def __init__(self, device: FpgaDevice, released_at_hours: float) -> None:
+        self.device = device
+        self.released_at_hours = released_at_hours
 
 
-@dataclass
 class Region:
-    """One region: a device fleet, an ambient profile, a policy."""
+    """One region: a device fleet, an ambient profile, a policy.
 
-    name: str
-    provider: "CloudProvider"
-    ambient: DataCenterAmbient
-    policy: AllocationPolicy
-    _free: list = field(default_factory=list)
-    _rented: dict = field(default_factory=dict)
+    The free pool is stored sorted by ``released_at_hours`` ascending
+    (releases carry the monotone provider clock, so appends preserve the
+    order), with a parallel key list for bisection and a head offset so
+    FIFO hand-out is an O(1) pop of the front.  Ties keep insertion
+    order, so LIFO's "first of the most recent" and RANDOM's indexed
+    draw pick exactly the device the old linear scan picked.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        provider: "CloudProvider",
+        ambient: DataCenterAmbient,
+        policy: AllocationPolicy,
+    ) -> None:
+        self.name = name
+        self.provider = provider
+        self.ambient = ambient
+        self.policy = policy
+        self.timeline = RegionTimeline(start_clock=provider.clock_hours)
+        self._free: list[Optional[_PooledDevice]] = []
+        self._keys: list[float] = []  # released_at, parallel to _free
+        self._head: int = 0  # start of the live window (lazy front pops)
+        self._rented: dict[int, F1Instance] = {}
+
+    # -- free pool ---------------------------------------------------------
 
     def add_device(self, device: FpgaDevice) -> None:
-        """Place a device into the free pool."""
-        self._free.append(
-            _PooledDevice(device=device, released_at_hours=float("-inf"))
-        )
+        """Place a device into the free pool (never-released boards
+        sort before every returned board)."""
+        key = float("-inf")
+        j = bisect_right(self._keys, key, lo=self._head)
+        self._free.insert(j, _PooledDevice(device, released_at_hours=key))
+        self._keys.insert(j, key)
+        if self.provider.lazy_aging:
+            device.bind_timeline(self.timeline, len(self.timeline))
+
+    def _return_device(self, device: FpgaDevice, released_at: float) -> None:
+        """Append a returned board (clock order keeps the pool sorted)."""
+        self._free.append(_PooledDevice(device, released_at))
+        self._keys.append(released_at)
+
+    def _eligible_window(self, now_hours: float) -> int:
+        """End index (exclusive) of the eligible slice of the pool."""
+        cutoff = now_hours - self.policy.holdback_hours
+        return bisect_right(self._keys, cutoff, lo=self._head)
 
     def available_count(self, now_hours: float) -> int:
-        """Devices eligible for allocation right now."""
-        cutoff = now_hours - self.policy.holdback_hours
-        return sum(1 for p in self._free if p.released_at_hours <= cutoff)
+        """Devices eligible for allocation right now (one bisect)."""
+        return self._eligible_window(now_hours) - self._head
 
-    def _eligible(self, now_hours: float) -> list:
-        cutoff = now_hours - self.policy.holdback_hours
-        return [p for p in self._free if p.released_at_hours <= cutoff]
+    def _pop(self, index: int) -> _PooledDevice:
+        pooled = self._free[index]
+        assert pooled is not None
+        if index == len(self._free) - 1:
+            self._free.pop()
+            self._keys.pop()
+        elif index == self._head:
+            self._free[index] = None
+            self._head += 1
+            if self._head > 32 and self._head * 2 >= len(self._free):
+                del self._free[: self._head]
+                del self._keys[: self._head]
+                self._head = 0
+        else:
+            del self._free[index]
+            del self._keys[index]
+        return pooled
 
-    def allocate(self, now_hours: float, rng) -> FpgaDevice:
+    def allocate(
+        self, now_hours: float, rng: np.random.Generator
+    ) -> FpgaDevice:
         """Hand out a free, non-quarantined device per the policy."""
         self.policy.admission_check(self.name)
-        eligible = self._eligible(now_hours)
-        if not eligible:
+        hi = self._eligible_window(now_hours)
+        if hi <= self._head:
             raise CapacityError(
                 f"region {self.name!r}: request limit exceeded, no F1 "
                 f"instances available"
             )
         if self.policy.order is AllocationOrder.LIFO:
-            chosen = max(eligible, key=lambda p: p.released_at_hours)
+            # First of the most-recently-released group (ties keep
+            # insertion order, matching the old ``max`` scan).
+            j = bisect_left(self._keys, self._keys[hi - 1],
+                            lo=self._head, hi=hi)
         elif self.policy.order is AllocationOrder.FIFO:
-            chosen = min(eligible, key=lambda p: p.released_at_hours)
+            j = self._head
         else:
-            chosen = eligible[int(rng.integers(0, len(eligible)))]
-        self._free.remove(chosen)
-        return chosen.device
+            j = self._head + int(rng.integers(0, hi - self._head))
+        return self._pop(j).device
 
     def devices(self) -> list[FpgaDevice]:
         """All devices in the region, free or rented."""
-        return [p.device for p in self._free] + [
-            inst.device for inst in self._rented.values()
-        ]
+        free = [p.device for p in self._free[self._head:] if p is not None]
+        return free + [inst.device for inst in self._rented.values()]
+
+    # -- lazy aging --------------------------------------------------------
+
+    def sync_devices(self, devices: Optional[Iterable[FpgaDevice]] = None) -> None:
+        """Catch every (or the given) device up to the region clock.
+
+        Idle devices that share one backing :class:`SegmentBtiArray` and
+        sit at the same timeline position are advanced together: one
+        masked array update per pending interval covers the whole group
+        (see :class:`~repro.physics.pool_array.FleetAgingArray`).
+        """
+        targets = list(devices) if devices is not None else self.devices()
+        groups: dict[tuple[int, int], list[FpgaDevice]] = {}
+        for device in targets:
+            if device.pending_intervals == 0:
+                continue
+            if (
+                device.aging_kernel == "array"
+                and device.loaded_design is None
+                and device.materialised_segments > 0
+            ):
+                key = (id(device.aging_store), device.timeline_position)
+                groups.setdefault(key, []).append(device)
+            else:
+                device.sync()
+        for group in groups.values():
+            if len(group) == 1:
+                group[0].sync()
+                continue
+            position = group[0].timeline_position
+            fleet = FleetAgingArray(group[0].aging_store)
+            fleet.catch_up_idle(
+                [d._lazy_idle_indices() for d in group],
+                list(zip(self.timeline.durations[position:],
+                         self.timeline.ambients[position:])),
+            )
+            for device in group:
+                device._finish_lazy_idle()
 
 
 class CloudProvider:
     """The platform operator."""
 
-    def __init__(self, seed: SeedLike = None) -> None:
+    def __init__(self, seed: SeedLike = None, lazy_aging: bool = True) -> None:
         self.clock_hours = 0.0
-        self._rng = make_rng(seed)
+        self.lazy_aging = lazy_aging
+        self._rng: np.random.Generator = make_rng(seed)
         self._regions: dict[str, Region] = {}
 
     # -- topology ----------------------------------------------------------
@@ -121,6 +270,10 @@ class CloudProvider:
             raise CloudError(f"no region named {name!r}")
         return self._regions[name]
 
+    def regions(self) -> list[Region]:
+        """All regions, in creation order."""
+        return list(self._regions.values())
+
     # -- tenancy -----------------------------------------------------------
 
     def rent(self, region_name: str, tenant: str) -> F1Instance:
@@ -135,7 +288,9 @@ class CloudProvider:
         """End a tenancy: scrub the device and return it to the pool.
 
         The scrub clears every bit of logical state.  It cannot touch
-        the analog domain -- that is the vulnerability.
+        the analog domain -- that is the vulnerability.  (Under lazy
+        aging the wipe first catches the device up to *now*, so the
+        tenancy's stress is integrated before the design disappears.)
         """
         region = self.region(instance.region_name)
         if instance.instance_id not in region._rented:
@@ -145,11 +300,7 @@ class CloudProvider:
             )
         instance.device.wipe()
         del region._rented[instance.instance_id]
-        region._free.append(
-            _PooledDevice(
-                device=instance.device, released_at_hours=self.clock_hours
-            )
-        )
+        region._return_device(instance.device, self.clock_hours)
         instance.active = False
 
     # -- time --------------------------------------------------------------
@@ -159,14 +310,25 @@ class CloudProvider:
 
         Every device in every region experiences the interval: rented
         devices run their loaded designs (powered, stressing), free
-        devices idle (annealing).
+        devices idle (annealing).  Under lazy aging the interval is
+        only *recorded* here; devices integrate it on first touch.
         """
         if hours < 0.0:
             raise CloudError(f"cannot advance time by {hours} hours")
         if hours == 0.0:
             return
-        for region in self._regions.values():
-            ambient_k = region.ambient.at(self.clock_hours)
-            for device in region.devices():
-                device.advance_hours(hours, ambient_k)
+        if self.lazy_aging:
+            for region in self._regions.values():
+                ambient_k = region.ambient.at(self.clock_hours)
+                region.timeline.append(hours, ambient_k)
+        else:
+            for region in self._regions.values():
+                ambient_k = region.ambient.at(self.clock_hours)
+                for device in region.devices():
+                    device.advance_hours(hours, ambient_k)
         self.clock_hours += hours
+
+    def sync_all(self) -> None:
+        """Catch every device in every region up to the current clock."""
+        for region in self._regions.values():
+            region.sync_devices()

@@ -13,6 +13,17 @@ net of the loaded design experiences that net's activity (static hold,
 toggling, or floating), every other known segment anneals, and the die's
 effective age accumulates while powered.
 
+Lazy aging: a device racked into a cloud region is *bound* to the
+region's append-only timeline of clock intervals
+(:class:`~repro.cloud.provider.RegionTimeline`) and carries only its
+position in it.  :meth:`sync` replays the pending intervals -- exactly
+the ``advance_hours`` calls an eager walker would have made, in the
+same order -- and every observation or mutation of device state
+(loading, wiping, delay reads, voltage changes) syncs first, so lazy
+and eager providers are bit-identical.  A device with no materialised
+analog state skips the replay in O(1): its ``sim_hours`` fast-forwards
+along the timeline's identically-accumulated clock.
+
 Two aging kernels implement the advance (selected per process via
 :func:`repro.physics.pool_array.set_aging_kernel`, resolved when the
 device is constructed):
@@ -106,6 +117,7 @@ class FpgaDevice:
         wear: WearProfile = NEW_PART,
         seed: SeedLike = None,
         aging_kernel: Optional[str] = None,
+        bti_store: Optional[SegmentBtiArray] = None,
     ) -> None:
         self.part = part
         self.wear = wear
@@ -126,11 +138,17 @@ class FpgaDevice:
             raise FabricError(
                 f"unknown aging kernel {self.aging_kernel!r}"
             )
+        if bti_store is not None and self.aging_kernel != "array":
+            raise FabricError(
+                "a shared bti_store requires the array aging kernel"
+            )
         # Scalar kernel: one SegmentBti object per materialised segment.
         self._segments: dict[SegmentId, SegmentBti] = {}
         # Array kernel: SoA state plus the SegmentId -> slot index map
-        # and the cached per-slot views.
-        self._bti_array = SegmentBtiArray()
+        # and the cached per-slot views.  ``bti_store`` lets a whole
+        # fleet share one backing array (slot blocks per device), which
+        # is what enables cross-device bulk catch-up.
+        self._bti_array = bti_store if bti_store is not None else SegmentBtiArray()
         self._array_index: dict[SegmentId, int] = {}
         self._array_slots: dict[SegmentId, SegmentBtiSlot] = {}
         self._groups: Optional[_ActivityGroups] = None
@@ -138,6 +156,10 @@ class FpgaDevice:
         self._groups_count: int = -1
         self._loaded: Optional[Bitstream] = None
         self._ambient_k: float = 308.15  # 35 C until an environment says otherwise
+        # Lazy aging: the bound region timeline and this device's
+        # position in it (both None/0 for standalone devices).
+        self._timeline = None
+        self._timeline_pos = 0
 
     # ------------------------------------------------------------------
     # Analog state store
@@ -154,6 +176,7 @@ class FpgaDevice:
         is a thin view into the device's arrays; either way it exposes
         the full :class:`~repro.physics.bti.SegmentBti` surface.
         """
+        self.sync()
         if self.aging_kernel == "array":
             slot = self._array_slots.get(segment_id)
             if slot is None:
@@ -228,6 +251,7 @@ class FpgaDevice:
         so the first load on a worn device also realises the residual
         imprints of its unobserved history.
         """
+        self.sync()
         if self._loaded is not None:
             raise FabricError(
                 f"device {self.device_id} already has "
@@ -243,9 +267,111 @@ class FpgaDevice:
 
         Analog (BTI) state is physically incapable of being cleared by a
         configuration wipe, so the segment store is deliberately left
-        untouched.
+        untouched.  (Under lazy aging the device first integrates the
+        pending intervals *with* the design still loaded.)
         """
+        self.sync()
         self._loaded = None
+
+    # ------------------------------------------------------------------
+    # Lazy aging (region timelines)
+    # ------------------------------------------------------------------
+
+    def bind_timeline(self, timeline, position: int = 0) -> None:
+        """Attach this device to a region's interval timeline.
+
+        From now on the device ages lazily: the region records clock
+        intervals, and :meth:`sync` (called by every state observation
+        or mutation) replays the pending ones.
+        """
+        self._timeline = timeline
+        self._timeline_pos = position
+
+    @property
+    def timeline_position(self) -> int:
+        """This device's position in its bound timeline."""
+        return self._timeline_pos
+
+    @property
+    def pending_intervals(self) -> int:
+        """Recorded intervals this device has not yet integrated."""
+        if self._timeline is None:
+            return 0
+        return len(self._timeline) - self._timeline_pos
+
+    @property
+    def aging_store(self) -> SegmentBtiArray:
+        """The backing SoA store (shared across a fleet, or private)."""
+        return self._bti_array
+
+    def sync(self) -> int:
+        """Catch up to the bound timeline; returns intervals replayed.
+
+        A device with no materialised analog state skips the replay:
+        nothing but ``sim_hours`` (and the last-seen ambient) can
+        change, and the timeline's ``clock_after`` values were
+        accumulated with the identical ``+=`` sequence, so the
+        fast-forward is bit-identical to the interval-by-interval walk.
+        """
+        timeline = self._timeline
+        if timeline is None:
+            return 0
+        pending = len(timeline) - self._timeline_pos
+        if pending <= 0:
+            return 0
+        position = self._timeline_pos
+        # Mark synced first: the replay below touches segment state,
+        # which re-enters sync() and must see nothing pending.
+        self._timeline_pos = len(timeline)
+        if (
+            self._loaded is None
+            and self.materialised_segments == 0
+            and self.sim_hours == timeline.clock_before(position)
+        ):
+            self.sim_hours = timeline.clock_after[-1]
+            self._ambient_k = timeline.ambients[-1]
+            registry.counter(
+                "device_advance_intervals_total",
+                "device time-advance intervals",
+            ).inc(pending)
+            return pending
+        for i in range(position, len(timeline)):
+            self._advance_hours_raw(
+                timeline.durations[i], timeline.ambients[i]
+            )
+        return pending
+
+    def _lazy_idle_indices(self) -> np.ndarray:
+        """Array-store slots an idle catch-up must anneal (all of this
+        device's materialised segments; requires no loaded design)."""
+        assert self._loaded is None
+        return self._activity_groups().idle
+
+    def _finish_lazy_idle(self) -> None:
+        """Bookkeeping after a cross-device bulk idle catch-up.
+
+        The fleet-level catch-up already applied the array updates for
+        every pending interval; this replays only the per-interval
+        scalar bookkeeping (``sim_hours`` accumulation, last ambient,
+        counters), bit-identical to :meth:`sync`'s slow path.
+        """
+        timeline = self._timeline
+        assert timeline is not None and self._loaded is None
+        position = self._timeline_pos
+        pending = len(timeline) - position
+        if pending <= 0:
+            return
+        self._timeline_pos = len(timeline)
+        for i in range(position, len(timeline)):
+            self.sim_hours += timeline.durations[i]
+        self._ambient_k = timeline.ambients[-1]
+        registry.counter(
+            "device_advance_intervals_total", "device time-advance intervals"
+        ).inc(pending)
+        registry.counter(
+            "device_segment_hours_total",
+            "simulated segment-hours of BTI integration",
+        ).inc(sum(timeline.durations[position:]) * self.materialised_segments)
 
     # ------------------------------------------------------------------
     # Time
@@ -256,8 +382,17 @@ class FpgaDevice:
 
         All routed nets of the loaded design stress/anneal their segments
         according to their activity; all other materialised segments
-        anneal.  The die ages while a design is powered.
+        anneal.  The die ages while a design is powered.  A device bound
+        to a region timeline catches up on the recorded intervals first.
         """
+        self.sync()
+        self._advance_hours_raw(duration_hours, ambient_k)
+
+    def _advance_hours_raw(
+        self, duration_hours: float, ambient_k: float
+    ) -> None:
+        """One interval of aging, without consulting the timeline (the
+        replay primitive :meth:`sync` drives)."""
         if duration_hours < 0.0:
             raise FabricError(f"duration must be >= 0, got {duration_hours}")
         if duration_hours == 0.0:
@@ -348,8 +483,12 @@ class FpgaDevice:
                 else:
                     floating.extend(indices)
                 driven.update(indices)
+        # Own slots only: under a shared fleet store this device's
+        # indices are an arbitrary block, not range(len(...)).  For a
+        # private store the two spellings are identical (insertion
+        # order is 0..n-1).
         idle = floating + [
-            i for i in range(len(self._array_index)) if i not in driven
+            i for i in self._array_index.values() if i not in driven
         ]
         self._groups = _ActivityGroups(
             static_one=np.asarray(static_one, dtype=np.intp),
@@ -402,12 +541,16 @@ class FpgaDevice:
         """
         if voltage_v <= 0.0:
             raise FabricError(f"voltage must be positive, got {voltage_v}")
+        # Pending intervals ran at the *old* supply; integrate them
+        # before the change takes effect.
+        self.sync()
         self.core_voltage_v = voltage_v
 
     def set_ambient(self, ambient_k: float) -> None:
         """Record the current ambient (board installed in oven/rack)."""
         if ambient_k <= 0.0:
             raise FabricError(f"ambient must be > 0 K, got {ambient_k}")
+        self.sync()
         self._ambient_k = ambient_k
 
     def junction_k(self) -> float:
@@ -438,6 +581,7 @@ class FpgaDevice:
         code observes delays exclusively through the TDC's quantised,
         noisy output.
         """
+        self.sync()
         if self.aging_kernel == "array":
             indices = self._route_indices(route)
             # Sequential left-to-right sum: bit-identical to the scalar
@@ -457,6 +601,7 @@ class FpgaDevice:
 
     def route_delta_ps(self, route: Route) -> float:
         """True BTI delta-ps of a route (oracle; for tests/analysis only)."""
+        self.sync()
         if self.aging_kernel == "array":
             indices = self._route_indices(route)
             return float(sum(self._bti_array.delta_ps(indices).tolist()))
@@ -466,6 +611,7 @@ class FpgaDevice:
 
     def info(self) -> DeviceInfo:
         """Provider-side identity record."""
+        self.sync()
         return DeviceInfo(
             device_id=self.device_id,
             part_name=self.part.name,

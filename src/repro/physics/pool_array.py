@@ -557,6 +557,50 @@ class SegmentBtiArray:
         return SegmentBtiSlot(self, index)
 
 
+class FleetAgingArray:
+    """Cross-*device* bulk aging over one shared :class:`SegmentBtiArray`.
+
+    When a fleet of devices registers its segments into a single
+    backing store (``FpgaDevice(bti_store=...)``), each device owns a
+    disjoint block of slots.  Catching a group of idle devices up over
+    the same pending intervals then collapses to one masked array
+    update per interval covering *every* device's slots at once --
+    instead of devices x intervals separate kernel calls.
+
+    The kernels are elementwise over the index set and the per-interval
+    acceleration factors are scalars, so the union-of-indices update is
+    bit-identical to advancing each device separately (pinned by the
+    lazy-aging equivalence suite).
+    """
+
+    def __init__(self, store: SegmentBtiArray) -> None:
+        self.store = store
+
+    def catch_up_idle(
+        self,
+        index_groups: list,
+        intervals: list,
+    ) -> None:
+        """Anneal every device's slots through a shared interval list.
+
+        ``index_groups`` holds one index array per device (disjoint
+        slot blocks of the shared store); ``intervals`` is a sequence
+        of ``(duration_hours, temperature_k)`` pairs, oldest first.
+        Devices must be unpowered (idle) across the whole span -- a
+        device with a loaded design has per-design junction
+        temperatures and must sync individually.
+        """
+        groups = [
+            np.asarray(g, dtype=np.intp) for g in index_groups
+            if np.asarray(g).size
+        ]
+        if not groups or not intervals:
+            return
+        indices = np.concatenate(groups) if len(groups) > 1 else groups[0]
+        for duration_hours, temperature_k in intervals:
+            self.store.idle(indices, duration_hours, temperature_k)
+
+
 class SegmentBtiSlot:
     """One segment of a :class:`SegmentBtiArray`, duck-typing ``SegmentBti``.
 

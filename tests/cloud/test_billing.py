@@ -74,3 +74,53 @@ class TestMeter:
         provider, _ = metered_provider()
         with pytest.raises(CloudError):
             BillingMeter.attach(provider, hourly_usd=0.0)
+
+
+class TestLifecycleEdges:
+    def test_zero_hour_rental_lands_in_ledger(self):
+        """A rent-probe-release inside one tick (the marketplace
+        scanner's pattern) is a real, zero-dollar ledger entry."""
+        provider, meter = metered_provider()
+        instance = provider.rent("r", "scanner")
+        provider.release(instance)
+        ledger = meter.ledger()
+        assert len(ledger) == 1
+        assert ledger[0].hours == 0.0
+        assert ledger[0].amount_usd == 0.0
+        assert meter.total_for("scanner") == 0.0
+
+    def test_release_then_rent_same_tick_bills_both(self):
+        """The reallocation race: two tenancies of one board in one
+        tick produce two separate charges."""
+        provider, meter = metered_provider()
+        first = provider.rent("r", "victim")
+        provider.advance(3.0)
+        provider.release(first)
+        second = provider.rent("r", "attacker")  # same clock tick
+        assert second.device is first.device
+        provider.advance(2.0)
+        provider.release(second)
+        assert meter.hours_for("victim") == pytest.approx(3.0)
+        assert meter.hours_for("attacker") == pytest.approx(2.0)
+        assert len(meter.ledger()) == 2
+
+    def test_holdback_wait_is_not_billed(self):
+        """Hold-back quarantine time belongs to the provider, not the
+        next tenant."""
+        from repro.cloud.allocation import AllocationPolicy
+
+        provider = CloudProvider(seed=7)
+        provider.create_region(
+            "r", build_fleet(VIRTEX_ULTRASCALE_PLUS, 1, seed=7),
+            policy=AllocationPolicy(holdback_hours=4.0),
+        )
+        meter = BillingMeter.attach(provider)
+        first = provider.rent("r", "a")
+        provider.advance(1.0)
+        provider.release(first)
+        provider.advance(4.0)  # exactly the holdback
+        second = provider.rent("r", "b")
+        provider.advance(2.0)
+        provider.release(second)
+        assert meter.hours_for("a") == pytest.approx(1.0)
+        assert meter.hours_for("b") == pytest.approx(2.0)

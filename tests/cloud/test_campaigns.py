@@ -1,0 +1,248 @@
+"""Fleet campaigns: bulk churn correctness and seed reproducibility.
+
+The bulk engine resolves whole windows of background churn with numpy
+passes; the reference engine replays the same trace event by event.
+These tests pin them identical -- free-stack contents, event counts,
+capacity drops -- across seeds, pool sizes (including drop-heavy
+starvation), batch sizes, and interleaved tracked rentals, and pin the
+campaign results themselves engine- and batch-invariant.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.campaigns import (
+    ChurnModel,
+    ChurnTrace,
+    FleetScenario,
+    FlashAttackPlan,
+    LazyFleet,
+    ScanPlan,
+    VirtualRegion,
+    run_churn_benchmark,
+    run_flash_campaign,
+    run_scan_campaign,
+)
+from repro.errors import CloudError, ConfigurationError
+
+
+def _naive_pool(trace, boards, until):
+    """An independent, obviously-correct churn replay (list + scan)."""
+    stack = list(range(boards))
+    pending = []  # (release_time, board), unsorted on purpose
+    drops = 0
+    events = 0
+    i = 0
+    while True:
+        a = trace.arrivals[i] if i < len(trace.arrivals) else math.inf
+        r = min((t for t, _ in pending), default=math.inf)
+        t = min(a, r)
+        if t > until:
+            break
+        if r <= a:
+            j = min(range(len(pending)), key=lambda k: pending[k][0])
+            _, board = pending.pop(j)
+            stack.append(board)
+        else:
+            i += 1
+            if stack:
+                board = stack.pop()
+                pending.append((a + trace.durations[i - 1], board))
+            else:
+                drops += 1
+        events += 1
+    return stack, drops, events
+
+
+class TestChurnModel:
+    def test_trace_is_deterministic(self):
+        model = ChurnModel(10.0, 4.0)
+        a = model.draw(100.0, seed=3)
+        b = model.draw(100.0, seed=3)
+        assert np.array_equal(a.arrivals, b.arrivals)
+        assert np.array_equal(a.durations, b.durations)
+        assert a.arrivals[-1] < 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnModel(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnModel(1.0, -1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnModel().draw(-5.0)
+        with pytest.raises(ConfigurationError):
+            ChurnTrace(np.zeros(3), np.zeros(2))
+
+    def test_draw_count(self):
+        trace = ChurnModel(5.0, 2.0).draw_count(1000, seed=1)
+        assert len(trace) == 1000
+        assert (np.diff(trace.arrivals) >= 0.0).all()
+        assert (trace.durations > 0.0).all()
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("boards", [5, 60, 900])
+    def test_bulk_matches_reference(self, seed, boards):
+        trace = ChurnModel(30.0, 4.0).draw(150.0, seed=seed)
+        ref = VirtualRegion(boards, trace, engine="reference")
+        ref.advance_to(180.0)
+        bulk = VirtualRegion(boards, trace, engine="bulk")
+        bulk.advance_to(180.0)
+        assert bulk.free_boards() == ref.free_boards()
+        assert bulk.events_processed == ref.events_processed
+        assert bulk.dropped_arrivals == ref.dropped_arrivals
+
+    def test_matches_naive_simulation(self):
+        trace = ChurnModel(20.0, 3.0).draw(80.0, seed=11)
+        stack, drops, events = _naive_pool(trace, 40, 100.0)
+        for engine in ("bulk", "reference"):
+            region = VirtualRegion(40, trace, engine=engine)
+            region.advance_to(100.0)
+            assert region.free_boards() == stack, engine
+            assert region.dropped_arrivals == drops, engine
+            assert region.events_processed == events, engine
+
+    @pytest.mark.parametrize("batch", [math.inf, 100.0, 13.0, 1.0])
+    def test_batch_size_invariance(self, batch):
+        trace = ChurnModel(25.0, 5.0).draw(120.0, seed=5)
+        baseline = VirtualRegion(80, trace, engine="bulk")
+        baseline.advance_to(150.0)
+        windowed = VirtualRegion(80, trace, engine="bulk",
+                                 batch_hours=batch)
+        windowed.advance_to(150.0)
+        assert windowed.free_boards() == baseline.free_boards()
+        assert windowed.events_processed == baseline.events_processed
+        assert windowed.dropped_arrivals == baseline.dropped_arrivals
+
+    @pytest.mark.parametrize("engine", ["bulk", "reference"])
+    def test_tracked_rentals_interleave(self, engine):
+        """Attacker rent/release between windows sees the same boards
+        on both engines."""
+        trace = ChurnModel(15.0, 4.0).draw(90.0, seed=2)
+        region = VirtualRegion(50, trace, engine=engine, batch_hours=7.0)
+        log = []
+        held = []
+        for t in np.linspace(1.0, 95.0, 30):
+            region.advance_to(float(t))
+            if len(held) >= 3:
+                region.release(held.pop(0))
+                log.append(("rel", None))
+            else:
+                board = region.rent()
+                if board is not None:
+                    held.append(board)
+                log.append(("rent", board))
+        if engine == "bulk":
+            type(self)._bulk_log = log
+        else:
+            assert log == type(self)._bulk_log
+
+    def test_advance_backwards_rejected(self):
+        trace = ChurnModel(5.0, 2.0).draw(10.0, seed=0)
+        for engine in ("bulk", "reference"):
+            region = VirtualRegion(4, trace, engine=engine)
+            region.advance_to(8.0)
+            with pytest.raises(CloudError):
+                region.advance_to(3.0)
+
+    def test_unknown_engine_rejected(self):
+        trace = ChurnModel(5.0, 2.0).draw(10.0, seed=0)
+        with pytest.raises(ConfigurationError):
+            VirtualRegion(4, trace, engine="psychic")
+
+
+class TestLazyFleet:
+    def test_materialise_on_demand(self):
+        fleet = LazyFleet(size=50, seed=4)
+        assert fleet.materialised == 0
+        dev = fleet.device(17)
+        assert fleet.materialised == 1
+        assert fleet.device(17) is dev
+
+    def test_board_seed_independent_of_order(self):
+        a = LazyFleet(size=20, seed=9)
+        b = LazyFleet(size=20, seed=9)
+        a.device(3)  # materialise another board first on one fleet
+        assert (a.device(11).effective_age_hours
+                == b.device(11).effective_age_hours)
+
+    def test_out_of_range(self):
+        fleet = LazyFleet(size=5, seed=0)
+        with pytest.raises(CloudError):
+            fleet.device(5)
+
+
+def _scenario(**overrides):
+    base = dict(
+        devices=120,
+        horizon_hours=260.0,
+        churn=ChurnModel(arrival_rate_per_hour=2.0,
+                         mean_rental_hours=10.0),
+        routes=4,
+        seed=6,
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+class TestCampaigns:
+    def test_flash_reports_yield_and_is_reproducible(self):
+        plan = FlashAttackPlan(victims=2, flash_limit=5,
+                               reaction_hours=0.25)
+        results = [
+            run_flash_campaign(_scenario(engine=engine,
+                                         batch_hours=batch), plan)
+            for engine, batch in (
+                ("bulk", math.inf), ("bulk", 9.0), ("reference", math.inf)
+            )
+        ]
+        first = results[0]
+        assert first.victims_attempted == 2
+        assert 0.0 <= first.recovery_yield <= 1.0
+        assert first.boards_probed > 0
+        for other in results[1:]:
+            # Engine and batch size must not perturb a single draw.
+            assert other.recovery_yield == first.recovery_yield
+            assert other.mean_accuracy == first.mean_accuracy
+            assert other.details == first.details
+            assert other.lifecycle_events == first.lifecycle_events
+
+    def test_flash_recovers_on_quiet_pool(self):
+        """With no churn contention the attacker always re-acquires
+        the victim's board (LIFO top) and reads the secret.  Fresh
+        boards (no residual imprints) make full accuracy exact."""
+        from repro.physics.aging import NEW_PART
+
+        scenario = _scenario(
+            churn=ChurnModel(arrival_rate_per_hour=0.01,
+                             mean_rental_hours=1.0),
+            seed=2,
+            wear=NEW_PART,
+        )
+        plan = FlashAttackPlan(victims=2, flash_limit=3,
+                               reaction_hours=0.1)
+        result = run_flash_campaign(scenario, plan)
+        assert result.recovery_yield == 1.0
+        assert result.mean_accuracy == 1.0
+
+    def test_scan_campaign_runs(self):
+        plan = ScanPlan(victims=1, scan_width=4, scan_every_hours=16.0)
+        result = run_scan_campaign(_scenario(), plan)
+        assert result.kind == "scan"
+        assert result.boards_probed > 0
+        assert 0.0 <= result.recovery_yield <= 1.0
+        again = run_scan_campaign(_scenario(engine="reference"), plan)
+        assert again.recovery_yield == result.recovery_yield
+        assert again.details == result.details
+
+
+class TestChurnBenchmark:
+    def test_drop_free_sizing(self):
+        stats = run_churn_benchmark(devices=1000, arrivals=5000, seed=1)
+        assert stats["dropped_arrivals"] == 0
+        assert stats["events"] == 10000  # every arrival and release
+        assert stats["final_free"] == 1000
+        assert stats["events_per_second"] > 0

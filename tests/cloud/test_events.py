@@ -1,0 +1,116 @@
+"""The discrete-event scheduler's determinism contract."""
+
+import pytest
+
+from repro.cloud.events import EventKind, EventLoop
+from repro.errors import CloudError
+
+
+class FakeClock:
+    def __init__(self):
+        self.clock_hours = 0.0
+        self.advances = []
+
+    def advance(self, hours):
+        self.clock_hours += hours
+        self.advances.append(hours)
+
+
+def _recorder(log, tag):
+    def handler(loop, event):
+        log.append((tag, loop.now_hours))
+
+    return handler
+
+
+class TestOrdering:
+    def test_time_order(self):
+        clock = FakeClock()
+        loop = EventLoop(clock)
+        log = []
+        loop.schedule(5.0, EventKind.RENT, _recorder(log, "b"))
+        loop.schedule(1.0, EventKind.RENT, _recorder(log, "a"))
+        loop.schedule(9.0, EventKind.RENT, _recorder(log, "c"))
+        assert loop.run() == 3
+        assert [t for t, _ in log] == ["a", "b", "c"]
+        assert clock.clock_hours == 9.0
+
+    def test_same_time_kind_priority(self):
+        """At one timestamp a release precedes a wipe precedes a rent:
+        the released board is re-rentable in the same tick."""
+        clock = FakeClock()
+        loop = EventLoop(clock)
+        log = []
+        loop.schedule(2.0, EventKind.SCAN, _recorder(log, "scan"))
+        loop.schedule(2.0, EventKind.RENT, _recorder(log, "rent"))
+        loop.schedule(2.0, EventKind.RELEASE, _recorder(log, "release"))
+        loop.schedule(2.0, EventKind.WIPE, _recorder(log, "wipe"))
+        loop.schedule(2.0, EventKind.PREEMPT, _recorder(log, "preempt"))
+        loop.run()
+        assert [t for t, _ in log] == [
+            "release", "wipe", "rent", "preempt", "scan"
+        ]
+        # One clock advance for the shared timestamp, not five.
+        assert clock.advances == [2.0]
+
+    def test_same_time_same_kind_fifo_by_seq(self):
+        loop = EventLoop(FakeClock())
+        log = []
+        for i in range(5):
+            loop.schedule(1.0, EventKind.RENT, _recorder(log, i))
+        loop.run()
+        assert [t for t, _ in log] == [0, 1, 2, 3, 4]
+
+
+class TestControl:
+    def test_cancel(self):
+        loop = EventLoop(FakeClock())
+        log = []
+        keep = loop.schedule(1.0, EventKind.RENT, _recorder(log, "keep"))
+        drop = loop.schedule(2.0, EventKind.RENT, _recorder(log, "drop"))
+        loop.cancel(drop)
+        assert loop.run() == 1
+        assert log == [("keep", 1.0)]
+        assert keep.cancelled is False
+
+    def test_until_hours_stops_and_advances(self):
+        clock = FakeClock()
+        loop = EventLoop(clock)
+        log = []
+        loop.schedule(1.0, EventKind.RENT, _recorder(log, "in"))
+        loop.schedule(50.0, EventKind.RENT, _recorder(log, "out"))
+        assert loop.run(until_hours=10.0) == 1
+        assert clock.clock_hours == 10.0  # advanced the rest of the way
+        assert len(loop) == 1  # the late event still queued
+        assert loop.run() == 1
+        assert log[-1] == ("out", 50.0)
+
+    def test_max_events(self):
+        loop = EventLoop(FakeClock())
+        log = []
+        for i in range(4):
+            loop.schedule(float(i + 1), EventKind.RENT, _recorder(log, i))
+        assert loop.run(max_events=2) == 2
+        assert loop.run() == 2
+
+    def test_past_schedule_rejected(self):
+        clock = FakeClock()
+        clock.clock_hours = 5.0
+        loop = EventLoop(clock)
+        with pytest.raises(CloudError):
+            loop.schedule(4.0, EventKind.RENT, lambda lp, ev: None)
+
+    def test_handler_may_schedule_more(self):
+        clock = FakeClock()
+        loop = EventLoop(clock)
+        log = []
+
+        def chain(lp, event):
+            log.append(lp.now_hours)
+            if event.data["n"] > 0:
+                lp.schedule(lp.now_hours + 1.0, EventKind.RENT, chain,
+                            n=event.data["n"] - 1)
+
+        loop.schedule(1.0, EventKind.RENT, chain, n=3)
+        assert loop.run() == 4
+        assert log == [1.0, 2.0, 3.0, 4.0]

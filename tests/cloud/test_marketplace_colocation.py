@@ -170,3 +170,56 @@ class TestFlashAttack:
         flash = FlashAttack(provider, "eu-west-2")
         holdings = flash.acquire_all(limit=2)
         assert len(holdings) == 2
+
+
+class TestMarketplaceLifecycleEdges:
+    def test_deploy_on_released_instance_rejected(self):
+        from repro.errors import TenancyError
+
+        provider = make_provider()
+        marketplace = Marketplace()
+        listing, _, _ = listed_design(marketplace)
+        instance = provider.rent("eu-west-2", "customer")
+        provider.release(instance)
+        with pytest.raises(TenancyError):
+            marketplace.deploy(listing.afi_id, instance)
+
+    def test_deploy_survives_release_then_rent_same_tick(self):
+        """The reallocation race with a marketplace AFI: the second
+        tenant's deploy overwrites the first's logical state on the
+        very same board, in the same tick."""
+        provider = make_provider(fleet_size=1)
+        marketplace = Marketplace()
+        listing, _, _ = listed_design(marketplace)
+        first = provider.rent("eu-west-2", "one")
+        marketplace.deploy(listing.afi_id, first)
+        provider.advance(1.0)
+        provider.release(first)
+        second = provider.rent("eu-west-2", "two")
+        assert second.device is first.device
+        assert second.device.loaded_design is None  # wiped on release
+        marketplace.deploy(listing.afi_id, second)
+        assert second.device.loaded_design is not None
+
+    def test_zero_hour_marketplace_tenancy(self):
+        """Deploy and release inside one tick leaves no logical state
+        but does leave the tenancy accounting consistent."""
+        provider = make_provider()
+        marketplace = Marketplace()
+        listing, _, _ = listed_design(marketplace)
+        region = provider.region("eu-west-2")
+        before = region.available_count(provider.clock_hours)
+        instance = provider.rent("eu-west-2", "flash")
+        marketplace.deploy(listing.afi_id, instance)
+        provider.release(instance)
+        assert instance.active is False
+        assert region.available_count(provider.clock_hours) == before
+
+    def test_republish_same_image_gets_fresh_afi(self):
+        marketplace = Marketplace()
+        first, design, _ = listed_design(marketplace)
+        second = marketplace.publish(design.bitstream, publisher="vendor")
+        assert first.afi_id != second.afi_id
+        assert [l.afi_id for l in marketplace.catalogue()] == sorted(
+            [first.afi_id, second.afi_id]
+        )

@@ -163,9 +163,30 @@ class TestTime:
     def test_advance_moves_all_devices(self):
         provider = make_provider(fleet_size=3)
         provider.advance(5.0)
+        provider.sync_all()
         region = provider.region("us-east-1")
         assert all(d.sim_hours == 5.0 for d in region.devices())
         assert provider.clock_hours == 5.0
+
+    def test_eager_mode_advances_synchronously(self):
+        provider = CloudProvider(seed=11, lazy_aging=False)
+        fleet = build_fleet(VIRTEX_ULTRASCALE_PLUS, 3, seed=11)
+        provider.create_region("us-east-1", fleet)
+        provider.advance(5.0)
+        region = provider.region("us-east-1")
+        # No sync needed: the eager walker touched every device.
+        assert all(d.sim_hours == 5.0 for d in region.devices())
+
+    def test_lazy_devices_catch_up_on_touch(self):
+        provider = make_provider(fleet_size=2)
+        provider.advance(7.0)
+        region = provider.region("us-east-1")
+        device = region.devices()[0]
+        assert device.pending_intervals == 1
+        info = device.info()  # any observation syncs first
+        assert device.pending_intervals == 0
+        assert device.sim_hours == 7.0
+        assert info.device_id == device.device_id
 
     def test_negative_advance_rejected(self):
         provider = make_provider()

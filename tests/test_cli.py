@@ -93,6 +93,25 @@ class TestParser:
         assert args.resume == "sweep.journal"
         assert build_parser().parse_args(["sweep", "exp1"]).resume is None
 
+    def test_fleet_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--campaign", "scan", "--devices", "512",
+             "--victims", "3", "--engine", "reference",
+             "--batch-hours", "9", "--quick"]
+        )
+        assert args.campaign == "scan"
+        assert args.devices == 512 and args.victims == 3
+        assert args.engine == "reference" and args.batch_hours == 9.0
+        assert args.quick
+
+    def test_fleet_has_observability_flags(self):
+        args = build_parser().parse_args(["fleet", "--trace"])
+        assert args.trace and args.metrics_out is None
+
+    def test_fleet_rejects_unknown_campaign(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fleet", "--campaign", "psychic"])
+
     def test_chaos_flags(self):
         args = build_parser().parse_args(
             ["chaos", "exp2", "--seed", "3", "--plan", "storm.json"]
@@ -193,6 +212,19 @@ class TestMain:
     def test_sweep_jobs_auto_runs(self, capsys):
         assert main(["sweep", "exp1", "--seeds", "5", "--jobs", "auto"]) == 0
         assert "jobs=auto" in capsys.readouterr().out
+
+    def test_fleet_quick(self, capsys):
+        assert main(["fleet", "--quick", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery yield" in out
+        assert "lifecycle events" in out
+
+    def test_fleet_churn_bench(self, capsys):
+        assert main(["fleet", "--campaign", "churn", "--quick",
+                     "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "events/sec" in out
+        assert "capacity misses" in out
 
     def test_sweep_resume_round_trip(self, tmp_path, capsys):
         journal = tmp_path / "sweep.journal"

@@ -141,6 +141,7 @@ class TestMultiRegion:
             "eu", build_fleet(VIRTEX_ULTRASCALE_PLUS, 1, seed=2)
         )
         provider.advance(7.0)
+        provider.sync_all()
         for region_name in ("us", "eu"):
             for device in provider.region(region_name).devices():
                 assert device.sim_hours == pytest.approx(7.0)

@@ -119,6 +119,9 @@ class ProviderMachine(RuleBasedStateMachine):
 
     @invariant()
     def clocks_are_synchronised(self):
+        # Lazy aging defers the walk; syncing here stress-tests the
+        # catch-up replay at every step of every generated schedule.
+        self.provider.sync_all()
         region = self.provider.region("r")
         for device in region.devices():
             assert abs(device.sim_hours - self.provider.clock_hours) < 1e-6
