@@ -93,6 +93,25 @@ def emit(capsys):
 _durations: dict[str, float] = {}
 _session_start = time.time()
 
+#: Named result blocks benchmarks contribute to the session summary
+#: (e.g. the ``series_overhead`` measurements): top-level keys merged
+#: into ``BENCH_observability.json`` verbatim.
+_extra_blocks: dict[str, dict] = {}
+
+
+@pytest.fixture
+def bench_block():
+    """Publish a named result block into ``BENCH_observability.json``.
+
+    Usage: ``bench_block("series_overhead", {...})``.  Re-publishing a
+    name overwrites it, so a re-run bench reports its latest numbers.
+    """
+
+    def _publish(name: str, payload: dict) -> None:
+        _extra_blocks[name] = payload
+
+    return _publish
+
 
 def pytest_runtest_logreport(report):
     """Collect per-benchmark call durations."""
@@ -126,6 +145,7 @@ def pytest_sessionfinish(session):
         "benchmarks": dict(sorted(_durations.items())),
         "metrics": metrics,
     }
+    payload.update(sorted(_extra_blocks.items()))
     target = os.path.join(str(session.config.rootpath),
                           "BENCH_observability.json")
     with open(target, "w") as handle:

@@ -260,6 +260,15 @@ def build_parser() -> argparse.ArgumentParser:
                     help="shrunken scenario for smoke runs")
     pf.add_argument("--output", type=str, default=None, metavar="FILE",
                     help="write the campaign result as JSON")
+    pf.add_argument("--series", type=str, default=None, metavar="FILE",
+                    help="record sim-time telemetry (pool occupancy, "
+                         "aging debt, recovery yield, ...) and write the "
+                         "series document to FILE; also lands in the "
+                         "run store and the Chrome trace")
+    pf.add_argument("--series-cadence", type=float, default=1.0,
+                    metavar="HOURS",
+                    help="sim-hours between flight-recorder samples "
+                         "(default: 1.0)")
     observability(pf)
 
     pb = sub.add_parser("bench", help="benchmark-suite utilities")
@@ -407,7 +416,10 @@ def _finish_observability(args) -> int:
         from repro.observability.timeline import write_trace_events
 
         try:
-            path = write_trace_events(chrome_trace)
+            path = write_trace_events(
+                chrome_trace,
+                sim_series=getattr(args, "_sim_recorder", None),
+            )
         except OSError as exc:
             print(f"repro: cannot write Chrome trace to {chrome_trace}: "
                   f"{exc}", file=sys.stderr)
@@ -449,6 +461,21 @@ def _cmd_fleet(args) -> int:
         run_scan_campaign,
     )
 
+    recorder = None
+    if args.series:
+        from repro.observability.timeseries import FlightRecorder
+
+        recorder = FlightRecorder(cadence_hours=args.series_cadence)
+
+    def _save_series() -> None:
+        if recorder is None:
+            return
+        recorder.save(args.series)
+        print(f"sim-time series written to {args.series} "
+              f"({len(recorder.names())} series)")
+        args._series = recorder.to_dict()
+        args._sim_recorder = recorder
+
     if args.campaign == "churn":
         devices = args.devices or (10_000 if args.quick else 100_000)
         arrivals = args.arrivals or (50_000 if args.quick else 500_000)
@@ -459,7 +486,9 @@ def _cmd_fleet(args) -> int:
             engine=args.engine,
             batch_hours=args.batch_hours or _math.inf,
             arrival_rate_per_hour=args.arrival_rate or 60.0,
+            recorder=recorder,
         )
+        _save_series()
         args._config = {
             "campaign": "churn", "devices": devices,
             "arrivals": arrivals, "engine": args.engine,
@@ -496,10 +525,13 @@ def _cmd_fleet(args) -> int:
     )
     if args.campaign == "flash":
         result = run_flash_campaign(
-            scenario, FlashAttackPlan(victims=victims)
+            scenario, FlashAttackPlan(victims=victims), recorder=recorder
         )
     else:
-        result = run_scan_campaign(scenario, ScanPlan(victims=victims))
+        result = run_scan_campaign(
+            scenario, ScanPlan(victims=victims), recorder=recorder
+        )
+    _save_series()
     args._config = {
         "campaign": args.campaign, "devices": devices,
         "horizon_hours": horizon, "victims": victims,
@@ -1003,6 +1035,8 @@ def _run_experiment_name(args) -> Optional[str]:
     if args.command == "chaos":
         return (args.experiment if args.target == "sweep"
                 else args.target)
+    if args.command == "fleet":
+        return "fleet"
     return None
 
 
@@ -1045,6 +1079,7 @@ def _record_run(args, store_path, collector, outcome, exit_code,
         argv=list(sys.argv[1:]),
         seed_rows=collector.seed_rows if collector is not None else (),
         extra=extra,
+        series=getattr(args, "_series", None),
     )
     try:
         with RunStore(store_path) as store:

@@ -65,7 +65,14 @@ from repro.fabric.device import FpgaDevice
 from repro.fabric.parts import PartDescriptor, VIRTEX_ULTRASCALE_PLUS
 from repro.fabric.thermal import DataCenterAmbient
 from repro.observability import trace
+from repro.observability.metrics import registry
 from repro.observability.progress import note_event, note_phase
+from repro.observability.timeseries import (
+    SERIES_AGING_DEBT,
+    SERIES_BOARDS_PROBED,
+    SERIES_RECOVERY_YIELD,
+    FlightRecorder,
+)
 from repro.physics.aging import CLOUD_PART, WearProfile
 from repro.physics.pool_array import SegmentBtiArray
 from repro.rng import RngFactory, SeedLike, make_rng
@@ -89,6 +96,36 @@ __all__ = [
 #: before its own arrival (the engines order same-time events
 #: release-first).
 _MIN_RENTAL_HOURS = 1e-9
+
+
+def _inc_churn_counters(events: int, rents: int,
+                        releases: int, drops: int) -> None:
+    """Fold one churn advance into the registry's fleet counters.
+
+    Both engines call this with per-advance deltas, so the counter
+    *values* agree exactly between the reference and bulk engines (the
+    satellite equality test pins this).
+    """
+    if events:
+        registry.counter(
+            "fleet_events_total",
+            "discrete events dispatched by event loops",
+        ).inc(events)
+    if rents:
+        registry.counter(
+            "fleet_events_rent_total",
+            "RENT events across loop dispatch and churn",
+        ).inc(rents)
+    if releases:
+        registry.counter(
+            "fleet_events_release_total",
+            "RELEASE events across loop dispatch and churn",
+        ).inc(releases)
+    if drops:
+        registry.counter(
+            "fleet_events_dropped_total",
+            "arrivals dropped by capacity misses",
+        ).inc(drops)
 
 
 # ---------------------------------------------------------------------------
@@ -188,7 +225,8 @@ class _ReferenceChurn:
     dropped along with its release.
     """
 
-    def __init__(self, boards: int, trace: ChurnTrace) -> None:
+    def __init__(self, boards: int, trace: ChurnTrace,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.n_boards = boards
         self.trace = trace
         self.stack: list[int] = list(range(boards))
@@ -198,6 +236,21 @@ class _ReferenceChurn:
         self.now_hours = 0.0
         self.events_processed = 0
         self.dropped_arrivals = 0
+        self._recorder = recorder
+        self._cadence = (recorder.cadence_hours
+                         if recorder is not None else math.inf)
+        self._gk = 1
+
+    def _grid_sample(self, g: float) -> None:
+        """One flight-recorder sample at grid time ``g`` (the sampling
+        contract both engines share: churn events with time <= g are
+        in, tracked handlers at g are not -- grids are emitted while
+        the clock advances, before handlers run)."""
+        fill = len(self.stack)
+        self._recorder.churn_sample(
+            g, fill, self.n_boards - fill,
+            self.events_processed, self.dropped_arrivals,
+        )
 
     def advance_to(self, until_hours: float) -> None:
         arrivals = self.trace.arrivals
@@ -205,11 +258,23 @@ class _ReferenceChurn:
         n = len(arrivals)
         stack = self.stack
         pending = self._pending
+        rec = self._recorder
+        cadence = self._cadence
+        pos0 = self._pos
+        e0 = self.events_processed
+        d0 = self.dropped_arrivals
         while True:
             a = arrivals[self._pos] if self._pos < n else math.inf
             r = pending[0][0] if pending else math.inf
-            if min(a, r) > until_hours:
+            t = a if a < r else r
+            if t > until_hours:
                 break
+            if rec is not None:
+                g = self._gk * cadence
+                while g < t:
+                    self._grid_sample(g)
+                    self._gk += 1
+                    g = self._gk * cadence
             if r <= a:
                 _, _, board = heapq.heappop(pending)
                 stack.append(board)
@@ -225,6 +290,18 @@ class _ReferenceChurn:
                 else:
                     self.dropped_arrivals += 1
             self.events_processed += 1
+        if rec is not None:
+            g = self._gk * cadence
+            while g <= until_hours:
+                self._grid_sample(g)
+                self._gk += 1
+                g = self._gk * cadence
+        arrived = self._pos - pos0
+        drops = self.dropped_arrivals - d0
+        events = self.events_processed - e0
+        _inc_churn_counters(
+            events, arrived - drops, events - arrived, drops
+        )
         self.now_hours = until_hours
 
     def rent(self) -> Optional[int]:
@@ -249,7 +326,8 @@ class _BulkChurn:
     ``(now, until]`` with numpy passes instead of a per-event loop.
     """
 
-    def __init__(self, boards: int, trace: ChurnTrace) -> None:
+    def __init__(self, boards: int, trace: ChurnTrace,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.n_boards = boards
         self.trace = trace
         self.stack: list[int] = list(range(boards))
@@ -259,6 +337,54 @@ class _BulkChurn:
         self.now_hours = 0.0
         self.events_processed = 0
         self.dropped_arrivals = 0
+        self._recorder = recorder
+        self._cadence = (recorder.cadence_hours
+                         if recorder is not None else math.inf)
+        self._gk = 1
+
+    def _emit_grids(
+        self,
+        until_hours: float,
+        ts: np.ndarray,
+        fill: np.ndarray,
+        f0: int,
+        e0: int,
+        d0: int,
+        drop_times: np.ndarray,
+    ) -> None:
+        """Vectorised flight-recorder sampling for one window.
+
+        Buckets every grid time in ``(now, until]`` against the
+        window's sorted event stream with ``searchsorted``; grid times
+        are ``k * cadence`` products (never accumulated sums) and the
+        high index is comparison-corrected, so the emitted samples are
+        bit-identical to the reference engine's scalar walk.
+        """
+        cadence = self._cadence
+        k_lo = self._gk
+        k_hi = int(math.floor(until_hours / cadence))
+        while k_hi * cadence > until_hours:
+            k_hi -= 1
+        while (k_hi + 1) * cadence <= until_hours:
+            k_hi += 1
+        if k_hi < k_lo:
+            return
+        self._gk = k_hi + 1
+        gs = np.arange(k_lo, k_hi + 1, dtype=np.float64) * cadence
+        if len(ts):
+            idx = np.searchsorted(ts, gs, side="right")
+            # fill[idx-1] is the level after the last event <= g; the
+            # where() keeps pre-first-event grids at the window's f0
+            # without concatenating a window-sized temporary.
+            fill_g = np.where(idx > 0, fill[idx - 1], f0)
+        else:
+            idx = np.zeros(len(gs), dtype=np.intp)
+            fill_g = np.full(len(gs), f0, dtype=np.int64)
+        dcount = np.searchsorted(drop_times, gs, side="right")
+        self._recorder.churn_window(
+            gs, fill_g, self.n_boards - fill_g,
+            e0 + idx + dcount, d0 + dcount,
+        )
 
     def advance_to(self, until_hours: float) -> None:
         if until_hours < self.now_hours:
@@ -275,8 +401,14 @@ class _BulkChurn:
         c_boards = self._pend_boards[:c_hi]
         self._pend_times = self._pend_times[c_hi:]
         self._pend_boards = self._pend_boards[c_hi:]
+        e0 = self.events_processed
+        d0 = self.dropped_arrivals
+        _empty = np.empty(0, dtype=np.float64)
         n_arr = len(a_times)
         if n_arr == 0 and len(c_times) == 0:
+            if self._recorder is not None:
+                self._emit_grids(until_hours, _empty, _empty,
+                                 len(self.stack), e0, d0, _empty)
             self.now_hours = until_hours
             return
 
@@ -318,10 +450,18 @@ class _BulkChurn:
             keep[rs[int(np.nonzero(bad)[0][0])]] = False
             drops += 1
         self.dropped_arrivals += drops
+        drop_times = a_times[~keep]
 
         n_ev = len(ts)
         self.events_processed += n_ev + drops
+        n_rel = int(np.count_nonzero(ks == 0)) if n_ev else 0
+        _inc_churn_counters(
+            n_ev + drops, n_ev - n_rel, n_rel, drops
+        )
         if n_ev == 0:
+            if self._recorder is not None:
+                self._emit_grids(until_hours, _empty, _empty,
+                                 f0, e0, d0, drop_times)
             self.now_hours = until_hours
             return
 
@@ -414,6 +554,8 @@ class _BulkChurn:
             self._pend_times = times[o]
             self._pend_boards = boards_[o]
 
+        if self._recorder is not None:
+            self._emit_grids(until_hours, ts, fill, f0, e0, d0, drop_times)
         self.stack = new_stack.tolist()
         self.now_hours = until_hours
 
@@ -446,6 +588,7 @@ class VirtualRegion:
         trace_: ChurnTrace,
         engine: str = "bulk",
         batch_hours: float = math.inf,
+        recorder: Optional[FlightRecorder] = None,
     ) -> None:
         if boards <= 0:
             raise ConfigurationError("a region needs at least one board")
@@ -453,10 +596,11 @@ class VirtualRegion:
             raise ConfigurationError("batch_hours must be positive")
         if engine == "bulk":
             self._engine: _BulkChurn | _ReferenceChurn = _BulkChurn(
-                boards, trace_
+                boards, trace_, recorder=recorder
             )
         elif engine == "reference":
-            self._engine = _ReferenceChurn(boards, trace_)
+            self._engine = _ReferenceChurn(boards, trace_,
+                                           recorder=recorder)
         else:
             raise ConfigurationError(
                 f"unknown churn engine {engine!r} "
@@ -465,6 +609,7 @@ class VirtualRegion:
         self.engine = engine
         self.boards = boards
         self.batch_hours = float(batch_hours)
+        self.recorder = recorder
 
     @property
     def now_hours(self) -> float:
@@ -613,8 +758,10 @@ class FleetSimulator:
     size never perturbs a draw.
     """
 
-    def __init__(self, scenario: FleetScenario) -> None:
+    def __init__(self, scenario: FleetScenario,
+                 recorder: Optional[FlightRecorder] = None) -> None:
         self.scenario = scenario
+        self.recorder = recorder
         factory = RngFactory(scenario.seed)
         self.rng = factory.stream("campaign")
         self.churn_trace = scenario.churn.draw(
@@ -623,6 +770,7 @@ class FleetSimulator:
         self.region = VirtualRegion(
             scenario.devices, self.churn_trace,
             engine=scenario.engine, batch_hours=scenario.batch_hours,
+            recorder=recorder,
         )
         self.fleet = LazyFleet(
             scenario.part, scenario.devices, wear=scenario.wear,
@@ -633,8 +781,29 @@ class FleetSimulator:
             scenario.part.make_grid(),
             [scenario.route_length_ps] * scenario.routes,
         )
-        self.loop = EventLoop(_RegionClock(self.region))
+        self.loop = EventLoop(_RegionClock(self.region),
+                              recorder=recorder)
         self._synced: dict[int, float] = {}
+        if recorder is not None:
+            recorder.add_probe(
+                SERIES_AGING_DEBT, self._aging_debt_at,
+                help="hours of deferred aging replay outstanding "
+                     "across tracked boards",
+            )
+            recorder.record_origin(scenario.devices)
+
+    # -- aging debt --------------------------------------------------------
+
+    def _aging_debt_at(self, now_hours: float) -> float:
+        """Deferred-replay debt at ``now_hours``: the hours of history
+        the lazy-aging layer still owes the tracked boards (untracked
+        boards carry no analog state, so they owe nothing)."""
+        synced = self._synced
+        return max(0.0, len(synced) * now_hours - sum(synced.values()))
+
+    def aging_debt_hours(self) -> float:
+        """Outstanding aging debt at the current sim clock."""
+        return self._aging_debt_at(self.loop.now_hours)
 
     # -- board thermal clocks ---------------------------------------------
 
@@ -860,7 +1029,9 @@ def _finish(
 
 
 def run_flash_campaign(
-    scenario: FleetScenario, plan: Optional[FlashAttackPlan] = None
+    scenario: FleetScenario,
+    plan: Optional[FlashAttackPlan] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> CampaignResult:
     """A flash re-acquisition race over a churning fleet.
 
@@ -872,7 +1043,7 @@ def run_flash_campaign(
     accuracy clears the scenario threshold.
     """
     plan = plan or FlashAttackPlan()
-    sim = FleetSimulator(scenario)
+    sim = FleetSimulator(scenario, recorder=recorder)
     victims = [
         _Victim(i, secret)
         for i, secret in enumerate(_draw_secrets(sim, plan.victims))
@@ -913,11 +1084,22 @@ def run_flash_campaign(
             # Zero-hour rentals: probed boards go straight back.
             for board in boards:
                 sim.region.release(board)
+            if recorder is not None:
+                recorder.sample_rate(
+                    SERIES_BOARDS_PROBED, now, probed[0],
+                    help="cumulative boards the attacker has probed",
+                )
+                recorder.sample(
+                    SERIES_RECOVERY_YIELD, now,
+                    sum(1 for v in victims if v.recovered) / len(victims),
+                    help="fraction of victims recovered so far",
+                )
 
         return handler
 
     note_phase("fleet.flash", total=plan.victims,
-               devices=scenario.devices, engine=scenario.engine)
+               devices=scenario.devices, engine=scenario.engine,
+               sim_total_hours=scenario.horizon_hours)
     with trace.span("fleet.campaign", kind="flash",
                     engine=scenario.engine):
         for victim in victims:
@@ -936,7 +1118,9 @@ def run_flash_campaign(
 
 
 def run_scan_campaign(
-    scenario: FleetScenario, plan: Optional[ScanPlan] = None
+    scenario: FleetScenario,
+    plan: Optional[ScanPlan] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> CampaignResult:
     """Marketplace scanning: periodic pool sampling for pentimenti.
 
@@ -946,7 +1130,7 @@ def run_scan_campaign(
     board and reads the secret above the accuracy threshold.
     """
     plan = plan or ScanPlan()
-    sim = FleetSimulator(scenario)
+    sim = FleetSimulator(scenario, recorder=recorder)
     victims = [
         _Victim(i, secret)
         for i, secret in enumerate(_draw_secrets(sim, plan.victims))
@@ -989,9 +1173,20 @@ def run_scan_campaign(
                                board=board)
         for board in boards:
             sim.region.release(board)
+        if recorder is not None:
+            recorder.sample_rate(
+                SERIES_BOARDS_PROBED, now, probed[0],
+                help="cumulative boards the attacker has probed",
+            )
+            recorder.sample(
+                SERIES_RECOVERY_YIELD, now,
+                sum(1 for v in victims if v.recovered) / len(victims),
+                help="fraction of victims recovered so far",
+            )
 
     note_phase("fleet.scan", total=plan.victims,
-               devices=scenario.devices, engine=scenario.engine)
+               devices=scenario.devices, engine=scenario.engine,
+               sim_total_hours=scenario.horizon_hours)
     with trace.span("fleet.campaign", kind="scan",
                     engine=scenario.engine):
         for victim in victims:
@@ -1023,6 +1218,7 @@ def run_churn_benchmark(
     batch_hours: float = math.inf,
     arrival_rate_per_hour: float = 60.0,
     mean_rental_hours: Optional[float] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> dict:
     """Time a pure-churn fleet scenario; the BENCH_fleet workload.
 
@@ -1038,8 +1234,11 @@ def run_churn_benchmark(
     )
     trace_ = model.draw_count(arrivals, seed)
     region = VirtualRegion(
-        devices, trace_, engine=engine, batch_hours=batch_hours
+        devices, trace_, engine=engine, batch_hours=batch_hours,
+        recorder=recorder,
     )
+    if recorder is not None:
+        recorder.record_origin(devices)
     horizon = float(trace_.arrivals[-1] + trace_.durations.max() + 1.0)
     start = perf_counter()
     region.advance_to(horizon)

@@ -26,6 +26,8 @@ from typing import Any, Callable, Optional
 
 from repro.errors import CloudError
 from repro.observability.metrics import registry
+from repro.observability.progress import note_sim_hours
+from repro.observability.timeseries import SERIES_TRACKED
 
 
 class EventKind(enum.IntEnum):
@@ -61,13 +63,19 @@ class EventLoop:
     ``clock`` is anything exposing ``clock_hours`` and
     ``advance(hours)`` -- a :class:`~repro.cloud.provider.CloudProvider`
     in fleet simulations, or a lightweight stand-in in tests.
+
+    ``recorder`` is an optional
+    :class:`~repro.observability.timeseries.FlightRecorder`; when set,
+    every dispatched (tracked) event samples the cumulative
+    ``fleet.tracked_events`` series at its sim time.
     """
 
-    def __init__(self, clock: Any) -> None:
+    def __init__(self, clock: Any, recorder: Any = None) -> None:
         self._clock = clock
         self._heap: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        self.recorder = recorder
 
     @property
     def now_hours(self) -> float:
@@ -116,6 +124,7 @@ class EventLoop:
         way; with ``max_events`` it stops after that many dispatches.
         """
         processed = 0
+        by_kind: dict[EventKind, int] = {}
         while self._heap:
             time_hours = self._heap[0][0]
             if until_hours is not None and time_hours > until_hours:
@@ -126,14 +135,27 @@ class EventLoop:
             delta = time_hours - self._clock.clock_hours
             if delta > 0.0:
                 self._clock.advance(delta)
+                note_sim_hours(self._clock.clock_hours)
             event.handler(self, event)
             processed += 1
             self.events_processed += 1
+            by_kind[event.kind] = by_kind.get(event.kind, 0) + 1
+            if self.recorder is not None:
+                self.recorder.sample_rate(
+                    SERIES_TRACKED, time_hours, self.events_processed,
+                    help="cumulative tracked events dispatched",
+                )
             if max_events is not None and processed >= max_events:
                 break
         if until_hours is not None and until_hours > self._clock.clock_hours:
             self._clock.advance(until_hours - self._clock.clock_hours)
+            note_sim_hours(self._clock.clock_hours)
         registry.counter(
             "fleet_events_total", "discrete events dispatched by event loops"
         ).inc(processed)
+        for kind, count in sorted(by_kind.items()):
+            registry.counter(
+                f"fleet_events_{kind.name.lower()}_total",
+                f"{kind.name} events across loop dispatch and churn",
+            ).inc(count)
         return processed

@@ -18,6 +18,10 @@ The measurement layer under every other subsystem:
   profile``);
 * :mod:`repro.observability.timeline` -- Chrome Trace Event Format
   export for Perfetto / ``chrome://tracing``;
+* :mod:`repro.observability.timeseries` -- sim-clock-keyed time series
+  and the fleet flight recorder (``repro fleet ... --series``):
+  bounded-reservoir gauges/rates sampled on the simulated clock,
+  bit-identical between the reference and bulk churn engines;
 * :mod:`repro.observability.benchdiff` -- benchmark-suite diffing and
   the CI regression gate (``repro bench diff``);
 * :mod:`repro.observability.progress` -- live progress telemetry: a
@@ -46,6 +50,7 @@ from repro.observability import (
     progress,
     runstore,
     timeline,
+    timeseries,
     trace,
 )
 from repro.observability.export import (
@@ -75,6 +80,7 @@ __all__ = [
     "trace",
     "profile",
     "timeline",
+    "timeseries",
     "benchdiff",
     "progress",
     "runstore",

@@ -93,7 +93,10 @@ def _escape_help(text: str) -> str:
     return text.replace("\\", "\\\\").replace("\n", "\\n")
 
 
-def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
+def to_prometheus_text(
+    registry: Optional[MetricsRegistry] = None,
+    series=None,
+) -> str:
     """The registry in the Prometheus text exposition format.
 
     Every metric family gets both a ``# HELP`` line (escaped; the
@@ -101,6 +104,12 @@ def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
     scraper-side convention that keeps the family block complete) and a
     ``# TYPE`` line.  Histograms export as summaries: ``quantile``
     -labelled samples plus the exact ``_sum``/``_count`` pair.
+
+    ``series`` (a fleet run's
+    :class:`~repro.observability.timeseries.FlightRecorder` or its
+    ``to_dict()`` payload) adds two label-free gauges per sim-time
+    series: the last-sample value under the sanitised series name, and
+    the simulated hour it was taken at under ``<name>_simhours``.
     """
     registry = registry if registry is not None else get_registry()
     lines: list[str] = []
@@ -119,6 +128,19 @@ def to_prometheus_text(registry: Optional[MetricsRegistry] = None) -> str:
         metric = _sanitise(name)
         _head(metric, gauge.help, "gauge")
         lines.append(f"{metric} {gauge.value}")
+    if series is not None:
+        payload = (series.to_dict()
+                   if hasattr(series, "to_dict") else series)
+        for name, data in sorted(payload.get("series", {}).items()):
+            last = data.get("last")
+            if last is None:
+                continue
+            metric = _sanitise(name)
+            _head(metric, data.get("help", ""), "gauge")
+            lines.append(f"{metric} {last[1]}")
+            _head(f"{metric}_simhours",
+                  f"simulated hour of the last {name} sample", "gauge")
+            lines.append(f"{metric}_simhours {last[0]}")
     for name, hist in sorted(registry.histograms.items()):
         metric = _sanitise(name)
         _head(metric, hist.help, "summary")

@@ -103,6 +103,19 @@ th, td { text-align: left; padding: 4px 12px 4px 0;
          font-variant-numeric: tabular-nums; }
 th { color: var(--text-secondary); font-weight: 600; }
 .num { text-align: right; }
+.spark-grid { display: flex; flex-wrap: wrap; gap: 12px; }
+.spark {
+  background: var(--surface-1);
+  border: 1px solid var(--border);
+  border-radius: 8px;
+  padding: 8px 12px;
+}
+.spark .name { color: var(--text-secondary); font-size: 12px;
+               margin: 0 0 2px; }
+.spark .value { color: var(--text-primary); font-size: 13px;
+                font-variant-numeric: tabular-nums; margin: 0 0 4px; }
+svg .spark-line { stroke: var(--series-1); stroke-width: 1.5; fill: none;
+                  stroke-linejoin: round; }
 """
 
 
@@ -186,6 +199,63 @@ def _trend_svg(points: list[dict], width: int = 720,
     return "".join(parts)
 
 
+def _sparkline_svg(points: list, width: int = 220,
+                   height: int = 40) -> str:
+    """One sim-time series as a tiny inline polyline."""
+    if not points:
+        return ""
+    ts = [float(p[0]) for p in points]
+    vs = [float(p[1]) for p in points]
+    t_lo, t_hi = min(ts), max(ts)
+    v_lo, v_hi = min(vs), max(vs)
+    if t_hi == t_lo:
+        t_hi = t_lo + 1.0
+    if v_hi == v_lo:
+        v_lo, v_hi = v_lo - 0.5, v_hi + 0.5
+    coords = " ".join(
+        f"{(t - t_lo) / (t_hi - t_lo) * (width - 4) + 2:.1f},"
+        f"{(1.0 - (v - v_lo) / (v_hi - v_lo)) * (height - 4) + 2:.1f}"
+        for t, v in zip(ts, vs)
+    )
+    tip = (f"{len(points)} samples · sim-hours {t_lo:.1f}–{t_hi:.1f} · "
+           f"range {v_lo:.4g}–{v_hi:.4g}")
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" role="img">'
+        f"<title>{html.escape(tip)}</title>"
+        f'<polyline class="spark-line" points="{coords}"/></svg>'
+    )
+
+
+def _series_section(run: dict) -> Optional[str]:
+    """Sim-time sparkline cards for a run with a recorded series blob."""
+    series = run.get("series") or {}
+    families = series.get("series") or {}
+    if not families:
+        return None
+    cards = []
+    for name in sorted(families):
+        data = families[name]
+        points = data.get("points") or []
+        last = data.get("last")
+        last_txt = (f"{last[1]:.4g} @ {last[0]:.1f}h"
+                    if last else "-")
+        cards.append(
+            "<div class='spark'>"
+            f"<p class='name'>{html.escape(name)}</p>"
+            f"<p class='value'>{html.escape(last_txt)}</p>"
+            f"{_sparkline_svg(points)}</div>"
+        )
+    cadence = series.get("cadence_hours")
+    caption = (f"sampled every {cadence:g} sim-hour(s), "
+               f"reservoir cap {series.get('max_points')}"
+               if cadence else "")
+    return (
+        f"<p class='subtitle'>{html.escape(caption)}</p>"
+        "<div class='spark-grid'>" + "".join(cards) + "</div>"
+    )
+
+
 def _percentile_table(run: dict) -> Optional[str]:
     """Latency percentile table of one run's stored histograms."""
     metrics = run.get("metrics") or {}
@@ -261,6 +331,10 @@ def render_history_html(
                    "<div class='card'>", _trend_svg(points), "</div>"]
         latest = store.get_run(points[-1]["run_id"]) if points else None
         if latest is not None:
+            series_cards = _series_section(latest)
+            if series_cards:
+                section.append("<h3>simulation-time series (latest run)</h3>")
+                section.append(series_cards)
             percentiles = _percentile_table(latest)
             if percentiles:
                 section.append("<h3>latency percentiles (latest run)</h3>")

@@ -35,6 +35,7 @@ per-capture events from inside workers stay in the workers.
 from __future__ import annotations
 
 import json
+import math
 import sys
 import time
 from collections import deque
@@ -52,10 +53,15 @@ __all__ = [
     "note_phase",
     "note_seed_done",
     "note_event",
+    "note_sim_hours",
 ]
 
 #: Seed completions kept for the moving-average rate estimate.
 RATE_WINDOW = 16
+
+#: Minimum wall seconds between sim-tick renders (fleet clock advances
+#: arrive per event; re-painting each one would swamp the terminal).
+SIM_RENDER_INTERVAL_S = 0.1
 
 
 class ProgressEmitter:
@@ -77,6 +83,11 @@ class ProgressEmitter:
 
     def event(self, kind: str, **fields) -> None:
         """An operational occurrence (fault, retry, degraded route)."""
+
+    def sim_tick(self, sim_hours: float) -> None:
+        """The simulated clock advanced (fleet runs measure work in
+        sim-hours, not seeds; the phase's ``sim_total_hours`` field
+        announces the horizon this progresses toward)."""
 
     def close(self) -> None:
         """Flush and release the output (end of run)."""
@@ -109,6 +120,12 @@ class TtyProgress(ProgressEmitter):
         self.last_value: Optional[float] = None
         self.tallies: dict[str, int] = {}
         self._window: deque[float] = deque(maxlen=RATE_WINDOW)
+        self.sim_hours: Optional[float] = None
+        self.sim_total_hours: Optional[float] = None
+        self._sim_window: deque[tuple[float, float]] = deque(
+            maxlen=RATE_WINDOW
+        )
+        self._last_sim_render = -math.inf
         self._dirty = False
 
     # -- event intake -------------------------------------------------
@@ -117,6 +134,19 @@ class TtyProgress(ProgressEmitter):
         self.phase_name = name
         if "total" in fields and fields["total"] is not None:
             self.total = int(fields["total"])
+        if fields.get("sim_total_hours") is not None:
+            self.sim_total_hours = float(fields["sim_total_hours"])
+        self._render()
+
+    def sim_tick(self, sim_hours: float) -> None:
+        self.sim_hours = float(sim_hours)
+        now = self._clock()
+        self._sim_window.append((now, self.sim_hours))
+        done = (self.sim_total_hours is not None
+                and self.sim_hours >= self.sim_total_hours)
+        if not done and now - self._last_sim_render < SIM_RENDER_INTERVAL_S:
+            return
+        self._last_sim_render = now
         self._render()
 
     def seed_done(self, seed, value, elapsed_s=0.0, shard=None,
@@ -152,6 +182,24 @@ class TtyProgress(ProgressEmitter):
         remaining = max(self.total - self.completed, 0)
         return remaining / rate
 
+    def sim_rate_per_s(self) -> Optional[float]:
+        """Moving-average simulated hours per wall second."""
+        if len(self._sim_window) < 2:
+            return None
+        w0, s0 = self._sim_window[0]
+        w1, s1 = self._sim_window[-1]
+        if w1 <= w0:
+            return None
+        return (s1 - s0) / (w1 - w0)
+
+    def sim_eta_s(self) -> Optional[float]:
+        """Projected wall seconds until the sim horizon."""
+        rate = self.sim_rate_per_s()
+        if (rate is None or rate <= 0.0 or self.sim_hours is None
+                or self.sim_total_hours is None):
+            return None
+        return max(self.sim_total_hours - self.sim_hours, 0.0) / rate
+
     # -- rendering ----------------------------------------------------
 
     def render_line(self) -> str:
@@ -169,6 +217,19 @@ class TtyProgress(ProgressEmitter):
         eta = self.eta_s()
         if eta is not None:
             parts.append(f"eta {_format_eta(eta)}")
+        if self.sim_hours is not None:
+            if self.sim_total_hours is not None:
+                parts.append(
+                    f"simh {self.sim_hours:.1f}/{self.sim_total_hours:.0f}"
+                )
+            else:
+                parts.append(f"simh {self.sim_hours:.1f}")
+            sim_rate = self.sim_rate_per_s()
+            if sim_rate is not None:
+                parts.append(f"{sim_rate:.1f} simh/s")
+            sim_eta = self.sim_eta_s()
+            if sim_eta is not None:
+                parts.append(f"sim-eta {_format_eta(sim_eta)}")
         if self.last_value is not None:
             parts.append(f"last {self.last_value:.3f}")
         for kind, count in sorted(self.tallies.items()):
@@ -217,6 +278,11 @@ class JsonlProgress(ProgressEmitter):
         self.total = total
         self.completed = 0
         self._window: deque[float] = deque(maxlen=RATE_WINDOW)
+        self.sim_total_hours: Optional[float] = None
+        self._sim_window: deque[tuple[float, float]] = deque(
+            maxlen=RATE_WINDOW
+        )
+        self._last_sim_write = -math.inf
 
     def _write(self, payload: dict) -> None:
         self._stream.write(json.dumps(payload) + "\n")
@@ -225,8 +291,34 @@ class JsonlProgress(ProgressEmitter):
     def phase(self, name: str, **fields) -> None:
         if "total" in fields and fields["total"] is not None:
             self.total = int(fields["total"])
+        if fields.get("sim_total_hours") is not None:
+            self.sim_total_hours = float(fields["sim_total_hours"])
         self._write({"event": "phase", "t": self._clock(), "name": name,
                      **fields})
+
+    def sim_tick(self, sim_hours: float) -> None:
+        now = self._clock()
+        self._sim_window.append((now, float(sim_hours)))
+        done = (self.sim_total_hours is not None
+                and sim_hours >= self.sim_total_hours)
+        if not done and now - self._last_sim_write < SIM_RENDER_INTERVAL_S:
+            return
+        self._last_sim_write = now
+        rate = None
+        if len(self._sim_window) >= 2:
+            w0, s0 = self._sim_window[0]
+            w1, s1 = self._sim_window[-1]
+            if w1 > w0:
+                rate = (s1 - s0) / (w1 - w0)
+        eta = None
+        if rate and self.sim_total_hours is not None:
+            eta = max(self.sim_total_hours - sim_hours, 0.0) / rate
+        self._write({
+            "event": "sim_tick", "t": now,
+            "sim_hours": float(sim_hours),
+            "sim_total_hours": self.sim_total_hours,
+            "sim_rate_per_s": rate, "sim_eta_s": eta,
+        })
 
     def seed_done(self, seed, value, elapsed_s=0.0, shard=None,
                   worker_pid=None, resumed=False) -> None:
@@ -265,6 +357,8 @@ class CollectingEmitter(ProgressEmitter):
         self.phases: list[dict] = []
         self._seed_rows: dict[int, dict] = {}
         self.event_counts: dict[str, int] = {}
+        self.sim_hours: Optional[float] = None
+        self.sim_ticks = 0
 
     def phase(self, name: str, **fields) -> None:
         self.phases.append({"name": name, **fields})
@@ -282,6 +376,10 @@ class CollectingEmitter(ProgressEmitter):
 
     def event(self, kind: str, **fields) -> None:
         self.event_counts[kind] = self.event_counts.get(kind, 0) + 1
+
+    def sim_tick(self, sim_hours: float) -> None:
+        self.sim_hours = float(sim_hours)
+        self.sim_ticks += 1
 
     @property
     def seed_rows(self) -> list[dict]:
@@ -304,6 +402,10 @@ class _Compound(ProgressEmitter):
     def event(self, kind: str, **fields) -> None:
         for emitter in self.emitters:
             emitter.event(kind, **fields)
+
+    def sim_tick(self, sim_hours: float) -> None:
+        for emitter in self.emitters:
+            emitter.sim_tick(sim_hours)
 
     def close(self) -> None:
         for emitter in self.emitters:
@@ -390,3 +492,11 @@ def note_event(kind: str, **fields) -> None:
     if _EMITTER is None:
         return
     _EMITTER.event(kind, **fields)
+
+
+def note_sim_hours(sim_hours: float) -> None:
+    """Producer hook: the simulated clock moved (no-op without an
+    emitter).  Fleet event loops call this once per clock advance."""
+    if _EMITTER is None:
+        return
+    _EMITTER.sim_tick(sim_hours)

@@ -68,8 +68,10 @@ DEFAULT_RUNSTORE_PATH = ".repro/runs.db"
 RUNSTORE_ENV = "REPRO_RUNSTORE"
 
 #: Bumped on any incompatible table change; stored in ``PRAGMA
-#: user_version`` and checked on open.
-RUNSTORE_SCHEMA = 1
+#: user_version`` and checked on open.  v2 added ``series_json`` (the
+#: fleet flight recorder's sim-time series blob); v1 stores migrate in
+#: place on open.
+RUNSTORE_SCHEMA = 2
 
 _CREATE_TABLES = """
 CREATE TABLE IF NOT EXISTS runs (
@@ -93,7 +95,8 @@ CREATE TABLE IF NOT EXISTS runs (
     manifest_json   TEXT,
     metrics_json    TEXT,
     route_status_json TEXT,
-    extra_json      TEXT
+    extra_json      TEXT,
+    series_json     TEXT
 );
 CREATE TABLE IF NOT EXISTS seed_results (
     run_id     TEXT NOT NULL,
@@ -188,6 +191,7 @@ class RunRecord:
     argv: Sequence[str] = ()
     seed_rows: Sequence[dict] = ()
     extra: dict = field(default_factory=dict)
+    series: Optional[dict] = None
     run_id: Optional[str] = None
 
 
@@ -224,6 +228,12 @@ class RunStore:
         if version == 0:
             with conn:
                 conn.executescript(_CREATE_TABLES)
+                conn.execute(f"PRAGMA user_version={RUNSTORE_SCHEMA}")
+        elif version == 1:
+            # v1 -> v2: the sim-time series blob column.  Purely
+            # additive, so old rows stay readable (series = None).
+            with conn:
+                conn.execute("ALTER TABLE runs ADD COLUMN series_json TEXT")
                 conn.execute(f"PRAGMA user_version={RUNSTORE_SCHEMA}")
         elif version != RUNSTORE_SCHEMA:
             conn.close()
@@ -266,9 +276,9 @@ class RunStore:
                     config_hash, config_json, kernels_json,
                     fault_plan_hash, git_revision, git_dirty, argv_json,
                     manifest_json, metrics_json, route_status_json,
-                    extra_json
+                    extra_json, series_json
                 ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?,
-                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                          ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 """,
                 (
                     run_id,
@@ -294,6 +304,7 @@ class RunStore:
                         summarise_route_status(record.route_status)
                     ),
                     _dump_or_none(record.extra or None),
+                    _dump_or_none(record.series),
                 ),
             )
             conn.executemany(
@@ -410,7 +421,7 @@ class RunStore:
         run = dict(row)
         for column in ("config_json", "kernels_json", "argv_json",
                        "manifest_json", "metrics_json",
-                       "route_status_json", "extra_json"):
+                       "route_status_json", "extra_json", "series_json"):
             run[column[: -len("_json")]] = _load_or_none(run.pop(column))
         run["seed_results"] = [
             dict(seed_row)

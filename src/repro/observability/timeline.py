@@ -23,7 +23,13 @@ spans were merged back into the parent (see
   from :func:`repro.reliability.retry.note_retry`) become instant
   events (``ph="i"``, thread-scoped) so injections and backoffs render
   as pins on the lane where they struck rather than invisible
-  zero-width slices.
+  zero-width slices;
+* a fleet run's :class:`~repro.observability.timeseries.FlightRecorder`
+  series land in a synthetic **sim-clock** process
+  (:data:`SIM_CLOCK_PID`): each retained sample becomes a counter
+  event with ``ts = sim_hours * SIM_HOUR_US``, so pool occupancy,
+  aging debt and recovery yield render as ramps on a simulated-time
+  axis alongside (but clearly separated from) the wall-clock tracks.
 
 The format reference is the Trace Event Format spec; only the
 long-stable ``X``/``C``/``M``/``i`` phases are emitted.
@@ -41,12 +47,22 @@ from repro.observability.metrics import MetricsRegistry, get_registry
 
 __all__ = [
     "INSTANT_SPANS",
+    "SIM_CLOCK_PID",
+    "SIM_HOUR_US",
     "THROUGHPUT_COUNTERS",
     "to_trace_events",
     "write_trace_events",
 ]
 
 PathLike = Union[str, Path]
+
+#: Synthetic process id hosting the sim-clock counter tracks (chosen
+#: outside any plausible real pid range).
+SIM_CLOCK_PID = 999_983
+
+#: Trace microseconds per simulated hour: 1 sim-hour renders as 1 ms,
+#: so a two-week horizon spans a comfortable ~0.34 s of trace time.
+SIM_HOUR_US = 1000.0
 
 #: Counters exported as Chrome counter tracks when present.
 THROUGHPUT_COUNTERS = (
@@ -73,17 +89,46 @@ def _jsonable_attrs(attrs: dict) -> dict:
     }
 
 
+def _sim_clock_events(sim_series) -> list[dict]:
+    """Counter events for every retained flight-recorder sample.
+
+    ``sim_series`` is a FlightRecorder or its ``to_dict()`` payload;
+    samples land in the :data:`SIM_CLOCK_PID` process with timestamps
+    on the simulated clock (``SIM_HOUR_US`` microseconds per
+    sim-hour).
+    """
+    payload = (sim_series.to_dict()
+               if hasattr(sim_series, "to_dict") else sim_series)
+    events: list[dict] = []
+    for name, series in sorted(payload.get("series", {}).items()):
+        for t, value in series.get("points", []):
+            events.append({
+                "name": name,
+                "ph": "C",
+                "ts": t * SIM_HOUR_US,
+                "pid": SIM_CLOCK_PID,
+                "tid": 0,
+                "args": {"value": value},
+            })
+    return events
+
+
 def to_trace_events(
     spans: Optional[Sequence[trace.Span]] = None,
     registry: Optional[MetricsRegistry] = None,
     process_name: str = "repro",
+    sim_series=None,
 ) -> dict:
     """The span forest as a Trace Event Format document (a dict).
 
     ``spans`` defaults to the collected forest, ``registry`` to the
     process-global metrics registry (pass ``None``-like empty registry
     to skip counter events).  Timestamps are microseconds relative to
-    the earliest span start, so the trace opens at t=0.
+    the earliest span start, so the trace opens at t=0.  With
+    ``sim_series`` (a fleet run's
+    :class:`~repro.observability.timeseries.FlightRecorder` or its
+    ``to_dict()`` payload) the document gains the sim-clock track
+    group.
     """
     forest = trace.roots() if spans is None else list(spans)
     registry = registry if registry is not None else get_registry()
@@ -141,10 +186,20 @@ def to_trace_events(
     for event in events:
         seen_pids.add(event["pid"])
 
+    sim_events: list[dict] = []
+    if sim_series is not None:
+        sim_events = _sim_clock_events(sim_series)
+        if sim_events:
+            seen_pids.add(SIM_CLOCK_PID)
+
     metadata: list[dict] = []
     for pid in sorted(seen_pids):
-        label = (process_name if pid == own_pid
-                 else f"{process_name} worker {pid}")
+        if pid == SIM_CLOCK_PID:
+            label = f"{process_name} sim-clock (1 sim-hour = 1 ms)"
+        elif pid == own_pid:
+            label = process_name
+        else:
+            label = f"{process_name} worker {pid}"
         metadata.append({
             "name": "process_name",
             "ph": "M",
@@ -170,20 +225,24 @@ def to_trace_events(
                     "args": {"value": value},
                 })
 
-    return {
-        "traceEvents": metadata + events + counters,
+    document = {
+        "traceEvents": metadata + events + counters + sim_events,
         "displayTimeUnit": "ms",
         "otherData": {
             "exporter": "repro.observability.timeline",
             "origin_unix": t0,
         },
     }
+    if sim_events:
+        document["otherData"]["sim_hour_us"] = SIM_HOUR_US
+    return document
 
 
 def write_trace_events(
     path: PathLike,
     spans: Optional[Sequence[trace.Span]] = None,
     registry: Optional[MetricsRegistry] = None,
+    sim_series=None,
 ) -> Path:
     """Write the Trace Event JSON to ``path``; returns the path.
 
@@ -191,5 +250,7 @@ def write_trace_events(
     run's timeline.
     """
     target = Path(path)
-    target.write_text(json.dumps(to_trace_events(spans, registry), indent=1))
+    target.write_text(json.dumps(
+        to_trace_events(spans, registry, sim_series=sim_series), indent=1
+    ))
     return target

@@ -26,6 +26,8 @@ from repro.cloud.campaigns import (
     run_scan_campaign,
 )
 from repro.errors import CloudError, ConfigurationError
+from repro.observability.metrics import registry
+from repro.observability.timeseries import FlightRecorder
 
 
 def _naive_pool(trace, boards, until):
@@ -246,3 +248,118 @@ class TestChurnBenchmark:
         assert stats["events"] == 10000  # every arrival and release
         assert stats["final_free"] == 1000
         assert stats["events_per_second"] > 0
+
+    def test_recorder_grid_samples(self):
+        rec = FlightRecorder(cadence_hours=1.0)
+        run_churn_benchmark(devices=200, arrivals=2000, seed=2,
+                            recorder=rec)
+        free = rec.series["fleet.pool_free"]
+        assert free.points[0] == [0.0, 200.0]
+        times = [p[0] for p in free.points]
+        assert times == sorted(times)
+        events = rec.series["fleet.lifecycle_events"]
+        assert events.last_value == 4000.0  # cumulative, incl. releases
+
+
+def _series_json(engine, batch, seed, cadence=1.0):
+    """The quick flash campaign's recorder document as canonical JSON."""
+    rec = FlightRecorder(cadence_hours=cadence)
+    scenario = _scenario(engine=engine, batch_hours=batch, seed=seed)
+    result = run_flash_campaign(
+        scenario, FlashAttackPlan(victims=2, flash_limit=5,
+                                  reaction_hours=0.25),
+        recorder=rec,
+    )
+    counters = {k: v for k, v in registry.snapshot()["counters"].items()
+                if k.startswith("fleet_events")}
+    registry.reset()
+    payload = {k: v for k, v in result.to_dict().items() if k != "engine"}
+    return rec.to_json(), counters, payload
+
+
+class TestSeriesBitIdentity:
+    """The acceptance gate: a campaign's recorded series JSON must be
+    bit-for-bit identical whichever churn engine produced it."""
+
+    @pytest.mark.parametrize("seed", [3, 6, 11])
+    def test_reference_and_bulk_emit_identical_json(self, seed):
+        ref_json, ref_counters, ref_result = _series_json(
+            "reference", math.inf, seed)
+        for engine, batch in (("bulk", math.inf), ("bulk", 9.0),
+                              ("bulk", 1.0)):
+            got_json, got_counters, got_result = _series_json(
+                engine, batch, seed)
+            assert got_json == ref_json, (engine, batch)
+            assert got_counters == ref_counters, (engine, batch)
+            assert got_result == ref_result, (engine, batch)
+
+    def test_coarse_cadence_still_identical(self):
+        ref, _, _ = _series_json("reference", math.inf, 6, cadence=7.0)
+        bulk, _, _ = _series_json("bulk", 13.0, 6, cadence=7.0)
+        assert bulk == ref
+
+    def test_all_fleet_series_present(self):
+        rec = FlightRecorder()
+        run_flash_campaign(
+            _scenario(), FlashAttackPlan(victims=2), recorder=rec
+        )
+        assert rec.names() == (
+            "fleet.aging_debt_hours",
+            "fleet.boards_probed",
+            "fleet.dropped_arrivals",
+            "fleet.lifecycle_events",
+            "fleet.pool_free",
+            "fleet.recovery_yield",
+            "fleet.rentals_in_flight",
+            "fleet.tracked_events",
+        )
+        debt = rec.series["fleet.aging_debt_hours"]
+        assert all(v >= 0.0 for _, v in debt.points)
+        probed = rec.series["fleet.boards_probed"]
+        assert probed.last_value > 0.0
+
+    def test_scan_campaign_records_too(self):
+        rec = FlightRecorder()
+        result = run_scan_campaign(
+            _scenario(), ScanPlan(victims=1, scan_width=4,
+                                  scan_every_hours=16.0),
+            recorder=rec,
+        )
+        assert rec.series["fleet.recovery_yield"].last_value == \
+            result.recovery_yield
+        assert rec.series["fleet.boards_probed"].last_value == \
+            float(result.boards_probed)
+
+
+class TestFleetCounters:
+    """fleet_events_total and the per-kind counters are engine-exact."""
+
+    def _counters(self, engine, batch):
+        registry.reset()
+        run_flash_campaign(
+            _scenario(engine=engine, batch_hours=batch),
+            FlashAttackPlan(victims=2),
+        )
+        snap = {k: v for k, v in registry.snapshot()["counters"].items()
+                if k.startswith("fleet_events")}
+        registry.reset()
+        return snap
+
+    def test_counter_values_agree_across_engines(self):
+        ref = self._counters("reference", math.inf)
+        assert ref["fleet_events_total"] > 0
+        assert "fleet_events_rent_total" in ref
+        assert "fleet_events_release_total" in ref
+        for engine, batch in (("bulk", math.inf), ("bulk", 9.0)):
+            assert self._counters(engine, batch) == ref, (engine, batch)
+
+    def test_total_decomposes_into_kinds(self):
+        registry.reset()
+        run_flash_campaign(_scenario(), FlashAttackPlan(victims=2))
+        snap = registry.snapshot()["counters"]
+        per_kind = sum(v for k, v in snap.items()
+                       if k.startswith("fleet_events_")
+                       and k != "fleet_events_total")
+        # Churn rents + releases + drops and the loop's by-kind tally
+        # partition the grand total exactly.
+        assert per_kind == snap["fleet_events_total"] > 0

@@ -90,3 +90,49 @@ class TestRenderHistory:
         target = write_history_html(tmp_path / "history.html", store)
         assert target.exists()
         assert "<!DOCTYPE html>" in target.read_text()
+
+
+class TestSeriesSparklines:
+    def _record_fleet(self, store, started_unix, with_series=True):
+        from repro.observability.timeseries import FlightRecorder
+
+        series = None
+        if with_series:
+            recorder = FlightRecorder(cadence_hours=1.0, max_points=64)
+            recorder.record_origin(40)
+            for hour in range(1, 30):
+                recorder.churn_sample(float(hour), 40.0 - hour % 7,
+                                      float(hour % 7), float(2 * hour),
+                                      0.0)
+            recorder.sample("fleet.recovery_yield", 29.0, 0.5,
+                            help="recovered fraction")
+            series = recorder.to_dict()
+        return store.record_run(RunRecord(
+            kind="fleet", experiment="fleet", started_unix=started_unix,
+            outcome="ok", accuracy=0.5,
+            config={"campaign": "flash", "quick": True},
+            series=series,
+        ))
+
+    def test_fleet_run_renders_sparkline_cards(self, store):
+        self._record_fleet(store, 1000.0)
+        html_text = render_history_html(store)
+        assert "simulation-time series" in html_text
+        assert 'class="spark-line"' in html_text
+        assert "fleet.pool_free" in html_text
+        assert "fleet.recovery_yield" in html_text
+        # sampling caption states cadence and reservoir bound
+        assert "reservoir cap 64" in html_text
+
+    def test_only_latest_run_gets_sparklines(self, store):
+        self._record_fleet(store, 1000.0)
+        self._record_fleet(store, 2000.0, with_series=False)
+        html_text = render_history_html(store)
+        # The newest run carries no series blob: no sparkline section.
+        assert 'class="spark-line"' not in html_text
+
+    def test_runs_without_series_render_fine(self, store):
+        record(store, 1.0, 1000.0)
+        html_text = render_history_html(store)
+        assert "simulation-time series" not in html_text
+        assert "<!DOCTYPE html>" in html_text

@@ -155,7 +155,12 @@ class TestExport:
         hist = own.histogram("capture_latency_seconds", "latency")
         for value in (0.01, 0.02, 0.03):
             hist.observe(value)
-        text = to_prometheus_text(own)
+        from repro.observability.timeseries import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.record_origin(40)
+        recorder.churn_sample(3.0, 38.0, 2.0, 4.0, 1.0)
+        text = to_prometheus_text(own, series=recorder)
 
         name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
         sample_re = re.compile(
@@ -211,6 +216,29 @@ class TestExport:
             in text
         # leading-digit names are prefixed, not dropped
         assert "_9starts_with_digit" in text
+        # sim-time series surface as sanitised last-value gauges, each
+        # paired with the sim-hour it was taken at
+        assert "# TYPE fleet_pool_free gauge" in text
+        assert "fleet_pool_free 38.0" in text
+        assert "fleet_pool_free_simhours 3.0" in text
+
+    def test_prometheus_series_gauges(self):
+        from repro.observability.timeseries import FlightRecorder
+
+        recorder = FlightRecorder()
+        recorder.sample("fleet.recovery_yield", 120.0, 0.75,
+                        help="recovered fraction of victims")
+        recorder.gauge("never.sampled")  # no last value: omitted
+        text = to_prometheus_text(MetricsRegistry(), series=recorder)
+        assert ("# HELP fleet_recovery_yield recovered fraction of "
+                "victims") in text
+        assert "fleet_recovery_yield 0.75" in text
+        assert "fleet_recovery_yield_simhours 120.0" in text
+        assert "never_sampled" not in text
+        # A plain to_dict() payload works the same as the recorder.
+        assert to_prometheus_text(
+            MetricsRegistry(), series=recorder.to_dict()
+        ) == text
 
     def test_metrics_to_dict_includes_spans(self):
         from repro.observability import trace

@@ -18,6 +18,7 @@ from repro.observability.progress import (
     note_event,
     note_phase,
     note_seed_done,
+    note_sim_hours,
     set_emitter,
 )
 
@@ -73,6 +74,121 @@ class TestTtyProgress:
         view.close()
         assert stream.getvalue().endswith("\n")
         view.close()  # idempotent
+
+
+class TestSimTimeProgress:
+    """The simulated-hours work axis for fleet runs."""
+
+    def test_sim_rate_and_eta_from_moving_window(self):
+        clock = FakeClock()
+        view = TtyProgress(stream=io.StringIO(), clock=clock)
+        view.phase("fleet", sim_total_hours=200.0)
+        for hour in (10.0, 20.0, 30.0, 40.0):
+            clock.tick(1.0)
+            view.sim_tick(hour)
+        # 30 sim-hours over 3 wall seconds between first and last tick.
+        assert view.sim_rate_per_s() == pytest.approx(10.0)
+        assert view.sim_eta_s() == pytest.approx(16.0)
+
+    def test_render_line_shows_sim_axis(self):
+        clock = FakeClock()
+        view = TtyProgress(stream=io.StringIO(), clock=clock)
+        view.phase("fleet", sim_total_hours=200.0)
+        clock.tick(1.0)
+        view.sim_tick(25.0)
+        clock.tick(1.0)
+        view.sim_tick(50.0)
+        line = view.render_line()
+        assert "simh 50.0/200" in line
+        assert "simh/s" in line
+        assert "sim-eta" in line
+
+    def test_render_line_without_horizon(self):
+        clock = FakeClock()
+        view = TtyProgress(stream=io.StringIO(), clock=clock)
+        view.sim_tick(3.5)
+        assert "simh 3.5" in view.render_line()
+        assert "sim-eta" not in view.render_line()
+
+    def test_renders_are_wall_clock_throttled(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        view = TtyProgress(stream=stream, clock=clock)
+        view.phase("fleet", sim_total_hours=1000.0)
+        baseline = stream.getvalue().count("\r")
+        for hour in range(1, 100):
+            view.sim_tick(float(hour))  # no wall time passes
+        assert stream.getvalue().count("\r") == baseline + 1
+
+    def test_final_tick_renders_despite_throttle(self):
+        stream = io.StringIO()
+        clock = FakeClock()
+        view = TtyProgress(stream=stream, clock=clock)
+        view.phase("fleet", sim_total_hours=10.0)
+        view.sim_tick(5.0)
+        before = stream.getvalue().count("\r")
+        view.sim_tick(10.0)  # horizon reached -> always rendered
+        assert stream.getvalue().count("\r") == before + 1
+
+    def test_jsonl_sim_tick_lines(self):
+        stream = io.StringIO()
+        clock = FakeClock(50.0)
+        emitter = JsonlProgress(stream=stream, clock=clock)
+        emitter.phase("fleet", sim_total_hours=100.0)
+        clock.tick(2.0)
+        emitter.sim_tick(20.0)
+        clock.tick(2.0)
+        emitter.sim_tick(40.0)
+        lines = [json.loads(line)
+                 for line in stream.getvalue().splitlines()]
+        ticks = [entry for entry in lines if entry["event"] == "sim_tick"]
+        assert ticks[-1]["sim_hours"] == 40.0
+        assert ticks[-1]["sim_total_hours"] == 100.0
+        assert ticks[-1]["sim_rate_per_s"] == pytest.approx(10.0)
+        assert ticks[-1]["sim_eta_s"] == pytest.approx(6.0)
+
+    def test_collector_counts_ticks(self):
+        collector = CollectingEmitter()
+        collector.sim_tick(4.0)
+        collector.sim_tick(9.0)
+        assert collector.sim_hours == 9.0
+        assert collector.sim_ticks == 2
+
+    def test_note_sim_hours_hook_fans_out(self):
+        a, b = CollectingEmitter(), CollectingEmitter()
+        previous = set_emitter(compose(a, b))
+        try:
+            note_sim_hours(12.5)
+        finally:
+            set_emitter(previous)
+        assert a.sim_hours == b.sim_hours == 12.5
+        note_sim_hours(99.0)  # no emitter installed: a no-op
+
+    def test_fleet_campaign_drives_the_sim_axis(self):
+        from repro.cloud.campaigns import (
+            ChurnModel,
+            FleetScenario,
+            FlashAttackPlan,
+            run_flash_campaign,
+        )
+
+        collector = CollectingEmitter()
+        previous = set_emitter(collector)
+        try:
+            run_flash_campaign(
+                FleetScenario(
+                    devices=40, horizon_hours=60.0,
+                    churn=ChurnModel(arrival_rate_per_hour=1.0,
+                                     mean_rental_hours=6.0),
+                    routes=4, seed=3,
+                ),
+                FlashAttackPlan(victims=1),
+            )
+        finally:
+            set_emitter(previous)
+        assert collector.phases[0]["sim_total_hours"] == 60.0
+        assert collector.sim_ticks > 0
+        assert collector.sim_hours == pytest.approx(60.0)
 
 
 class TestJsonlProgress:

@@ -113,6 +113,58 @@ class TestRecordAndRead:
         assert run["kernels"] == {"capture": "batched", "aging": "array"}
 
 
+class TestSeriesBlob:
+    def test_series_round_trips_losslessly(self, store):
+        from repro.observability.timeseries import FlightRecorder
+
+        recorder = FlightRecorder(cadence_hours=2.0, max_points=16)
+        recorder.record_origin(32)
+        recorder.churn_sample(2.0, 30.0, 2.0, 4.0, 0.0)
+        recorder.sample("fleet.recovery_yield", 5.0, 0.75)
+        run_id = store.record_run(make_record(
+            kind="fleet", series=recorder.to_dict()
+        ))
+        run = store.get_run(run_id)
+        assert run["series"] == recorder.to_dict()
+        # The stored blob replays into a fresh recorder (shard merge).
+        replayed = FlightRecorder(cadence_hours=2.0, max_points=16)
+        replayed.merge_state(run["series"])
+        assert replayed.to_json() == recorder.to_json()
+
+    def test_series_defaults_to_none(self, store):
+        run_id = store.record_run(make_record())
+        assert store.get_run(run_id)["series"] is None
+
+    def test_v1_store_migrates_in_place(self, tmp_path):
+        # Build a genuine v1 database: current schema minus the
+        # series_json column, stamped with user_version=1.
+        path = tmp_path / "runs.db"
+        store = RunStore(path)
+        store.record_run(make_record())
+        store.close()
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE runs DROP COLUMN series_json")
+        conn.execute("PRAGMA user_version=1")
+        conn.close()
+
+        migrated = RunStore(path)
+        runs = migrated.list_runs()
+        assert len(runs) == 1  # old rows stay readable
+        assert migrated.get_run(runs[0]["run_id"])["series"] is None
+        new_id = migrated.record_run(make_record(
+            kind="fleet", series={"version": 1, "series": {}}
+        ))
+        assert migrated.get_run(new_id)["series"] == {
+            "version": 1, "series": {},
+        }
+        migrated.close()
+        conn = sqlite3.connect(path)
+        assert conn.execute(
+            "PRAGMA user_version"
+        ).fetchone()[0] == RUNSTORE_SCHEMA
+        conn.close()
+
+
 class TestResolve:
     def test_latest_and_latest_n(self, store):
         ids = [

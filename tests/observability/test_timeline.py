@@ -6,10 +6,13 @@ import os
 from repro.observability import trace
 from repro.observability.metrics import MetricsRegistry, registry
 from repro.observability.timeline import (
+    SIM_CLOCK_PID,
+    SIM_HOUR_US,
     THROUGHPUT_COUNTERS,
     to_trace_events,
     write_trace_events,
 )
+from repro.observability.timeseries import FlightRecorder
 
 
 def _span(name, start, duration, children=(), **attrs):
@@ -136,3 +139,88 @@ class TestWrite:
         document = json.loads(path.read_text())
         assert document["displayTimeUnit"] == "ms"
         assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+def _recorded_campaign():
+    """A small fleet campaign with a live flight recorder attached."""
+    from repro.cloud.campaigns import (
+        ChurnModel,
+        FleetScenario,
+        FlashAttackPlan,
+        run_flash_campaign,
+    )
+
+    recorder = FlightRecorder()
+    scenario = FleetScenario(
+        devices=40,
+        horizon_hours=80.0,
+        churn=ChurnModel(arrival_rate_per_hour=1.5,
+                         mean_rental_hours=8.0),
+        routes=4,
+        seed=5,
+    )
+    run_flash_campaign(scenario, FlashAttackPlan(victims=1),
+                       recorder=recorder)
+    return recorder
+
+
+class TestSimClockTracks:
+    """The sim-time counter track group for a recorded fleet campaign."""
+
+    def test_recorded_campaign_exports_sim_counter_tracks(self, tmp_path):
+        recorder = _recorded_campaign()
+        path = write_trace_events(tmp_path / "fleet.json",
+                                  spans=[_span("fleet", 0.0, 1.0)],
+                                  registry=MetricsRegistry(),
+                                  sim_series=recorder)
+        document = json.loads(path.read_text())  # valid TEF JSON
+        sim = [e for e in document["traceEvents"]
+               if e.get("pid") == SIM_CLOCK_PID and e["ph"] == "C"]
+        assert {e["name"] for e in sim} == set(recorder.names())
+        # Each series' counter samples land in sim-time order, scaled
+        # by the sim-clock domain (1 sim-hour = SIM_HOUR_US us).
+        for name in recorder.names():
+            ts = [e["ts"] for e in sim if e["name"] == name]
+            assert ts == sorted(ts)
+            expected = [p[0] * SIM_HOUR_US
+                        for p in recorder.series[name].points]
+            assert ts == expected
+        assert document["otherData"]["sim_hour_us"] == SIM_HOUR_US
+
+    def test_sim_clock_process_metadata(self):
+        recorder = FlightRecorder()
+        recorder.record_origin(8)
+        document = to_trace_events([_span("root", 0.0, 1.0)],
+                                   registry=MetricsRegistry(),
+                                   sim_series=recorder)
+        labels = {e["pid"]: e["args"]["name"]
+                  for e in _events(document, "M")}
+        assert labels[SIM_CLOCK_PID] == \
+            "repro sim-clock (1 sim-hour = 1 ms)"
+
+    def test_dict_payload_accepted(self):
+        recorder = FlightRecorder()
+        recorder.sample("fleet.pool_free", 2.0, 30.0)
+        document = to_trace_events([], registry=MetricsRegistry(),
+                                   sim_series=recorder.to_dict())
+        sim = [e for e in document["traceEvents"]
+               if e.get("pid") == SIM_CLOCK_PID and e["ph"] == "C"]
+        assert sim == [{
+            "name": "fleet.pool_free", "ph": "C",
+            "ts": 2.0 * SIM_HOUR_US, "pid": SIM_CLOCK_PID, "tid": 0,
+            "args": {"value": 30.0},
+        }]
+
+    def test_no_series_no_sim_tracks(self):
+        document = to_trace_events([_span("root", 0.0, 1.0)],
+                                   registry=MetricsRegistry())
+        assert all(e.get("pid") != SIM_CLOCK_PID
+                   for e in document["traceEvents"])
+        assert "sim_hour_us" not in document["otherData"]
+
+    def test_empty_recorder_adds_no_process(self):
+        document = to_trace_events([_span("root", 0.0, 1.0)],
+                                   registry=MetricsRegistry(),
+                                   sim_series=FlightRecorder())
+        labels = {e["pid"] for e in _events(document, "M")}
+        assert SIM_CLOCK_PID not in labels

@@ -112,6 +112,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fleet", "--campaign", "psychic"])
 
+    def test_fleet_series_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--series", "series.json",
+             "--series-cadence", "0.5"]
+        )
+        assert args.series == "series.json"
+        assert args.series_cadence == 0.5
+        defaults = build_parser().parse_args(["fleet"])
+        assert defaults.series is None
+        assert defaults.series_cadence == 1.0
+
     def test_chaos_flags(self):
         args = build_parser().parse_args(
             ["chaos", "exp2", "--seed", "3", "--plan", "storm.json"]
@@ -225,6 +236,57 @@ class TestMain:
         out = capsys.readouterr().out
         assert "events/sec" in out
         assert "capacity misses" in out
+
+    def test_fleet_series_end_to_end(self, tmp_path, capsys):
+        """--series writes the document, lands it in the run store and
+        adds the sim-clock tracks to the Chrome trace."""
+        import json
+
+        series_path = tmp_path / "series.json"
+        trace_path = tmp_path / "trace.json"
+        store_path = tmp_path / "runs.db"
+        assert main([
+            "fleet", "--devices", "40", "--horizon-hours", "60",
+            "--victims", "1", "--seed", "3",
+            "--series", str(series_path),
+            "--chrome-trace", str(trace_path),
+            "--runstore", str(store_path),
+        ]) == 0
+        assert "sim-time series written" in capsys.readouterr().out
+
+        payload = json.loads(series_path.read_text())
+        assert payload["version"] == 1
+        assert "fleet.pool_free" in payload["series"]
+        assert payload["series"]["fleet.pool_free"]["points"][0] == \
+            [0.0, 40.0]
+
+        from repro.observability.runstore import RunStore
+        from repro.observability.timeline import SIM_CLOCK_PID
+
+        with RunStore(store_path) as store:
+            run = store.get_run(store.resolve("latest"))
+        assert run["kind"] == "fleet"
+        assert run["experiment"] == "fleet"
+        assert run["series"] == payload
+
+        document = json.loads(trace_path.read_text())
+        sim = [e for e in document["traceEvents"]
+               if e.get("pid") == SIM_CLOCK_PID and e["ph"] == "C"]
+        assert {e["name"] for e in sim} == set(payload["series"])
+
+    def test_fleet_series_engine_invariant(self, tmp_path):
+        """The CLI surface reproduces the acceptance gate: both engines
+        write byte-identical series files."""
+        paths = {}
+        for engine in ("reference", "bulk"):
+            paths[engine] = tmp_path / f"{engine}.json"
+            assert main([
+                "fleet", "--devices", "40", "--horizon-hours", "60",
+                "--victims", "1", "--seed", "5", "--engine", engine,
+                "--series", str(paths[engine]),
+            ]) == 0
+        assert paths["reference"].read_bytes() == \
+            paths["bulk"].read_bytes()
 
     def test_sweep_resume_round_trip(self, tmp_path, capsys):
         journal = tmp_path / "sweep.journal"
