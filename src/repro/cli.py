@@ -12,6 +12,8 @@ Examples::
     python -m repro sweep exp1 --seeds 1:64 --jobs 4 --resume sweep.journal
     python -m repro chaos exp1 --quick
     python -m repro chaos sweep --experiment exp2 --seeds 1:8 --jobs 2
+    python -m repro fleet --quick --fault-plan plans/fleet-chaos-default.json
+    python -m repro fleet --quick --seeds 1:4 --resume fleet.journal
     python -m repro profile exp1 --quick
     python -m repro bench diff OLD_BENCH.json BENCH_perf.json --gate 80
     python -m repro runs list --experiment exp1
@@ -269,6 +271,19 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="HOURS",
                     help="sim-hours between flight-recorder samples "
                          "(default: 1.0)")
+    pf.add_argument("--fault-plan", type=str, default=None, metavar="FILE",
+                    help="fleet fault plan JSON (failed/partial wipes, "
+                         "region outages, preemption storms, board "
+                         "retirements, thermal excursions); see "
+                         "plans/fleet-chaos-default.json.  Results stay "
+                         "bit-identical across --engine/--batch-hours")
+    pf.add_argument("--seeds", type=str, default=None, metavar="SPEC",
+                    help="run the campaign as a multi-seed sweep over "
+                         "this seed spec (e.g. '1:8'); reports mean "
+                         "recovery yield (flash/scan only)")
+    pf.add_argument("--resume", type=str, default=None, metavar="PATH",
+                    help="with --seeds: journal per-seed campaigns to "
+                         "PATH and resume a killed sweep bit-identically")
     observability(pf)
 
     pb = sub.add_parser("bench", help="benchmark-suite utilities")
@@ -461,6 +476,25 @@ def _cmd_fleet(args) -> int:
         run_scan_campaign,
     )
 
+    if args.campaign == "churn":
+        for flag, value in (("--fault-plan", args.fault_plan),
+                            ("--seeds", args.seeds),
+                            ("--resume", args.resume)):
+            if value:
+                print(f"repro: {flag} applies to flash/scan campaigns, "
+                      f"not the pure-churn benchmark", file=sys.stderr)
+                return 2
+    if args.resume and not args.seeds:
+        print("repro: --resume requires --seeds (it journals a "
+              "multi-seed sweep)", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.fault_plan:
+        from repro.reliability.fleet_chaos import load_fleet_fault_plan
+
+        fault_plan = load_fleet_fault_plan(args.fault_plan)
+        args._fault_plan = fault_plan.to_dict()
+
     recorder = None
     if args.series:
         from repro.observability.timeseries import FlightRecorder
@@ -523,21 +557,79 @@ def _cmd_fleet(args) -> int:
         engine=args.engine,
         batch_hours=args.batch_hours or _math.inf,
     )
-    if args.campaign == "flash":
-        result = run_flash_campaign(
-            scenario, FlashAttackPlan(victims=victims), recorder=recorder
-        )
-    else:
-        result = run_scan_campaign(
-            scenario, ScanPlan(victims=victims), recorder=recorder
-        )
-    _save_series()
+    attack_plan = (FlashAttackPlan(victims=victims)
+                   if args.campaign == "flash"
+                   else ScanPlan(victims=victims))
     args._config = {
         "campaign": args.campaign, "devices": devices,
         "horizon_hours": horizon, "victims": victims,
         "engine": args.engine, "arrival_rate_per_hour": rate,
         "mean_rental_hours": rental, "seed": args.seed,
     }
+
+    if args.seeds:
+        from repro.cloud.campaigns import (
+            fleet_journal_context,
+            run_fleet_sweep,
+        )
+
+        try:
+            seeds = parse_seed_spec(args.seeds)
+        except ValueError as exc:
+            print(f"repro: invalid --seeds spec {args.seeds!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        journal = None
+        if args.resume:
+            from repro.reliability.checkpoint import SweepJournal
+
+            journal = SweepJournal.load(args.resume, context=(
+                fleet_journal_context(
+                    scenario, args.campaign, attack_plan=attack_plan,
+                    fault_plan=fault_plan,
+                )
+            ))
+        args._config["seeds"] = [int(s) for s in seeds]
+        sweep = run_fleet_sweep(
+            scenario, seeds, campaign=args.campaign,
+            attack_plan=attack_plan, fault_plan=fault_plan,
+            journal=journal, recorder=recorder,
+        )
+        _save_series()
+        args._accuracy = sweep.mean_yield
+        args._extra = {"fleet_sweep": sweep.to_dict()}
+        print(f"{args.campaign} sweep [{args.engine}] over {devices} "
+              f"boards, {horizon:.0f}h horizon, {len(seeds)} seeds:")
+        for seed, payload in zip(sweep.seeds, sweep.results):
+            payload = payload or {}
+            recovered = payload.get("recovered", "-")
+            print(f"  seed {seed:<6} yield "
+                  f"{payload.get('recovery_yield', 0.0):.2f}  "
+                  f"recovered {recovered}")
+        print(f"  mean recovery yield {sweep.mean_yield:.3f}")
+        if args.resume:
+            print(f"journal: {args.resume}")
+        if sweep.resumed_seeds:
+            print(f"resumed {sweep.resumed_seeds} seed(s) from the "
+                  f"journal")
+        if args.output:
+            Path(args.output).write_text(
+                _json.dumps(sweep.to_dict(), indent=1)
+            )
+            print(f"written to {args.output}")
+        return 0
+
+    if args.campaign == "flash":
+        result = run_flash_campaign(
+            scenario, attack_plan, recorder=recorder,
+            fault_plan=fault_plan,
+        )
+    else:
+        result = run_scan_campaign(
+            scenario, attack_plan, recorder=recorder,
+            fault_plan=fault_plan,
+        )
+    _save_series()
     args._accuracy = result.recovery_yield
     args._extra = {"fleet": result.to_dict()}
     print(f"{args.campaign} campaign [{args.engine}] over {devices} "
@@ -551,6 +643,20 @@ def _cmd_fleet(args) -> int:
     print(f"  lifecycle events    {result.lifecycle_events}"
           f" (+{result.tracked_events} tracked)")
     print(f"  capacity misses     {result.dropped_arrivals}")
+    if fault_plan is not None:
+        ledger = ", ".join(f"{site}={count}" for site, count
+                           in sorted(result.faults.items())) or "none"
+        print(f"  faults injected     {ledger}")
+        print(f"  failed wipes        {result.failed_wipes} "
+              f"(+{result.partial_wipes} partial)")
+        print(f"  preempted/retired   {result.preempted}/"
+              f"{result.retired_boards} (rent retries "
+              f"{result.rent_retries})")
+        for region, status in sorted(result.region_status.items()):
+            print(f"  region {region:<12} {status['status']} "
+                  f"({status['boards']} boards, "
+                  f"{status['retired']} retired, "
+                  f"{status['outage_hours']:.0f}h dark)")
     if args.output:
         Path(args.output).write_text(
             _json.dumps(result.to_dict(), indent=1)

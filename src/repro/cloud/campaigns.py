@@ -52,13 +52,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CloudError, ConfigurationError
+from repro.errors import CapacityError, CloudError, ConfigurationError
 from repro.cloud.events import EventKind, EventLoop
 from repro.designs import build_route_bank, build_target_design
 from repro.fabric.device import FpgaDevice
@@ -66,15 +66,27 @@ from repro.fabric.parts import PartDescriptor, VIRTEX_ULTRASCALE_PLUS
 from repro.fabric.thermal import DataCenterAmbient
 from repro.observability import trace
 from repro.observability.metrics import registry
-from repro.observability.progress import note_event, note_phase
+from repro.observability.progress import (
+    note_event,
+    note_phase,
+    note_seed_done,
+)
 from repro.observability.timeseries import (
     SERIES_AGING_DEBT,
     SERIES_BOARDS_PROBED,
+    SERIES_FAILED_WIPES,
+    SERIES_FAULTS,
     SERIES_RECOVERY_YIELD,
     FlightRecorder,
 )
 from repro.physics.aging import CLOUD_PART, WearProfile
 from repro.physics.pool_array import SegmentBtiArray
+from repro.reliability.fleet_chaos import (
+    FleetFaultPlan,
+    derive_fleet_plan_seed,
+    note_fleet_fault,
+)
+from repro.reliability.retry import get_retry_policy, note_retry
 from repro.rng import RngFactory, SeedLike, make_rng
 
 __all__ = [
@@ -87,8 +99,11 @@ __all__ = [
     "FlashAttackPlan",
     "ScanPlan",
     "CampaignResult",
+    "FleetSweepResult",
     "run_flash_campaign",
     "run_scan_campaign",
+    "run_fleet_sweep",
+    "fleet_journal_context",
     "run_churn_benchmark",
 ]
 
@@ -432,8 +447,14 @@ class _BulkChurn:
                 np.zeros(nc + len(internal), dtype=np.int8),
                 np.ones(len(ka), dtype=np.int8),
             ])
+            # Carried-in pending releases keep ascending refs (position
+            # minus nc, all negative) so same-time ties resolve in
+            # rental-start order -- exactly the reference engine's heap
+            # tie-break.  Mass ties are real under a fault plan: a
+            # preemption storm truncates every spanning rental to the
+            # same instant.
             ev_ref = np.concatenate([
-                -np.arange(nc, dtype=np.int64) - 1,
+                np.arange(nc, dtype=np.int64) - nc,
                 internal.astype(np.int64),
                 ka.astype(np.int64),
             ])
@@ -494,7 +515,7 @@ class _BulkChurn:
         wi = np.nonzero(~no_prev)[0]
         rel_ref = rs[p_stream[wi]]
         carry = rel_ref < 0
-        board[wi[carry]] = c_boards[-rel_ref[carry] - 1]
+        board[wi[carry]] = c_boards[rel_ref[carry] + nc]
         parent[wi[~carry]] = dense[rel_ref[~carry]]
 
         # Pointer-doubling resolution of arrival -> parent-arrival chains.
@@ -536,7 +557,7 @@ class _BulkChurn:
         srefs = rs[surv_stream]
         sboards = np.empty(len(srefs), dtype=np.intp)
         sc = srefs < 0
-        sboards[sc] = c_boards[-srefs[sc] - 1]
+        sboards[sc] = c_boards[srefs[sc] + nc]
         sboards[~sc] = board[dense[srefs[~sc]]]
         new_stack[last_b[surv]] = sboards
         if len(new_stack) and (new_stack < 0).any():
@@ -646,6 +667,30 @@ class VirtualRegion:
     def free_boards(self) -> list[int]:
         """The free stack, bottom to top (equivalence tests)."""
         return self._engine.free_boards()
+
+    def retire_free(self, positions: Sequence[int]) -> list[int]:
+        """Permanently remove free-stack entries by position.
+
+        ``positions`` index :meth:`free_boards` bottom-to-top and must
+        arrive descending so each pop leaves lower positions valid
+        (:meth:`FleetFaultPlan.retire_positions` returns them that
+        way).  Retirement is a hard failure, not a rental: the region's
+        board count shrinks, so the in-flight series
+        (``n_boards - fill``) stays truthful.  Returns the retired
+        board ids.
+        """
+        stack = self._engine.stack
+        removed = []
+        for pos in positions:
+            if not 0 <= int(pos) < len(stack):
+                raise CloudError(
+                    f"cannot retire free-stack position {pos}: only "
+                    f"{len(stack)} boards are free"
+                )
+            removed.append(stack.pop(int(pos)))
+        self._engine.n_boards -= len(removed)
+        self.boards -= len(removed)
+        return removed
 
 
 # ---------------------------------------------------------------------------
@@ -759,14 +804,37 @@ class FleetSimulator:
     """
 
     def __init__(self, scenario: FleetScenario,
-                 recorder: Optional[FlightRecorder] = None) -> None:
+                 recorder: Optional[FlightRecorder] = None,
+                 fault_plan: Optional[FleetFaultPlan] = None) -> None:
         self.scenario = scenario
         self.recorder = recorder
+        # A fresh copy keeps the caller's plan unconsumed: every run
+        # starts from pristine RNG streams and an empty ledger, so the
+        # same plan object can drive reference and bulk runs to the
+        # same bytes.
+        self.faults = fault_plan.fresh() if fault_plan is not None else None
         factory = RngFactory(scenario.seed)
         self.rng = factory.stream("campaign")
         self.churn_trace = scenario.churn.draw(
             scenario.horizon_hours, factory.stream("churn")
         )
+        if self.faults is not None:
+            # Churn-level faults are one pure array transform on the
+            # pre-drawn trace -- applied before either engine exists,
+            # which is what makes them engine- and batch-invariant.
+            arrivals, durations, dropped, truncated = (
+                self.faults.transform_churn(
+                    self.churn_trace.arrivals,
+                    self.churn_trace.durations,
+                    min_rental_hours=_MIN_RENTAL_HOURS,
+                )
+            )
+            if dropped or truncated:
+                self.churn_trace = ChurnTrace(
+                    arrivals=arrivals, durations=durations
+                )
+                note_event("fleet.churn_faulted", dropped=dropped,
+                           truncated=truncated)
         self.region = VirtualRegion(
             scenario.devices, self.churn_trace,
             engine=scenario.engine, batch_hours=scenario.batch_hours,
@@ -776,7 +844,11 @@ class FleetSimulator:
             scenario.part, scenario.devices, wear=scenario.wear,
             seed=factory.stream("fleet"),
         )
-        self.ambient = DataCenterAmbient(seed=factory.stream("ambient"))
+        base_ambient = DataCenterAmbient(seed=factory.stream("ambient"))
+        self.ambient = (
+            self.faults.wrap_ambient(base_ambient)
+            if self.faults is not None else base_ambient
+        )
         self.routes = build_route_bank(
             scenario.part.make_grid(),
             [scenario.route_length_ps] * scenario.routes,
@@ -784,6 +856,11 @@ class FleetSimulator:
         self.loop = EventLoop(_RegionClock(self.region),
                               recorder=recorder)
         self._synced: dict[int, float] = {}
+        self.failed_wipes = 0
+        self.partial_wipes = 0
+        self.preempted = 0
+        self.retired_boards = 0
+        self.rent_retries = 0
         if recorder is not None:
             recorder.add_probe(
                 SERIES_AGING_DEBT, self._aging_debt_at,
@@ -791,6 +868,27 @@ class FleetSimulator:
                      "across tracked boards",
             )
             recorder.record_origin(scenario.devices)
+
+    # -- fault telemetry ---------------------------------------------------
+
+    def note_fault(self, site: str, now_hours: float, **attrs) -> None:
+        """One fleet fault landed: counters, instant span, series."""
+        note_fleet_fault(site, hours=round(now_hours, 6), **attrs)
+        if self.recorder is not None:
+            self.recorder.sample_rate(
+                SERIES_FAULTS, now_hours, self.faults.total_fires,
+                help="cumulative fleet faults injected by the plan",
+            )
+
+    def sample_wipe_faults(self, now_hours: float) -> None:
+        """Update the failed/partial-wipe series after a wipe fault."""
+        if self.recorder is not None:
+            self.recorder.sample_rate(
+                SERIES_FAILED_WIPES, now_hours,
+                self.failed_wipes + self.partial_wipes,
+                help="cumulative releases whose wipe failed or was "
+                     "partial",
+            )
 
     # -- aging debt --------------------------------------------------------
 
@@ -907,7 +1005,14 @@ class ScanPlan:
 
 @dataclass
 class CampaignResult:
-    """Fleet-level outcome of one attacker campaign."""
+    """Fleet-level outcome of one attacker campaign.
+
+    The fault fields are always present (all zero / ``ok`` without a
+    plan) so downstream consumers see one stable schema;
+    ``region_status`` is the graceful-degradation surface -- a
+    campaign whose region went dark reports partial yield here instead
+    of dying.
+    """
 
     kind: str
     engine: str
@@ -921,6 +1026,13 @@ class CampaignResult:
     tracked_events: int
     dropped_arrivals: int
     details: list = field(default_factory=list)
+    failed_wipes: int = 0
+    partial_wipes: int = 0
+    preempted: int = 0
+    retired_boards: int = 0
+    rent_retries: int = 0
+    faults: dict = field(default_factory=dict)
+    region_status: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -936,6 +1048,13 @@ class CampaignResult:
             "tracked_events": self.tracked_events,
             "dropped_arrivals": self.dropped_arrivals,
             "details": self.details,
+            "failed_wipes": self.failed_wipes,
+            "partial_wipes": self.partial_wipes,
+            "preempted": self.preempted,
+            "retired_boards": self.retired_boards,
+            "rent_retries": self.rent_retries,
+            "faults": self.faults,
+            "region_status": self.region_status,
         }
 
 
@@ -948,8 +1067,11 @@ class _Victim:
         self.board: Optional[int] = None
         self.released_at: Optional[float] = None
         self.skipped = False
+        self.skip_reason: Optional[str] = None
         self.recovered = False
         self.accuracy = 0.0
+        self.preempted = False
+        self.wipe_mode = "ok"
 
 
 def _draw_secrets(sim: FleetSimulator, victims: int) -> list[tuple]:
@@ -959,17 +1081,60 @@ def _draw_secrets(sim: FleetSimulator, victims: int) -> list[tuple]:
     ]
 
 
-def _victim_rent(sim: FleetSimulator, victim: _Victim, designs: dict):
-    """RENT handler: take a board and burn the secret onto it."""
+def _victim_rent(sim: FleetSimulator, victim: _Victim, designs: dict,
+                 deadline_hours: Optional[float] = None):
+    """RENT handler: take a board and burn the secret onto it.
+
+    Under a fault plan a refused rent -- the region is inside an
+    outage window, or the pool is empty -- requeues itself with the
+    active :class:`~repro.reliability.retry.RetryPolicy` backoff
+    (denominated in simulated hours) until the attempt budget or the
+    victim's release ``deadline_hours`` runs out; without a plan a
+    miss skips the victim immediately, exactly as before.
+    """
 
     def handler(loop: EventLoop, event) -> None:
-        board = sim.region.rent()
+        now = loop.now_hours
+        plan = sim.faults
+        attempt = int(event.data.get("attempt", 1))
+        blocked = plan is not None and plan.in_outage(now)
+        board = None if blocked else sim.region.rent()
         if board is None:
+            if blocked:
+                plan.note_fire("fleet.outage")
+                sim.note_fault("fleet.outage", now, victim=victim.index,
+                               attempt=attempt)
+            else:
+                note_event("fleet.capacity_miss", victim=victim.index)
+            if plan is not None:
+                policy = get_retry_policy()
+                label = f"fleet.rent#victim{victim.index}"
+                delay_hours = policy.delay_s(attempt, label)
+                retry_at = now + delay_hours
+                if attempt < policy.max_attempts and (
+                    deadline_hours is None or retry_at < deadline_hours
+                ):
+                    sim.rent_retries += 1
+                    note_retry(
+                        label, attempt, delay_hours,
+                        CapacityError(
+                            "region dark" if blocked else "pool empty"
+                        ),
+                        unit="h",
+                    )
+                    loop.schedule(retry_at, EventKind.RENT, handler,
+                                  attempt=attempt + 1)
+                    return
             victim.skipped = True
-            note_event("fleet.capacity_miss", victim=victim.index)
+            victim.skip_reason = "outage" if blocked else "capacity"
             return
         victim.board = board
-        dev = sim.sync_board(board, loop.now_hours)
+        dev = sim.sync_board(board, now)
+        if dev.loaded_design is not None:
+            # A failed wipe left the previous tenant's design resident;
+            # loading the new tenant's bitstream overwrites it (the
+            # configuration write is what finally clears the fabric).
+            dev.wipe()
         target = build_target_design(
             sim.scenario.part, sim.routes, list(victim.secret),
             heater_dsps=0, name=f"victim{victim.index}",
@@ -980,20 +1145,178 @@ def _victim_rent(sim: FleetSimulator, victim: _Victim, designs: dict):
     return handler
 
 
+def _release_board(sim: FleetSimulator, victim: _Victim,
+                   now_hours: float) -> None:
+    """Integrate the burn, wipe (maybe imperfectly), return the board.
+
+    The wipe outcome comes from the plan's ``fleet.wipe#victim<i>``
+    stream -- keyed to the victim, not the engine's iteration order --
+    so every engine/batch combination resolves the same release the
+    same way: a *failed* wipe leaves the victim design resident, a
+    *partial* wipe clears the fabric but re-imprints the unscrubbed
+    routes as a residue design.
+    """
+    dev = sim.sync_board(victim.board, now_hours)
+    plan = sim.faults
+    mode, scrubbed = "ok", None
+    if plan is not None and plan.wipe is not None:
+        mode, scrubbed = plan.decide_wipe(
+            f"victim{victim.index}", sim.scenario.routes
+        )
+    if mode == "failed":
+        victim.wipe_mode = "failed"
+        sim.failed_wipes += 1
+        sim.note_fault("fleet.wipe_fail", now_hours, victim=victim.index)
+        sim.sample_wipe_faults(now_hours)
+    elif mode == "partial":
+        dev.wipe()
+        residue_routes = [
+            route for route, clean in zip(sim.routes, scrubbed)
+            if not clean
+        ]
+        residue_bits = [
+            bit for bit, clean in zip(victim.secret, scrubbed)
+            if not clean
+        ]
+        if residue_routes:
+            residue = build_target_design(
+                sim.scenario.part, residue_routes, residue_bits,
+                heater_dsps=0, name=f"victim{victim.index}-residue",
+            )
+            dev.load(residue.bitstream)
+        victim.wipe_mode = "partial"
+        sim.partial_wipes += 1
+        sim.note_fault("fleet.wipe_partial", now_hours,
+                       victim=victim.index,
+                       residue_routes=len(residue_routes))
+        sim.sample_wipe_faults(now_hours)
+    else:
+        dev.wipe()
+    sim.region.release(victim.board)
+    victim.released_at = now_hours
+
+
 def _victim_release(sim: FleetSimulator, victim: _Victim):
     """RELEASE handler: integrate the burn, wipe, return the board."""
 
     def handler(loop: EventLoop, event) -> None:
         if victim.skipped:
             return
-        dev = sim.sync_board(victim.board, loop.now_hours)
-        dev.wipe()
-        sim.region.release(victim.board)
-        victim.released_at = loop.now_hours
+        if victim.board is None:
+            # The rent retried past the tenancy window without ever
+            # landing; the victim never ran.
+            victim.skipped = True
+            victim.skip_reason = victim.skip_reason or "outage"
+            return
+        if victim.released_at is not None:
+            return  # already reclaimed by a preemption storm
+        _release_board(sim, victim, loop.now_hours)
         note_event("fleet.victim_released", victim=victim.index,
                    board=victim.board)
 
     return handler
+
+
+def _schedule_fault_events(sim: FleetSimulator, victims: list,
+                           on_release=None) -> None:
+    """Queue the plan's storm and retirement events on the loop.
+
+    ``on_release`` lets the scan campaign index preempted boards the
+    same way its ordinary release handler does.
+    """
+    plan = sim.faults
+    if plan is None:
+        return
+    horizon = sim.scenario.horizon_hours
+
+    def storm_handler(storm_index: int):
+        def handler(loop: EventLoop, event) -> None:
+            now = loop.now_hours
+            for victim in victims:
+                if (victim.skipped or victim.board is None
+                        or victim.released_at is not None):
+                    continue
+                if not plan.storm_preempts(
+                    storm_index, f"victim{victim.index}"
+                ):
+                    continue
+                _release_board(sim, victim, now)
+                victim.preempted = True
+                sim.preempted += 1
+                plan.note_fire("fleet.preempt")
+                sim.note_fault("fleet.preempt", now,
+                               victim=victim.index, storm=storm_index)
+                if on_release is not None:
+                    on_release(victim)
+
+        return handler
+
+    def retire_handler(wave_index: int, boards: int):
+        def handler(loop: EventLoop, event) -> None:
+            now = loop.now_hours
+            available = sim.region.available()
+            positions = plan.retire_positions(
+                wave_index, available, boards
+            )
+            if not positions:
+                return
+            retired = sim.region.retire_free(positions)
+            for board in retired:
+                # Retired silicon ages no further; forgetting it keeps
+                # the aging-debt series truthful.
+                sim._synced.pop(board, None)
+            sim.retired_boards += len(retired)
+            plan.note_fire("fleet.retire", len(retired))
+            sim.note_fault("fleet.retire", now, wave=wave_index,
+                           boards=len(retired))
+
+        return handler
+
+    for index, storm in enumerate(plan.storms):
+        if storm.start_hours <= horizon:
+            sim.loop.schedule(storm.start_hours, EventKind.PREEMPT,
+                              storm_handler(index), storm=index)
+    for index, wave in enumerate(plan.retirements):
+        if wave.time_hours <= horizon:
+            sim.loop.schedule(wave.time_hours, EventKind.RETIRE,
+                              retire_handler(index, wave.boards),
+                              wave=index)
+
+
+def _region_status(sim: FleetSimulator, victims: list) -> dict:
+    """Per-region health map: the graceful-degradation surface.
+
+    ``ok`` when nothing went wrong, ``degraded`` after any outage,
+    retirement or preemption, ``dark`` when an outage window is still
+    open at the campaign horizon -- the region never came back, and the
+    campaign reports whatever partial yield it achieved instead of
+    dying.
+    """
+    plan = sim.faults
+    horizon = sim.scenario.horizon_hours
+    outage_hours = (
+        plan.outage_hours_within(horizon) if plan is not None else 0.0
+    )
+    dark_at_horizon = plan is not None and plan.in_outage(horizon)
+    degraded = (
+        outage_hours > 0.0
+        or sim.retired_boards > 0
+        or sim.preempted > 0
+    )
+    status = "ok"
+    if dark_at_horizon:
+        status = "dark"
+    elif degraded:
+        status = "degraded"
+    return {
+        "r0": {
+            "boards": sim.scenario.devices - sim.retired_boards,
+            "retired": sim.retired_boards,
+            "outage_hours": outage_hours,
+            "status": status,
+            "victims_skipped": sum(1 for v in victims if v.skipped),
+        }
+    }
 
 
 def _finish(
@@ -1022,6 +1345,13 @@ def _finish(
         tracked_events=sim.loop.events_processed,
         dropped_arrivals=sim.region.dropped_arrivals,
         details=details,
+        failed_wipes=sim.failed_wipes,
+        partial_wipes=sim.partial_wipes,
+        preempted=sim.preempted,
+        retired_boards=sim.retired_boards,
+        rent_retries=sim.rent_retries,
+        faults=sim.faults.ledger() if sim.faults is not None else {},
+        region_status=_region_status(sim, victims),
     )
     note_event("fleet.campaign_done", campaign=kind,
                recovery_yield=result.recovery_yield)
@@ -1032,6 +1362,7 @@ def run_flash_campaign(
     scenario: FleetScenario,
     plan: Optional[FlashAttackPlan] = None,
     recorder: Optional[FlightRecorder] = None,
+    fault_plan: Optional[FleetFaultPlan] = None,
 ) -> CampaignResult:
     """A flash re-acquisition race over a churning fleet.
 
@@ -1041,9 +1372,14 @@ def run_flash_campaign(
     with the most readable routes.  A victim counts as recovered when
     the attacker's best board *is* the victim's board and the read
     accuracy clears the scenario threshold.
+
+    ``fault_plan`` injects deterministic provider chaos (failed wipes,
+    outages, storms, retirement, thermal excursions); results stay
+    bit-identical across churn engines and batch sizes under any plan.
     """
     plan = plan or FlashAttackPlan()
-    sim = FleetSimulator(scenario, recorder=recorder)
+    sim = FleetSimulator(scenario, recorder=recorder,
+                         fault_plan=fault_plan)
     victims = [
         _Victim(i, secret)
         for i, secret in enumerate(_draw_secrets(sim, plan.victims))
@@ -1054,7 +1390,7 @@ def run_flash_campaign(
 
     def flash(victim: _Victim):
         def handler(loop: EventLoop, event) -> None:
-            if victim.skipped:
+            if victim.skipped or victim.board is None:
                 return
             now = loop.now_hours
             count = min(plan.flash_limit, sim.region.available())
@@ -1080,6 +1416,8 @@ def run_flash_campaign(
                 "accuracy": victim.accuracy,
                 "recovered": victim.recovered,
                 "boards_flashed": len(boards),
+                "preempted": victim.preempted,
+                "wipe_mode": victim.wipe_mode,
             })
             # Zero-hour rentals: probed boards go straight back.
             for board in boards:
@@ -1108,11 +1446,13 @@ def run_flash_campaign(
             )
             end = start + plan.burn_hours
             sim.loop.schedule(start, EventKind.RENT,
-                              _victim_rent(sim, victim, designs))
+                              _victim_rent(sim, victim, designs,
+                                           deadline_hours=end))
             sim.loop.schedule(end, EventKind.RELEASE,
                               _victim_release(sim, victim))
             sim.loop.schedule(end + plan.reaction_hours, EventKind.SCAN,
                               flash(victim))
+        _schedule_fault_events(sim, victims)
         sim.loop.run(until_hours=scenario.horizon_hours)
     return _finish(sim, "flash", victims, probed[0], details)
 
@@ -1121,6 +1461,7 @@ def run_scan_campaign(
     scenario: FleetScenario,
     plan: Optional[ScanPlan] = None,
     recorder: Optional[FlightRecorder] = None,
+    fault_plan: Optional[FleetFaultPlan] = None,
 ) -> CampaignResult:
     """Marketplace scanning: periodic pool sampling for pentimenti.
 
@@ -1128,9 +1469,13 @@ def run_scan_campaign(
     ``scan_every_hours``, probes them, and releases them immediately.
     A victim is recovered when any post-release scan lands on their
     board and reads the secret above the accuracy threshold.
+
+    ``fault_plan`` injects deterministic provider chaos exactly as in
+    :func:`run_flash_campaign`.
     """
     plan = plan or ScanPlan()
-    sim = FleetSimulator(scenario, recorder=recorder)
+    sim = FleetSimulator(scenario, recorder=recorder,
+                         fault_plan=fault_plan)
     victims = [
         _Victim(i, secret)
         for i, secret in enumerate(_draw_secrets(sim, plan.victims))
@@ -1140,13 +1485,16 @@ def run_scan_campaign(
     probed = [0]
     by_board: dict[int, _Victim] = {}
 
+    def index_released(victim: _Victim) -> None:
+        if not victim.skipped and victim.board is not None:
+            by_board[victim.board] = victim
+
     def release_and_index(victim: _Victim):
         inner = _victim_release(sim, victim)
 
         def handler(loop: EventLoop, event) -> None:
             inner(loop, event)
-            if not victim.skipped:
-                by_board[victim.board] = victim
+            index_released(victim)
 
         return handler
 
@@ -1193,16 +1541,214 @@ def run_scan_campaign(
             start = plan.warmup_hours + victim.index * (
                 plan.burn_hours + plan.spacing_hours
             )
+            end = start + plan.burn_hours
             sim.loop.schedule(start, EventKind.RENT,
-                              _victim_rent(sim, victim, designs))
-            sim.loop.schedule(start + plan.burn_hours, EventKind.RELEASE,
+                              _victim_rent(sim, victim, designs,
+                                           deadline_hours=end))
+            sim.loop.schedule(end, EventKind.RELEASE,
                               release_and_index(victim))
         t = plan.warmup_hours
         while t < scenario.horizon_hours:
             sim.loop.schedule(t, EventKind.SCAN, scan)
             t += plan.scan_every_hours
+        _schedule_fault_events(sim, victims, on_release=index_released)
         sim.loop.run(until_hours=scenario.horizon_hours)
     return _finish(sim, "scan", victims, probed[0], details)
+
+
+# ---------------------------------------------------------------------------
+# Multi-seed campaign sweeps with checkpoint/resume
+# ---------------------------------------------------------------------------
+
+
+#: Campaign dispatch for sweeps (module-level so tests can substitute a
+#: crashing runner to exercise kill-and-resume).
+_CAMPAIGN_RUNNERS = {
+    "flash": run_flash_campaign,
+    "scan": run_scan_campaign,
+}
+
+
+@dataclass
+class FleetSweepResult:
+    """Aggregate outcome of a multi-seed fleet campaign sweep."""
+
+    campaign: str
+    seeds: list
+    results: list
+    mean_yield: float
+    resumed_seeds: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "campaign": self.campaign,
+            "seeds": self.seeds,
+            "mean_recovery_yield": self.mean_yield,
+            "results": self.results,
+        }
+
+
+def fleet_journal_context(
+    scenario: FleetScenario,
+    campaign: str,
+    attack_plan=None,
+    fault_plan: Optional[FleetFaultPlan] = None,
+) -> dict:
+    """The sweep identity a campaign journal is verified against.
+
+    Engine and batch size are deliberately *excluded*: campaign
+    results are pinned engine/batch-invariant, so a journal written
+    under the reference engine may legitimately resume under bulk (and
+    must produce the same bytes).  The seed list is excluded too, so a
+    partial run resumes under a superset of seeds.
+    """
+    plan_payload = None
+    if attack_plan is not None:
+        plan_payload = {
+            name: getattr(attack_plan, name)
+            for name in sorted(attack_plan.__dataclass_fields__)
+        }
+    return {
+        "kind": "fleet_sweep",
+        "campaign": str(campaign),
+        "devices": scenario.devices,
+        "horizon_hours": scenario.horizon_hours,
+        "arrival_rate_per_hour": scenario.churn.arrival_rate_per_hour,
+        "mean_rental_hours": scenario.churn.mean_rental_hours,
+        "part": scenario.part.name,
+        "wear": scenario.wear.name,
+        "routes": scenario.routes,
+        "route_length_ps": scenario.route_length_ps,
+        "thermal_tick_hours": scenario.thermal_tick_hours,
+        "probe_resolution_ps": scenario.probe_resolution_ps,
+        "accuracy_threshold": scenario.accuracy_threshold,
+        "attack_plan": plan_payload,
+        "fault_plan": (
+            fault_plan.to_dict() if fault_plan is not None else None
+        ),
+    }
+
+
+def run_fleet_sweep(
+    scenario: FleetScenario,
+    seeds: Sequence[int],
+    campaign: str = "flash",
+    attack_plan=None,
+    fault_plan: Optional[FleetFaultPlan] = None,
+    journal=None,
+    recorder: Optional[FlightRecorder] = None,
+) -> FleetSweepResult:
+    """Run one campaign per seed, optionally journaled for resume.
+
+    With a :class:`~repro.reliability.checkpoint.SweepJournal`, every
+    completed seed is flushed atomically -- the full campaign result,
+    the seed's metrics delta, and (when recording) the seed's
+    FlightRecorder dump all land in the journal entry.  A killed run
+    relaunched with the same journal replays completed seeds from disk
+    and recomputes only the remainder; because per-seed recorder dumps
+    carry their original ``dump_id``s, merging is idempotent and the
+    resumed run's result, counters and series match an uninterrupted
+    run bit-for-bit.
+
+    Per-seed fault plans derive from ``fault_plan.seed`` and the
+    campaign seed (:func:`~repro.reliability.fleet_chaos
+    .derive_fleet_plan_seed`), so fault streams decorrelate across
+    seeds yet the whole sweep stays reproducible from the pair.
+    """
+    try:
+        runner = _CAMPAIGN_RUNNERS[campaign]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fleet campaign {campaign!r} (expected one of: "
+            f"{', '.join(sorted(_CAMPAIGN_RUNNERS))})"
+        ) from None
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        raise ConfigurationError("a fleet sweep needs at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise ConfigurationError(
+            f"sweep seeds must be unique, got {seeds}"
+        )
+    results: dict[int, dict] = {}
+    yields: dict[int, float] = {}
+    resumed = 0
+    note_phase("fleet.sweep", total=len(seeds), campaign=campaign,
+               devices=scenario.devices, engine=scenario.engine)
+    with trace.span("fleet.sweep", campaign=campaign,
+                    seeds=len(seeds)):
+        for seed in seeds:
+            if journal is not None and seed in journal:
+                entry = journal.get(seed)
+                state = entry.get("metrics_state")
+                if state:
+                    registry.merge_state(state)
+                extra = entry.get("extra") or {}
+                if recorder is not None and extra.get("series_state"):
+                    recorder.merge_state(extra["series_state"])
+                results[seed] = extra.get("result") or {}
+                yields[seed] = float(entry["value"])
+                resumed += 1
+                registry.counter(
+                    "fleet_sweep_seeds_resumed_total",
+                    "fleet sweep seeds replayed from a journal",
+                ).inc()
+                note_seed_done(seed, yields[seed], resumed=True)
+                continue
+            seed_scenario = replace(scenario, seed=seed)
+            seed_plan = None
+            if fault_plan is not None:
+                seed_plan = fault_plan.reseeded(
+                    derive_fleet_plan_seed(fault_plan.seed, seed)
+                )
+            seed_recorder = None
+            if recorder is not None:
+                seed_recorder = FlightRecorder(
+                    cadence_hours=recorder.cadence_hours,
+                    max_points=recorder.max_points,
+                )
+            if journal is None:
+                result = runner(seed_scenario, attack_plan,
+                                recorder=seed_recorder,
+                                fault_plan=seed_plan)
+                if seed_recorder is not None:
+                    recorder.merge_state(seed_recorder.dump_state())
+                results[seed] = result.to_dict()
+                yields[seed] = result.recovery_yield
+                note_seed_done(seed, result.recovery_yield)
+                continue
+            # Journaled: isolate this seed's counter deltas so the
+            # journal entry carries exactly this seed's work -- the
+            # same discipline as the Monte Carlo sweep, which is what
+            # makes resumed telemetry match an uninterrupted run.
+            parent_state = registry.dump_state()
+            registry.reset()
+            try:
+                result = runner(seed_scenario, attack_plan,
+                                recorder=seed_recorder,
+                                fault_plan=seed_plan)
+            finally:
+                seed_state = registry.dump_state()
+                registry.reset()
+                registry.merge_state(parent_state)
+                registry.merge_state(seed_state)
+            extra: dict = {"result": result.to_dict()}
+            if seed_recorder is not None:
+                series_state = seed_recorder.dump_state()
+                extra["series_state"] = series_state
+                recorder.merge_state(series_state)
+            journal.record(seed, result.recovery_yield,
+                           metrics_state=seed_state, extra=extra)
+            results[seed] = extra["result"]
+            yields[seed] = result.recovery_yield
+            note_seed_done(seed, result.recovery_yield)
+    mean_yield = sum(yields[seed] for seed in seeds) / len(seeds)
+    return FleetSweepResult(
+        campaign=campaign,
+        seeds=seeds,
+        results=[results[seed] for seed in seeds],
+        mean_yield=mean_yield,
+        resumed_seeds=resumed,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -43,6 +43,8 @@ class EventKind(enum.IntEnum):
     PREEMPT = 3
     #: An attacker probes held boards for pentimenti.
     SCAN = 4
+    #: A device hard-fails and leaves the free pool permanently.
+    RETIRE = 5
 
 
 @dataclass

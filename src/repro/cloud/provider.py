@@ -167,7 +167,7 @@ class Region:
         self, now_hours: float, rng: np.random.Generator
     ) -> FpgaDevice:
         """Hand out a free, non-quarantined device per the policy."""
-        self.policy.admission_check(self.name)
+        self.policy.admission_check(self.name, now_hours)
         hi = self._eligible_window(now_hours)
         if hi <= self._head:
             raise CapacityError(
@@ -184,6 +184,27 @@ class Region:
         else:
             j = self._head + int(rng.integers(0, hi - self._head))
         return self._pop(j).device
+
+    def retire_device(self, device: FpgaDevice) -> None:
+        """Permanently remove a *free* device from the region.
+
+        Hard failure / fleet retirement: the board leaves the pool for
+        good (it is not quarantined -- nothing ever brings it back).
+        Rented devices cannot be retired; release them first.  The
+        sorted-pool invariants (``_keys`` parallel to ``_free``, live
+        window starting at ``_head``) are preserved so subsequent
+        LIFO/FIFO/RANDOM hand-outs see exactly the pool a fresh region
+        with the surviving boards would hold.
+        """
+        for index in range(self._head, len(self._free)):
+            pooled = self._free[index]
+            if pooled is not None and pooled.device is device:
+                self._pop(index)
+                return
+        raise TenancyError(
+            f"region {self.name!r}: cannot retire device "
+            f"{device.device_id!r}: not in the free pool"
+        )
 
     def devices(self) -> list[FpgaDevice]:
         """All devices in the region, free or rented."""

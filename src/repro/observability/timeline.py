@@ -73,7 +73,7 @@ THROUGHPUT_COUNTERS = (
 )
 
 #: Zero-duration marker spans rendered as instant events, not slices.
-INSTANT_SPANS = frozenset({"fault.inject", "retry.wait"})
+INSTANT_SPANS = frozenset({"fault.inject", "retry.wait", "fleet.fault"})
 
 
 def _span_pid(sp: trace.Span, default_pid: int) -> int:

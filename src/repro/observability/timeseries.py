@@ -66,6 +66,8 @@ __all__ = [
     "SERIES_TRACKED",
     "SERIES_RECOVERY_YIELD",
     "SERIES_BOARDS_PROBED",
+    "SERIES_FAULTS",
+    "SERIES_FAILED_WIPES",
     "GaugeSeries",
     "RateSeries",
     "FlightRecorder",
@@ -91,6 +93,8 @@ SERIES_AGING_DEBT = "fleet.aging_debt_hours"
 SERIES_TRACKED = "fleet.tracked_events"
 SERIES_RECOVERY_YIELD = "fleet.recovery_yield"
 SERIES_BOARDS_PROBED = "fleet.boards_probed"
+SERIES_FAULTS = "fleet.faults_injected"
+SERIES_FAILED_WIPES = "fleet.failed_wipes"
 
 
 class GaugeSeries:

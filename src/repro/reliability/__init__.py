@@ -15,14 +15,34 @@ Three layers, threaded through the whole attack pipeline:
 
 :mod:`repro.reliability.chaos` composes them: whole experiments under
 a documented fault storm, gated on recovery-accuracy bounds.
+:mod:`repro.reliability.fleet_chaos` extends the storm to the
+event-driven fleet: a :class:`FleetFaultPlan` injects failed/partial
+wipes, region outages, preemption storms, board retirements and
+thermal excursions with draws keyed to event identity, so the same
+plan produces bit-identical campaigns on every churn engine.
 """
 
 from repro.reliability.chaos import (
     CHAOS_ACCURACY_BOUNDS,
     ChaosReport,
     default_chaos_plan,
+    derive_plan_seed,
     run_chaos,
     run_chaos_sweep,
+)
+from repro.reliability.fleet_chaos import (
+    FLEET_FAULT_SITES,
+    ExcursionAmbient,
+    FleetFaultPlan,
+    OutageWindow,
+    PreemptionStorm,
+    RetirementWave,
+    ThermalExcursion,
+    WipeFaultSpec,
+    default_fleet_chaos_plan,
+    derive_fleet_plan_seed,
+    load_fleet_fault_plan,
+    note_fleet_fault,
 )
 from repro.reliability.checkpoint import SweepJournal
 from repro.reliability.faults import (
@@ -48,8 +68,21 @@ __all__ = [
     "CHAOS_ACCURACY_BOUNDS",
     "ChaosReport",
     "default_chaos_plan",
+    "derive_plan_seed",
     "run_chaos",
     "run_chaos_sweep",
+    "FLEET_FAULT_SITES",
+    "ExcursionAmbient",
+    "FleetFaultPlan",
+    "OutageWindow",
+    "PreemptionStorm",
+    "RetirementWave",
+    "ThermalExcursion",
+    "WipeFaultSpec",
+    "default_fleet_chaos_plan",
+    "derive_fleet_plan_seed",
+    "load_fleet_fault_plan",
+    "note_fleet_fault",
     "SweepJournal",
     "FAULT_SITES",
     "FaultPlan",

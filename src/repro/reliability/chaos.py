@@ -67,9 +67,19 @@ def default_chaos_plan(seed: int = 0) -> FaultPlan:
     return FaultPlan(seed=seed, specs=dict(DEFAULT_CHAOS_SPECS))
 
 
-def _derive_plan_seed(chaos_seed: int, seed: int) -> int:
-    """Per-experiment-seed plan seed: deterministic, collision-spread."""
+def derive_plan_seed(chaos_seed: int, seed: int) -> int:
+    """Per-experiment-seed plan seed: deterministic, collision-spread.
+
+    Shared convention with the fleet layer
+    (:func:`repro.reliability.fleet_chaos.derive_fleet_plan_seed`): a
+    sweep folds each campaign/experiment seed into the plan seed so
+    fault streams decorrelate across seeds yet stay reproducible.
+    """
     return int(chaos_seed) * 1_000_003 + int(seed)
+
+
+#: Backwards-compatible private alias (pre-PR-10 name).
+_derive_plan_seed = derive_plan_seed
 
 
 def _chaos_metric(

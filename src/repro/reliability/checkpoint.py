@@ -133,18 +133,25 @@ class SweepJournal:
 
     def record(self, seed: int, value: float,
                metrics_state: Optional[dict] = None,
-               trace_state: Optional[dict] = None) -> None:
+               trace_state: Optional[dict] = None,
+               extra: Optional[dict] = None) -> None:
         """Journal one completed seed and flush atomically.
 
         ``metrics_state``/``trace_state`` are the observability dumps
         for exactly this seed's work; they are replayed on resume so a
         resumed sweep's telemetry matches an uninterrupted one.
+        ``extra`` carries arbitrary JSON-ready payload a caller wants
+        back verbatim on resume -- the fleet sweep stores each seed's
+        full campaign result and FlightRecorder dump there, which is
+        what makes a killed ``repro fleet`` run resume bit-identically.
         """
         entry: dict = {"seed": int(seed), "value": float(value)}
         if metrics_state is not None:
             entry["metrics_state"] = metrics_state
         if trace_state is not None:
             entry["trace_state"] = trace_state
+        if extra is not None:
+            entry["extra"] = extra
         self._entries[int(seed)] = entry
         self._flush()
 

@@ -109,7 +109,21 @@ class FaultSpec:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "FaultSpec":
-        """Rebuild a spec from :meth:`to_dict` output."""
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Non-object payloads and unknown keys raise
+        :class:`~repro.errors.ConfigurationError` naming the problem.
+        """
+        if not isinstance(payload, dict):
+            raise ConfigurationError(
+                f"fault spec must be an object, got {payload!r}"
+            )
+        known = {"probability", "schedule", "max_fires"}
+        for key in payload:
+            if key not in known:
+                raise ConfigurationError(
+                    f"fault spec has unknown key {key!r}"
+                )
         return cls(
             probability=payload.get("probability"),
             schedule=tuple(payload.get("schedule", ())),
@@ -181,17 +195,30 @@ class FaultPlan:
         if not isinstance(payload, dict) or "specs" not in payload:
             raise ConfigurationError("payload is not a serialised fault plan")
         try:
-            return cls(
-                seed=int(payload.get("seed", 0)),
-                specs={
-                    site: FaultSpec.from_dict(spec)
-                    for site, spec in payload["specs"].items()
-                },
-            )
-        except (TypeError, ValueError, AttributeError) as exc:
+            seed = int(payload.get("seed", 0))
+        except (TypeError, ValueError) as exc:
             raise ConfigurationError(
-                f"malformed fault plan payload: {exc}"
+                f"fault plan seed must be an integer: {exc}"
             ) from exc
+        raw_specs = payload["specs"]
+        if not isinstance(raw_specs, dict):
+            raise ConfigurationError(
+                f"fault plan 'specs' must be an object mapping site "
+                f"names to specs, got {type(raw_specs).__name__}"
+            )
+        specs: dict[str, FaultSpec] = {}
+        for site, spec in raw_specs.items():
+            try:
+                specs[str(site)] = FaultSpec.from_dict(spec)
+            except ConfigurationError as exc:
+                raise ConfigurationError(
+                    f"site {site!r}: {exc}"
+                ) from exc
+            except (TypeError, ValueError, AttributeError) as exc:
+                raise ConfigurationError(
+                    f"site {site!r}: malformed spec {spec!r} ({exc})"
+                ) from exc
+        return cls(seed=seed, specs=specs)
 
     def save(self, path: PathLike) -> Path:
         """Write the plan as JSON (atomically); returns the path."""
@@ -202,21 +229,45 @@ class FaultPlan:
         return target
 
 
-def load_fault_plan(path: PathLike) -> FaultPlan:
-    """Read a plan back from :meth:`FaultPlan.save` output."""
+def load_fault_plan(path: PathLike,
+                    known_sites: Optional[tuple] = FAULT_SITES) -> FaultPlan:
+    """Read a plan back from :meth:`FaultPlan.save` output.
+
+    Every failure mode -- missing/unreadable file, corrupt JSON,
+    malformed specs, or (unless ``known_sites=None``) site names the
+    pipeline has no injection point for -- raises
+    :class:`~repro.errors.PersistenceError` naming the file and the
+    offending key, so the CLI reports a one-line error instead of a
+    traceback.
+    """
     source = Path(path)
     if not source.exists():
         raise PersistenceError(f"no fault plan at {source}")
     try:
-        payload = json.loads(source.read_text())
+        text = source.read_text()
+    except OSError as exc:
+        raise PersistenceError(
+            f"cannot read fault plan {source}: {exc}"
+        ) from exc
+    try:
+        payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise PersistenceError(
             f"fault plan {source} is corrupt: {exc}"
         ) from exc
     try:
-        return FaultPlan.from_dict(payload)
+        plan = FaultPlan.from_dict(payload)
     except ConfigurationError as exc:
         raise PersistenceError(f"fault plan {source}: {exc}") from exc
+    if known_sites is not None:
+        unknown = sorted(set(plan.specs) - set(known_sites))
+        if unknown:
+            raise PersistenceError(
+                f"fault plan {source} names unknown site(s) "
+                f"{', '.join(repr(s) for s in unknown)}; known sites: "
+                f"{', '.join(known_sites)}"
+            )
+    return plan
 
 
 #: The installed plan; ``None`` (the default) keeps every injection

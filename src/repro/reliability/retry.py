@@ -143,29 +143,46 @@ def retry_policy(policy: RetryPolicy) -> Iterator[RetryPolicy]:
 
 
 def note_retry(label: str, attempt: int, delay_s: float,
-               error: BaseException) -> None:
+               error: BaseException, unit: str = "s") -> None:
     """Record one retry: counters, span, log line.
 
     Shared by :func:`retry_call` and the few loops (flash-attack
-    acquisition) that implement their own retry shape but should show
-    up in the same telemetry.
+    acquisition, fleet outage RENT requeues) that implement their own
+    retry shape but should show up in the same telemetry.
+
+    ``unit`` prices the simulated wait: ``"s"`` (wall-style seconds,
+    the default) accumulates into
+    ``retry_wait_simulated_seconds_total``; ``"h"`` marks a delay
+    denominated in *simulated fleet hours* and lands in
+    ``retry_wait_simulated_hours_total`` instead, so event-driven
+    campaigns don't pollute the seconds counter with hour-scale waits.
     """
+    if unit not in ("s", "h"):
+        raise ConfigurationError(
+            f"retry unit must be 's' or 'h', got {unit!r}"
+        )
     registry.counter(
         "retries_total", "transient-error retries performed"
     ).inc()
-    registry.counter(
-        "retry_wait_simulated_seconds_total",
-        "simulated backoff seconds accumulated by retries",
-    ).inc(delay_s)
+    if unit == "h":
+        registry.counter(
+            "retry_wait_simulated_hours_total",
+            "simulated backoff hours accumulated by fleet retries",
+        ).inc(delay_s)
+        delay_attr = {"simulated_delay_h": round(delay_s, 6)}
+    else:
+        registry.counter(
+            "retry_wait_simulated_seconds_total",
+            "simulated backoff seconds accumulated by retries",
+        ).inc(delay_s)
+        delay_attr = {"simulated_delay_s": round(delay_s, 6)}
     with trace.span("retry.wait", label=label, attempt=attempt,
-                    simulated_delay_s=round(delay_s, 6),
-                    error=type(error).__name__):
+                    error=type(error).__name__, **delay_attr):
         pass  # simulated: the wait is recorded, never slept
     _progress.note_event("retry", label=label, attempt=attempt,
                          error=type(error).__name__)
     _log.info("retrying", label=label, attempt=attempt,
-              simulated_delay_s=round(delay_s, 4),
-              error=type(error).__name__)
+              error=type(error).__name__, **delay_attr)
 
 
 def retry_call(

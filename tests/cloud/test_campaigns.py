@@ -13,6 +13,7 @@ import math
 import numpy as np
 import pytest
 
+from repro.cloud import campaigns as campaigns_module
 from repro.cloud.campaigns import (
     ChurnModel,
     ChurnTrace,
@@ -21,13 +22,24 @@ from repro.cloud.campaigns import (
     LazyFleet,
     ScanPlan,
     VirtualRegion,
+    fleet_journal_context,
     run_churn_benchmark,
     run_flash_campaign,
+    run_fleet_sweep,
     run_scan_campaign,
 )
 from repro.errors import CloudError, ConfigurationError
 from repro.observability.metrics import registry
 from repro.observability.timeseries import FlightRecorder
+from repro.reliability.checkpoint import SweepJournal
+from repro.reliability.fleet_chaos import (
+    FleetFaultPlan,
+    OutageWindow,
+    PreemptionStorm,
+    RetirementWave,
+    ThermalExcursion,
+    WipeFaultSpec,
+)
 
 
 def _naive_pool(trace, boards, until):
@@ -363,3 +375,330 @@ class TestFleetCounters:
         # Churn rents + releases + drops and the loop's by-kind tally
         # partition the grand total exactly.
         assert per_kind == snap["fleet_events_total"] > 0
+
+
+def _chaos_plan(**overrides):
+    """An aggressive every-family plan that provably fires at quick
+    scale (the committed default is gentler)."""
+    base = dict(
+        seed=4,
+        wipe=WipeFaultSpec(fail_probability=0.4, partial_probability=0.4,
+                           scrub_fraction=0.5),
+        outages=(OutageWindow(start_hours=60.0, duration_hours=20.0),),
+        storms=(PreemptionStorm(start_hours=150.0, probability=0.5),),
+        retirements=(RetirementWave(time_hours=30.0, boards=5),),
+        excursions=(ThermalExcursion(start_hours=40.0,
+                                     duration_hours=24.0, delta_k=8.0),),
+    )
+    base.update(overrides)
+    return FleetFaultPlan(**base)
+
+
+def _faulted_run(engine, batch, plan, cadence=7.0):
+    """One faulted flash campaign -> (result-sans-engine, series, counters)."""
+    registry.reset()
+    rec = FlightRecorder(cadence_hours=cadence)
+    result = run_flash_campaign(
+        _scenario(engine=engine, batch_hours=batch),
+        FlashAttackPlan(victims=3, flash_limit=5, reaction_hours=0.25),
+        recorder=rec, fault_plan=plan,
+    )
+    counters = {k: v for k, v in registry.snapshot()["counters"].items()
+                if k.startswith(("fleet_", "retry_", "retries_"))}
+    registry.reset()
+    payload = {k: v for k, v in result.to_dict().items() if k != "engine"}
+    return payload, rec.to_json(), counters
+
+
+class TestFleetChaos:
+    """Fault injection at fleet scale stays engine- and batch-invariant,
+    and every fault family leaves an honest ledger."""
+
+    def test_faulted_campaign_engine_and_batch_invariant(self):
+        plan = _chaos_plan()
+        ref_result, ref_series, ref_counters = _faulted_run(
+            "reference", math.inf, plan)
+        # The plan must actually have done something interesting.
+        faults = ref_result["faults"]
+        assert faults["churn.dropped_by_outage"] > 0
+        assert faults["churn.truncated_by_storm"] > 0
+        assert faults["fleet.retire"] == 5
+        assert faults["fleet.thermal"] == 1
+        for engine, batch in (("bulk", math.inf), ("bulk", 9.0),
+                              ("bulk", 1.0), ("reference", 13.0)):
+            result, series, counters = _faulted_run(engine, batch, plan)
+            assert result == ref_result, (engine, batch)
+            assert series == ref_series, (engine, batch)
+            assert counters == ref_counters, (engine, batch)
+
+    def test_fault_series_are_plan_gated(self):
+        rec = FlightRecorder(cadence_hours=7.0)
+        run_flash_campaign(
+            _scenario(), FlashAttackPlan(victims=2), recorder=rec,
+            fault_plan=_chaos_plan(),
+        )
+        assert "fleet.faults_injected" in rec.names()
+        assert "fleet.failed_wipes" in rec.names()
+        faults = rec.series["fleet.faults_injected"]
+        values = [v for _, v in faults.points]
+        assert values == sorted(values) and values[-1] > 0
+
+    def test_no_plan_results_unchanged(self):
+        """fault_plan=None must be byte-identical to the pre-chaos
+        code path (the fast-path contract)."""
+        plan = FlashAttackPlan(victims=2, flash_limit=5,
+                               reaction_hours=0.25)
+        bare = run_flash_campaign(_scenario(), plan)
+        explicit = run_flash_campaign(_scenario(), plan, fault_plan=None)
+        assert explicit.to_dict() == bare.to_dict()
+        assert bare.faults == {} and bare.failed_wipes == 0
+        assert bare.region_status["r0"]["status"] == "ok"
+
+    def test_outage_spanning_rents_degrades_gracefully(self):
+        """A region dark across every victim rent (and past the retry
+        budget) yields skipped victims and a truthful region map, not
+        an exception."""
+        plan = FleetFaultPlan(seed=1, outages=(
+            OutageWindow(start_hours=0.0, duration_hours=300.0),))
+        result = run_flash_campaign(
+            _scenario(),
+            FlashAttackPlan(victims=2, flash_limit=5,
+                            reaction_hours=0.25),
+            fault_plan=plan,
+        )
+        assert result.victims_skipped == 2
+        assert result.recovery_yield == 0.0
+        assert result.faults["fleet.outage"] > 0
+        assert result.rent_retries > 0
+        status = result.region_status["r0"]
+        assert status["status"] == "dark"
+        assert status["victims_skipped"] == 2
+        details = {d["victim"]: d for d in result.details}
+        assert all(d["skipped"] for d in details.values())
+
+    def test_rent_retries_past_outage_end(self):
+        """A short outage at the first victim's rent instant: the RENT
+        retries under backoff and lands once the region lights up."""
+        # Quick flash victims rent at warmup=12.0; dark 11.9..12.5.
+        plan = FleetFaultPlan(seed=1, outages=(
+            OutageWindow(start_hours=11.9, duration_hours=0.6,
+                         drop_churn=False),))
+        result = run_flash_campaign(
+            _scenario(),
+            FlashAttackPlan(victims=1, flash_limit=5,
+                            reaction_hours=0.25),
+            fault_plan=plan,
+        )
+        assert result.victims_skipped == 0
+        assert result.rent_retries > 0
+        assert result.faults["fleet.outage"] > 0
+        assert result.region_status["r0"]["status"] == "degraded"
+
+    def test_certain_storm_preempts_live_victims(self):
+        """probability=1.0 storms mid-tenancy reclaim the live victim
+        exactly once; the release event later finds the board gone."""
+        # Victim tenancies are sequential: victim 0 holds [12, 60),
+        # victim 1 holds [84, 132) (warmup 12, burn 48, spacing 24) --
+        # one storm inside each window catches exactly that victim.
+        plan = FleetFaultPlan(seed=1, storms=(
+            PreemptionStorm(start_hours=40.0, probability=1.0,
+                            cut_churn=False),
+            PreemptionStorm(start_hours=100.0, probability=1.0,
+                            cut_churn=False),
+        ))
+        result = run_flash_campaign(
+            _scenario(),
+            FlashAttackPlan(victims=2, flash_limit=5,
+                            reaction_hours=0.25),
+            fault_plan=plan,
+        )
+        assert result.preempted == 2
+        assert result.faults["fleet.preempt"] == 2
+        preempted_details = [d for d in result.details if d["preempted"]]
+        assert len(preempted_details) == 2
+
+    def test_retirement_shrinks_pool_permanently(self):
+        plan = FleetFaultPlan(seed=2, retirements=(
+            RetirementWave(time_hours=5.0, boards=7),))
+        result = run_flash_campaign(
+            _scenario(), FlashAttackPlan(victims=2), fault_plan=plan,
+        )
+        assert result.retired_boards == 7
+        assert result.faults["fleet.retire"] == 7
+        status = result.region_status["r0"]
+        assert status["retired"] == 7
+        assert status["boards"] == 120 - 7
+        assert status["status"] == "degraded"
+
+    def test_failed_wipe_leaves_remanence_for_the_attacker(self):
+        """With every wipe failing on a quiet pool, the attacker reads
+        the victim's residue exactly as before -- plus the ledger says
+        the wipes failed."""
+        from repro.physics.aging import NEW_PART
+
+        scenario = _scenario(
+            churn=ChurnModel(arrival_rate_per_hour=0.01,
+                             mean_rental_hours=1.0),
+            seed=2, wear=NEW_PART,
+        )
+        plan = FleetFaultPlan(seed=0,
+                              wipe=WipeFaultSpec(fail_probability=1.0))
+        result = run_flash_campaign(
+            scenario,
+            FlashAttackPlan(victims=2, flash_limit=3, reaction_hours=0.1),
+            fault_plan=plan,
+        )
+        assert result.failed_wipes == 2
+        assert result.recovery_yield == 1.0
+        assert {d["wipe_mode"] for d in result.details} == {"failed"}
+
+    def test_virtual_region_retire_free(self):
+        trace = ChurnModel(5.0, 2.0).draw(10.0, seed=0)
+        for engine in ("bulk", "reference"):
+            region = VirtualRegion(6, trace, engine=engine)
+            before = list(region.free_boards())
+            removed = region.retire_free([4, 1])
+            assert removed == [before[4], before[1]]
+            assert region.boards == 4
+            assert region.available() == 4
+            with pytest.raises(CloudError):
+                region.retire_free([99])
+
+
+def _sweep_scenario(**overrides):
+    base = dict(
+        devices=60,
+        horizon_hours=120.0,
+        churn=ChurnModel(arrival_rate_per_hour=1.5,
+                         mean_rental_hours=8.0),
+        routes=4,
+        seed=0,
+    )
+    base.update(overrides)
+    return FleetScenario(**base)
+
+
+_SWEEP_ATTACK = FlashAttackPlan(victims=1, flash_limit=3,
+                                reaction_hours=0.25)
+
+
+def _sweep_chaos_plan():
+    return FleetFaultPlan(
+        seed=3,
+        wipe=WipeFaultSpec(fail_probability=0.3, partial_probability=0.3),
+        outages=(OutageWindow(start_hours=40.0, duration_hours=6.0),),
+    )
+
+
+class TestFleetSweep:
+    """Multi-seed campaign sweeps: journaling, kill-and-resume
+    bit-identity, per-seed fault-plan derivation."""
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError, match="unknown fleet"):
+            run_fleet_sweep(_sweep_scenario(), [1], campaign="psychic")
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_fleet_sweep(_sweep_scenario(), [])
+        with pytest.raises(ConfigurationError, match="unique"):
+            run_fleet_sweep(_sweep_scenario(), [1, 1])
+
+    def test_journal_context_excludes_engine_and_batch(self):
+        plans = (None, _sweep_chaos_plan())
+        for plan in plans:
+            a = fleet_journal_context(
+                _sweep_scenario(engine="reference"), "flash",
+                attack_plan=_SWEEP_ATTACK, fault_plan=plan)
+            b = fleet_journal_context(
+                _sweep_scenario(engine="bulk", batch_hours=9.0), "flash",
+                attack_plan=_SWEEP_ATTACK, fault_plan=plan)
+            assert a == b
+
+    def test_sweep_mean_and_per_seed_results(self):
+        sweep = run_fleet_sweep(
+            _sweep_scenario(), [1, 2], attack_plan=_SWEEP_ATTACK,
+        )
+        assert sweep.seeds == [1, 2]
+        assert len(sweep.results) == 2
+        yields = [r["recovery_yield"] for r in sweep.results]
+        assert sweep.mean_yield == sum(yields) / 2
+        assert sweep.resumed_seeds == 0
+
+    def test_kill_and_resume_is_bit_identical(self, tmp_path,
+                                              monkeypatch):
+        """SIGKILL mid-sweep (modelled as a runner that dies on the
+        third seed), then resume under a *different engine*: result
+        JSON, merged series and counters all match the uninterrupted
+        run exactly."""
+        seeds = [1, 2, 3]
+        plan = _sweep_chaos_plan()
+        context = fleet_journal_context(
+            _sweep_scenario(), "flash", attack_plan=_SWEEP_ATTACK,
+            fault_plan=plan)
+
+        def clean_run():
+            registry.reset()
+            rec = FlightRecorder(cadence_hours=7.0)
+            sweep = run_fleet_sweep(
+                _sweep_scenario(), seeds, attack_plan=_SWEEP_ATTACK,
+                fault_plan=plan, recorder=rec,
+            )
+            counters = dict(registry.snapshot()["counters"])
+            registry.reset()
+            return sweep.to_dict(), rec.to_json(), counters
+
+        expected_dict, expected_series, expected_counters = clean_run()
+
+        # Interrupted journaled attempt: dies on the third campaign.
+        journal_path = tmp_path / "fleet.journal"
+        real_runner = campaigns_module._CAMPAIGN_RUNNERS["flash"]
+        calls = {"n": 0}
+
+        def dying_runner(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise KeyboardInterrupt
+            return real_runner(*args, **kwargs)
+
+        monkeypatch.setitem(campaigns_module._CAMPAIGN_RUNNERS, "flash",
+                            dying_runner)
+        registry.reset()
+        with pytest.raises(KeyboardInterrupt):
+            run_fleet_sweep(
+                _sweep_scenario(), seeds, attack_plan=_SWEEP_ATTACK,
+                fault_plan=plan, recorder=FlightRecorder(cadence_hours=7.0),
+                journal=SweepJournal.load(journal_path, context=context),
+            )
+        monkeypatch.setitem(campaigns_module._CAMPAIGN_RUNNERS, "flash",
+                            real_runner)
+        registry.reset()
+        journal = SweepJournal.load(journal_path, context=context)
+        assert journal.completed_seeds() == [1, 2]
+
+        # Resume in a fresh "process" under the bulk engine.
+        rec = FlightRecorder(cadence_hours=7.0)
+        sweep = run_fleet_sweep(
+            _sweep_scenario(engine="bulk", batch_hours=9.0), seeds,
+            attack_plan=_SWEEP_ATTACK, fault_plan=plan, recorder=rec,
+            journal=SweepJournal.load(journal_path, context=context),
+        )
+        counters = dict(registry.snapshot()["counters"])
+        registry.reset()
+        assert sweep.resumed_seeds == 2
+        assert sweep.to_dict() == expected_dict
+        assert rec.to_json() == expected_series
+        counters.pop("fleet_sweep_seeds_resumed_total")
+        assert counters == expected_counters
+
+    def test_journaled_equals_unjournaled(self, tmp_path):
+        registry.reset()
+        plain = run_fleet_sweep(
+            _sweep_scenario(), [1, 2], attack_plan=_SWEEP_ATTACK,
+        )
+        registry.reset()
+        journal = SweepJournal.load(tmp_path / "j.json", context={})
+        journaled = run_fleet_sweep(
+            _sweep_scenario(), [1, 2], attack_plan=_SWEEP_ATTACK,
+            journal=journal,
+        )
+        registry.reset()
+        assert journaled.to_dict() == plain.to_dict()

@@ -75,6 +75,22 @@ class TestSweepJournal:
         loaded = SweepJournal.load(path)
         assert loaded.context == {"experiment": "exp1"}
 
+    def test_extra_payload_round_trips(self, tmp_path):
+        """Fleet sweeps stash the full campaign result and series dump
+        in ``extra``; it must survive the disk round trip verbatim."""
+        path = tmp_path / "sweep.json"
+        journal = SweepJournal(path, context={"kind": "fleet_sweep"})
+        extra = {
+            "result": {"recovery_yield": 0.5, "faults": {"fleet.retire": 3}},
+            "series_state": {"series": {}, "dump_id": "abc123"},
+        }
+        journal.record(7, 0.5, metrics_state={"counters": {"x": 1}},
+                       extra=extra)
+        journal.record(8, 1.0)  # no extra: key absent, not null
+        loaded = SweepJournal.load(path, context={"kind": "fleet_sweep"})
+        assert loaded.get(7)["extra"] == extra
+        assert "extra" not in loaded.get(8)
+
     def test_malformed_entries(self, tmp_path):
         path = tmp_path / "sweep.json"
         path.write_text(json.dumps({

@@ -134,6 +134,41 @@ class TestFaultPlan:
         with pytest.raises(PersistenceError):
             load_fault_plan(bad)
 
+    def test_load_unknown_site_names_site_and_file(self, tmp_path):
+        plan_path = tmp_path / "typo.json"
+        plan_path.write_text(json.dumps({
+            "seed": 1,
+            "specs": {"cloud.alocate": {"probability": 0.5}},
+        }))
+        with pytest.raises(PersistenceError) as excinfo:
+            load_fault_plan(plan_path)
+        message = str(excinfo.value)
+        assert "cloud.alocate" in message and "typo.json" in message
+
+    def test_load_malformed_spec_names_site(self, tmp_path):
+        plan_path = tmp_path / "bad-spec.json"
+        plan_path.write_text(json.dumps({
+            "seed": 1,
+            "specs": {"cloud.allocate": {"probabillity": 0.5}},
+        }))
+        with pytest.raises(PersistenceError) as excinfo:
+            load_fault_plan(plan_path)
+        message = str(excinfo.value)
+        assert "cloud.allocate" in message
+        assert "probabillity" in message
+
+    def test_load_unreadable_plan_names_file(self, tmp_path):
+        target = tmp_path / "directory.json"
+        target.mkdir()  # read_text -> IsADirectoryError (an OSError)
+        with pytest.raises(PersistenceError, match="directory.json"):
+            load_fault_plan(target)
+
+    def test_spec_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="probabillity"):
+            FaultSpec.from_dict({"probabillity": 0.5})
+        with pytest.raises(ConfigurationError, match="object"):
+            FaultSpec.from_dict([0.5])
+
     def test_committed_default_plan_is_loadable(self):
         from pathlib import Path
 

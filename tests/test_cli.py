@@ -123,6 +123,18 @@ class TestParser:
         assert defaults.series is None
         assert defaults.series_cadence == 1.0
 
+    def test_fleet_chaos_flags(self):
+        args = build_parser().parse_args(
+            ["fleet", "--fault-plan", "storm.json", "--seeds", "1:3",
+             "--resume", "fleet.journal"]
+        )
+        assert args.fault_plan == "storm.json"
+        assert args.seeds == "1:3"
+        assert args.resume == "fleet.journal"
+        defaults = build_parser().parse_args(["fleet"])
+        assert defaults.fault_plan is None
+        assert defaults.seeds is None and defaults.resume is None
+
     def test_chaos_flags(self):
         args = build_parser().parse_args(
             ["chaos", "exp2", "--seed", "3", "--plan", "storm.json"]
@@ -287,6 +299,62 @@ class TestMain:
             ]) == 0
         assert paths["reference"].read_bytes() == \
             paths["bulk"].read_bytes()
+
+    def test_fleet_with_committed_fault_plan(self, tmp_path, capsys):
+        """The committed chaos plan drives a quick campaign end to end
+        and its hash lands in the run store."""
+        from pathlib import Path
+
+        plan = Path(__file__).resolve().parent.parent / "plans" \
+            / "fleet-chaos-default.json"
+        store_path = tmp_path / "runs.db"
+        assert main(["fleet", "--quick", "--seed", "3",
+                     "--fault-plan", str(plan),
+                     "--runstore", str(store_path)]) == 0
+        out = capsys.readouterr().out
+        assert "recovery yield" in out
+        assert "faults injected" in out
+        assert "region r0" in out
+
+        from repro.observability.runstore import RunStore
+
+        with RunStore(store_path) as store:
+            run = store.get_run(store.resolve("latest"))
+        assert run["fault_plan_hash"]
+
+    def test_fleet_missing_fault_plan_fails_cleanly(self, tmp_path, capsys):
+        assert main(["fleet", "--quick", "--seed", "3", "--fault-plan",
+                     str(tmp_path / "absent.json")]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "absent.json" in err
+
+    def test_fleet_churn_rejects_chaos_flags(self, capsys):
+        assert main(["fleet", "--campaign", "churn", "--quick",
+                     "--fault-plan", "storm.json"]) == 2
+        assert "pure-churn" in capsys.readouterr().err
+
+    def test_fleet_resume_requires_seeds(self, capsys):
+        assert main(["fleet", "--quick",
+                     "--resume", "fleet.journal"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+    def test_fleet_sweep_resume_round_trip(self, tmp_path, capsys):
+        """A journalled fleet sweep rerun from its journal reports the
+        identical per-seed distribution plus the resumed-count line."""
+        journal = tmp_path / "fleet.journal"
+        argv = ["fleet", "--devices", "40", "--horizon-hours", "60",
+                "--victims", "1", "--seeds", "3,4",
+                "--resume", str(journal)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert journal.exists()
+        assert "sweep [bulk] over 40 boards" in first
+        assert f"journal: {journal}" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "resumed 2 seed(s)" in second
+        assert second.replace("resumed 2 seed(s) from the journal\n",
+                              "") == first
 
     def test_sweep_resume_round_trip(self, tmp_path, capsys):
         journal = tmp_path / "sweep.journal"
